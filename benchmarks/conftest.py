@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run at the paper's scale: a 895-scenario datacenter, 18
+clusters, the Table 4 features.  The context (simulation + fitted FLARE
+model + memoised truths) is built once per session.  Every benchmark
+prints the same rows/series its paper figure reports and appends them to
+``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can be regenerated
+from the artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import get_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_ctx():
+    """The paper-scale experiment context (895 scenarios, k=18)."""
+    return get_context("paper", seed=2023)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a figure report under benchmarks/results/.
+
+    Writes the rendered text always, and — when the result object is
+    passed — a machine-readable JSON artefact next to it.
+    """
+    import json
+
+    from repro.reporting import to_jsonable
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str, data=None) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(to_jsonable(data), indent=1)
+            )
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,63 @@
+"""Benchmark: ablations of FLARE's design choices (DESIGN.md §4).
+
+Not a paper figure — quantifies, at paper scale, the design decisions the
+paper motivates: PCA, whitening, K-means vs hierarchical, medoid
+representatives, group-size weighting, the pruning threshold, and
+cluster-count sensitivity (§5.4).
+"""
+
+from repro.experiments import ablations
+from repro.reporting import render_table
+
+
+def test_ablation_pipeline_variants(benchmark, paper_ctx, save_result):
+    report = benchmark.pedantic(
+        ablations.run_pipeline_variants,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_variants", report.render(), report)
+    paper = report.row("paper (PCA+whiten+kmeans)")
+    assert paper.max_error_pct < 1.0
+    for row in report.rows:
+        assert row.max_error_pct < 3.0
+
+
+def test_ablation_threshold_sweep(benchmark, paper_ctx, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_threshold_sweep,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_thresholds",
+        render_table(
+            ["threshold", "kept metrics", "mean err %"],
+            [[t, k, e] for t, k, e in rows],
+            title="Ablation — correlation-pruning threshold",
+        ),
+    )
+    kept = [k for _, k, _ in rows]
+    assert kept == sorted(kept, reverse=True)
+
+
+def test_ablation_k_sensitivity(benchmark, paper_ctx, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_k_sensitivity,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_k",
+        render_table(
+            ["k", "mean err %"],
+            [[k, e] for k, e in rows],
+            title="Ablation — cluster-count sensitivity (paper §5.4)",
+        ),
+    )
+    by_k = dict(rows)
+    # §5.4: beyond the chosen k, more clusters do not materially help.
+    assert by_k[36] > by_k[18] - 0.5

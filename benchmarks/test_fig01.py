@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 1 — the methodology landscape."""
+
+from repro.experiments import fig01_landscape
+
+
+def test_fig01_landscape(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig01_landscape.run,
+        args=(paper_ctx,),
+        kwargs={"n_trials": 1000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig01", result.render(), result)
+    flare = result.point("FLARE")
+    # The figure's message: FLARE sits in the accurate-and-cheap corner.
+    assert flare.worst_error_pct < result.point("sampling-based").worst_error_pct
+    assert flare.worst_error_pct < (
+        result.point("load-testing benchmarks").worst_error_pct
+    )
+    assert (
+        result.point("full datacenter (truth)").cost_scenarios
+        / flare.cost_scenarios
+        > 40.0
+    )

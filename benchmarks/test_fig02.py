@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 2 — load-testing vs datacenter truth."""
+
+from repro.experiments import fig02_loadtesting_pitfall
+
+
+def test_fig02_loadtesting_pitfall(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig02_loadtesting_pitfall.run,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig02", result.render(), result)
+    # Shape check (paper §3.1): load-testing deviates from the truth.
+    assert result.max_deviation_pct > 0.5

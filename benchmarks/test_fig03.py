@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 3 — the co-location scenario landscape."""
+
+from repro.experiments import fig03_scenario_landscape
+
+
+def test_fig03a_occupancy(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig03_scenario_landscape.run_occupancy,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig03a", result.render(), result)
+    assert result.n_scenarios == len(paper_ctx.dataset)
+    # Step-like: far fewer occupancy levels than scenarios.
+    assert result.distinct_levels <= 12
+
+
+def test_fig03b_impact_vs_mpki(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig03_scenario_landscape.run_impact_vs_mpki,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig03b", result.render(), result)
+    # Impact is not explained by MPKI (paper §3.2).
+    assert abs(result.pearson_r) < 0.5

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 — explained variance vs PC count."""
+
+from repro.experiments import fig07_pca_variance
+
+
+def test_fig07_pca_variance(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig07_pca_variance.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig07", result.render(), result)
+    cum = result.cumulative_ratio[result.selected_components - 1]
+    assert cum >= result.variance_target - 1e-9

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 — high-level metric interpretations."""
+
+from repro.experiments import fig08_pc_interpretation
+
+
+def test_fig08_pc_interpretation(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig08_pc_interpretation.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig08", result.render(), result)
+    assert result.n_components == paper_ctx.flare.analysis.n_components
+    # Two-level profiling shows up in the PCs (paper's PC10-style traits).
+    assert len(result.components_mixing_scopes()) >= 1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 9 — SSE / silhouette vs cluster count."""
+
+from repro.experiments import fig09_cluster_selection
+
+
+def test_fig09_cluster_selection(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig09_cluster_selection.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig09", result.render(), result)
+    assert result.chosen_k == 18
+    # The knee suggestion lands in the same quality regime the paper
+    # selects (k around 10-30; they pick 18 balancing quality vs cost).
+    assert 6 <= result.knee_k <= 30

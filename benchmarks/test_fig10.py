@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10 — cluster radar profiles."""
+
+from repro.experiments import fig10_cluster_radar
+
+
+def test_fig10_cluster_radar(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig10_cluster_radar.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig10", result.render(), result)
+    assert result.n_clusters == 18
+    # No dominant group; many clusters with ~5-10% weight (paper §5.2).
+    assert result.max_weight() < 0.35
+    assert result.min_center_separation() > 0.3

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 — per-cluster feature impacts."""
+
+from repro.experiments import fig11_cluster_impacts
+
+
+def test_fig11_cluster_impacts(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig11_cluster_impacts.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig11", result.render(), result)
+    # Groups respond differently to the same feature (paper §5.2).
+    for j in range(len(result.features)):
+        assert result.spread_of(j) > 1.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 12 — estimation accuracy comparison."""
+
+from repro.experiments import fig12_accuracy
+
+
+def test_fig12_accuracy(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig12_accuracy.run,
+        args=(paper_ctx,),
+        kwargs={"n_trials": 1000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig12", result.render(), result)
+    # Headline claims (paper §5.3): FLARE errors < 1 % absolute, and below
+    # equal-cost sampling's worst case for every feature.
+    assert result.max_flare_all_job_error() < 1.0
+    for row in result.all_job:
+        assert row.flare_error_pct < row.sampling_max_error_pct

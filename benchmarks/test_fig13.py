@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 13 — evaluation cost vs accuracy."""
+
+from repro.experiments import fig13_cost_accuracy
+
+
+def test_fig13_cost_accuracy(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig13_cost_accuracy.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig13", result.render(), result)
+    # Paper §5.4: ~50x cheaper than full-datacenter evaluation, and
+    # sampling cannot match FLARE even at 10x FLARE's cost.
+    assert result.cost_reduction_vs_datacenter > 40.0
+    assert result.sampling_multiplier_to_match_flare() is None

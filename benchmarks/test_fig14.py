@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 14 — heterogeneous machine shapes."""
+
+from repro.experiments import fig14_heterogeneous
+
+
+def test_fig14a_transfer_infeasibility(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig14_heterogeneous.run_transfer,
+        args=(paper_ctx,),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig14a", result.render(), result)
+    # Paper §5.5: default-shape co-locations do not reproduce on Small.
+    assert result.infeasible_fraction > 0.2
+
+
+def test_fig14b_rederived_representatives(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        fig14_heterogeneous.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("fig14b", result.render(), result)
+    # Re-derived representatives track the new shape's truth and beat
+    # load-testing (paper Fig. 14b).
+    assert result.mean_flare_error() < 1.5
+    assert result.mean_flare_error() < result.mean_loadtest_error()

@@ -1,0 +1,34 @@
+"""Benchmark: evaluating a DVFS-governor rollout (extension feature).
+
+A governor switch is the purest instance of FLARE's target class — a
+software policy change that preserves machine shape.  Its impact is
+sharply nonlinear in machine occupancy (idle machines drop to the minimum
+clock), which makes it a stress test for the representative grouping.
+"""
+
+from repro.baselines import evaluate_full_datacenter
+from repro.cluster import Feature
+
+ONDEMAND = Feature(
+    name="ondemand-governor",
+    description="switch the fleet to the ondemand DVFS governor",
+    apply=lambda m: m.with_governor("ondemand"),
+)
+
+
+def test_governor_rollout(benchmark, paper_ctx, save_result):
+    def evaluate():
+        truth = evaluate_full_datacenter(paper_ctx.dataset, ONDEMAND)
+        estimate = paper_ctx.flare.evaluate(ONDEMAND)
+        return truth, estimate
+
+    truth, estimate = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    error = abs(estimate.reduction_pct - truth.overall_reduction_pct)
+    save_result(
+        "governor",
+        "Governor rollout (ondemand) — "
+        f"truth {truth.overall_reduction_pct:.2f}%, "
+        f"FLARE {estimate.reduction_pct:.2f}%, error {error:.2f} pp "
+        f"(per-scenario spread {truth.reductions_pct.std():.1f} pp)",
+    )
+    assert error < 1.0

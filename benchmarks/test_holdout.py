@@ -1,0 +1,13 @@
+"""Benchmark: hold-out generalisation validation (extension)."""
+
+from repro.experiments import holdout
+
+
+def test_holdout_validation(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        holdout.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("holdout", result.render(), result)
+    # Behaviour groups fitted on half the scenarios must estimate the
+    # never-seen half accurately.
+    assert result.max_reweighted_error() < 1.0

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the figure benches (single-shot regeneration), these time the
+inner loops the pipeline's cost is made of: the contention solver, the
+Profiler's per-scenario collection, PCA, k-means, and a full Flare fit at
+reduced scale.  Useful for tracking performance regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DatacenterConfig, run_simulation
+from repro.core import Analyzer, AnalyzerConfig, Flare, FlareConfig, refine
+from repro.perfmodel import RunningInstance, solve_colocation
+from repro.stats import PCA, KMeans
+from repro.telemetry import Profiler
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+@pytest.fixture(scope="module")
+def micro_sim():
+    return run_simulation(DatacenterConfig(seed=77, target_unique_scenarios=100))
+
+
+@pytest.fixture(scope="module")
+def heavy_colocation():
+    return [
+        RunningInstance(HP_JOBS[name])
+        for name in ("WSC", "GA", "DC", "DA", "IA", "DS", "MS", "WSV")
+    ] + [
+        RunningInstance(LP_JOBS[name])
+        for name in ("mcf", "libquantum", "omnetpp", "sjeng")
+    ]
+
+
+def test_bench_contention_solver(benchmark, heavy_colocation, micro_sim):
+    machine = micro_sim.dataset.shape.perf
+    result = benchmark(solve_colocation, machine, heavy_colocation)
+    assert result.converged
+
+
+def test_bench_profiler_collect(benchmark, micro_sim):
+    profiler = Profiler(noise_sigma=0.0, seed=1)
+    dataset = micro_sim.dataset
+    scenario = max(dataset.scenarios, key=lambda s: len(s.instances))
+    vector = benchmark(
+        profiler.collect, scenario, dataset, dataset.shape.perf
+    )
+    assert np.isfinite(vector).all()
+
+
+def test_bench_pca_fit(benchmark, micro_sim):
+    matrix = Profiler(noise_sigma=0.02, seed=1).profile(micro_sim.dataset).matrix
+    pca = benchmark(lambda: PCA().fit(matrix))
+    assert pca.result_ is not None
+
+
+def test_bench_kmeans_fit(benchmark):
+    rng = np.random.default_rng(5)
+    points = rng.normal(size=(900, 10))
+    result = benchmark(
+        lambda: KMeans(18, n_init=4, seed=np.random.default_rng(0)).fit(points)
+    )
+    assert result.n_clusters == 18
+
+
+def test_bench_analyzer(benchmark, micro_sim):
+    profiled = Profiler(noise_sigma=0.02, seed=1).profile(micro_sim.dataset)
+    refined = refine(profiled)
+    analyzer = Analyzer(AnalyzerConfig(n_clusters=8, kmeans_restarts=4))
+    analysis = benchmark(analyzer.analyze, refined)
+    assert analysis.n_clusters == 8
+
+
+def test_bench_flare_fit_small(benchmark, micro_sim):
+    config = FlareConfig(
+        analyzer=AnalyzerConfig(n_clusters=8, kmeans_restarts=4)
+    )
+    flare = benchmark.pedantic(
+        lambda: Flare(config).fit(micro_sim.dataset), rounds=3, iterations=1
+    )
+    assert flare.analysis.n_clusters == 8
+
+
+def test_bench_simulation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_simulation(
+            DatacenterConfig(seed=5, target_unique_scenarios=200)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_unique_scenarios == 200

@@ -1,0 +1,18 @@
+"""Benchmark: sampling strategies vs FLARE at equal cost (extension)."""
+
+from repro.experiments import sampling_strategies
+
+
+def test_sampling_strategies(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        sampling_strategies.run,
+        args=(paper_ctx,),
+        kwargs={"n_trials": 1000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("sampling_strategies", result.render(), result)
+    flare = result.row("FLARE").mean_abs_error_pct
+    for row in result.rows:
+        if row.strategy != "FLARE":
+            assert flare < row.mean_abs_error_pct

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate §5.6 — scheduler-change handling."""
+
+from repro.experiments import sec56_scheduler_change
+
+
+def test_sec56_scheduler_change(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        sec56_scheduler_change.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("sec56", result.render(), result)
+    # Reweighting from step 3 restores accuracy without re-profiling.
+    assert result.improved
+    assert result.reweighted_error_pct < 1.0

@@ -1,0 +1,12 @@
+"""Benchmark: clustering stability at paper scale (extension)."""
+
+from repro.experiments import stability
+
+
+def test_stability(benchmark, paper_ctx, save_result):
+    result = benchmark.pedantic(
+        stability.run, args=(paper_ctx,), rounds=1, iterations=1
+    )
+    save_result("stability", result.render(), result)
+    assert result.min_seed_ari > 0.2
+    assert result.estimate_spread_pct < 2.0

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Feature-rollout evaluation: should we deploy these three changes?
+
+The scenario the paper motivates: a datacenter team must decide whether
+three candidate changes — restricted cache allocation (freeing LLC for a
+co-located accelerator), a lower DVFS ceiling (power capping), and
+disabling SMT (side-channel hardening) — are affordable.  Each preserves
+machine shape, so FLARE can evaluate all three from one representative
+set, and we compare against full-datacenter truth and equal-cost random
+sampling.
+
+Run:
+    python examples/feature_rollout_evaluation.py [--seed 11]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    AnalyzerConfig,
+    DatacenterConfig,
+    Flare,
+    FlareConfig,
+    PAPER_FEATURES,
+    evaluate_by_sampling,
+    evaluate_full_datacenter,
+    run_simulation,
+)
+from repro.reporting import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--scenarios", type=int, default=400)
+    parser.add_argument("--clusters", type=int, default=14)
+    parser.add_argument("--budget-pct", type=float, default=10.0,
+                        help="max tolerable MIPS reduction for rollout")
+    args = parser.parse_args()
+
+    print("Collecting datacenter behaviour...")
+    result = run_simulation(
+        DatacenterConfig(seed=args.seed, target_unique_scenarios=args.scenarios)
+    )
+    flare = Flare(
+        FlareConfig(analyzer=AnalyzerConfig(n_clusters=args.clusters))
+    ).fit(result.dataset)
+
+    rows = []
+    decisions = []
+    for feature in PAPER_FEATURES:
+        estimate = flare.evaluate(feature)
+        truth = evaluate_full_datacenter(result.dataset, feature)
+        sampling = evaluate_by_sampling(
+            result.dataset,
+            feature,
+            sample_size=args.clusters,
+            n_trials=500,
+            seed=args.seed,
+            truth=truth,
+        )
+        error = abs(estimate.reduction_pct - truth.overall_reduction_pct)
+        rows.append(
+            [
+                feature.name,
+                truth.overall_reduction_pct,
+                estimate.reduction_pct,
+                error,
+                sampling.trials.max_error_at_confidence(0.95),
+            ]
+        )
+        verdict = (
+            "deploy" if estimate.reduction_pct <= args.budget_pct else "reject"
+        )
+        decisions.append((feature, estimate.reduction_pct, verdict))
+
+    print()
+    print(
+        render_table(
+            ["feature", "truth %", "FLARE %", "FLARE err", "sampling err@95"],
+            rows,
+            title="Rollout evaluation (all-job MIPS reduction)",
+        )
+    )
+
+    print(f"\nDecisions at a {args.budget_pct:.0f}% regression budget:")
+    for feature, reduction, verdict in decisions:
+        print(f"  {feature.name}: {reduction:5.2f}%  ->  {verdict}")
+        print(f"      ({feature.description})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a cache-sizing feature with FLARE in ~30 seconds.
+
+Simulates a small datacenter, extracts representative co-location
+scenarios, and estimates the impact of shrinking the LLC from 30 MB to
+12 MB per socket (the paper's Feature 1) — then checks the estimate
+against the expensive full-datacenter evaluation.
+
+Run:
+    python examples/quickstart.py [--seed 7] [--scenarios 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    AnalyzerConfig,
+    DatacenterConfig,
+    FEATURE_1_CACHE,
+    Flare,
+    FlareConfig,
+    evaluate_full_datacenter,
+    run_simulation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scenarios", type=int, default=200)
+    parser.add_argument("--clusters", type=int, default=10)
+    args = parser.parse_args()
+
+    print("1) Collecting co-location scenarios from the datacenter...")
+    result = run_simulation(
+        DatacenterConfig(
+            seed=args.seed, target_unique_scenarios=args.scenarios
+        )
+    )
+    print(
+        f"   observed {result.n_unique_scenarios} distinct co-locations "
+        f"({result.stats.n_placed} container placements, "
+        f"{result.stats.denial_rate:.0%} denials)"
+    )
+
+    print("2) Fitting FLARE (profile -> refine -> PCA -> cluster)...")
+    flare = Flare(
+        FlareConfig(analyzer=AnalyzerConfig(n_clusters=args.clusters))
+    ).fit(result.dataset)
+    analysis = flare.analysis
+    print(
+        f"   {flare.profiled.n_metrics} raw metrics -> "
+        f"{flare.refined.n_metrics} refined -> "
+        f"{analysis.n_components} high-level metrics (PCs), "
+        f"{analysis.n_clusters} scenario groups"
+    )
+
+    print("3) Evaluating Feature 1 (LLC 30 MB -> 12 MB per socket)...")
+    estimate = flare.evaluate(FEATURE_1_CACHE)
+    print(
+        f"   FLARE estimate: {estimate.reduction_pct:.2f}% MIPS reduction "
+        f"(replayed only {estimate.evaluation_cost} scenarios)"
+    )
+
+    print("4) Verifying against the full-datacenter evaluation...")
+    truth = evaluate_full_datacenter(result.dataset, FEATURE_1_CACHE)
+    error = abs(estimate.reduction_pct - truth.overall_reduction_pct)
+    print(
+        f"   ground truth: {truth.overall_reduction_pct:.2f}% "
+        f"({truth.evaluation_cost} scenario evaluations)"
+    )
+    print(
+        f"   FLARE error: {error:.2f} pp at "
+        f"{truth.evaluation_cost / estimate.evaluation_cost:.0f}x lower cost"
+    )
+
+    print("\nPer-group breakdown (weight x impact):")
+    for impact in estimate.per_cluster:
+        print(
+            f"   cluster {impact.cluster_id:>2}  weight {impact.weight:5.1%}"
+            f"  impact {impact.reduction_pct:6.2f}%"
+            f"  (scenario #{impact.scenario_id})"
+        )
+
+
+if __name__ == "__main__":
+    main()

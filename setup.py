@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that fully-offline environments (no ``wheel`` package available for
+PEP 660 editable builds) can still do ``python setup.py develop``.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

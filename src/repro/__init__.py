@@ -1,0 +1,108 @@
+"""FLARE: fast, light-weight, accurate datacenter performance evaluation.
+
+Reproduction of *Fast, Light-weight, and Accurate Performance Evaluation
+using Representative Datacenter Behaviors* (Middleware '23).  The library
+simulates a multi-tenant datacenter, profiles every job co-location
+scenario it exhibits, extracts a small set of representative scenarios via
+PCA + clustering, and evaluates shape-preserving features (cache sizing,
+DVFS, SMT, software changes) on just those representatives.
+
+Quickstart::
+
+    from repro import (
+        DatacenterConfig, run_simulation, Flare, FEATURE_1_CACHE,
+    )
+
+    result = run_simulation(DatacenterConfig(seed=1))
+    flare = Flare().fit(result.dataset)
+    estimate = flare.evaluate(FEATURE_1_CACHE)
+    print(f"estimated MIPS reduction: {estimate.reduction_pct:.1f}%")
+"""
+
+from .baselines import (
+    DatacenterTruth,
+    LoadTestResult,
+    SamplingEvaluation,
+    evaluate_by_sampling,
+    evaluate_full_datacenter,
+    evaluate_job_by_sampling,
+    load_test_all_jobs,
+    load_test_job,
+    sampling_cost_curve,
+)
+from .cluster import (
+    BASELINE,
+    DEFAULT_SHAPE,
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    FEATURE_3_SMT,
+    PAPER_FEATURES,
+    SMALL_SHAPE,
+    DatacenterConfig,
+    Feature,
+    MachineShape,
+    ScenarioDataset,
+    SimulationResult,
+    SubmissionConfig,
+    run_simulation,
+)
+from .core import (
+    AnalyzerConfig,
+    FeatureImpactEstimate,
+    FleetEvaluator,
+    FleetSegment,
+    Flare,
+    FlareConfig,
+    Replayer,
+)
+from .telemetry import Database, ProfiledDataset, Profiler
+from .workloads import HP_JOB_NAMES, HP_JOBS, LP_JOB_NAMES, LP_JOBS, get_job
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # simulation
+    "DatacenterConfig",
+    "SubmissionConfig",
+    "SimulationResult",
+    "run_simulation",
+    "MachineShape",
+    "DEFAULT_SHAPE",
+    "SMALL_SHAPE",
+    "ScenarioDataset",
+    # features
+    "Feature",
+    "BASELINE",
+    "FEATURE_1_CACHE",
+    "FEATURE_2_DVFS",
+    "FEATURE_3_SMT",
+    "PAPER_FEATURES",
+    # FLARE
+    "Flare",
+    "FlareConfig",
+    "AnalyzerConfig",
+    "FeatureImpactEstimate",
+    "Replayer",
+    "FleetEvaluator",
+    "FleetSegment",
+    "Profiler",
+    "ProfiledDataset",
+    "Database",
+    # baselines
+    "DatacenterTruth",
+    "evaluate_full_datacenter",
+    "SamplingEvaluation",
+    "evaluate_by_sampling",
+    "evaluate_job_by_sampling",
+    "sampling_cost_curve",
+    "LoadTestResult",
+    "load_test_job",
+    "load_test_all_jobs",
+    # workloads
+    "HP_JOBS",
+    "HP_JOB_NAMES",
+    "LP_JOBS",
+    "LP_JOB_NAMES",
+    "get_job",
+]

@@ -1,0 +1,40 @@
+"""Baseline evaluation methodologies FLARE is compared against.
+
+Full-datacenter evaluation (the expensive ground truth), random sampling
+(cheaper, high-variance), and conventional single-service load-testing
+(cheap, co-location-blind).
+"""
+
+from .full_datacenter import (
+    DatacenterTruth,
+    JobScenarioReductions,
+    evaluate_full_datacenter,
+    per_job_scenario_reductions,
+)
+from .loadtesting import LoadTestResult, load_test_all_jobs, load_test_job
+from .stratified import (
+    evaluate_by_stratified_sampling,
+    stratify_by_metric,
+)
+from .sampling import (
+    SamplingEvaluation,
+    evaluate_by_sampling,
+    evaluate_job_by_sampling,
+    sampling_cost_curve,
+)
+
+__all__ = [
+    "DatacenterTruth",
+    "evaluate_full_datacenter",
+    "JobScenarioReductions",
+    "per_job_scenario_reductions",
+    "SamplingEvaluation",
+    "evaluate_by_sampling",
+    "evaluate_job_by_sampling",
+    "sampling_cost_curve",
+    "evaluate_by_stratified_sampling",
+    "stratify_by_metric",
+    "LoadTestResult",
+    "load_test_job",
+    "load_test_all_jobs",
+]

@@ -1,0 +1,97 @@
+"""Conventional load-testing baseline (paper §3.1, Figure 2).
+
+The pre-FLARE practice: populate instances of *one* service on a single
+machine and measure the feature's impact on it — no co-located jobs, no
+interference.  The paper shows these estimates deviate badly from the
+in-datacenter truth; this module reproduces that methodology so the
+deviation can be demonstrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.features import BASELINE, Feature
+from ..cluster.machine import MachineShape
+from ..perfmodel.contention import RunningInstance, solve_colocation_cached
+from ..perfmodel.signatures import JobSignature
+from ..workloads import HP_JOBS
+
+__all__ = ["LoadTestResult", "load_test_job", "load_test_all_jobs"]
+
+
+@dataclass(frozen=True)
+class LoadTestResult:
+    """Single-service load-testing measurement for one feature.
+
+    Attributes
+    ----------
+    job_name:
+        The service under test.
+    n_instances:
+        Instances populated on the machine (fills the vCPUs, as the paper
+        and [51, 58] populate instances of one service).
+    baseline_mips / feature_mips:
+        Total service MIPS without / with the feature.
+    """
+
+    job_name: str
+    feature: Feature
+    n_instances: int
+    baseline_mips: float
+    feature_mips: float
+
+    @property
+    def reduction_pct(self) -> float:
+        if self.baseline_mips <= 0.0:
+            return 0.0
+        return (
+            (self.baseline_mips - self.feature_mips)
+            / self.baseline_mips
+            * 100.0
+        )
+
+
+def load_test_job(
+    shape: MachineShape,
+    signature: JobSignature,
+    feature: Feature,
+    *,
+    load: float = 1.0,
+) -> LoadTestResult:
+    """Run the load-testing benchmark for one service.
+
+    Populates as many instances of the service as fit the machine (vCPU
+    and DRAM limits) at full load, then measures total MIPS under the
+    baseline and feature configurations.
+    """
+    by_cpu = shape.vcpus // signature.vcpus
+    by_mem = int(shape.dram_gb // signature.dram_gb)
+    n_instances = max(1, min(by_cpu, by_mem))
+    instances = tuple(
+        RunningInstance(signature=signature, load=load)
+        for _ in range(n_instances)
+    )
+    base = solve_colocation_cached(BASELINE(shape.perf), instances)
+    enabled = solve_colocation_cached(feature(shape.perf), instances)
+    return LoadTestResult(
+        job_name=signature.name,
+        feature=feature,
+        n_instances=n_instances,
+        baseline_mips=base.total_mips,
+        feature_mips=enabled.total_mips,
+    )
+
+
+def load_test_all_jobs(
+    shape: MachineShape,
+    feature: Feature,
+    *,
+    jobs: dict[str, JobSignature] | None = None,
+) -> dict[str, LoadTestResult]:
+    """Load-test every HP service; returns job code → result."""
+    catalogue = jobs if jobs is not None else HP_JOBS
+    return {
+        name: load_test_job(shape, signature, feature)
+        for name, signature in catalogue.items()
+    }

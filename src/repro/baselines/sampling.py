@@ -1,0 +1,156 @@
+"""Sampling-based evaluation baseline (paper §5.3–5.4).
+
+Randomly pick N scenarios, evaluate the feature on just those, and use the
+sample mean as the estimate.  Repeated over many trials this yields the
+violin distributions of Figure 12a, the 95 % confidence intervals of
+Figure 12b and the cost/accuracy curve of Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.features import Feature
+from ..cluster.scenario import ScenarioDataset
+from ..stats.sampling import (
+    SamplingTrialResult,
+    expected_max_error,
+    run_sampling_trials,
+)
+from .full_datacenter import (
+    DatacenterTruth,
+    evaluate_full_datacenter,
+    per_job_scenario_reductions,
+)
+
+__all__ = [
+    "SamplingEvaluation",
+    "evaluate_by_sampling",
+    "evaluate_job_by_sampling",
+    "sampling_cost_curve",
+]
+
+
+@dataclass(frozen=True)
+class SamplingEvaluation:
+    """Random-sampling estimate distribution for one feature.
+
+    Attributes
+    ----------
+    feature:
+        Feature evaluated.
+    job_name:
+        None for all-job sampling; the job code otherwise.
+    trials:
+        The per-trial estimates and the population truth.
+    evaluation_cost:
+        Scenarios evaluated per trial (the method's per-use cost).
+    """
+
+    feature: Feature
+    job_name: str | None
+    trials: SamplingTrialResult
+    evaluation_cost: int
+
+    @property
+    def truth(self) -> float:
+        return self.trials.truth
+
+    @property
+    def mean_estimate(self) -> float:
+        return float(self.trials.estimates.mean())
+
+
+def evaluate_by_sampling(
+    dataset: ScenarioDataset,
+    feature: Feature,
+    *,
+    sample_size: int,
+    n_trials: int = 1000,
+    seed: int = 0,
+    truth: DatacenterTruth | None = None,
+) -> SamplingEvaluation:
+    """All-job sampling baseline.
+
+    Scenarios are drawn with probability proportional to observation time
+    (what watching random machines at random times yields), with
+    replacement, so the estimator targets the same weighted truth as the
+    full-datacenter evaluation.
+    """
+    resolved = truth if truth is not None else evaluate_full_datacenter(
+        dataset, feature
+    )
+    trials = run_sampling_trials(
+        resolved.reductions_pct,
+        sample_size=sample_size,
+        n_trials=n_trials,
+        seed=seed,
+        weights=resolved.weights,
+        replace=True,
+    )
+    return SamplingEvaluation(
+        feature=feature,
+        job_name=None,
+        trials=trials,
+        evaluation_cost=sample_size,
+    )
+
+
+def evaluate_job_by_sampling(
+    dataset: ScenarioDataset,
+    feature: Feature,
+    job_name: str,
+    *,
+    sample_size: int,
+    n_trials: int = 1000,
+    seed: int = 0,
+) -> SamplingEvaluation:
+    """Per-job sampling baseline.
+
+    The population is the scenarios hosting *job_name* (§5.3 notes this
+    population is much smaller than the all-job one, which is why per-job
+    sampling sometimes looks good).  Weights combine observation time with
+    the job's instance count.
+    """
+    population = per_job_scenario_reductions(dataset, feature, job_name)
+    effective_size = min(sample_size, population.reductions_pct.size)
+    trials = run_sampling_trials(
+        population.reductions_pct,
+        sample_size=effective_size,
+        n_trials=n_trials,
+        seed=seed,
+        weights=population.weights,
+        replace=True,
+    )
+    return SamplingEvaluation(
+        feature=feature,
+        job_name=job_name,
+        trials=trials,
+        evaluation_cost=effective_size,
+    )
+
+
+def sampling_cost_curve(
+    truth: DatacenterTruth,
+    sample_sizes: tuple[int, ...],
+    *,
+    confidence: float = 0.95,
+) -> list[tuple[int, float]]:
+    """Expected max estimation error vs sampling cost (Figure 13).
+
+    Returns ``(sample_size, expected_max_error_pct)`` pairs using the
+    normal-approximation confidence half-width over the weighted
+    population of per-scenario reductions.
+    """
+    population = truth.reductions_pct
+    rows = []
+    for size in sample_sizes:
+        if size < 1:
+            raise ValueError("sample sizes must be >= 1")
+        err = expected_max_error(
+            population,
+            sample_size=min(size, population.size),
+            confidence=confidence,
+        )
+        rows.append((size, float(err)))
+    return rows

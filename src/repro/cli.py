@@ -1,0 +1,285 @@
+"""Command-line interface: the FLARE workflow as four commands.
+
+::
+
+    repro simulate  --seed 7 --scenarios 300 --out dataset.json
+    repro ingest    --trace events.csv --shape default --out dataset.json
+    repro fit       --dataset dataset.json --clusters 18 --out model.json
+    repro evaluate  --model model.json --feature feature1 [--job WSC]
+    repro report    --model model.json
+    repro diagnose  --model model.json
+    repro experiment --figure fig12 --scale small
+
+Also runnable as ``python -m repro …``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .cluster.features import BASELINE, PAPER_FEATURES, Feature
+from .cluster.machine import DEFAULT_SHAPE, SMALL_SHAPE
+from .cluster.simulation import DatacenterConfig, run_simulation
+from .core.analyzer import AnalyzerConfig
+from .core.pipeline import Flare, FlareConfig
+from .io.serialization import load_dataset, load_model, save_dataset, save_model
+from .reporting.radar import render_radar_report
+from .reporting.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+_SHAPES = {"default": DEFAULT_SHAPE, "small": SMALL_SHAPE}
+_FEATURES: dict[str, Feature] = {f.name: f for f in PAPER_FEATURES}
+_FEATURES[BASELINE.name] = BASELINE
+
+_EXPERIMENTS = (
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "sec56",
+    "ablations",
+    "sampling-strategies",
+    "holdout",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLARE: representative-scenario datacenter evaluation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run the datacenter and collect scenarios"
+    )
+    simulate.add_argument("--seed", type=int, default=2023)
+    simulate.add_argument("--scenarios", type=int, default=895)
+    simulate.add_argument(
+        "--shape", choices=sorted(_SHAPES), default="default"
+    )
+    simulate.add_argument("--out", required=True, help="output dataset JSON")
+
+    ingest = sub.add_parser(
+        "ingest", help="build a dataset from a container-lifecycle trace CSV"
+    )
+    ingest.add_argument("--trace", required=True, help="input trace CSV")
+    ingest.add_argument(
+        "--shape", choices=sorted(_SHAPES), default="default"
+    )
+    ingest.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip malformed trace rows instead of failing",
+    )
+    ingest.add_argument("--out", required=True, help="output dataset JSON")
+
+    fit = sub.add_parser("fit", help="fit FLARE on a collected dataset")
+    fit.add_argument("--dataset", required=True, help="input dataset JSON")
+    fit.add_argument("--clusters", type=int, default=18)
+    fit.add_argument("--out", required=True, help="output model JSON")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="estimate a feature's impact from a fitted model"
+    )
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument(
+        "--feature", choices=sorted(_FEATURES), required=True
+    )
+    evaluate.add_argument("--job", help="per-job estimate for this HP job")
+
+    report = sub.add_parser(
+        "report", help="print a fitted model's interpretation report"
+    )
+    report.add_argument("--model", required=True)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="print a fitted model's representativeness report"
+    )
+    diagnose.add_argument("--model", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure"
+    )
+    experiment.add_argument("--figure", choices=_EXPERIMENTS, required=True)
+    experiment.add_argument(
+        "--scale", choices=("small", "paper"), default="small"
+    )
+    experiment.add_argument("--seed", type=int, default=2023)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "simulate": _cmd_simulate,
+        "ingest": _cmd_ingest,
+        "fit": _cmd_fit,
+        "evaluate": _cmd_evaluate,
+        "report": _cmd_report,
+        "diagnose": _cmd_diagnose,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    config = DatacenterConfig(
+        shape=_SHAPES[args.shape],
+        seed=args.seed,
+        target_unique_scenarios=args.scenarios,
+    )
+    result = run_simulation(config)
+    save_dataset(result.dataset, args.out)
+    print(
+        f"collected {result.n_unique_scenarios} scenarios "
+        f"({result.stats.n_placed} placements, "
+        f"{result.stats.denial_rate:.1%} denials) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from .io.tracecsv import dataset_from_trace_csv
+
+    dataset = dataset_from_trace_csv(
+        args.trace, _SHAPES[args.shape], strict=not args.lenient
+    )
+    save_dataset(dataset, args.out)
+    print(
+        f"ingested {len(dataset)} distinct co-locations from "
+        f"{args.trace} -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    dataset = load_dataset(args.dataset)
+    config = FlareConfig(analyzer=AnalyzerConfig(n_clusters=args.clusters))
+    flare = Flare(config).fit(dataset)
+    save_model(flare, args.out)
+    print(
+        f"fitted FLARE: {flare.profiled.n_metrics} raw -> "
+        f"{flare.refined.n_metrics} refined metrics, "
+        f"{flare.analysis.n_components} PCs, "
+        f"{flare.analysis.n_clusters} groups -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    flare = load_model(args.model)
+    feature = _FEATURES[args.feature]
+    if args.job:
+        estimate = flare.evaluate_job(feature, args.job)
+        label = f"{feature.name} impact on {args.job}"
+    else:
+        estimate = flare.evaluate(feature)
+        label = f"{feature.name} impact (all HP jobs)"
+    print(f"{label}: {estimate.reduction_pct:.2f}% MIPS reduction")
+    print(f"evaluation cost: {estimate.evaluation_cost} scenario replays")
+    rows = [
+        [c.cluster_id, c.weight * 100.0, c.reduction_pct, c.scenario_id]
+        for c in estimate.per_cluster
+    ]
+    print(
+        render_table(
+            ["cluster", "weight %", "impact %", "scenario"],
+            rows,
+            title="per-group breakdown",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    flare = load_model(args.model)
+    print("High-level metrics (Figure 8 style):")
+    for interp in flare.interpretations:
+        print("  " + interp.describe())
+    print()
+    analysis = flare.analysis
+    print(
+        render_radar_report(
+            analysis.kmeans.centroids, analysis.cluster_weights
+        )
+    )
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .core.diagnostics import diagnose
+
+    flare = load_model(args.model)
+    report = diagnose(flare)
+    print(report.render())
+    worst = report.worst_group()
+    print(
+        f"\nloosest group: cluster {worst.cluster_id} "
+        f"(mean member distance {worst.mean_member_distance:.2f}); "
+        f"mean representative centrality "
+        f"{report.mean_centrality():.2f} (lower = more central)"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+    from .experiments import get_context
+
+    context = get_context(args.scale, seed=args.seed)
+    figure = args.figure
+    if figure == "fig03":
+        print(experiments.fig03_scenario_landscape.run_occupancy(context).render())
+        print()
+        print(
+            experiments.fig03_scenario_landscape.run_impact_vs_mpki(
+                context
+            ).render()
+        )
+    elif figure == "fig14":
+        print(experiments.fig14_heterogeneous.run_transfer(context).render())
+        print()
+        print(experiments.fig14_heterogeneous.run(context).render())
+    elif figure == "ablations":
+        print(experiments.ablations.run_pipeline_variants(context).render())
+    elif figure == "sampling-strategies":
+        print(experiments.sampling_strategies.run(context).render())
+    elif figure == "holdout":
+        print(experiments.holdout.run(context).render())
+    else:
+        module = {
+            "fig01": experiments.fig01_landscape,
+            "fig02": experiments.fig02_loadtesting_pitfall,
+            "fig07": experiments.fig07_pca_variance,
+            "fig08": experiments.fig08_pc_interpretation,
+            "fig09": experiments.fig09_cluster_selection,
+            "fig10": experiments.fig10_cluster_radar,
+            "fig11": experiments.fig11_cluster_impacts,
+            "fig12": experiments.fig12_accuracy,
+            "fig13": experiments.fig13_cost_accuracy,
+            "sec56": experiments.sec56_scheduler_change,
+        }[figure]
+        print(module.run(context).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

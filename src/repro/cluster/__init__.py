@@ -1,0 +1,68 @@
+"""Datacenter cluster simulator: machines, scheduler, users, scenarios.
+
+This package replaces the paper's physical behaviour rack.  It simulates
+container submissions onto homogeneous machines under a no-overcommit
+scheduler and records every job co-location scenario that appears, with
+observation-time weights — the input to FLARE's Profiler.
+"""
+
+from .events import EventQueue, ScheduledEvent
+from .features import (
+    BASELINE,
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    FEATURE_3_SMT,
+    PAPER_FEATURES,
+    Feature,
+)
+from .job import JobInstance, JobRequest
+from .machine import DEFAULT_SHAPE, SMALL_SHAPE, Machine, MachineShape
+from .scenario import Scenario, ScenarioDataset, ScenarioKey, ScenarioRecorder
+from .scheduler import (
+    BestFitPackingScheduler,
+    LeastUtilizedScheduler,
+    RandomFitScheduler,
+    Scheduler,
+)
+from .simulation import (
+    DatacenterConfig,
+    SimulationResult,
+    SimulationStats,
+    run_simulation,
+)
+from .submission import SubmissionConfig, SubmissionSystem
+from .trace import TraceEvent, TraceEventType, dataset_from_trace
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Feature",
+    "BASELINE",
+    "FEATURE_1_CACHE",
+    "FEATURE_2_DVFS",
+    "FEATURE_3_SMT",
+    "PAPER_FEATURES",
+    "JobRequest",
+    "JobInstance",
+    "Machine",
+    "MachineShape",
+    "DEFAULT_SHAPE",
+    "SMALL_SHAPE",
+    "Scenario",
+    "ScenarioDataset",
+    "ScenarioKey",
+    "ScenarioRecorder",
+    "Scheduler",
+    "LeastUtilizedScheduler",
+    "BestFitPackingScheduler",
+    "RandomFitScheduler",
+    "DatacenterConfig",
+    "SimulationStats",
+    "SimulationResult",
+    "run_simulation",
+    "SubmissionConfig",
+    "SubmissionSystem",
+    "TraceEvent",
+    "TraceEventType",
+    "dataset_from_trace",
+]

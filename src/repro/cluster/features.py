@@ -1,0 +1,92 @@
+"""Datacenter-improving features (Table 4).
+
+A *feature* is any change to each machine that preserves the machine's
+shape — software upgrade, configuration change, emulated hardware change.
+Here a feature is a named transformation of the machine's performance
+description; the three of the paper are provided plus the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..perfmodel.machine import MachinePerf
+
+__all__ = [
+    "Feature",
+    "BASELINE",
+    "FEATURE_1_CACHE",
+    "FEATURE_2_DVFS",
+    "FEATURE_3_SMT",
+    "PAPER_FEATURES",
+]
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A shape-preserving machine change under evaluation.
+
+    Attributes
+    ----------
+    name:
+        Short identifier ("feature1").
+    description:
+        Human-readable summary (Table 4 row).
+    apply:
+        Pure function mapping a baseline :class:`MachinePerf` to the
+        feature-enabled one.
+    """
+
+    name: str
+    description: str
+    apply: Callable[[MachinePerf], MachinePerf]
+
+    def __call__(self, machine: MachinePerf) -> MachinePerf:
+        out = self.apply(machine)
+        if out.hardware_threads != machine.hardware_threads:
+            raise ValueError(
+                f"feature {self.name} changed the machine shape "
+                f"({machine.hardware_threads} -> {out.hardware_threads} "
+                "threads); FLARE's scope is shape-preserving features"
+            )
+        return out
+
+
+#: No-op feature: the Table 4 baseline configuration.
+BASELINE = Feature(
+    name="baseline",
+    description="30 MB LLC/socket, 1.2-2.9 GHz, Hyper-Threading enabled",
+    apply=lambda m: m,
+)
+
+#: Feature 1 — cache sizing via way masking (Intel CAT): 30 -> 12 MB/socket.
+FEATURE_1_CACHE = Feature(
+    name="feature1",
+    description="12 MB LLC/socket (cache allocation restricted), "
+    "1.2-2.9 GHz, Hyper-Threading enabled",
+    apply=lambda m: m.with_llc_mb(m.llc_mb * 12.0 / 30.0),
+)
+
+#: Feature 2 — DVFS policy: frequency ceiling 2.9 -> 1.8 GHz.
+FEATURE_2_DVFS = Feature(
+    name="feature2",
+    description="30 MB LLC/socket, 1.2-1.8 GHz clock, "
+    "Hyper-Threading enabled",
+    apply=lambda m: m.with_max_freq_ghz(1.8),
+)
+
+#: Feature 3 — SMT configuration: Hyper-Threading disabled.
+FEATURE_3_SMT = Feature(
+    name="feature3",
+    description="30 MB LLC/socket, 1.2-2.9 GHz clock, "
+    "Hyper-Threading disabled",
+    apply=lambda m: m.with_smt(False),
+)
+
+#: The three features evaluated throughout the paper, in order.
+PAPER_FEATURES: tuple[Feature, ...] = (
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    FEATURE_3_SMT,
+)

@@ -1,0 +1,64 @@
+"""Job requests and running job instances.
+
+A *request* is what a simulated user submits: which job, at what demand
+level, for how long.  Once the scheduler places it, it becomes an
+*instance* — one container bound to a machine (paper §5.1: every instance
+is a fixed-size container; users needing more capacity launch more
+instances).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..perfmodel.signatures import JobSignature
+
+__all__ = ["JobRequest", "JobInstance"]
+
+_instance_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A user's submission: one container of *signature* at *load*.
+
+    Attributes
+    ----------
+    signature:
+        Which job (and hence the container's vCPU/DRAM request).
+    load:
+        User demand level in ``(0, 1]``; servers below peak traffic run at
+        load < 1.  Fixed at submission time.
+    duration_s:
+        Requested runtime in seconds (paper: ≥ 30 minutes so behaviour is
+        stable enough to profile).
+    """
+
+    signature: JobSignature
+    load: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        if self.duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+
+
+@dataclass
+class JobInstance:
+    """A placed container: a request bound to a machine at a start time."""
+
+    request: JobRequest
+    machine_id: int
+    start_time: float
+    instance_id: int = field(default_factory=lambda: next(_instance_ids))
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.request.duration_s
+
+    @property
+    def job_name(self) -> str:
+        return self.request.signature.name

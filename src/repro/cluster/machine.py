@@ -1,0 +1,147 @@
+"""Machine shapes and runtime machine state.
+
+A *shape* is what the scheduler sees (schedulable vCPUs, DRAM) plus the
+hardware performance description used by the contention model.  The two
+shapes of the paper are provided: the default Xeon E5-2650 v4 pair
+(Table 2) and the Small E5-2640 v3 pair (Table 5, §5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..perfmodel.machine import MachinePerf
+from .job import JobInstance
+
+__all__ = ["MachineShape", "Machine", "DEFAULT_SHAPE", "SMALL_SHAPE"]
+
+
+@dataclass(frozen=True)
+class MachineShape:
+    """Scheduling + performance description of a server model.
+
+    Attributes
+    ----------
+    name:
+        Shape identifier ("default", "small").
+    vcpus:
+        Schedulable hardware threads.  Features never change this — the
+        paper's scope is features that preserve machine shape (§2).
+    dram_gb:
+        Schedulable memory (no overcommit).
+    perf:
+        Hardware parameters for the contention model.
+    """
+
+    name: str
+    vcpus: int
+    dram_gb: float
+    perf: MachinePerf
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if self.dram_gb <= 0.0:
+            raise ValueError("dram_gb must be positive")
+        if self.vcpus != self.perf.hardware_threads:
+            raise ValueError(
+                f"shape exposes {self.vcpus} vCPUs but perf model has "
+                f"{self.perf.hardware_threads} hardware threads"
+            )
+
+
+#: Table 2 — Intel Xeon E5-2650 v4 ×2 (24 vCPUs/socket), 256 GB DDR4-2400,
+#: 30 MB LLC/socket, 1.2–2.9 GHz, SMT on.
+DEFAULT_SHAPE = MachineShape(
+    name="default",
+    vcpus=48,
+    dram_gb=256.0,
+    perf=MachinePerf(
+        physical_cores=24,
+        smt_enabled=True,
+        min_freq_ghz=1.2,
+        max_freq_ghz=2.9,
+        llc_mb=60.0,
+        mem_bw_gbps=92.0,
+        mem_latency_ns=85.0,
+        network_gbps=10.0,
+        disk_mbps=500.0,
+    ),
+)
+
+#: Table 5 — Intel Xeon E5-2640 v3 ×2 (16 vCPUs/socket), 128 GB DDR4-2133,
+#: 20 MB LLC/socket, up to 2.6 GHz, SMT on.
+SMALL_SHAPE = MachineShape(
+    name="small",
+    vcpus=32,
+    dram_gb=128.0,
+    perf=MachinePerf(
+        physical_cores=16,
+        smt_enabled=True,
+        min_freq_ghz=1.2,
+        max_freq_ghz=2.6,
+        llc_mb=40.0,
+        mem_bw_gbps=72.0,
+        mem_latency_ns=90.0,
+        network_gbps=10.0,
+        disk_mbps=450.0,
+    ),
+)
+
+
+@dataclass
+class Machine:
+    """Runtime state of one datacenter machine: the containers it hosts."""
+
+    machine_id: int
+    shape: MachineShape
+    rack_id: int = 0
+    instances: list[JobInstance] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def used_vcpus(self) -> int:
+        return sum(inst.request.signature.vcpus for inst in self.instances)
+
+    @property
+    def used_dram_gb(self) -> float:
+        return sum(inst.request.signature.dram_gb for inst in self.instances)
+
+    @property
+    def free_vcpus(self) -> int:
+        return self.shape.vcpus - self.used_vcpus
+
+    @property
+    def free_dram_gb(self) -> float:
+        return self.shape.dram_gb - self.used_dram_gb
+
+    @property
+    def vcpu_utilization(self) -> float:
+        """Allocated-vCPU fraction (the scheduler's load-balancing key)."""
+        return self.used_vcpus / self.shape.vcpus
+
+    def fits(self, vcpus: int, dram_gb: float) -> bool:
+        """Whether a request fits without overcommitting CPU or memory."""
+        return vcpus <= self.free_vcpus and dram_gb <= self.free_dram_gb + 1e-9
+
+    # ------------------------------------------------------------------
+    def place(self, instance: JobInstance) -> None:
+        """Admit *instance*; raises if it would overcommit the machine."""
+        sig = instance.request.signature
+        if not self.fits(sig.vcpus, sig.dram_gb):
+            raise ValueError(
+                f"machine {self.machine_id} cannot fit job {sig.name} "
+                f"({sig.vcpus} vCPU / {sig.dram_gb} GB; free: "
+                f"{self.free_vcpus} vCPU / {self.free_dram_gb:.1f} GB)"
+            )
+        self.instances.append(instance)
+
+    def remove(self, instance: JobInstance) -> None:
+        """Release *instance* from the machine."""
+        try:
+            self.instances.remove(instance)
+        except ValueError:
+            raise ValueError(
+                f"instance {instance.instance_id} is not on machine "
+                f"{self.machine_id}"
+            ) from None

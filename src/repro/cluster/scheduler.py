@@ -1,0 +1,97 @@
+"""Datacenter schedulers.
+
+The paper's scheduler "greedily runs a job in the datacenter machine with
+the least resource utilisation for load-balancing purposes" with no
+overcommit (§5.1): saturation results in a denial.  Alternative schedulers
+are provided for the §5.6 scheduler-change study — a new scheduler does not
+invent unseen co-locations, it shifts which ones occur and how often.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .job import JobRequest
+from .machine import Machine
+
+__all__ = [
+    "Scheduler",
+    "LeastUtilizedScheduler",
+    "BestFitPackingScheduler",
+    "RandomFitScheduler",
+]
+
+
+class Scheduler(abc.ABC):
+    """Places job requests onto machines; returns None to deny."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select_machine(
+        self, machines: list[Machine], request: JobRequest
+    ) -> Machine | None:
+        """Pick the machine for *request*, or None if nothing fits."""
+
+    def _feasible(
+        self, machines: list[Machine], request: JobRequest
+    ) -> list[Machine]:
+        sig = request.signature
+        return [m for m in machines if m.fits(sig.vcpus, sig.dram_gb)]
+
+
+class LeastUtilizedScheduler(Scheduler):
+    """The paper's greedy load-balancing scheduler.
+
+    Chooses the feasible machine with the lowest allocated-vCPU
+    utilisation; ties break on machine id for determinism.
+    """
+
+    name = "least-utilized"
+
+    def select_machine(
+        self, machines: list[Machine], request: JobRequest
+    ) -> Machine | None:
+        feasible = self._feasible(machines, request)
+        if not feasible:
+            return None
+        return min(feasible, key=lambda m: (m.vcpu_utilization, m.machine_id))
+
+
+class BestFitPackingScheduler(Scheduler):
+    """Consolidating scheduler: picks the *most* utilised feasible machine.
+
+    Produces high-utilisation co-locations and leaves empty machines empty —
+    the classic bin-packing policy a datacenter might adopt to improve
+    efficiency (§5.6's example of a scheduler promoting different
+    scenarios).
+    """
+
+    name = "best-fit-packing"
+
+    def select_machine(
+        self, machines: list[Machine], request: JobRequest
+    ) -> Machine | None:
+        feasible = self._feasible(machines, request)
+        if not feasible:
+            return None
+        return max(feasible, key=lambda m: (m.vcpu_utilization, -m.machine_id))
+
+
+class RandomFitScheduler(Scheduler):
+    """Uniform random placement over feasible machines (control policy)."""
+
+    name = "random-fit"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def select_machine(
+        self, machines: list[Machine], request: JobRequest
+    ) -> Machine | None:
+        feasible = self._feasible(machines, request)
+        if not feasible:
+            return None
+        return feasible[int(self._rng.integers(len(feasible)))]

@@ -1,0 +1,182 @@
+"""Datacenter simulation: runs the cluster and collects scenarios.
+
+Wires the event queue, scheduler, submission system and scenario recorder
+into the paper's data-collection phase (§4.2): run the datacenter under its
+normal user behaviour and log every job co-location scenario that appears,
+with how long it was observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import EventQueue
+from .job import JobInstance, JobRequest
+from .machine import DEFAULT_SHAPE, Machine, MachineShape
+from .scenario import ScenarioDataset, ScenarioRecorder
+from .scheduler import LeastUtilizedScheduler, Scheduler
+from .submission import SubmissionConfig, SubmissionSystem
+
+__all__ = ["DatacenterConfig", "SimulationStats", "SimulationResult", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """Configuration of one simulated datacenter run.
+
+    The paper's environment is three racks of eight machines, with one rack
+    hosting the datacenter behaviour and two racks acting as clients/load
+    generators guaranteed not to be the bottleneck (§5.1).  Clients are
+    therefore represented only by the submission process here.
+
+    Attributes
+    ----------
+    shape:
+        Machine shape for the (homogeneous) behaviour rack.
+    n_machines:
+        Machines hosting jobs (8 = one rack).
+    submission:
+        Arrival-process parameters.
+    max_days:
+        Simulation horizon in days.
+    target_unique_scenarios:
+        Stop early once this many distinct co-locations have been seen
+        (None = run the full horizon).  The paper's datacenter yielded 895.
+    seed:
+        Master seed for the run.
+    """
+
+    shape: MachineShape = DEFAULT_SHAPE
+    n_machines: int = 8
+    submission: SubmissionConfig = field(default_factory=SubmissionConfig)
+    max_days: float = 45.0
+    target_unique_scenarios: int | None = 895
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1:
+            raise ValueError("n_machines must be >= 1")
+        if self.max_days <= 0.0:
+            raise ValueError("max_days must be positive")
+        if (
+            self.target_unique_scenarios is not None
+            and self.target_unique_scenarios < 1
+        ):
+            raise ValueError("target_unique_scenarios must be >= 1 or None")
+
+
+@dataclass
+class SimulationStats:
+    """Bookkeeping counters from one run."""
+
+    n_submitted: int = 0
+    n_placed: int = 0
+    n_denied: int = 0
+    n_completed: int = 0
+    sim_time_s: float = 0.0
+
+    @property
+    def denial_rate(self) -> float:
+        return self.n_denied / self.n_submitted if self.n_submitted else 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Output of :func:`run_simulation`."""
+
+    config: DatacenterConfig
+    dataset: ScenarioDataset
+    stats: SimulationStats
+
+    @property
+    def n_unique_scenarios(self) -> int:
+        return len(self.dataset)
+
+
+def run_simulation(
+    config: DatacenterConfig,
+    *,
+    scheduler: Scheduler | None = None,
+    submission_system: SubmissionSystem | None = None,
+) -> SimulationResult:
+    """Simulate the datacenter and return its scenario dataset.
+
+    Deterministic for a given (config, scheduler) pair: all randomness
+    flows from ``config.seed``.
+
+    Parameters
+    ----------
+    scheduler:
+        Placement policy; defaults to the paper's least-utilised greedy
+        scheduler.
+    submission_system:
+        Pre-built arrival process — pass one to submit jobs from a custom
+        catalogue (see ``SubmissionSystem``'s ``hp_catalogue`` /
+        ``lp_catalogue``).  Defaults to ``config.submission`` over the
+        Table 3 catalogue, seeded from ``config.seed``.
+    """
+    rng = np.random.default_rng(config.seed)
+    queue = EventQueue()
+    machines = [
+        Machine(machine_id=i, shape=config.shape, rack_id=0)
+        for i in range(config.n_machines)
+    ]
+    recorder = ScenarioRecorder(config.shape)
+    submission = (
+        submission_system
+        if submission_system is not None
+        else SubmissionSystem(config.submission, rng)
+    )
+    placer = scheduler if scheduler is not None else LeastUtilizedScheduler()
+    stats = SimulationStats()
+    horizon_s = config.max_days * 86400.0
+
+    def reached_target() -> bool:
+        return (
+            config.target_unique_scenarios is not None
+            and recorder.n_unique >= config.target_unique_scenarios
+        )
+
+    def complete(machine: Machine, instance: JobInstance) -> None:
+        machine.remove(instance)
+        stats.n_completed += 1
+        recorder.on_composition_change(machine, queue.now)
+
+    def arrive() -> None:
+        # A submission is a burst of identical instances (scale-out jobs
+        # launch copies, §5.1); each is placed independently and may be
+        # individually denied when the datacenter saturates.
+        request: JobRequest = submission.next_request(queue.now)
+        for _ in range(submission.next_burst_size()):
+            stats.n_submitted += 1
+            machine = placer.select_machine(machines, request)
+            if machine is None:
+                stats.n_denied += 1
+                continue
+            instance = JobInstance(
+                request=request,
+                machine_id=machine.machine_id,
+                start_time=queue.now,
+            )
+            machine.place(instance)
+            stats.n_placed += 1
+            recorder.on_composition_change(machine, queue.now)
+            queue.schedule_after(
+                request.duration_s,
+                lambda m=machine, i=instance: complete(m, i),
+            )
+        # Keep the arrival process going until the horizon.
+        gap = submission.next_interarrival_s(queue.now)
+        if queue.now + gap <= horizon_s:
+            queue.schedule_after(gap, arrive)
+
+    queue.schedule(submission.next_interarrival_s(0.0), arrive)
+    queue.run(until=horizon_s, stop=reached_target)
+
+    recorder.finalize(queue.now)
+    stats.sim_time_s = queue.now
+    return SimulationResult(
+        config=config, dataset=recorder.dataset(), stats=stats
+    )

@@ -1,0 +1,208 @@
+"""Job submission system: the simulated users of the datacenter.
+
+Reproduces the paper's user model (§5.1): users submit HP service
+containers and LP batch containers; job lengths are random but at least 30
+minutes; request-rate (load) variation produces diverse machine behaviours
+from under-utilisation to saturation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perfmodel.signatures import JobSignature
+from ..workloads import HP_JOBS, LP_JOBS
+from .job import JobRequest
+
+__all__ = ["SubmissionConfig", "SubmissionSystem"]
+
+
+@dataclass(frozen=True)
+class SubmissionConfig:
+    """Parameters of the arrival process.
+
+    Attributes
+    ----------
+    arrival_rate_per_hour:
+        Mean container submissions per hour (Poisson process).
+    hp_fraction:
+        Probability a submission is a high-priority service instance.
+    hp_mix / lp_mix:
+        Relative submission weights per job name; defaults to uniform over
+        the Table 3 catalogue.
+    min_duration_s:
+        Floor on job length (paper: 30 minutes for stable behaviour).
+    mean_extra_duration_s:
+        Mean of the exponential tail added on top of the floor.
+    load_choices:
+        Discrete user-demand levels sampled per instance.  Discrete levels
+        keep the number of *distinct* behaviours bounded the way real
+        service traffic tiers do.
+    diurnal_amplitude:
+        Strength of the day/night cycle in ``[0, 1)``.  When positive,
+        the arrival rate and HP demand levels are modulated by
+        ``1 + A·sin(2πt/T)`` — the "variation in the users' request
+        rates" the paper relies on for behavioural diversity (§5.1).
+        Zero (default) disables the cycle.
+    diurnal_period_s:
+        Cycle length (24 h by default).
+    burst_choices:
+        Instances per submission.  The paper's users "requesting more
+        computing power must launch multiple instances (i.e., copies) of
+        a job" (§5.1); a burst submits that many identical containers at
+        once (each placed independently, possibly on different machines).
+        Default: single-instance submissions.
+    """
+
+    arrival_rate_per_hour: float = 115.0
+    hp_fraction: float = 0.70
+    hp_mix: dict[str, float] = field(default_factory=dict)
+    lp_mix: dict[str, float] = field(default_factory=dict)
+    min_duration_s: float = 1800.0
+    mean_extra_duration_s: float = 3600.0
+    load_choices: tuple[float, ...] = (0.7, 0.85, 1.0)
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 86400.0
+    burst_choices: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_hour <= 0.0:
+            raise ValueError("arrival_rate_per_hour must be positive")
+        if not 0.0 <= self.hp_fraction <= 1.0:
+            raise ValueError("hp_fraction must be in [0, 1]")
+        if self.min_duration_s <= 0.0:
+            raise ValueError("min_duration_s must be positive")
+        if self.mean_extra_duration_s < 0.0:
+            raise ValueError("mean_extra_duration_s must be non-negative")
+        if not self.load_choices:
+            raise ValueError("load_choices must be non-empty")
+        for load in self.load_choices:
+            if not 0.0 < load <= 1.0:
+                raise ValueError("each load choice must be in (0, 1]")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period_s <= 0.0:
+            raise ValueError("diurnal_period_s must be positive")
+        if not self.burst_choices:
+            raise ValueError("burst_choices must be non-empty")
+        for count in self.burst_choices:
+            if count < 1:
+                raise ValueError("each burst choice must be >= 1")
+
+
+class SubmissionSystem:
+    """Draws job requests from the configured arrival process."""
+
+    def __init__(
+        self,
+        config: SubmissionConfig,
+        rng: np.random.Generator,
+        *,
+        hp_catalogue: dict[str, JobSignature] | None = None,
+        lp_catalogue: dict[str, JobSignature] | None = None,
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        self._hp_names, self._hp_probs = self._mix_table(
+            hp_catalogue if hp_catalogue is not None else HP_JOBS, config.hp_mix
+        )
+        self._lp_names, self._lp_probs = self._mix_table(
+            lp_catalogue if lp_catalogue is not None else LP_JOBS, config.lp_mix
+        )
+        self._hp_catalogue = (
+            hp_catalogue if hp_catalogue is not None else dict(HP_JOBS)
+        )
+        self._lp_catalogue = (
+            lp_catalogue if lp_catalogue is not None else dict(LP_JOBS)
+        )
+
+    # ------------------------------------------------------------------
+    def demand_multiplier(self, now_s: float) -> float:
+        """The diurnal modulation factor at simulated time *now_s*."""
+        amplitude = self.config.diurnal_amplitude
+        if amplitude == 0.0:
+            return 1.0
+        phase = 2.0 * math.pi * now_s / self.config.diurnal_period_s
+        return 1.0 + amplitude * math.sin(phase)
+
+    def next_interarrival_s(self, now_s: float = 0.0) -> float:
+        """Exponential gap to the next submission (thinned when diurnal).
+
+        Uses Lewis-Shedler thinning against the peak rate so the arrival
+        process is an exact inhomogeneous Poisson process.
+        """
+        base_rate = self.config.arrival_rate_per_hour / 3600.0
+        amplitude = self.config.diurnal_amplitude
+        if amplitude == 0.0:
+            return float(self._rng.exponential(1.0 / base_rate))
+        peak = base_rate * (1.0 + amplitude)
+        t = now_s
+        while True:
+            t += float(self._rng.exponential(1.0 / peak))
+            accept = base_rate * self.demand_multiplier(t) / peak
+            if self._rng.random() < accept:
+                return t - now_s
+
+    def next_burst_size(self) -> int:
+        """Instances in the next submission (1 unless bursts configured).
+
+        Drawing is skipped entirely for the single-choice default so the
+        random stream — and therefore all seeded results — is unchanged
+        when bursts are disabled.
+        """
+        choices = self.config.burst_choices
+        if len(choices) == 1:
+            return choices[0]
+        return int(choices[int(self._rng.integers(len(choices)))])
+
+    def next_request(self, now_s: float = 0.0) -> JobRequest:
+        """Sample the next container submission (at simulated *now_s*)."""
+        if self._rng.random() < self.config.hp_fraction:
+            names, probs, catalogue = (
+                self._hp_names,
+                self._hp_probs,
+                self._hp_catalogue,
+            )
+        else:
+            names, probs, catalogue = (
+                self._lp_names,
+                self._lp_probs,
+                self._lp_catalogue,
+            )
+        name = names[int(self._rng.choice(len(names), p=probs))]
+        signature = catalogue[name]
+        load = float(
+            self.config.load_choices[
+                int(self._rng.integers(len(self.config.load_choices)))
+            ]
+        )
+        if signature.priority.value == "HP":
+            # Service demand follows the user cycle; batch work does not.
+            load = float(
+                np.clip(load * self.demand_multiplier(now_s), 0.05, 1.0)
+            )
+        duration = self.config.min_duration_s + float(
+            self._rng.exponential(self.config.mean_extra_duration_s)
+            if self.config.mean_extra_duration_s > 0.0
+            else 0.0
+        )
+        return JobRequest(signature=signature, load=load, duration_s=duration)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mix_table(
+        catalogue: dict[str, JobSignature], mix: dict[str, float]
+    ) -> tuple[list[str], np.ndarray]:
+        if not catalogue:
+            raise ValueError("job catalogue must be non-empty")
+        unknown = set(mix) - set(catalogue)
+        if unknown:
+            raise ValueError(f"mix references unknown jobs: {sorted(unknown)}")
+        names = sorted(catalogue)
+        weights = np.array([mix.get(name, 1.0) for name in names])
+        if (weights < 0).any() or weights.sum() <= 0.0:
+            raise ValueError("mix weights must be non-negative with positive sum")
+        return names, weights / weights.sum()

@@ -1,0 +1,160 @@
+"""Building scenario datasets from container-lifecycle traces.
+
+A real datacenter does not need this repo's simulator: its orchestrator
+already logs container starts and stops per machine (Borg/Kubernetes
+events, the Google cluster traces the paper cites [81, 82]).  This module
+replays such an event stream through the same machines + recorder the
+simulator uses, producing the exact `ScenarioDataset` the FLARE pipeline
+consumes — the on-ramp for applying FLARE to observed production data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..perfmodel.signatures import JobSignature
+from ..workloads import all_jobs
+from .job import JobInstance, JobRequest
+from .machine import Machine, MachineShape
+from .scenario import ScenarioDataset, ScenarioRecorder
+
+__all__ = ["TraceEventType", "TraceEvent", "dataset_from_trace"]
+
+
+class TraceEventType(enum.Enum):
+    """Container lifecycle event kinds."""
+
+    START = "start"
+    STOP = "stop"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One orchestrator log line.
+
+    Attributes
+    ----------
+    time_s:
+        Event timestamp (seconds; any epoch, must be non-decreasing).
+    machine_id:
+        Which machine the container ran on.
+    container_id:
+        Unique id tying a STOP to its START.
+    event:
+        START or STOP.
+    job:
+        Job name (START only; resolved against the catalogue).
+    load:
+        Demand level in (0, 1] (START only).
+    """
+
+    time_s: float
+    machine_id: int
+    container_id: str
+    event: TraceEventType
+    job: str = ""
+    load: float = 1.0
+
+
+def dataset_from_trace(
+    events: Iterable[TraceEvent],
+    shape: MachineShape,
+    *,
+    catalogue: dict[str, JobSignature] | None = None,
+    end_time_s: float | None = None,
+    strict: bool = True,
+) -> ScenarioDataset:
+    """Replay *events* and record the co-location scenarios they imply.
+
+    Parameters
+    ----------
+    events:
+        Lifecycle events, sorted by time (validated).
+    shape:
+        The machines' shape; capacity violations raise in strict mode.
+    catalogue:
+        Job name → signature mapping; defaults to the Table 3 catalogue.
+    end_time_s:
+        Trace horizon closing all still-running containers; defaults to
+        the last event's timestamp.
+    strict:
+        When True (default), malformed traces raise — unknown jobs,
+        STOP without START, duplicate container ids, capacity violations,
+        time going backwards.  When False, malformed events are skipped.
+    """
+    jobs = catalogue if catalogue is not None else all_jobs()
+    recorder = ScenarioRecorder(shape)
+    machines: dict[int, Machine] = {}
+    running: dict[str, tuple[Machine, JobInstance]] = {}
+    last_time = float("-inf")
+
+    def fail(message: str) -> bool:
+        if strict:
+            raise ValueError(message)
+        return False  # signal "skip"
+
+    for event in events:
+        if event.time_s < last_time:
+            if not fail(
+                f"trace goes backwards at t={event.time_s} "
+                f"(previous {last_time})"
+            ):
+                continue
+        last_time = max(last_time, event.time_s)
+
+        machine = machines.get(event.machine_id)
+        if machine is None:
+            machine = Machine(machine_id=event.machine_id, shape=shape)
+            machines[event.machine_id] = machine
+
+        if event.event is TraceEventType.START:
+            if event.container_id in running:
+                if not fail(
+                    f"duplicate START for container {event.container_id!r}"
+                ):
+                    continue
+            signature = jobs.get(event.job)
+            if signature is None:
+                if not fail(f"unknown job {event.job!r} in trace"):
+                    continue
+            if not machine.fits(signature.vcpus, signature.dram_gb):
+                if not fail(
+                    f"machine {event.machine_id} over capacity at "
+                    f"t={event.time_s} (container {event.container_id!r})"
+                ):
+                    continue
+            instance = JobInstance(
+                request=JobRequest(
+                    signature=signature,
+                    load=event.load,
+                    # Real duration becomes known at STOP; a placeholder
+                    # is fine — the recorder only uses composition times.
+                    duration_s=1.0,
+                ),
+                machine_id=event.machine_id,
+                start_time=event.time_s,
+            )
+            machine.place(instance)
+            running[event.container_id] = (machine, instance)
+            recorder.on_composition_change(machine, event.time_s)
+        else:
+            entry = running.pop(event.container_id, None)
+            if entry is None:
+                if not fail(
+                    f"STOP without START for container "
+                    f"{event.container_id!r}"
+                ):
+                    continue
+            machine, instance = entry
+            machine.remove(instance)
+            recorder.on_composition_change(machine, event.time_s)
+
+    horizon = end_time_s if end_time_s is not None else max(last_time, 0.0)
+    if horizon < last_time:
+        raise ValueError(
+            f"end_time_s={horizon} precedes the last event at {last_time}"
+        )
+    recorder.finalize(horizon)
+    return recorder.dataset()

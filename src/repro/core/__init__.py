@@ -1,0 +1,78 @@
+"""FLARE core: the paper's primary contribution.
+
+Refinement, high-level metric construction (PCA + interpretation),
+representative-scenario extraction, testbed replay, and feature-impact
+estimation — orchestrated end-to-end by :class:`Flare`.
+"""
+
+from .analyzer import AnalysisResult, Analyzer, AnalyzerConfig
+from .diagnostics import (
+    GroupDiagnostics,
+    RepresentativenessReport,
+    UncertainEstimate,
+    diagnose,
+    estimate_with_uncertainty,
+)
+from .fleet import FleetEvaluator, FleetImpactEstimate, FleetSegment
+from .estimation import (
+    ClusterImpact,
+    FeatureImpactEstimate,
+    estimate_all_job_impact,
+    estimate_per_job_impact,
+)
+from .latency_metric import inherent_latency, latency_scenario_performance
+from .interpretation import (
+    ComponentInterpretation,
+    LoadingEntry,
+    interpret_components,
+)
+from .performance import (
+    ScenarioPerformance,
+    inherent_mips,
+    mips_reduction_pct,
+    scenario_performance,
+)
+from .pipeline import Flare, FlareConfig
+from .refinement import RefinedDataset, refine
+from .replayer import ReplayMeasurement, Replayer
+from .representatives import (
+    ClusterGroup,
+    RepresentativeSet,
+    extract_representatives,
+)
+
+__all__ = [
+    "Flare",
+    "FlareConfig",
+    "Analyzer",
+    "AnalyzerConfig",
+    "AnalysisResult",
+    "RefinedDataset",
+    "refine",
+    "ComponentInterpretation",
+    "LoadingEntry",
+    "interpret_components",
+    "ClusterGroup",
+    "RepresentativeSet",
+    "extract_representatives",
+    "Replayer",
+    "ReplayMeasurement",
+    "ClusterImpact",
+    "FeatureImpactEstimate",
+    "estimate_all_job_impact",
+    "estimate_per_job_impact",
+    "diagnose",
+    "GroupDiagnostics",
+    "RepresentativenessReport",
+    "UncertainEstimate",
+    "estimate_with_uncertainty",
+    "FleetEvaluator",
+    "FleetImpactEstimate",
+    "FleetSegment",
+    "ScenarioPerformance",
+    "scenario_performance",
+    "inherent_mips",
+    "mips_reduction_pct",
+    "latency_scenario_performance",
+    "inherent_latency",
+]

@@ -1,0 +1,242 @@
+"""Diagnostics: how trustworthy is a fitted representative set?
+
+The paper selects 18 representatives and argues they cover the
+datacenter's behaviours; a production deployment of FLARE needs that
+argument as *numbers*.  This module reports, per group and overall:
+
+* how central the representative is (its distance to the centroid versus
+  the group's distance distribution),
+* how tight the group is (mean member distance, silhouette),
+* how much observation weight rides on each representative,
+
+plus an uncertainty-aware variant of the all-job estimator that replays
+the *m* nearest members of each group (instead of only the medoid) and
+propagates the within-group spread into an error bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.features import Feature
+from ..stats.silhouette import silhouette_samples
+from .estimation import ClusterImpact, FeatureImpactEstimate
+from .pipeline import Flare
+from .replayer import Replayer
+from .representatives import RepresentativeSet
+
+__all__ = [
+    "GroupDiagnostics",
+    "RepresentativenessReport",
+    "diagnose",
+    "UncertainEstimate",
+    "estimate_with_uncertainty",
+]
+
+
+@dataclass(frozen=True)
+class GroupDiagnostics:
+    """Cohesion numbers for one scenario group."""
+
+    cluster_id: int
+    size: int
+    weight: float
+    representative_distance: float
+    mean_member_distance: float
+    max_member_distance: float
+    mean_silhouette: float
+
+    @property
+    def centrality(self) -> float:
+        """Representative distance relative to the group mean (≤ 1 means
+        the representative is more central than the average member)."""
+        if self.mean_member_distance == 0.0:
+            return 0.0
+        return self.representative_distance / self.mean_member_distance
+
+
+@dataclass(frozen=True)
+class RepresentativenessReport:
+    """Per-group diagnostics plus dataset-level summaries."""
+
+    groups: tuple[GroupDiagnostics, ...]
+    overall_silhouette: float
+
+    def worst_group(self) -> GroupDiagnostics:
+        """The loosest group (largest mean member distance)."""
+        return max(self.groups, key=lambda g: g.mean_member_distance)
+
+    def mean_centrality(self) -> float:
+        return float(np.mean([g.centrality for g in self.groups]))
+
+    def render(self) -> str:
+        from ..reporting.tables import render_table
+
+        rows = [
+            [
+                g.cluster_id,
+                g.size,
+                g.weight * 100.0,
+                g.representative_distance,
+                g.mean_member_distance,
+                g.mean_silhouette,
+            ]
+            for g in self.groups
+        ]
+        return render_table(
+            ["cluster", "size", "weight %", "rep dist", "mean dist", "silh"],
+            rows,
+            title=(
+                "Representativeness diagnostics "
+                f"(overall silhouette {self.overall_silhouette:.2f})"
+            ),
+        )
+
+
+def diagnose(flare: Flare) -> RepresentativenessReport:
+    """Build the representativeness report for a fitted model."""
+    analysis = flare.analysis
+    scores = analysis.scores
+    silhouettes = (
+        silhouette_samples(scores, analysis.labels)
+        if np.unique(analysis.labels).size >= 2
+        else np.zeros(scores.shape[0])
+    )
+
+    groups = []
+    for group in flare.representatives.groups:
+        members = np.array(group.ranked_members)
+        distances = np.linalg.norm(scores[members] - group.centroid, axis=1)
+        groups.append(
+            GroupDiagnostics(
+                cluster_id=group.cluster_id,
+                size=group.size,
+                weight=group.weight,
+                representative_distance=float(distances[0]),
+                mean_member_distance=float(distances.mean()),
+                max_member_distance=float(distances.max()),
+                mean_silhouette=float(silhouettes[members].mean()),
+            )
+        )
+    return RepresentativenessReport(
+        groups=tuple(groups),
+        overall_silhouette=float(silhouettes.mean()),
+    )
+
+
+@dataclass(frozen=True)
+class UncertainEstimate:
+    """A FLARE estimate with a propagated within-group error bar.
+
+    Attributes
+    ----------
+    estimate:
+        The point estimate (weighted mean of per-group means).
+    stderr_pct:
+        Standard error propagated from the within-group sample spread:
+        ``sqrt(sum_g w_g^2 * s_g^2 / m_g)``.
+    members_per_group:
+        Scenarios replayed per group.
+    evaluation_cost:
+        Total scenario replays performed.
+    """
+
+    estimate: FeatureImpactEstimate
+    stderr_pct: float
+    members_per_group: int
+    evaluation_cost: int
+
+    @property
+    def reduction_pct(self) -> float:
+        return self.estimate.reduction_pct
+
+    def interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval."""
+        return (
+            self.reduction_pct - z * self.stderr_pct,
+            self.reduction_pct + z * self.stderr_pct,
+        )
+
+
+def estimate_with_uncertainty(
+    representatives: RepresentativeSet,
+    replayer: Replayer,
+    feature: Feature,
+    *,
+    members_per_group: int = 3,
+) -> UncertainEstimate:
+    """All-job estimate from the *m* nearest members of each group.
+
+    Trades evaluation cost (m× the paper's) for an explicit error bar:
+    each group contributes the mean impact of its m nearest HP-hosting
+    members, and the within-group spread propagates into a standard error
+    on the weighted estimate.
+
+    The bar is a *lower bound* on the true uncertainty: the m nearest
+    members are more alike than the group at large, so the within-group
+    spread is mildly underestimated.
+    """
+    if members_per_group < 1:
+        raise ValueError("members_per_group must be >= 1")
+    dataset = representatives.dataset
+    variance = 0.0
+    cost = 0
+    weights_total = 0.0
+
+    pending: list[tuple[float, list[float], int, int]] = []
+    for group in representatives.groups:
+        measured: list[float] = []
+        first_scenario_id = -1
+        for index in group.ranked_members:
+            scenario = dataset[index]
+            if not scenario.hp_instances:
+                continue
+            measurement = replayer.replay(scenario, feature)
+            cost += 1
+            measured.append(measurement.reduction_pct)
+            if first_scenario_id < 0:
+                first_scenario_id = scenario.scenario_id
+            if len(measured) >= members_per_group:
+                break
+        if not measured:
+            continue
+        weights_total += group.weight
+        pending.append(
+            (group.weight, measured, group.cluster_id, first_scenario_id)
+        )
+
+    if not pending:
+        raise ValueError("no measurable scenario groups for this estimate")
+
+    impacts = []
+    for weight, measured, cluster_id, scenario_id in pending:
+        w = weight / weights_total
+        mean = float(np.mean(measured))
+        spread = float(np.var(measured, ddof=0))
+        m = len(measured)
+        variance += w * w * spread / m
+        impacts.append(
+            ClusterImpact(
+                cluster_id=cluster_id,
+                weight=w,
+                scenario_id=scenario_id,
+                reduction_pct=mean,
+            )
+        )
+
+    point = float(sum(c.weight * c.reduction_pct for c in impacts))
+    estimate = FeatureImpactEstimate(
+        feature=feature,
+        job_name=None,
+        reduction_pct=point,
+        per_cluster=tuple(impacts),
+        evaluation_cost=cost,
+    )
+    return UncertainEstimate(
+        estimate=estimate,
+        stderr_pct=float(np.sqrt(variance)),
+        members_per_group=members_per_group,
+        evaluation_cost=cost,
+    )

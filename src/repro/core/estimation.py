@@ -1,0 +1,164 @@
+"""Feature-impact estimation from representative scenarios (paper §4.5, §5.3).
+
+*All-job* impact: replay each group's representative with the feature on
+and off, and average the per-representative MIPS reductions weighted by
+group size — the likelihood of observing a scenario from that group.
+
+*Per-job* impact: a representative may not contain the job of interest
+even when its group does; walk to the next-nearest member that does, and
+weight groups by their observation-weighted instance count of the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.features import Feature
+from ..cluster.scenario import Scenario
+from .replayer import ReplayMeasurement, Replayer
+from .representatives import RepresentativeSet
+
+__all__ = [
+    "ClusterImpact",
+    "FeatureImpactEstimate",
+    "estimate_all_job_impact",
+    "estimate_per_job_impact",
+]
+
+
+@dataclass(frozen=True)
+class ClusterImpact:
+    """One group's contribution to an estimate."""
+
+    cluster_id: int
+    weight: float
+    scenario_id: int
+    reduction_pct: float
+    measurement: ReplayMeasurement | None = None
+
+
+@dataclass(frozen=True)
+class FeatureImpactEstimate:
+    """A FLARE estimate with its per-group breakdown.
+
+    Attributes
+    ----------
+    feature:
+        Feature evaluated.
+    job_name:
+        None for the all-job estimate; the job code for per-job ones.
+    reduction_pct:
+        The weighted-average MIPS reduction estimate.
+    per_cluster:
+        Group-level contributions (weights renormalised over the groups
+        that could be measured).
+    evaluation_cost:
+        Number of scenario replays performed — the unit the paper's cost
+        comparison (Figure 13) counts.
+    """
+
+    feature: Feature
+    job_name: str | None
+    reduction_pct: float
+    per_cluster: tuple[ClusterImpact, ...]
+    evaluation_cost: int
+
+    def cluster_reductions(self) -> dict[int, float]:
+        """Mapping cluster_id → estimated reduction (Figure 11 data)."""
+        return {c.cluster_id: c.reduction_pct for c in self.per_cluster}
+
+
+def estimate_all_job_impact(
+    representatives: RepresentativeSet,
+    replayer: Replayer,
+    feature: Feature,
+) -> FeatureImpactEstimate:
+    """FLARE's comprehensive (all HP jobs) impact estimate."""
+    contributions: list[ClusterImpact] = []
+    cost = 0
+    for group in representatives.groups:
+        scenario = group.first_member_where(
+            representatives.dataset, lambda s: bool(s.hp_instances)
+        )
+        if scenario is None:
+            # LP-only group: hosts nothing whose performance is managed.
+            continue
+        measurement = replayer.replay(scenario, feature)
+        cost += 1
+        contributions.append(
+            ClusterImpact(
+                cluster_id=group.cluster_id,
+                weight=group.weight,
+                scenario_id=scenario.scenario_id,
+                reduction_pct=measurement.reduction_pct,
+                measurement=measurement,
+            )
+        )
+    return _weighted_estimate(feature, None, contributions, cost)
+
+
+def estimate_per_job_impact(
+    representatives: RepresentativeSet,
+    replayer: Replayer,
+    feature: Feature,
+    job_name: str,
+) -> FeatureImpactEstimate:
+    """FLARE's impact estimate for one HP job (§5.3 per-job method)."""
+    contributions: list[ClusterImpact] = []
+    cost = 0
+    for group in representatives.groups:
+        weight = representatives.job_instance_weight(group, job_name)
+        if weight <= 0.0:
+            continue
+
+        def hosts_job(scenario: Scenario) -> bool:
+            return scenario.count_of(job_name) > 0
+
+        scenario = group.first_member_where(representatives.dataset, hosts_job)
+        if scenario is None:
+            continue
+        measurement = replayer.replay(scenario, feature)
+        cost += 1
+        contributions.append(
+            ClusterImpact(
+                cluster_id=group.cluster_id,
+                weight=weight,
+                scenario_id=scenario.scenario_id,
+                reduction_pct=measurement.job_reduction_pct(job_name),
+                measurement=measurement,
+            )
+        )
+    if not contributions:
+        raise ValueError(
+            f"job {job_name!r} does not appear in any scenario group"
+        )
+    return _weighted_estimate(feature, job_name, contributions, cost)
+
+
+def _weighted_estimate(
+    feature: Feature,
+    job_name: str | None,
+    contributions: list[ClusterImpact],
+    cost: int,
+) -> FeatureImpactEstimate:
+    total_weight = sum(c.weight for c in contributions)
+    if total_weight <= 0.0:
+        raise ValueError("no measurable scenario groups for this estimate")
+    normalised = tuple(
+        ClusterImpact(
+            cluster_id=c.cluster_id,
+            weight=c.weight / total_weight,
+            scenario_id=c.scenario_id,
+            reduction_pct=c.reduction_pct,
+            measurement=c.measurement,
+        )
+        for c in contributions
+    )
+    estimate = sum(c.weight * c.reduction_pct for c in normalised)
+    return FeatureImpactEstimate(
+        feature=feature,
+        job_name=job_name,
+        reduction_pct=float(estimate),
+        per_cluster=normalised,
+        evaluation_cost=cost,
+    )

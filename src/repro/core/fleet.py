@@ -1,0 +1,193 @@
+"""Fleet-level evaluation across heterogeneous machine shapes (§5.5).
+
+Real datacenters mix machine generations.  The paper's recommendation is
+to derive and maintain one representative set per shape — shapes change
+rarely (years), features arrive constantly, so the per-shape investment
+amortises.  :class:`FleetEvaluator` operationalises that: it owns one
+fitted FLARE model per shape segment and aggregates feature impacts
+across the fleet, weighting each segment by its share of the fleet's
+compute capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.features import Feature
+from ..cluster.machine import MachineShape
+from ..cluster.simulation import DatacenterConfig, run_simulation
+from ..reporting.tables import render_table
+from .analyzer import AnalyzerConfig
+from .estimation import FeatureImpactEstimate
+from .pipeline import Flare, FlareConfig
+
+__all__ = ["FleetSegment", "FleetImpactEstimate", "FleetEvaluator"]
+
+
+@dataclass(frozen=True)
+class FleetSegment:
+    """One homogeneous slice of the fleet: a shape, its size, its model."""
+
+    shape: MachineShape
+    n_machines: int
+    flare: Flare
+
+    def __post_init__(self) -> None:
+        if self.n_machines < 1:
+            raise ValueError("n_machines must be >= 1")
+        if self.flare.dataset.shape != self.shape:
+            raise ValueError(
+                f"segment shape {self.shape.name!r} does not match the "
+                f"fitted model's shape {self.flare.dataset.shape.name!r}"
+            )
+
+    @property
+    def capacity_vcpus(self) -> int:
+        """Schedulable vCPUs this segment contributes to the fleet."""
+        return self.n_machines * self.shape.vcpus
+
+
+@dataclass(frozen=True)
+class FleetImpactEstimate:
+    """A feature's impact per segment and fleet-wide.
+
+    Attributes
+    ----------
+    feature:
+        The feature evaluated (it must preserve every shape).
+    per_segment:
+        Shape name → (segment estimate, capacity weight).
+    reduction_pct:
+        Capacity-weighted fleet-wide MIPS reduction.
+    evaluation_cost:
+        Total scenario replays across all segments.
+    """
+
+    feature: Feature
+    per_segment: dict[str, tuple[FeatureImpactEstimate, float]]
+    reduction_pct: float
+    evaluation_cost: int
+
+    def segment_reduction(self, shape_name: str) -> float:
+        return self.per_segment[shape_name][0].reduction_pct
+
+    def render(self) -> str:
+        rows = [
+            [name, weight * 100.0, estimate.reduction_pct]
+            for name, (estimate, weight) in self.per_segment.items()
+        ]
+        rows.append(["fleet", 100.0, self.reduction_pct])
+        return render_table(
+            ["segment", "capacity %", "MIPS reduction %"],
+            rows,
+            title=f"Fleet impact — {self.feature.name}",
+        )
+
+
+class FleetEvaluator:
+    """Evaluates shape-preserving features across a heterogeneous fleet."""
+
+    def __init__(self, segments: list[FleetSegment]) -> None:
+        if not segments:
+            raise ValueError("fleet needs at least one segment")
+        names = [segment.shape.name for segment in segments]
+        if len(names) != len(set(names)):
+            raise ValueError("segment shape names must be unique")
+        self.segments = list(segments)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simulations(
+        cls,
+        fleet: list[tuple[MachineShape, int]],
+        *,
+        seed: int = 2023,
+        target_unique_scenarios: int = 300,
+        n_clusters: int = 12,
+    ) -> "FleetEvaluator":
+        """Build a fleet evaluator by observing each shape's datacenter.
+
+        Parameters
+        ----------
+        fleet:
+            ``(shape, machine count)`` pairs describing the fleet.
+        """
+        segments = []
+        for index, (shape, n_machines) in enumerate(fleet):
+            result = run_simulation(
+                DatacenterConfig(
+                    shape=shape,
+                    seed=seed + index,
+                    target_unique_scenarios=target_unique_scenarios,
+                )
+            )
+            flare = Flare(
+                FlareConfig(analyzer=AnalyzerConfig(n_clusters=n_clusters))
+            ).fit(result.dataset)
+            segments.append(
+                FleetSegment(shape=shape, n_machines=n_machines, flare=flare)
+            )
+        return cls(segments)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_capacity_vcpus(self) -> int:
+        return sum(segment.capacity_vcpus for segment in self.segments)
+
+    def segment_weights(self) -> dict[str, float]:
+        """Capacity share per segment (sums to 1)."""
+        total = self.total_capacity_vcpus
+        return {
+            segment.shape.name: segment.capacity_vcpus / total
+            for segment in self.segments
+        }
+
+    def evaluate(self, feature: Feature) -> FleetImpactEstimate:
+        """Fleet-wide impact of *feature* (per-segment FLARE, capacity-
+        weighted aggregate)."""
+        weights = self.segment_weights()
+        per_segment: dict[str, tuple[FeatureImpactEstimate, float]] = {}
+        total = 0.0
+        cost = 0
+        for segment in self.segments:
+            estimate = segment.flare.evaluate(feature)
+            weight = weights[segment.shape.name]
+            per_segment[segment.shape.name] = (estimate, weight)
+            total += weight * estimate.reduction_pct
+            cost += estimate.evaluation_cost
+        return FleetImpactEstimate(
+            feature=feature,
+            per_segment=per_segment,
+            reduction_pct=float(total),
+            evaluation_cost=cost,
+        )
+
+    def evaluate_job(
+        self, feature: Feature, job_name: str
+    ) -> FleetImpactEstimate:
+        """Fleet-wide per-job impact (segments that host the job)."""
+        weights = self.segment_weights()
+        per_segment: dict[str, tuple[FeatureImpactEstimate, float]] = {}
+        contributions: list[tuple[float, float]] = []
+        cost = 0
+        for segment in self.segments:
+            try:
+                estimate = segment.flare.evaluate_job(feature, job_name)
+            except ValueError:
+                continue  # this segment never hosted the job
+            weight = weights[segment.shape.name]
+            per_segment[segment.shape.name] = (estimate, weight)
+            contributions.append((weight, estimate.reduction_pct))
+            cost += estimate.evaluation_cost
+        if not contributions:
+            raise ValueError(
+                f"job {job_name!r} is hosted by no fleet segment"
+            )
+        total_weight = sum(w for w, _ in contributions)
+        total = sum(w * r for w, r in contributions) / total_weight
+        return FleetImpactEstimate(
+            feature=feature,
+            per_segment=per_segment,
+            reduction_pct=float(total),
+            evaluation_cost=cost,
+        )

@@ -1,0 +1,146 @@
+"""PC interpretation: attaching meaning to high-level metrics (Figure 8).
+
+FLARE's datacenter behaviours are too complex to analyse in raw-metric
+space, so each retained principal component is *labelled* from its largest
+signed loadings — e.g. "high machine memory traffic combined with low HP
+frontend efficiency".  The two-level metric collection makes co-location
+traits visible: a PC can simultaneously reference HP-scope and
+machine-scope versions of a counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.pca import PCAResult
+from ..telemetry.metrics import MetricLevel, MetricSpec
+
+__all__ = ["LoadingEntry", "ComponentInterpretation", "interpret_components"]
+
+
+@dataclass(frozen=True)
+class LoadingEntry:
+    """One raw metric's contribution to a PC."""
+
+    spec: MetricSpec
+    loading: float
+
+    @property
+    def sign(self) -> str:
+        return "+" if self.loading >= 0 else "-"
+
+    def describe(self) -> str:
+        return f"{self.sign}{self.spec.name} ({self.loading:+.2f})"
+
+
+@dataclass(frozen=True)
+class ComponentInterpretation:
+    """Labelled high-level metric: a PC plus its dominant raw metrics.
+
+    Attributes
+    ----------
+    index:
+        PC number (0-based).
+    explained_variance_ratio:
+        Share of dataset variance this PC explains.
+    top_loadings:
+        The largest-|loading| raw metrics, descending.
+    label:
+        Auto-generated human-readable interpretation.
+    """
+
+    index: int
+    explained_variance_ratio: float
+    top_loadings: tuple[LoadingEntry, ...]
+    label: str
+
+    def describe(self) -> str:
+        """One-line summary suitable for the Figure 8 style report."""
+        loads = ", ".join(entry.describe() for entry in self.top_loadings)
+        return (
+            f"PC{self.index} ({self.explained_variance_ratio:.1%} var): "
+            f"{self.label} [{loads}]"
+        )
+
+
+def interpret_components(
+    pca: PCAResult,
+    specs: tuple[MetricSpec, ...],
+    *,
+    n_components: int | None = None,
+    top_n: int = 6,
+    min_loading: float = 0.10,
+) -> tuple[ComponentInterpretation, ...]:
+    """Label each retained PC from its dominant loadings.
+
+    Parameters
+    ----------
+    n_components:
+        How many PCs to interpret (default: all in *pca*).
+    top_n:
+        Maximum raw metrics listed per PC.
+    min_loading:
+        Loadings below this magnitude are omitted (the paper's Figure 8
+        likewise drops small-weight metrics).
+    """
+    if len(specs) != pca.components.shape[1]:
+        raise ValueError(
+            f"{len(specs)} metric specs do not match "
+            f"{pca.components.shape[1]} PCA features"
+        )
+    count = (
+        pca.components.shape[0] if n_components is None else n_components
+    )
+    if not 1 <= count <= pca.components.shape[0]:
+        raise ValueError(f"n_components={count} out of range")
+
+    interpretations = []
+    for pc in range(count):
+        loadings = pca.components[pc]
+        order = np.argsort(-np.abs(loadings))
+        entries = []
+        for idx in order[:top_n]:
+            if abs(loadings[idx]) < min_loading and entries:
+                break
+            entries.append(
+                LoadingEntry(spec=specs[idx], loading=float(loadings[idx]))
+            )
+        interpretations.append(
+            ComponentInterpretation(
+                index=pc,
+                explained_variance_ratio=float(
+                    pca.explained_variance_ratio[pc]
+                ),
+                top_loadings=tuple(entries),
+                label=_label_from_entries(entries),
+            )
+        )
+    return tuple(interpretations)
+
+
+def _label_from_entries(entries: list[LoadingEntry]) -> str:
+    """Compose a phrase like "high Machine memory (MemTotalGBps); low HP
+    topdown (Topdown-FrontendBound)" from the dominant loadings."""
+    phrases: list[str] = []
+    seen: set[tuple[str, str, str]] = set()
+    for entry in entries[:3]:
+        direction = "high" if entry.loading >= 0 else "low"
+        scope = _scope_name(entry.spec)
+        key = (direction, scope, entry.spec.category)
+        if key in seen:
+            continue
+        seen.add(key)
+        phrases.append(
+            f"{direction} {scope} {entry.spec.category} ({entry.spec.base})"
+        )
+    return "; ".join(phrases) if phrases else "no dominant raw metric"
+
+
+def _scope_name(spec: MetricSpec) -> str:
+    if spec.level is MetricLevel.HP:
+        return "HP-job"
+    if spec.level is MetricLevel.MACHINE:
+        return "machine"
+    return "machine-env"

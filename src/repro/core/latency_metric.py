@@ -1,0 +1,85 @@
+"""Tail-latency performance metric — the pluggable-metric extension.
+
+The paper defines performance as normalised MIPS but notes "FLARE is not
+bound to any specific performance metric.  Many alternatives can be
+utilized" (§5.1).  This module provides one: normalised inverse p99
+latency of HP services, in exactly the :class:`ScenarioPerformance` shape
+the estimators consume, so it can be plugged into a
+:class:`~repro.core.replayer.Replayer` via its ``metric`` parameter.
+
+Performance of an instance = ``inherent p99 / co-located p99`` (1.0 when
+uncontended, < 1 under interference) — higher is better, mirroring the
+MIPS convention, so "MIPS reduction %" becomes "p99 degradation %".
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..cluster.scenario import Scenario
+from ..perfmodel.contention import RunningInstance, solve_colocation_cached
+from ..perfmodel.latency import LatencyEstimate, instance_latency
+from ..perfmodel.machine import MachinePerf
+from ..perfmodel.signatures import JobSignature
+from .performance import ScenarioPerformance
+
+__all__ = ["latency_scenario_performance", "inherent_latency"]
+
+
+@lru_cache(maxsize=4096)
+def _inherent_instance(
+    machine: MachinePerf, signature: JobSignature, load: float
+):
+    solution = solve_colocation_cached(
+        machine, (RunningInstance(signature=signature, load=load),)
+    )
+    return solution.instances[0]
+
+
+def inherent_latency(
+    machine: MachinePerf, signature: JobSignature, load: float
+) -> LatencyEstimate:
+    """Latency of one instance running alone on *machine* at *load*."""
+    alone = _inherent_instance(machine, signature, load)
+    return instance_latency(alone, alone, load)
+
+
+def latency_scenario_performance(
+    machine: MachinePerf,
+    scenario: Scenario,
+    *,
+    normalize_machine: MachinePerf | None = None,
+) -> ScenarioPerformance:
+    """Normalised inverse-p99 performance of a scenario's HP services.
+
+    Drop-in alternative to
+    :func:`repro.core.performance.scenario_performance`: same signature,
+    same return shape, latency semantics.
+    """
+    norm_machine = normalize_machine if normalize_machine is not None else machine
+    solution = solve_colocation_cached(machine, scenario.instances)
+
+    per_instance: list[float] = []
+    per_job_acc: dict[str, list[float]] = {}
+    for running, perf in zip(scenario.instances, solution.instances):
+        if not perf.is_high_priority:
+            continue
+        alone = _inherent_instance(
+            norm_machine, running.signature, running.load
+        )
+        contended = instance_latency(perf, alone, running.load)
+        baseline = instance_latency(alone, alone, running.load)
+        value = baseline.p99_ms / contended.p99_ms
+        per_instance.append(value)
+        per_job_acc.setdefault(perf.job_name, []).append(value)
+
+    per_job = {
+        name: sum(values) / len(values)
+        for name, values in per_job_acc.items()
+    }
+    overall = sum(per_instance) / len(per_instance) if per_instance else 0.0
+    return ScenarioPerformance(
+        overall=overall,
+        per_instance=tuple(per_instance),
+        per_job=per_job,
+    )

@@ -1,0 +1,302 @@
+"""The end-to-end FLARE pipeline (paper Figure 4).
+
+``Flare`` wires the four steps together:
+
+1. **Profiler** — collect 100+ raw metrics per scenario and refine away
+   correlated duplicates;
+2. **Analyzer (metrics)** — standardise + PCA into ~20 interpretable
+   high-level metrics;
+3. **Analyzer (grouping)** — whiten, cluster, and extract one
+   representative scenario per group;
+4. **Replayer** — measure a feature on the representatives only and
+   weight by group size.
+
+Typical use::
+
+    flare = Flare().fit(simulation_result.dataset)
+    estimate = flare.evaluate(FEATURE_1_CACHE)
+    print(estimate.reduction_pct)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.features import Feature
+from ..cluster.scenario import ScenarioDataset, ScenarioKey
+from ..telemetry.database import Database
+from ..telemetry.profiler import ProfiledDataset, Profiler
+from .analyzer import AnalysisResult, Analyzer, AnalyzerConfig
+from .estimation import (
+    FeatureImpactEstimate,
+    estimate_all_job_impact,
+    estimate_per_job_impact,
+)
+from .interpretation import ComponentInterpretation, interpret_components
+from .refinement import RefinedDataset, refine
+from .replayer import Replayer
+from .representatives import RepresentativeSet, extract_representatives
+
+__all__ = ["FlareConfig", "Flare"]
+
+
+@dataclass(frozen=True)
+class FlareConfig:
+    """Configuration of the whole pipeline.
+
+    Attributes
+    ----------
+    refinement_threshold:
+        Correlation-pruning threshold (step 1).
+    analyzer:
+        PCA / clustering knobs (steps 2–3).
+    noise_sigma / profiler_seed:
+        Measurement-noise model of the Profiler.
+    interpretation_top_n:
+        Raw metrics listed per PC in the Figure 8 style report.
+    temporal_samples / temporal_jitter:
+        Enable the Profiler's temporal extension (§4.1): collect std-dev
+        companions of key counters over jittered demand samples.
+    per_job_metrics:
+        Jobs to add per-job presence metrics for (§5.3's accuracy-vs-
+        dimensionality trade-off; off by default as the paper recommends).
+    """
+
+    refinement_threshold: float = 0.98
+    analyzer: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+    noise_sigma: float = 0.02
+    profiler_seed: int = 7
+    interpretation_top_n: int = 6
+    temporal_samples: int = 0
+    temporal_jitter: float = 0.15
+    per_job_metrics: tuple[str, ...] = ()
+
+
+class Flare:
+    """Facade over Profiler → Analyzer → representative extraction →
+    Replayer."""
+
+    def __init__(
+        self,
+        config: FlareConfig | None = None,
+        *,
+        database: Database | None = None,
+    ) -> None:
+        self.config = config if config is not None else FlareConfig()
+        self.database = database
+        self._profiled: ProfiledDataset | None = None
+        self._refined: RefinedDataset | None = None
+        self._analysis: AnalysisResult | None = None
+        self._representatives: RepresentativeSet | None = None
+        self._interpretations: tuple[ComponentInterpretation, ...] | None = None
+        self._replayer: Replayer | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: ScenarioDataset) -> "Flare":
+        """Run steps 1–3 on a scenario dataset; returns self."""
+        if len(dataset) < 2:
+            raise ValueError("FLARE needs at least 2 scenarios to fit")
+        profiler = Profiler(
+            noise_sigma=self.config.noise_sigma,
+            seed=self.config.profiler_seed,
+            database=self.database,
+            temporal_samples=self.config.temporal_samples,
+            temporal_jitter=self.config.temporal_jitter,
+            per_job_metrics=self.config.per_job_metrics,
+        )
+        self._profiled = profiler.profile(dataset)
+        self._refined = refine(
+            self._profiled, threshold=self.config.refinement_threshold
+        )
+        self._analysis = Analyzer(self.config.analyzer).analyze(self._refined)
+        self._representatives = extract_representatives(
+            self._analysis, dataset
+        )
+        self._interpretations = interpret_components(
+            self._analysis.pca,
+            self._refined.specs,
+            n_components=self._analysis.n_components,
+            top_n=self.config.interpretation_top_n,
+        )
+        self._replayer = Replayer(
+            dataset.shape, catalogue=_catalogue_from(dataset)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def evaluate(self, feature: Feature) -> FeatureImpactEstimate:
+        """All-job impact estimate of *feature* (step 4)."""
+        return estimate_all_job_impact(
+            self.representatives, self.replayer, feature
+        )
+
+    def evaluate_job(
+        self, feature: Feature, job_name: str
+    ) -> FeatureImpactEstimate:
+        """Per-job impact estimate of *feature* on *job_name*."""
+        return estimate_per_job_impact(
+            self.representatives, self.replayer, feature, job_name
+        )
+
+    def reweight(
+        self, durations: dict[ScenarioKey, float]
+    ) -> "Flare":
+        """Re-derive representatives under new scenario observation times.
+
+        Implements the §5.6 scheduler-change flow: a new scheduler changes
+        how often each co-location occurs, not which behaviours exist, so
+        FLARE restarts from step 3 — the collected metrics, PCA space and
+        cluster structure are all reused; only group weights (and thus the
+        impact weighting) change.  Returns a new fitted ``Flare``.
+        """
+        analysis = self.analysis
+        reweighted_dataset = self.dataset.with_weights_from(durations)
+        new = Flare(self.config, database=self.database)
+        new._profiled = self._profiled
+        new._refined = self._refined
+        new._interpretations = self._interpretations
+        new._replayer = self._replayer
+
+        scenario_weights = reweighted_dataset.weights()
+        cluster_weights = analysis.kmeans.cluster_weights(
+            sample_weight=scenario_weights
+        )
+        new._analysis = self._with_cluster_weights(analysis, cluster_weights)
+        new._representatives = extract_representatives(
+            new._analysis, reweighted_dataset
+        )
+        return new
+
+    def classify_dataset(self, new_dataset: ScenarioDataset) -> "np.ndarray":
+        """Assign each scenario of *new_dataset* to a fitted cluster.
+
+        Profiles the new scenarios with the same Profiler settings,
+        restricts them to the surviving (refined) metric columns, and
+        projects them through the fitted standardise → PCA → whiten →
+        nearest-centroid path.
+
+        The new dataset must come from the same machine shape: metric
+        values are not comparable across shapes (§5.5), so cross-shape
+        classification is rejected rather than silently mis-assigned.
+        """
+        if new_dataset.shape != self.dataset.shape:
+            raise ValueError(
+                f"cannot classify scenarios from shape "
+                f"{new_dataset.shape.name!r} with a model fitted on "
+                f"{self.dataset.shape.name!r}; derive a new representative "
+                "set per machine shape (paper §5.5)"
+            )
+        profiler = Profiler(
+            noise_sigma=self.config.noise_sigma,
+            seed=self.config.profiler_seed,
+            temporal_samples=self.config.temporal_samples,
+            temporal_jitter=self.config.temporal_jitter,
+            per_job_metrics=self.config.per_job_metrics,
+        )
+        profiled = profiler.profile(new_dataset)
+        refined_matrix = profiled.matrix[:, list(self.refined.report.kept)]
+        return self.analysis.classify(refined_matrix)
+
+    def reweight_by_classification(
+        self, new_dataset: ScenarioDataset
+    ) -> "Flare":
+        """Re-derive group weights from a *new* scenario population.
+
+        The robust §5.6 path: instead of requiring the new scheduler's
+        co-locations to match profiled ones exactly, each new scenario is
+        classified into the behaviour group it belongs to, and group
+        weights become the new population's observation-time shares.
+        Representatives (and everything else) are reused unchanged.
+        """
+        labels = self.classify_dataset(new_dataset)
+        new_weights = np.zeros(self.analysis.n_clusters)
+        scenario_weights = new_dataset.weights()
+        for label, weight in zip(labels, scenario_weights):
+            new_weights[int(label)] += float(weight)
+        total = new_weights.sum()
+        if total <= 0.0:
+            raise ValueError("new dataset carries no observation weight")
+        new_weights /= total
+
+        new = Flare(self.config, database=self.database)
+        new._profiled = self._profiled
+        new._refined = self._refined
+        new._interpretations = self._interpretations
+        new._replayer = self._replayer
+        new._analysis = self._with_cluster_weights(self.analysis, new_weights)
+        new._representatives = extract_representatives(
+            new._analysis, self.representatives.dataset
+        )
+        return new
+
+    @staticmethod
+    def _with_cluster_weights(
+        analysis: AnalysisResult, cluster_weights: "np.ndarray"
+    ) -> AnalysisResult:
+        return AnalysisResult(
+            refined=analysis.refined,
+            scaler=analysis.scaler,
+            pca=analysis.pca,
+            n_components=analysis.n_components,
+            scores=analysis.scores,
+            score_mean=analysis.score_mean,
+            score_std=analysis.score_std,
+            sweep=analysis.sweep,
+            kmeans=analysis.kmeans,
+            cluster_weights=cluster_weights,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> ScenarioDataset:
+        """The scenario dataset the model currently represents.
+
+        After :meth:`reweight` this reflects the new observation times,
+        while :attr:`profiled` keeps the original collection provenance.
+        """
+        return self.representatives.dataset
+
+    @property
+    def profiled(self) -> ProfiledDataset:
+        return self._require("_profiled")
+
+    @property
+    def refined(self) -> RefinedDataset:
+        return self._require("_refined")
+
+    @property
+    def analysis(self) -> AnalysisResult:
+        return self._require("_analysis")
+
+    @property
+    def representatives(self) -> RepresentativeSet:
+        return self._require("_representatives")
+
+    @property
+    def interpretations(self) -> tuple[ComponentInterpretation, ...]:
+        return self._require("_interpretations")
+
+    @property
+    def replayer(self) -> Replayer:
+        return self._require("_replayer")
+
+    def _require(self, attr: str):
+        value = getattr(self, attr)
+        if value is None:
+            raise RuntimeError("Flare.fit() must be called first")
+        return value
+
+
+def _catalogue_from(dataset: ScenarioDataset) -> dict:
+    """Job name -> signature map built from the dataset's own instances.
+
+    Lets the Replayer reconstruct scenarios that include jobs outside the
+    built-in Table 3 catalogue (custom workloads).
+    """
+    catalogue = {}
+    for scenario in dataset.scenarios:
+        for instance in scenario.instances:
+            catalogue.setdefault(instance.signature.name, instance.signature)
+    return catalogue

@@ -1,0 +1,68 @@
+"""Step 1 refinement: prune duplicated raw metrics (paper §4.2).
+
+Many collected counters are near-copies of others — e.g. memory bandwidth
+reported by a monitoring tool is just LLC miss count × payload size.  This
+step drops metrics whose absolute correlation with an already-kept metric
+exceeds a threshold, reducing the 100+ raw counters to a weakly-correlated
+subset (~85 in the paper) before PCA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.correlation import PruneReport, prune_correlated
+from ..telemetry.metrics import MetricSpec
+from ..telemetry.profiler import ProfiledDataset
+
+__all__ = ["RefinedDataset", "refine"]
+
+
+@dataclass(frozen=True)
+class RefinedDataset:
+    """Profiled dataset restricted to the surviving metric columns."""
+
+    profiled: ProfiledDataset
+    report: PruneReport
+    matrix: np.ndarray
+    specs: tuple[MetricSpec, ...]
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs)
+
+    @property
+    def n_metrics(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.matrix.shape[0]
+
+    def dropped_descriptions(self) -> list[str]:
+        """Human-readable account of every pruned metric."""
+        names = list(self.profiled.metric_names)
+        return self.report.describe_drops(names)
+
+
+def refine(
+    profiled: ProfiledDataset, *, threshold: float = 0.98
+) -> RefinedDataset:
+    """Apply correlation pruning to a profiled dataset.
+
+    Parameters
+    ----------
+    threshold:
+        Absolute-Pearson-correlation limit above which a metric is
+        considered a duplicate of one already kept.
+    """
+    report = prune_correlated(profiled.matrix, threshold=threshold)
+    kept = list(report.kept)
+    return RefinedDataset(
+        profiled=profiled,
+        report=report,
+        matrix=profiled.matrix[:, kept],
+        specs=tuple(profiled.specs[i] for i in kept),
+    )

@@ -1,0 +1,150 @@
+"""Step 4 Replayer: reconstruct scenarios on a testbed (paper §4.5).
+
+The Replayer takes a representative scenario, looks up the job commands
+the Profiler recorded, re-launches the co-location on a testbed machine
+under baseline and feature-enabled configurations, and measures the
+normalised HP performance of each.  Going through the recorded *command
+strings* (rather than the in-memory objects) exercises the same
+record-and-reconstruct path the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.features import BASELINE, Feature
+from ..cluster.machine import MachineShape
+from ..cluster.scenario import Scenario
+from ..perfmodel.contention import RunningInstance
+from ..perfmodel.signatures import JobSignature
+from ..telemetry.profiler import format_command, parse_command
+from ..workloads import get_job
+from .performance import (
+    ScenarioPerformance,
+    mips_reduction_pct,
+    scenario_performance,
+)
+
+__all__ = ["ReplayMeasurement", "Replayer"]
+
+
+@dataclass(frozen=True)
+class ReplayMeasurement:
+    """Outcome of replaying one scenario under one feature.
+
+    Attributes
+    ----------
+    scenario:
+        The replayed scenario.
+    feature:
+        The feature under evaluation.
+    baseline / enabled:
+        Normalised HP performance without / with the feature.
+    """
+
+    scenario: Scenario
+    feature: Feature
+    baseline: ScenarioPerformance
+    enabled: ScenarioPerformance
+
+    @property
+    def reduction_pct(self) -> float:
+        """Overall HP MIPS reduction caused by the feature."""
+        return mips_reduction_pct(self.baseline.overall, self.enabled.overall)
+
+    def job_reduction_pct(self, job_name: str) -> float:
+        """MIPS reduction of one HP job in this scenario.
+
+        Raises ``KeyError`` when the scenario does not host the job.
+        """
+        if job_name not in self.baseline.per_job:
+            raise KeyError(
+                f"job {job_name!r} is not in scenario "
+                f"{self.scenario.scenario_id}"
+            )
+        return mips_reduction_pct(
+            self.baseline.per_job[job_name], self.enabled.per_job[job_name]
+        )
+
+
+class Replayer:
+    """Replays recorded co-locations on a testbed machine shape.
+
+    Parameters
+    ----------
+    shape:
+        Testbed machine shape (normally the datacenter's own shape; the
+        testbed must match for the replay to be faithful — see §5.5 for
+        why representatives do not transfer across shapes).
+    catalogue:
+        Job name → signature mapping used to resolve recorded commands.
+        Defaults to the built-in Table 3 catalogue; pass an extended
+        mapping when the datacenter ran custom jobs.
+    metric:
+        Performance-metric function with the signature of
+        :func:`repro.core.performance.scenario_performance` (the
+        default).  Pass e.g.
+        :func:`repro.core.latency_metric.latency_scenario_performance`
+        to evaluate features on normalised tail latency instead of
+        normalised MIPS — the paper's "many alternatives can be
+        utilized" hook.
+    """
+
+    def __init__(
+        self,
+        shape: MachineShape,
+        *,
+        catalogue: dict[str, "JobSignature"] | None = None,
+        metric=None,
+    ) -> None:
+        self.shape = shape
+        self._catalogue = catalogue
+        self._metric = metric if metric is not None else scenario_performance
+
+    def _resolve_job(self, name: str):
+        if self._catalogue is not None and name in self._catalogue:
+            return self._catalogue[name]
+        return get_job(name)
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, scenario: Scenario) -> tuple[RunningInstance, ...]:
+        """Rebuild a scenario's containers from its recorded commands.
+
+        Round-trips through the command-string format the Profiler logs,
+        resolving each job name against the workload catalogue — exactly
+        what replaying the recorded Docker commands does on the paper's
+        testbed.
+        """
+        commands = [format_command(inst) for inst in scenario.instances]
+        rebuilt = []
+        for command in commands:
+            job_name, load = parse_command(command)
+            rebuilt.append(
+                RunningInstance(signature=self._resolve_job(job_name), load=load)
+            )
+        return tuple(rebuilt)
+
+    def replay(
+        self, scenario: Scenario, feature: Feature
+    ) -> ReplayMeasurement:
+        """Measure *feature*'s impact on *scenario* on the testbed."""
+        instances = self.reconstruct(scenario)
+        replay_scenario = Scenario(
+            scenario_id=scenario.scenario_id,
+            key=scenario.key,
+            instances=instances,
+            n_occurrences=scenario.n_occurrences,
+            total_duration_s=scenario.total_duration_s,
+        )
+        baseline_machine = BASELINE(self.shape.perf)
+        feature_machine = feature(self.shape.perf)
+        baseline = self._metric(baseline_machine, replay_scenario)
+        enabled = self._metric(
+            feature_machine, replay_scenario, normalize_machine=baseline_machine
+        )
+        return ReplayMeasurement(
+            scenario=replay_scenario,
+            feature=feature,
+            baseline=baseline,
+            enabled=enabled,
+        )

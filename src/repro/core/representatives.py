@@ -1,0 +1,140 @@
+"""Step 3 output: representative scenario extraction (paper §4.4–4.5).
+
+For each cluster, the representative is the member scenario nearest to the
+cluster centroid.  Members are kept ranked by centroid distance so the
+per-job estimator can walk to the "next nearest" scenario when the
+representative does not contain the job of interest (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..cluster.scenario import Scenario, ScenarioDataset
+from .analyzer import AnalysisResult
+
+__all__ = ["ClusterGroup", "RepresentativeSet", "extract_representatives"]
+
+
+@dataclass(frozen=True)
+class ClusterGroup:
+    """One scenario group and its representative.
+
+    Attributes
+    ----------
+    cluster_id:
+        Cluster index.
+    weight:
+        Observation-time share of the group (sums to 1 across groups).
+    centroid:
+        Cluster centre in whitened PC space.
+    ranked_members:
+        Scenario indices ordered by distance to the centroid (nearest
+        first); ``ranked_members[0]`` is the representative.
+    """
+
+    cluster_id: int
+    weight: float
+    centroid: np.ndarray
+    ranked_members: tuple[int, ...]
+
+    @property
+    def representative_index(self) -> int:
+        return self.ranked_members[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranked_members)
+
+    def first_member_where(
+        self,
+        dataset: ScenarioDataset,
+        predicate: Callable[[Scenario], bool],
+    ) -> Scenario | None:
+        """Nearest-to-centroid member satisfying *predicate* (or None).
+
+        This is the paper's fallback: "we check the next nearest scenario
+        to the cluster center until we find the target job".
+        """
+        for index in self.ranked_members:
+            scenario = dataset[index]
+            if predicate(scenario):
+                return scenario
+        return None
+
+
+@dataclass(frozen=True)
+class RepresentativeSet:
+    """All cluster groups of one analysis, plus convenience accessors."""
+
+    dataset: ScenarioDataset
+    groups: tuple[ClusterGroup, ...]
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def representative_scenarios(self) -> tuple[Scenario, ...]:
+        """The one-per-group representative scenarios."""
+        return tuple(
+            self.dataset[g.representative_index] for g in self.groups
+        )
+
+    def weights(self) -> np.ndarray:
+        return np.array([g.weight for g in self.groups])
+
+    def group_of_scenario(self, scenario_index: int) -> ClusterGroup:
+        """The group containing dataset scenario *scenario_index*."""
+        for group in self.groups:
+            if scenario_index in group.ranked_members:
+                return group
+        raise KeyError(f"scenario {scenario_index} not in any group")
+
+    def job_instance_weight(self, group: ClusterGroup, job_name: str) -> float:
+        """Observation-weighted instance count of *job_name* in *group*.
+
+        Used to weight per-job impacts by "the likelihood to observe the
+        job" in each group (§5.3).
+        """
+        weights = self.dataset.weights()
+        return float(
+            sum(
+                weights[idx] * self.dataset[idx].count_of(job_name)
+                for idx in group.ranked_members
+            )
+        )
+
+
+def extract_representatives(
+    analysis: AnalysisResult, dataset: ScenarioDataset
+) -> RepresentativeSet:
+    """Build the representative set from a completed analysis."""
+    if analysis.scores.shape[0] != len(dataset):
+        raise ValueError(
+            f"analysis covers {analysis.scores.shape[0]} scenarios but "
+            f"dataset has {len(dataset)}"
+        )
+    groups = []
+    for cluster_id in range(analysis.n_clusters):
+        members = analysis.members_of(cluster_id)
+        if members.size == 0:
+            # K-means empty-cluster repair should prevent this, but a
+            # degenerate dataset (fewer distinct points than clusters) can
+            # still produce it; such a group carries no weight.
+            continue
+        centroid = analysis.kmeans.centroids[cluster_id]
+        distances = np.linalg.norm(
+            analysis.scores[members] - centroid, axis=1
+        )
+        order = np.argsort(distances, kind="stable")
+        groups.append(
+            ClusterGroup(
+                cluster_id=cluster_id,
+                weight=float(analysis.cluster_weights[cluster_id]),
+                centroid=centroid.copy(),
+                ranked_members=tuple(int(members[i]) for i in order),
+            )
+        )
+    return RepresentativeSet(dataset=dataset, groups=tuple(groups))

@@ -1,0 +1,48 @@
+"""Paper-experiment regeneration: one module per evaluation figure.
+
+Every module exposes ``run(context, ...)`` returning a typed result with a
+``render()`` method that prints the same rows/series the paper reports.
+Build a context with :func:`get_context` (``scale="paper"`` for the full
+895-scenario / 18-cluster setup).
+"""
+
+from . import (
+    ablations,
+    fig01_landscape,
+    fig02_loadtesting_pitfall,
+    fig03_scenario_landscape,
+    fig07_pca_variance,
+    fig08_pc_interpretation,
+    fig09_cluster_selection,
+    fig10_cluster_radar,
+    fig11_cluster_impacts,
+    fig12_accuracy,
+    fig13_cost_accuracy,
+    fig14_heterogeneous,
+    holdout,
+    sampling_strategies,
+    sec56_scheduler_change,
+    stability,
+)
+from .context import ExperimentContext, get_context
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "ablations",
+    "fig01_landscape",
+    "fig02_loadtesting_pitfall",
+    "fig03_scenario_landscape",
+    "fig07_pca_variance",
+    "fig08_pc_interpretation",
+    "fig09_cluster_selection",
+    "fig10_cluster_radar",
+    "fig11_cluster_impacts",
+    "fig12_accuracy",
+    "fig13_cost_accuracy",
+    "fig14_heterogeneous",
+    "holdout",
+    "sampling_strategies",
+    "stability",
+    "sec56_scheduler_change",
+]

@@ -1,0 +1,317 @@
+"""Ablations of FLARE's design choices.
+
+The paper motivates several choices without isolating each one; these
+ablations quantify them on our substrate:
+
+* **PCA before clustering** vs clustering the standardised raw metrics;
+* **whitening** the retained PCs vs using raw PC scores;
+* **K-means** vs agglomerative (hierarchical) clustering — the §4.4
+  "alternatives can also be applied" note;
+* **nearest-to-centroid representatives** vs a random group member;
+* **group-size weighting** vs uniform weighting of representatives;
+* the **correlation-pruning threshold** (step 1);
+* **cluster-count sensitivity** (§5.4: more clusters ≠ better).
+
+Every variant is scored by its absolute all-job estimation error against
+the full-datacenter truth, averaged (and worst-cased) over the three
+Table 4 features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.features import PAPER_FEATURES, Feature
+from ..core.analyzer import AnalysisResult, Analyzer
+from ..core.estimation import estimate_all_job_impact
+from ..core.refinement import refine
+from ..core.representatives import (
+    ClusterGroup,
+    RepresentativeSet,
+    extract_representatives,
+)
+from ..reporting.tables import render_table
+from ..stats.hierarchy import AgglomerativeClustering
+from ..stats.kmeans import KMeans, KMeansResult
+from ..stats.preprocessing import StandardScaler
+from .context import ExperimentContext
+
+__all__ = [
+    "AblationRow",
+    "AblationReport",
+    "run_pipeline_variants",
+    "run_threshold_sweep",
+    "run_k_sensitivity",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One pipeline variant's estimation quality."""
+
+    variant: str
+    errors_pct: dict[str, float]
+
+    @property
+    def mean_error_pct(self) -> float:
+        return sum(self.errors_pct.values()) / len(self.errors_pct)
+
+    @property
+    def max_error_pct(self) -> float:
+        return max(self.errors_pct.values())
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    """A set of ablation rows plus rendering."""
+
+    title: str
+    rows: tuple[AblationRow, ...]
+
+    def row(self, variant: str) -> AblationRow:
+        for row in self.rows:
+            if row.variant == variant:
+                return row
+        raise KeyError(f"no variant {variant!r}")
+
+    def render(self) -> str:
+        features = sorted(self.rows[0].errors_pct)
+        headers = ["variant"] + features + ["mean", "max"]
+        body = [
+            [row.variant]
+            + [row.errors_pct[f] for f in features]
+            + [row.mean_error_pct, row.max_error_pct]
+            for row in self.rows
+        ]
+        return render_table(headers, body, title=self.title)
+
+
+def _score_representatives(
+    context: ExperimentContext,
+    representatives: RepresentativeSet,
+    features: tuple[Feature, ...],
+) -> dict[str, float]:
+    """Absolute all-job estimation error per feature for a variant."""
+    replayer = context.flare.replayer
+    errors = {}
+    for feature in features:
+        truth = context.truth(feature).overall_reduction_pct
+        estimate = estimate_all_job_impact(representatives, replayer, feature)
+        errors[feature.name] = abs(estimate.reduction_pct - truth)
+    return errors
+
+
+def _analysis_with(
+    base: AnalysisResult,
+    *,
+    scores: np.ndarray | None = None,
+    kmeans: KMeansResult | None = None,
+    cluster_weights: np.ndarray | None = None,
+) -> AnalysisResult:
+    """Copy an analysis, overriding the clustering-relevant pieces."""
+    return AnalysisResult(
+        refined=base.refined,
+        scaler=base.scaler,
+        pca=base.pca,
+        n_components=base.n_components,
+        scores=scores if scores is not None else base.scores,
+        score_mean=base.score_mean,
+        score_std=base.score_std,
+        sweep=None,
+        kmeans=kmeans if kmeans is not None else base.kmeans,
+        cluster_weights=(
+            cluster_weights
+            if cluster_weights is not None
+            else base.cluster_weights
+        ),
+    )
+
+
+def _cluster_and_extract(
+    context: ExperimentContext, scores: np.ndarray, *, seed: int = 0
+) -> RepresentativeSet:
+    """K-means + weight + extract on an alternative score space."""
+    base = context.flare.analysis
+    kmeans = KMeans(
+        base.n_clusters, n_init=8, seed=np.random.default_rng(seed)
+    ).fit(scores)
+    weights = kmeans.cluster_weights(
+        sample_weight=context.dataset.weights()
+    )
+    analysis = _analysis_with(
+        base, scores=scores, kmeans=kmeans, cluster_weights=weights
+    )
+    return extract_representatives(analysis, context.dataset)
+
+
+def run_pipeline_variants(
+    context: ExperimentContext,
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+    *,
+    seed: int = 0,
+) -> AblationReport:
+    """Score the paper pipeline against its ablated variants."""
+    flare = context.flare
+    base_analysis = flare.analysis
+    refined = flare.refined
+    rows = []
+
+    # 1. The paper's pipeline as fitted.
+    rows.append(
+        AblationRow(
+            "paper (PCA+whiten+kmeans)",
+            _score_representatives(context, flare.representatives, features),
+        )
+    )
+
+    # 2. No PCA: cluster the standardised refined metrics directly.
+    standardised = StandardScaler().fit_transform(refined.matrix)
+    reps = _cluster_and_extract(context, standardised, seed=seed)
+    rows.append(
+        AblationRow(
+            "no-pca (standardised raw metrics)",
+            _score_representatives(context, reps, features),
+        )
+    )
+
+    # 3. No whitening: raw PC scores keep their variance imbalance.
+    raw_scores = (
+        base_analysis.scaler.transform(refined.matrix)
+        @ base_analysis.pca.components[: base_analysis.n_components].T
+    )
+    reps = _cluster_and_extract(context, raw_scores, seed=seed)
+    rows.append(
+        AblationRow(
+            "no-whiten (raw PC scores)",
+            _score_representatives(context, reps, features),
+        )
+    )
+
+    # 4. Hierarchical clustering instead of K-means.
+    agg = AgglomerativeClustering(
+        base_analysis.n_clusters, linkage="average"
+    ).fit(base_analysis.scores)
+    agg_kmeans = KMeansResult(
+        centroids=agg.centroids,
+        labels=agg.labels,
+        inertia=agg.inertia,
+        n_iter=0,
+        converged=True,
+    )
+    weights = agg_kmeans.cluster_weights(
+        sample_weight=context.dataset.weights()
+    )
+    analysis = _analysis_with(
+        base_analysis, kmeans=agg_kmeans, cluster_weights=weights
+    )
+    reps = extract_representatives(analysis, context.dataset)
+    rows.append(
+        AblationRow(
+            "hierarchical (average linkage)",
+            _score_representatives(context, reps, features),
+        )
+    )
+
+    # 5. Random member instead of nearest-to-centroid representative.
+    rng = np.random.default_rng(seed)
+    shuffled_groups = []
+    for group in flare.representatives.groups:
+        order = list(group.ranked_members)
+        rng.shuffle(order)
+        shuffled_groups.append(
+            ClusterGroup(
+                cluster_id=group.cluster_id,
+                weight=group.weight,
+                centroid=group.centroid,
+                ranked_members=tuple(order),
+            )
+        )
+    reps = RepresentativeSet(
+        dataset=context.dataset, groups=tuple(shuffled_groups)
+    )
+    rows.append(
+        AblationRow(
+            "random-representative",
+            _score_representatives(context, reps, features),
+        )
+    )
+
+    # 6. Uniform group weights instead of observation-time weights.
+    n = len(flare.representatives)
+    uniform_groups = tuple(
+        ClusterGroup(
+            cluster_id=g.cluster_id,
+            weight=1.0 / n,
+            centroid=g.centroid,
+            ranked_members=g.ranked_members,
+        )
+        for g in flare.representatives.groups
+    )
+    reps = RepresentativeSet(dataset=context.dataset, groups=uniform_groups)
+    rows.append(
+        AblationRow(
+            "uniform-weights",
+            _score_representatives(context, reps, features),
+        )
+    )
+
+    return AblationReport(
+        title="Ablation — pipeline variants (abs. all-job error, pp)",
+        rows=tuple(rows),
+    )
+
+
+def run_threshold_sweep(
+    context: ExperimentContext,
+    thresholds: tuple[float, ...] = (0.999, 0.98, 0.9, 0.8),
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+) -> list[tuple[float, int, float]]:
+    """Correlation-pruning threshold vs kept metrics vs mean error.
+
+    Returns ``(threshold, kept_metric_count, mean_error_pct)`` rows.
+    """
+    config = context.flare.config
+    rows = []
+    for threshold in thresholds:
+        refined = refine(context.flare.profiled, threshold=threshold)
+        analysis = Analyzer(config.analyzer).analyze(refined)
+        reps = extract_representatives(analysis, context.dataset)
+        errors = _score_representatives(context, reps, features)
+        rows.append(
+            (
+                threshold,
+                refined.n_metrics,
+                sum(errors.values()) / len(errors),
+            )
+        )
+    return rows
+
+
+def run_k_sensitivity(
+    context: ExperimentContext,
+    cluster_counts: tuple[int, ...] = (6, 12, 18, 24, 36),
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+) -> list[tuple[int, float]]:
+    """Cluster count vs mean estimation error (paper §5.4).
+
+    Returns ``(k, mean_error_pct)`` rows; the paper observes that raising
+    k beyond the knee does not materially improve estimates.
+    """
+    base = context.flare.analysis
+    rows = []
+    for k in cluster_counts:
+        kmeans = KMeans(k, n_init=8, seed=np.random.default_rng(1)).fit(
+            base.scores
+        )
+        weights = kmeans.cluster_weights(
+            sample_weight=context.dataset.weights()
+        )
+        analysis = _analysis_with(
+            base, kmeans=kmeans, cluster_weights=weights
+        )
+        reps = extract_representatives(analysis, context.dataset)
+        errors = _score_representatives(context, reps, features)
+        rows.append((k, sum(errors.values()) / len(errors)))
+    return rows

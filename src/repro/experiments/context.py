@@ -1,0 +1,82 @@
+"""Shared experiment context: one datacenter run + one fitted FLARE model.
+
+Every figure of the evaluation section is derived from the same collected
+dataset and fitted pipeline, so experiments share an
+:class:`ExperimentContext`.  Contexts are memoised per (scale, seed): the
+``"paper"`` scale reproduces the paper's 895-scenario / 18-cluster setup;
+the ``"small"`` scale is a fast variant for tests and quick iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..baselines.full_datacenter import DatacenterTruth, evaluate_full_datacenter
+from ..cluster.features import Feature
+from ..cluster.scenario import ScenarioDataset
+from ..cluster.simulation import DatacenterConfig, SimulationResult, run_simulation
+from ..core.analyzer import AnalyzerConfig
+from ..core.pipeline import Flare, FlareConfig
+
+__all__ = ["ExperimentScale", "ExperimentContext", "get_context"]
+
+#: Named experiment scales: (target scenarios, clusters, k-sweep grid).
+_SCALES: dict[str, tuple[int, int, tuple[int, ...]]] = {
+    "paper": (895, 18, tuple(range(2, 41, 2))),
+    "small": (160, 8, tuple(range(2, 17, 2))),
+}
+
+ExperimentScale = str
+
+
+@dataclass
+class ExperimentContext:
+    """A datacenter run, its fitted FLARE model, and cached truths."""
+
+    scale: str
+    seed: int
+    simulation: SimulationResult
+    flare: Flare
+
+    def __post_init__(self) -> None:
+        self._truths: dict[tuple[str, int], DatacenterTruth] = {}
+
+    @property
+    def dataset(self) -> ScenarioDataset:
+        return self.simulation.dataset
+
+    @property
+    def n_clusters(self) -> int:
+        return self.flare.analysis.n_clusters
+
+    def truth(self, feature: Feature) -> DatacenterTruth:
+        """Full-datacenter evaluation of *feature* (memoised)."""
+        key = (feature.name, id(self.dataset))
+        if key not in self._truths:
+            self._truths[key] = evaluate_full_datacenter(self.dataset, feature)
+        return self._truths[key]
+
+
+@lru_cache(maxsize=8)
+def get_context(scale: str = "paper", seed: int = 2023) -> ExperimentContext:
+    """Build (or fetch) the memoised context for *scale* and *seed*."""
+    try:
+        target, n_clusters, sweep = _SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}"
+        ) from None
+
+    config = DatacenterConfig(seed=seed, target_unique_scenarios=target)
+    simulation = run_simulation(config)
+    flare = Flare(
+        FlareConfig(
+            analyzer=AnalyzerConfig(
+                n_clusters=n_clusters, cluster_counts=sweep
+            )
+        )
+    ).fit(simulation.dataset)
+    return ExperimentContext(
+        scale=scale, seed=seed, simulation=simulation, flare=flare
+    )

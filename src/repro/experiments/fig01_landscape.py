@@ -1,0 +1,128 @@
+"""Figure 1 — the evaluation-methodology landscape.
+
+The paper's opening figure positions the methodologies on an
+accuracy-vs-overhead plane: conventional load-testing (cheap,
+co-location-blind), sampling-based evaluation (costlier, still
+imprecise), live/full-datacenter evaluation (accurate, prohibitive), and
+FLARE (accurate at load-testing-like cost).  This experiment regenerates
+that landscape as measured data: one (evaluation cost, worst-case error)
+point per methodology, aggregated over the Table 4 features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.loadtesting import load_test_job
+from ..baselines.sampling import evaluate_by_sampling
+from ..cluster.features import PAPER_FEATURES, Feature
+from ..reporting.tables import render_table
+from ..workloads import HP_JOB_NAMES, hp_job
+from .context import ExperimentContext
+
+__all__ = ["MethodPoint", "Fig01Result", "run"]
+
+
+@dataclass(frozen=True)
+class MethodPoint:
+    """One methodology's position on the Figure 1 plane.
+
+    Attributes
+    ----------
+    method:
+        Methodology name.
+    cost_scenarios:
+        Evaluation overhead in scenario-evaluations per feature (the
+        paper's cost unit; load-testing's per-service runs are counted as
+        scenario-equivalents).
+    worst_error_pct:
+        Worst absolute error across the Table 4 features (for sampling:
+        the 95th-percentile trial error).
+    """
+
+    method: str
+    cost_scenarios: int
+    worst_error_pct: float
+
+
+@dataclass(frozen=True)
+class Fig01Result:
+    """The measured Figure 1 landscape."""
+
+    points: tuple[MethodPoint, ...]
+
+    def point(self, method: str) -> MethodPoint:
+        for point in self.points:
+            if point.method == method:
+                return point
+        raise KeyError(f"no method {method!r}")
+
+    def render(self) -> str:
+        return render_table(
+            ["method", "cost (scenario evals)", "worst error %"],
+            [
+                [p.method, p.cost_scenarios, p.worst_error_pct]
+                for p in self.points
+            ],
+            title="Figure 1 — accuracy vs overhead of evaluation methods",
+        )
+
+
+def run(
+    context: ExperimentContext,
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+    *,
+    n_trials: int = 500,
+    seed: int = 0,
+) -> Fig01Result:
+    """Regenerate Figure 1 from measured costs and errors."""
+    flare_cost = context.n_clusters
+
+    # Load-testing: one single-service run per HP job; its "estimate" of
+    # the datacenter-wide impact is the inherent-MIPS-weighted mean of the
+    # per-service impacts — the best a co-location-blind method can do.
+    loadtest_worst = 0.0
+    for feature in features:
+        truth = context.truth(feature)
+        results = [
+            load_test_job(context.dataset.shape, hp_job(name), feature)
+            for name in HP_JOB_NAMES
+        ]
+        estimate = sum(r.reduction_pct for r in results) / len(results)
+        loadtest_worst = max(
+            loadtest_worst, abs(estimate - truth.overall_reduction_pct)
+        )
+
+    # Sampling at FLARE's cost: 95th-percentile trial error.
+    sampling_worst = 0.0
+    for feature in features:
+        truth = context.truth(feature)
+        trials = evaluate_by_sampling(
+            context.dataset,
+            feature,
+            sample_size=flare_cost,
+            n_trials=n_trials,
+            seed=seed,
+            truth=truth,
+        ).trials
+        sampling_worst = max(
+            sampling_worst, trials.max_error_at_confidence(0.95)
+        )
+
+    # FLARE.
+    flare_worst = max(
+        abs(
+            context.flare.evaluate(feature).reduction_pct
+            - context.truth(feature).overall_reduction_pct
+        )
+        for feature in features
+    )
+
+    datacenter_cost = len(context.truth(features[0]).scenario_ids)
+    points = (
+        MethodPoint("load-testing benchmarks", len(HP_JOB_NAMES), loadtest_worst),
+        MethodPoint("sampling-based", flare_cost, sampling_worst),
+        MethodPoint("FLARE", flare_cost, flare_worst),
+        MethodPoint("full datacenter (truth)", datacenter_cost, 0.0),
+    )
+    return Fig01Result(points=points)

@@ -1,0 +1,88 @@
+"""Figure 2 — the pitfall of co-location-unaware load-testing.
+
+For each HP service and Feature 1 (cache sizing), compare the MIPS
+reduction predicted by a conventional single-service load-testing
+benchmark against the in-datacenter truth (mean ± std over every scenario
+hosting the service).  The paper's point: the two deviate substantially
+because load-testing sees no interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.full_datacenter import per_job_scenario_reductions
+from ..baselines.loadtesting import load_test_job
+from ..cluster.features import FEATURE_1_CACHE, Feature
+from ..reporting.tables import render_table
+from ..workloads import HP_JOB_NAMES, hp_job
+from .context import ExperimentContext
+
+__all__ = ["Fig02Row", "Fig02Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig02Row:
+    """One HP service's bar pair in Figure 2."""
+
+    job_name: str
+    loadtest_reduction_pct: float
+    datacenter_reduction_pct: float
+    datacenter_std_pct: float
+
+    @property
+    def deviation_pct(self) -> float:
+        """Absolute gap between the load-testing estimate and the truth."""
+        return abs(self.loadtest_reduction_pct - self.datacenter_reduction_pct)
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    """All Figure 2 bars for one feature."""
+
+    feature: Feature
+    rows: tuple[Fig02Row, ...]
+
+    @property
+    def mean_deviation_pct(self) -> float:
+        return sum(r.deviation_pct for r in self.rows) / len(self.rows)
+
+    @property
+    def max_deviation_pct(self) -> float:
+        return max(r.deviation_pct for r in self.rows)
+
+    def render(self) -> str:
+        return render_table(
+            ["job", "load-testing %", "datacenter %", "dc std", "deviation"],
+            [
+                [
+                    r.job_name,
+                    r.loadtest_reduction_pct,
+                    r.datacenter_reduction_pct,
+                    r.datacenter_std_pct,
+                    r.deviation_pct,
+                ]
+                for r in self.rows
+            ],
+            title=f"Figure 2 — load-testing vs datacenter ({self.feature.name})",
+        )
+
+
+def run(
+    context: ExperimentContext, feature: Feature = FEATURE_1_CACHE
+) -> Fig02Result:
+    """Reproduce Figure 2 for *feature* (the paper uses Feature 1)."""
+    shape = context.dataset.shape
+    rows = []
+    for job_name in HP_JOB_NAMES:
+        bench = load_test_job(shape, hp_job(job_name), feature)
+        truth = per_job_scenario_reductions(context.dataset, feature, job_name)
+        rows.append(
+            Fig02Row(
+                job_name=job_name,
+                loadtest_reduction_pct=bench.reduction_pct,
+                datacenter_reduction_pct=truth.mean_reduction_pct,
+                datacenter_std_pct=truth.std_reduction_pct,
+            )
+        )
+    return Fig02Result(feature=feature, rows=tuple(rows))

@@ -1,0 +1,145 @@
+"""Figure 3 — the co-location scenario landscape of the datacenter.
+
+(a) Machine occupancy across all scenarios, sorted by total occupancy:
+    step-like because jobs are fixed-size containers, with a wide HP/LP
+    mix spread.
+(b) Feature 1's per-scenario impact next to the HP jobs' LLC MPKI, sorted
+    by impact: the impact correlates with *no* single metric — the
+    motivation for systematic (PCA + clustering) behaviour extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.features import FEATURE_1_CACHE, Feature
+from ..reporting.tables import render_table
+from .context import ExperimentContext
+
+__all__ = ["Fig03aResult", "Fig03bResult", "run_occupancy", "run_impact_vs_mpki"]
+
+
+@dataclass(frozen=True)
+class Fig03aResult:
+    """Occupancy landscape (Figure 3a series, sorted by occupancy)."""
+
+    total_occupancy: np.ndarray
+    hp_occupancy: np.ndarray
+    lp_occupancy: np.ndarray
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.total_occupancy.shape[0]
+
+    @property
+    def distinct_levels(self) -> int:
+        """Distinct total-occupancy levels (the visible "steps")."""
+        return int(np.unique(np.round(self.total_occupancy, 6)).size)
+
+    def render(self, bins: int = 10) -> str:
+        """Histogram-style text summary of the occupancy distribution."""
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        counts, _ = np.histogram(self.total_occupancy, bins=edges)
+        rows = [
+            [f"{lo:.1f}-{hi:.1f}", int(count)]
+            for lo, hi, count in zip(edges[:-1], edges[1:], counts)
+        ]
+        return render_table(
+            ["occupancy", "scenarios"],
+            rows,
+            title="Figure 3a — machine occupancy distribution",
+        )
+
+
+@dataclass(frozen=True)
+class Fig03bResult:
+    """Per-scenario impact vs HP MPKI (Figure 3b, sorted by impact)."""
+
+    feature: Feature
+    reductions_pct: np.ndarray
+    hp_llc_mpki: np.ndarray
+
+    @property
+    def pearson_r(self) -> float:
+        """Correlation between impact and MPKI (the paper finds ~none)."""
+        if self.reductions_pct.std() == 0.0 or self.hp_llc_mpki.std() == 0.0:
+            return 0.0
+        return float(
+            np.corrcoef(self.reductions_pct, self.hp_llc_mpki)[0, 1]
+        )
+
+    def best_single_metric_r(
+        self, context: ExperimentContext
+    ) -> tuple[str, float]:
+        """The single raw metric most correlated with the impact.
+
+        Even the best metric explains the impact poorly; FLARE's point is
+        that no heuristic metric selection replaces systematic analysis.
+        """
+        profiled = context.flare.profiled
+        hp_rows = [
+            i
+            for i, s in enumerate(context.dataset.scenarios)
+            if s.hp_instances
+        ]
+        matrix = profiled.matrix[hp_rows]
+        best_name, best_r = "", 0.0
+        for col, name in enumerate(profiled.metric_names):
+            column = matrix[:, col]
+            if column.std() == 0.0:
+                continue
+            r = float(np.corrcoef(self.reductions_pct, column)[0, 1])
+            if abs(r) > abs(best_r):
+                best_name, best_r = name, r
+        return best_name, best_r
+
+    def render(self) -> str:
+        order = np.argsort(-self.reductions_pct)
+        picks = order[:: max(1, order.size // 12)]
+        rows = [
+            [int(i), float(self.reductions_pct[i]), float(self.hp_llc_mpki[i])]
+            for i in picks
+        ]
+        return render_table(
+            ["scenario", "MIPS reduction %", "HP LLC MPKI"],
+            rows,
+            title=(
+                f"Figure 3b — impact vs MPKI ({self.feature.name}), "
+                f"pearson r = {self.pearson_r:.2f}"
+            ),
+        )
+
+
+def run_occupancy(context: ExperimentContext) -> Fig03aResult:
+    """Reproduce Figure 3a from the recorded scenarios."""
+    shape = context.dataset.shape
+    totals, hps, lps = [], [], []
+    for scenario in context.dataset.scenarios:
+        totals.append(scenario.occupancy(shape))
+        hps.append(scenario.hp_vcpus / shape.vcpus)
+        lps.append(scenario.lp_vcpus / shape.vcpus)
+    order = np.argsort(totals, kind="stable")
+    return Fig03aResult(
+        total_occupancy=np.asarray(totals)[order],
+        hp_occupancy=np.asarray(hps)[order],
+        lp_occupancy=np.asarray(lps)[order],
+    )
+
+
+def run_impact_vs_mpki(
+    context: ExperimentContext, feature: Feature = FEATURE_1_CACHE
+) -> Fig03bResult:
+    """Reproduce Figure 3b: impact and HP MPKI per scenario."""
+    truth = context.truth(feature)
+    id_to_row = {
+        s.scenario_id: i for i, s in enumerate(context.dataset.scenarios)
+    }
+    mpki = context.flare.profiled.column("LLC-MPKI-HP")
+    rows = [id_to_row[sid] for sid in truth.scenario_ids]
+    return Fig03bResult(
+        feature=feature,
+        reductions_pct=truth.reductions_pct.copy(),
+        hp_llc_mpki=mpki[rows],
+    )

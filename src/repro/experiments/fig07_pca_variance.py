@@ -1,0 +1,69 @@
+"""Figure 7 — choosing the number of principal components.
+
+Plots (as data) the cumulative explained-variance ratio of the PCA over
+the refined metric matrix and reports the smallest PC count reaching the
+95 % target, which the paper selects (18 PCs in their datacenter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..reporting.tables import render_table
+from .context import ExperimentContext
+
+__all__ = ["Fig07Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    """Explained-variance curve and the selected PC count."""
+
+    explained_variance_ratio: np.ndarray
+    cumulative_ratio: np.ndarray
+    variance_target: float
+    selected_components: int
+
+    @property
+    def n_available(self) -> int:
+        return self.explained_variance_ratio.shape[0]
+
+    def components_for(self, target: float) -> int:
+        """PC count needed for an arbitrary variance target."""
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        reachable = min(target, float(self.cumulative_ratio[-1]))
+        return int(np.searchsorted(self.cumulative_ratio, reachable - 1e-12) + 1)
+
+    def render(self) -> str:
+        rows = [
+            [
+                pc + 1,
+                float(self.explained_variance_ratio[pc]) * 100.0,
+                float(self.cumulative_ratio[pc]) * 100.0,
+            ]
+            for pc in range(min(self.n_available, self.selected_components + 4))
+        ]
+        return render_table(
+            ["# PCs", "variance %", "cumulative %"],
+            rows,
+            title=(
+                f"Figure 7 — {self.selected_components} PCs explain "
+                f"{self.cumulative_ratio[self.selected_components - 1]:.1%} "
+                f"(target {self.variance_target:.0%})"
+            ),
+        )
+
+
+def run(context: ExperimentContext) -> Fig07Result:
+    """Reproduce Figure 7 from the fitted pipeline."""
+    analysis = context.flare.analysis
+    ratio = analysis.pca.explained_variance_ratio
+    return Fig07Result(
+        explained_variance_ratio=ratio.copy(),
+        cumulative_ratio=np.cumsum(ratio),
+        variance_target=context.flare.config.analyzer.variance_target,
+        selected_components=analysis.n_components,
+    )

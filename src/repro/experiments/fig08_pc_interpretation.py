@@ -1,0 +1,61 @@
+"""Figure 8 — interpreting the high-level metrics.
+
+For every retained PC, list the dominant raw metrics with their signs and
+the auto-generated interpretation label.  The paper highlights that both
+machine-scope and HP-scope counters contribute — a trait unique to
+two-level co-location profiling — which this experiment also verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.interpretation import ComponentInterpretation
+from ..telemetry.metrics import MetricLevel
+from .context import ExperimentContext
+
+__all__ = ["Fig08Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    """The labelled high-level metrics of the fitted pipeline."""
+
+    interpretations: tuple[ComponentInterpretation, ...]
+
+    @property
+    def n_components(self) -> int:
+        return len(self.interpretations)
+
+    def components_mixing_scopes(self) -> tuple[int, ...]:
+        """PCs whose dominant loadings span machine and HP scopes.
+
+        These are the paper's "interesting traits unique to co-location
+        environments" (e.g. PC10: HP memory-bound on a machine that is
+        not backend-bound overall).
+        """
+        mixed = []
+        for interp in self.interpretations:
+            levels = {
+                entry.spec.level
+                for entry in interp.top_loadings
+                if entry.spec.level is not None
+            }
+            if {MetricLevel.MACHINE, MetricLevel.HP} <= levels:
+                mixed.append(interp.index)
+        return tuple(mixed)
+
+    def render(self) -> str:
+        lines = ["Figure 8 — high-level metric interpretations"]
+        lines.extend(interp.describe() for interp in self.interpretations)
+        mixed = self.components_mixing_scopes()
+        lines.append(
+            f"{len(mixed)}/{self.n_components} PCs mix machine- and "
+            f"HP-scope metrics: {list(mixed)}"
+        )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext) -> Fig08Result:
+    """Reproduce Figure 8 from the fitted pipeline."""
+    return Fig08Result(interpretations=context.flare.interpretations)

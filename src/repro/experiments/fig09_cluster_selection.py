@@ -1,0 +1,106 @@
+"""Figure 9 — selecting the cluster count.
+
+Sweeps candidate k values, recording SSE (lower better) and silhouette
+score (higher better), and reports the SSE-knee suggestion.  The paper
+inspects this curve and picks 18 clusters as the quality/cost balance.
+
+As an extension, the Tibshirani gap statistic can be computed alongside
+(``run(..., with_gap=True)``) — a more principled criterion comparing the
+observed dispersion against a uniform reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.analyzer import Analyzer, AnalyzerConfig
+from ..reporting.tables import render_table
+from ..stats.comparison import GapResult, gap_statistic
+from ..stats.silhouette import ClusterQualitySweep, knee_point
+from .context import ExperimentContext
+
+__all__ = ["Fig09Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """The k-sweep data plus the knee suggestion and the chosen k."""
+
+    sweep: ClusterQualitySweep
+    knee_k: int
+    chosen_k: int
+    gap: GapResult | None = None
+
+    def sse_at(self, k: int) -> float:
+        idx = int(np.flatnonzero(self.sweep.cluster_counts == k)[0])
+        return float(self.sweep.sse[idx])
+
+    def silhouette_at(self, k: int) -> float:
+        idx = int(np.flatnonzero(self.sweep.cluster_counts == k)[0])
+        return float(self.sweep.silhouette[idx])
+
+    def render(self) -> str:
+        rows = [
+            [int(k), float(sse), float(sil)]
+            for k, sse, sil in self.sweep.as_rows()
+        ]
+        suffix = ""
+        if self.gap is not None:
+            suffix = f", gap-statistic suggests k={self.gap.suggested_k()}"
+        return render_table(
+            ["k", "SSE", "silhouette"],
+            rows,
+            title=(
+                f"Figure 9 — cluster quality sweep "
+                f"(knee at k={self.knee_k}, chosen k={self.chosen_k}"
+                f"{suffix})"
+            ),
+        )
+
+
+def run(
+    context: ExperimentContext,
+    cluster_counts: tuple[int, ...] | None = None,
+    *,
+    with_gap: bool = False,
+    gap_counts: tuple[int, ...] = (2, 6, 10, 14, 18, 24, 30),
+    gap_references: int = 5,
+) -> Fig09Result:
+    """Reproduce Figure 9, re-running the sweep when the fitted pipeline
+    skipped it (fixed-k configs)."""
+    analysis = context.flare.analysis
+    counts = (
+        cluster_counts
+        if cluster_counts is not None
+        else context.flare.config.analyzer.cluster_counts
+    )
+    sweep = analysis.sweep
+    if sweep is None or cluster_counts is not None:
+        sweep_config = AnalyzerConfig(
+            n_components=analysis.n_components,
+            cluster_counts=counts,
+            n_clusters=None,
+            kmeans_restarts=context.flare.config.analyzer.kmeans_restarts,
+            seed=context.flare.config.analyzer.seed,
+        )
+        sweep_analysis = Analyzer(sweep_config).analyze(context.flare.refined)
+        sweep = sweep_analysis.sweep
+        assert sweep is not None
+    knee = knee_point(sweep.cluster_counts.astype(float), sweep.sse)
+    gap = None
+    if with_gap:
+        gap = gap_statistic(
+            analysis.scores,
+            gap_counts,
+            n_references=gap_references,
+            seed=context.seed,
+            kmeans_restarts=2,
+        )
+    return Fig09Result(
+        sweep=sweep,
+        knee_k=int(sweep.cluster_counts[knee]),
+        chosen_k=analysis.n_clusters,
+        gap=gap,
+    )

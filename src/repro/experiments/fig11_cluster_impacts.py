@@ -1,0 +1,90 @@
+"""Figure 11 — per-cluster representative impact of each feature.
+
+Replays every group's representative scenario under Features 1–3 and
+reports the per-cluster MIPS reductions.  The paper's observation — groups
+respond differently to the same feature — is exposed as the spread of each
+feature's per-cluster series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.features import PAPER_FEATURES, Feature
+from ..reporting.tables import render_table
+from .context import ExperimentContext
+
+__all__ = ["Fig11Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Per-cluster reductions for each evaluated feature.
+
+    Attributes
+    ----------
+    features:
+        Features in column order.
+    cluster_ids:
+        Clusters in row order.
+    reductions_pct:
+        ``(n_clusters, n_features)``; NaN when a cluster hosts no HP job
+        under that feature (LP-only groups).
+    weights:
+        Cluster weights.
+    """
+
+    features: tuple[Feature, ...]
+    cluster_ids: tuple[int, ...]
+    reductions_pct: np.ndarray
+    weights: np.ndarray
+
+    def spread_of(self, feature_index: int) -> float:
+        """Max − min per-cluster reduction for one feature."""
+        col = self.reductions_pct[:, feature_index]
+        live = col[~np.isnan(col)]
+        return float(live.max() - live.min())
+
+    def most_impacted_cluster(self, feature_index: int) -> int:
+        col = self.reductions_pct[:, feature_index].copy()
+        col[np.isnan(col)] = -np.inf
+        return int(self.cluster_ids[int(np.argmax(col))])
+
+    def render(self) -> str:
+        headers = ["cluster", "weight %"] + [f.name for f in self.features]
+        rows = []
+        for i, cid in enumerate(self.cluster_ids):
+            row = [cid, float(self.weights[i]) * 100.0]
+            for j in range(len(self.features)):
+                value = self.reductions_pct[i, j]
+                row.append(float(value) if not np.isnan(value) else float("nan"))
+            rows.append(row)
+        return render_table(
+            headers, rows, title="Figure 11 — per-cluster feature impacts (%)"
+        )
+
+
+def run(
+    context: ExperimentContext,
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+) -> Fig11Result:
+    """Reproduce Figure 11 for *features*."""
+    flare = context.flare
+    cluster_ids = tuple(g.cluster_id for g in flare.representatives.groups)
+    weights = np.array([g.weight for g in flare.representatives.groups])
+
+    matrix = np.full((len(cluster_ids), len(features)), np.nan)
+    for j, feature in enumerate(features):
+        estimate = flare.evaluate(feature)
+        by_cluster = estimate.cluster_reductions()
+        for i, cid in enumerate(cluster_ids):
+            if cid in by_cluster:
+                matrix[i, j] = by_cluster[cid]
+    return Fig11Result(
+        features=tuple(features),
+        cluster_ids=cluster_ids,
+        reductions_pct=matrix,
+        weights=weights,
+    )

@@ -1,0 +1,120 @@
+"""Figure 13 — evaluation cost vs estimation fidelity.
+
+FLARE's cost is fixed (one replay per cluster).  Sampling improves with
+cost as ~1/√n, so the experiment sweeps sampling budgets expressed as
+multiples of FLARE's cost and reports the expected max estimation error
+(95 % confidence) at each, next to FLARE's actual error.  The paper's
+headline numbers fall out: sampling cannot match FLARE even at ~10× the
+cost, and FLARE evaluates 895 scenarios' worth of behaviour at 18
+scenarios' cost (≈ 50× reduction over full-datacenter evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.sampling import sampling_cost_curve
+from ..cluster.features import PAPER_FEATURES, Feature
+from ..reporting.tables import render_table
+from .context import ExperimentContext
+
+__all__ = ["Fig13Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Cost/accuracy curve data for one feature set.
+
+    Attributes
+    ----------
+    features:
+        Features the errors are aggregated over (worst case is reported,
+        matching the "expected max" framing).
+    cost_multipliers:
+        Sampling budgets as multiples of FLARE's cost.
+    sampling_expected_max_error_pct:
+        Expected max error (95 % CI half-width, worst feature) per budget.
+    flare_cost:
+        FLARE's evaluation cost in scenarios (= cluster count).
+    flare_max_error_pct:
+        FLARE's worst actual estimation error across *features*.
+    datacenter_cost:
+        Scenarios a full-datacenter evaluation must cover.
+    """
+
+    features: tuple[Feature, ...]
+    cost_multipliers: tuple[float, ...]
+    sampling_expected_max_error_pct: np.ndarray
+    flare_cost: int
+    flare_max_error_pct: float
+    datacenter_cost: int
+
+    @property
+    def cost_reduction_vs_datacenter(self) -> float:
+        """The paper's 50× headline: full cost over FLARE cost."""
+        return self.datacenter_cost / self.flare_cost
+
+    def sampling_multiplier_to_match_flare(self) -> float | None:
+        """Smallest swept budget at which sampling matches FLARE's error.
+
+        None when no swept budget reaches it (the paper's case at ≤ 10×).
+        """
+        for mult, err in zip(
+            self.cost_multipliers, self.sampling_expected_max_error_pct
+        ):
+            if err <= self.flare_max_error_pct:
+                return float(mult)
+        return None
+
+    def render(self) -> str:
+        rows = [
+            [float(mult), int(round(mult * self.flare_cost)), float(err)]
+            for mult, err in zip(
+                self.cost_multipliers, self.sampling_expected_max_error_pct
+            )
+        ]
+        table = render_table(
+            ["cost xFLARE", "scenarios", "expected max err %"],
+            rows,
+            title=(
+                "Figure 13 — sampling cost vs error "
+                f"(FLARE: cost {self.flare_cost}, "
+                f"max err {self.flare_max_error_pct:.2f}%, "
+                f"{self.cost_reduction_vs_datacenter:.0f}x cheaper than "
+                "full datacenter)"
+            ),
+        )
+        return table
+
+
+def run(
+    context: ExperimentContext,
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+    cost_multipliers: tuple[float, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+) -> Fig13Result:
+    """Reproduce Figure 13."""
+    flare_cost = context.n_clusters
+    worst_flare_error = 0.0
+    worst_curve = np.zeros(len(cost_multipliers))
+    for feature in features:
+        truth = context.truth(feature)
+        estimate = context.flare.evaluate(feature)
+        worst_flare_error = max(
+            worst_flare_error,
+            abs(estimate.reduction_pct - truth.overall_reduction_pct),
+        )
+        sizes = tuple(
+            max(1, int(round(mult * flare_cost))) for mult in cost_multipliers
+        )
+        curve = sampling_cost_curve(truth, sizes)
+        worst_curve = np.maximum(worst_curve, [err for _, err in curve])
+    return Fig13Result(
+        features=tuple(features),
+        cost_multipliers=tuple(float(m) for m in cost_multipliers),
+        sampling_expected_max_error_pct=worst_curve,
+        flare_cost=flare_cost,
+        flare_max_error_pct=worst_flare_error,
+        datacenter_cost=len(context.truth(features[0]).scenario_ids),
+    )

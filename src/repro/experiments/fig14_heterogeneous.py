@@ -1,0 +1,162 @@
+"""Figure 14 / §5.5 — handling a new machine shape.
+
+(a) Representatives do not transfer across shapes: many co-locations
+    recorded on the default machine (48 vCPUs) simply do not fit the
+    Small machine (32 vCPUs), and those that fit occupy it differently.
+(b) Deriving a *new* representative set on the Small-shape datacenter
+    restores accuracy: per-job Feature 2 estimates from FLARE-on-small
+    track the small-datacenter truth, while single-service load-testing
+    still deviates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.full_datacenter import per_job_scenario_reductions
+from ..baselines.loadtesting import load_test_job
+from ..cluster.features import FEATURE_2_DVFS, Feature
+from ..cluster.machine import SMALL_SHAPE, MachineShape
+from ..cluster.simulation import DatacenterConfig, run_simulation
+from ..core.analyzer import AnalyzerConfig
+from ..core.pipeline import Flare, FlareConfig
+from ..reporting.tables import render_table
+from ..workloads import HP_JOB_NAMES, hp_job
+from .context import ExperimentContext
+
+__all__ = ["Fig14aResult", "Fig14bRow", "Fig14bResult", "run_transfer", "run"]
+
+
+@dataclass(frozen=True)
+class Fig14aResult:
+    """How the default shape's scenarios map onto the Small shape."""
+
+    n_scenarios: int
+    n_infeasible: int
+    mean_occupancy_default: float
+    mean_occupancy_small_feasible: float
+
+    @property
+    def infeasible_fraction(self) -> float:
+        return self.n_infeasible / self.n_scenarios
+
+    def render(self) -> str:
+        return (
+            "Figure 14a — default-shape scenarios on the Small shape: "
+            f"{self.n_infeasible}/{self.n_scenarios} "
+            f"({self.infeasible_fraction:.0%}) do not fit; feasible ones "
+            f"shift from {self.mean_occupancy_default:.0%} to "
+            f"{self.mean_occupancy_small_feasible:.0%} mean occupancy"
+        )
+
+
+@dataclass(frozen=True)
+class Fig14bRow:
+    """One job's bars in Figure 14b."""
+
+    job_name: str
+    datacenter_pct: float
+    flare_pct: float
+    loadtest_pct: float
+
+    @property
+    def flare_error_pct(self) -> float:
+        return abs(self.flare_pct - self.datacenter_pct)
+
+    @property
+    def loadtest_error_pct(self) -> float:
+        return abs(self.loadtest_pct - self.datacenter_pct)
+
+
+@dataclass(frozen=True)
+class Fig14bResult:
+    """Per-job Feature 2 estimates on the Small shape."""
+
+    feature: Feature
+    shape: MachineShape
+    rows: tuple[Fig14bRow, ...]
+
+    def mean_flare_error(self) -> float:
+        return sum(r.flare_error_pct for r in self.rows) / len(self.rows)
+
+    def mean_loadtest_error(self) -> float:
+        return sum(r.loadtest_error_pct for r in self.rows) / len(self.rows)
+
+    def render(self) -> str:
+        return render_table(
+            ["job", "datacenter %", "FLARE %", "load-testing %"],
+            [
+                [r.job_name, r.datacenter_pct, r.flare_pct, r.loadtest_pct]
+                for r in self.rows
+            ],
+            title=(
+                f"Figure 14b — per-job {self.feature.name} on the "
+                f"{self.shape.name} shape"
+            ),
+        )
+
+
+def run_transfer(context: ExperimentContext) -> Fig14aResult:
+    """Reproduce Figure 14a: feasibility of default scenarios on Small."""
+    default_shape = context.dataset.shape
+    small = SMALL_SHAPE
+    infeasible = 0
+    occ_default, occ_small = [], []
+    for scenario in context.dataset.scenarios:
+        vcpus = scenario.total_vcpus
+        dram = sum(inst.signature.dram_gb for inst in scenario.instances)
+        occ_default.append(vcpus / default_shape.vcpus)
+        if vcpus > small.vcpus or dram > small.dram_gb:
+            infeasible += 1
+        else:
+            occ_small.append(vcpus / small.vcpus)
+    return Fig14aResult(
+        n_scenarios=len(context.dataset),
+        n_infeasible=infeasible,
+        mean_occupancy_default=sum(occ_default) / len(occ_default),
+        mean_occupancy_small_feasible=(
+            sum(occ_small) / len(occ_small) if occ_small else 0.0
+        ),
+    )
+
+
+def run(
+    context: ExperimentContext,
+    feature: Feature = FEATURE_2_DVFS,
+    *,
+    seed_offset: int = 17,
+) -> Fig14bResult:
+    """Reproduce Figure 14b: re-derive representatives on the Small shape.
+
+    Runs a fresh Small-shape datacenter (same user behaviour, new shape),
+    fits FLARE on it, and compares per-job estimates against the small
+    datacenter's truth and against load-testing.
+    """
+    target = {"paper": 895, "small": 160}.get(context.scale, 160)
+    n_clusters = context.n_clusters
+    config = DatacenterConfig(
+        shape=SMALL_SHAPE,
+        seed=context.seed + seed_offset,
+        target_unique_scenarios=target,
+    )
+    simulation = run_simulation(config)
+    flare = Flare(
+        FlareConfig(analyzer=AnalyzerConfig(n_clusters=n_clusters))
+    ).fit(simulation.dataset)
+
+    rows = []
+    for job_name in HP_JOB_NAMES:
+        truth = per_job_scenario_reductions(
+            simulation.dataset, feature, job_name
+        )
+        estimate = flare.evaluate_job(feature, job_name)
+        bench = load_test_job(SMALL_SHAPE, hp_job(job_name), feature)
+        rows.append(
+            Fig14bRow(
+                job_name=job_name,
+                datacenter_pct=truth.mean_reduction_pct,
+                flare_pct=estimate.reduction_pct,
+                loadtest_pct=bench.reduction_pct,
+            )
+        )
+    return Fig14bResult(feature=feature, shape=SMALL_SHAPE, rows=tuple(rows))

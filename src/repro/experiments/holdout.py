@@ -1,0 +1,138 @@
+"""Extension experiment: hold-out validation of the behaviour groups.
+
+FLARE's premise is that the clustering captures *behaviours*, not the
+particular scenarios that happened to be observed.  If true, a model
+fitted on half the scenarios must still estimate the impact on the other
+(never-seen) half accurately: classify the held-out scenarios into the
+fitted groups, reweight, and compare against the held-out truth.
+
+This is the strongest internal check of generalisation the dataset
+affords — a model that merely memorised its training scenarios would fail
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.full_datacenter import evaluate_full_datacenter
+from ..cluster.features import PAPER_FEATURES, Feature
+from ..cluster.scenario import Scenario, ScenarioDataset
+from ..core.analyzer import AnalyzerConfig
+from ..core.pipeline import Flare, FlareConfig
+from ..reporting.tables import render_table
+from .context import ExperimentContext
+
+__all__ = ["HoldoutRow", "HoldoutResult", "split_dataset", "run"]
+
+
+def split_dataset(
+    dataset: ScenarioDataset,
+) -> tuple[ScenarioDataset, ScenarioDataset]:
+    """Deterministic even/odd split into train and held-out halves.
+
+    Scenario ids are re-densified per half (the pipeline requires dense
+    ids), preserving original instances, durations and order.
+    """
+
+    def rebuild(scenarios: list[Scenario]) -> ScenarioDataset:
+        rebuilt = tuple(
+            Scenario(
+                scenario_id=index,
+                key=s.key,
+                instances=s.instances,
+                n_occurrences=s.n_occurrences,
+                total_duration_s=s.total_duration_s,
+            )
+            for index, s in enumerate(scenarios)
+        )
+        return ScenarioDataset(shape=dataset.shape, scenarios=rebuilt)
+
+    train = [s for s in dataset.scenarios if s.scenario_id % 2 == 0]
+    held = [s for s in dataset.scenarios if s.scenario_id % 2 == 1]
+    return rebuild(train), rebuild(held)
+
+
+@dataclass(frozen=True)
+class HoldoutRow:
+    """Generalisation numbers for one feature."""
+
+    feature: Feature
+    heldout_truth_pct: float
+    train_estimate_pct: float
+    reweighted_estimate_pct: float
+
+    @property
+    def train_error_pct(self) -> float:
+        """Error of the train-fitted model used as-is."""
+        return abs(self.train_estimate_pct - self.heldout_truth_pct)
+
+    @property
+    def reweighted_error_pct(self) -> float:
+        """Error after classifying + reweighting to the held-out half."""
+        return abs(self.reweighted_estimate_pct - self.heldout_truth_pct)
+
+
+@dataclass(frozen=True)
+class HoldoutResult:
+    """Hold-out validation across the paper features."""
+
+    n_train: int
+    n_heldout: int
+    rows: tuple[HoldoutRow, ...]
+
+    def max_reweighted_error(self) -> float:
+        return max(r.reweighted_error_pct for r in self.rows)
+
+    def render(self) -> str:
+        return render_table(
+            ["feature", "held-out truth %", "train-model %",
+             "reweighted %", "reweighted err"],
+            [
+                [
+                    r.feature.name,
+                    r.heldout_truth_pct,
+                    r.train_estimate_pct,
+                    r.reweighted_estimate_pct,
+                    r.reweighted_error_pct,
+                ]
+                for r in self.rows
+            ],
+            title=(
+                "Hold-out validation "
+                f"(train {self.n_train}, held-out {self.n_heldout} scenarios)"
+            ),
+        )
+
+
+def run(
+    context: ExperimentContext,
+    features: tuple[Feature, ...] = PAPER_FEATURES,
+) -> HoldoutResult:
+    """Fit on half the scenarios, estimate the never-seen half."""
+    train, held = split_dataset(context.dataset)
+    flare = Flare(
+        FlareConfig(
+            analyzer=AnalyzerConfig(
+                n_clusters=min(context.n_clusters, max(2, len(train) // 4))
+            )
+        )
+    ).fit(train)
+    adapted = flare.reweight_by_classification(held)
+
+    rows = []
+    for feature in features:
+        truth = evaluate_full_datacenter(held, feature)
+        rows.append(
+            HoldoutRow(
+                feature=feature,
+                heldout_truth_pct=truth.overall_reduction_pct,
+                train_estimate_pct=flare.evaluate(feature).reduction_pct,
+                reweighted_estimate_pct=adapted.evaluate(
+                    feature
+                ).reduction_pct,
+            )
+        )
+    return HoldoutResult(
+        n_train=len(train), n_heldout=len(held), rows=tuple(rows)
+    )

@@ -1,0 +1,133 @@
+"""§5.6 — handling datacenter scheduler changes.
+
+A new scheduler does not invent unseen machine behaviours; it shifts which
+co-locations occur and how often.  FLARE therefore restarts from step 3:
+the new scheduler's scenarios are *classified* into the existing behaviour
+groups (through the fitted standardise → PCA → whiten → nearest-centroid
+path), group weights are recomputed from the new population's observation
+times, and the already-selected representatives are replayed as before —
+no new metric collection, no new clustering.
+
+The experiment runs the same user behaviour under an alternative scheduler
+(best-fit packing, which concentrates load instead of spreading it), and
+checks that the reweighted estimate tracks the new datacenter truth better
+than the stale (old-weights) estimate does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.full_datacenter import evaluate_full_datacenter
+from ..cluster.features import FEATURE_2_DVFS, Feature
+from ..cluster.scheduler import BestFitPackingScheduler, Scheduler
+from ..cluster.simulation import DatacenterConfig, run_simulation
+from ..reporting.tables import render_table
+from .context import ExperimentContext
+
+__all__ = ["Sec56Result", "run"]
+
+
+@dataclass(frozen=True)
+class Sec56Result:
+    """Scheduler-change evaluation for one feature.
+
+    Attributes
+    ----------
+    feature:
+        The feature evaluated under the new scheduler.
+    scheduler_name:
+        The new scheduler.
+    exact_key_coverage:
+        Fraction of the new scheduler's observation time spent in
+        co-locations whose exact job mix was already profiled — typically
+        tiny, which is why reweighting classifies behaviours instead of
+        matching keys.
+    new_truth_pct:
+        Full-datacenter truth over the new scheduler's scenarios.
+    stale_estimate_pct:
+        FLARE estimate still using the old scheduler's group weights.
+    reweighted_estimate_pct:
+        FLARE estimate after classification-based reweighting (steps 3–4
+        only; no re-profiling of representatives).
+    """
+
+    feature: Feature
+    scheduler_name: str
+    exact_key_coverage: float
+    new_truth_pct: float
+    stale_estimate_pct: float
+    reweighted_estimate_pct: float
+
+    @property
+    def stale_error_pct(self) -> float:
+        return abs(self.stale_estimate_pct - self.new_truth_pct)
+
+    @property
+    def reweighted_error_pct(self) -> float:
+        return abs(self.reweighted_estimate_pct - self.new_truth_pct)
+
+    @property
+    def improved(self) -> bool:
+        """Did reweighting move the estimate toward the new truth?"""
+        return self.reweighted_error_pct <= self.stale_error_pct
+
+    def render(self) -> str:
+        return render_table(
+            ["quantity", "value"],
+            [
+                ["scheduler", self.scheduler_name],
+                ["exact-key coverage", f"{self.exact_key_coverage:.1%}"],
+                ["new datacenter truth %", self.new_truth_pct],
+                ["stale FLARE estimate %", self.stale_estimate_pct],
+                ["reweighted FLARE estimate %", self.reweighted_estimate_pct],
+                ["stale error", self.stale_error_pct],
+                ["reweighted error", self.reweighted_error_pct],
+            ],
+            title=f"§5.6 — scheduler change ({self.feature.name})",
+        )
+
+
+def run(
+    context: ExperimentContext,
+    feature: Feature = FEATURE_2_DVFS,
+    *,
+    scheduler: Scheduler | None = None,
+) -> Sec56Result:
+    """Reproduce the §5.6 scheduler-change flow."""
+    new_scheduler = scheduler if scheduler is not None else (
+        BestFitPackingScheduler()
+    )
+    config = DatacenterConfig(
+        shape=context.dataset.shape,
+        seed=context.seed,
+        target_unique_scenarios=context.simulation.config.target_unique_scenarios,
+        max_days=context.simulation.config.max_days,
+        submission=context.simulation.config.submission,
+    )
+    new_run = run_simulation(config, scheduler=new_scheduler)
+
+    known_keys = {s.key for s in context.dataset.scenarios}
+    total_time = sum(s.total_duration_s for s in new_run.dataset.scenarios)
+    covered_time = sum(
+        s.total_duration_s
+        for s in new_run.dataset.scenarios
+        if s.key in known_keys
+    )
+    coverage = covered_time / total_time if total_time > 0 else 0.0
+
+    stale = context.flare.evaluate(feature)
+    reweighted_flare = context.flare.reweight_by_classification(
+        new_run.dataset
+    )
+    reweighted = reweighted_flare.evaluate(feature)
+    truth = evaluate_full_datacenter(new_run.dataset, feature)
+
+    return Sec56Result(
+        feature=feature,
+        scheduler_name=new_scheduler.name,
+        exact_key_coverage=coverage,
+        new_truth_pct=truth.overall_reduction_pct,
+        stale_estimate_pct=stale.reduction_pct,
+        reweighted_estimate_pct=reweighted.reduction_pct,
+    )

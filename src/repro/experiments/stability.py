@@ -1,0 +1,159 @@
+"""Extension experiment: stability of the behaviour groups.
+
+FLARE's groups must reflect structure in the datacenter's behaviour, not
+artefacts of the k-means seed or of measurement noise.  This experiment
+quantifies both with the adjusted Rand index (ARI):
+
+* **seed stability** — recluster the same whitened scores under different
+  k-means seeds and compare partitions;
+* **noise stability** — re-profile the same scenarios under a different
+  measurement-noise draw, rerun the full analysis, and compare;
+* **estimate stability** — the spread of the all-job estimate across the
+  perturbed models (the number a deployment decision actually consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.features import FEATURE_2_DVFS, Feature
+from ..core.analyzer import Analyzer
+from ..core.estimation import estimate_all_job_impact
+from ..core.pipeline import FlareConfig
+from ..core.refinement import refine
+from ..core.representatives import extract_representatives
+from ..reporting.tables import render_table
+from ..stats.comparison import adjusted_rand_index
+from ..stats.kmeans import KMeans
+from ..telemetry.profiler import Profiler
+from .context import ExperimentContext
+
+__all__ = ["StabilityResult", "run"]
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Stability metrics for one fitted pipeline.
+
+    Attributes
+    ----------
+    seed_ari:
+        Pairwise ARI of clusterings under different k-means seeds.
+    noise_ari:
+        ARI between the fitted clustering and one from an independent
+        measurement-noise draw.
+    estimate_spread_pct:
+        Max − min all-job estimate (for *feature*) across all perturbed
+        models, including the original.
+    feature:
+        The feature used for estimate stability.
+    """
+
+    seed_ari: tuple[float, ...]
+    noise_ari: float
+    estimate_spread_pct: float
+    feature: Feature
+
+    @property
+    def min_seed_ari(self) -> float:
+        return min(self.seed_ari)
+
+    def render(self) -> str:
+        rows = [
+            ["min seed ARI", self.min_seed_ari],
+            ["mean seed ARI", sum(self.seed_ari) / len(self.seed_ari)],
+            ["noise ARI", self.noise_ari],
+            [
+                f"estimate spread ({self.feature.name})",
+                self.estimate_spread_pct,
+            ],
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title="Clustering stability (ARI; 1.0 = identical partitions)",
+        )
+
+
+def run(
+    context: ExperimentContext,
+    feature: Feature = FEATURE_2_DVFS,
+    *,
+    n_seeds: int = 4,
+) -> StabilityResult:
+    """Measure seed / noise / estimate stability of the fitted model."""
+    if n_seeds < 2:
+        raise ValueError("n_seeds must be >= 2")
+    flare = context.flare
+    analysis = flare.analysis
+    scores = analysis.scores
+    k = analysis.n_clusters
+    truth_free_estimates = [flare.evaluate(feature).reduction_pct]
+
+    # --- seed stability -------------------------------------------------
+    labelings = [analysis.labels]
+    for seed in range(1, n_seeds):
+        result = KMeans(
+            k, n_init=flare.config.analyzer.kmeans_restarts,
+            seed=np.random.default_rng(1000 + seed),
+        ).fit(scores)
+        labelings.append(result.labels)
+        weights = result.cluster_weights(
+            sample_weight=context.dataset.weights()
+        )
+        perturbed = _replace_kmeans(analysis, result, weights)
+        reps = extract_representatives(perturbed, context.dataset)
+        truth_free_estimates.append(
+            estimate_all_job_impact(
+                reps, flare.replayer, feature
+            ).reduction_pct
+        )
+    seed_ari = tuple(
+        adjusted_rand_index(labelings[0], other) for other in labelings[1:]
+    )
+
+    # --- noise stability ------------------------------------------------
+    noisy_config = FlareConfig(
+        refinement_threshold=flare.config.refinement_threshold,
+        analyzer=flare.config.analyzer,
+        noise_sigma=flare.config.noise_sigma,
+        profiler_seed=flare.config.profiler_seed + 10_000,
+    )
+    profiled = Profiler(
+        noise_sigma=noisy_config.noise_sigma, seed=noisy_config.profiler_seed
+    ).profile(context.dataset)
+    refined = refine(profiled, threshold=noisy_config.refinement_threshold)
+    reanalysed = Analyzer(noisy_config.analyzer).analyze(refined)
+    noise_ari = adjusted_rand_index(analysis.labels, reanalysed.labels)
+    reps = extract_representatives(reanalysed, context.dataset)
+    truth_free_estimates.append(
+        estimate_all_job_impact(reps, flare.replayer, feature).reduction_pct
+    )
+
+    return StabilityResult(
+        seed_ari=seed_ari,
+        noise_ari=float(noise_ari),
+        estimate_spread_pct=float(
+            max(truth_free_estimates) - min(truth_free_estimates)
+        ),
+        feature=feature,
+    )
+
+
+def _replace_kmeans(analysis, kmeans, cluster_weights):
+    from ..core.analyzer import AnalysisResult
+
+    return AnalysisResult(
+        refined=analysis.refined,
+        scaler=analysis.scaler,
+        pca=analysis.pca,
+        n_components=analysis.n_components,
+        scores=analysis.scores,
+        score_mean=analysis.score_mean,
+        score_std=analysis.score_std,
+        sweep=None,
+        kmeans=kmeans,
+        cluster_weights=cluster_weights,
+    )

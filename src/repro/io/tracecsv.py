@@ -1,0 +1,112 @@
+"""CSV import/export in a cluster-trace-like format.
+
+Interoperability with the tabular formats datacenter teams actually have
+(the Google cluster-trace family the paper cites): lifecycle events as a
+flat CSV, and collected metric samples as long-format CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable
+
+from ..cluster.machine import MachineShape
+from ..cluster.scenario import ScenarioDataset
+from ..cluster.trace import TraceEvent, TraceEventType, dataset_from_trace
+from ..perfmodel.signatures import JobSignature
+from ..telemetry.profiler import ProfiledDataset
+
+__all__ = [
+    "write_trace_csv",
+    "read_trace_csv",
+    "dataset_from_trace_csv",
+    "export_samples_csv",
+]
+
+_TRACE_HEADER = ("time_s", "machine_id", "container_id", "event", "job", "load")
+
+
+def write_trace_csv(events: Iterable[TraceEvent], path) -> int:
+    """Write lifecycle *events* as CSV; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TRACE_HEADER)
+        for event in events:
+            writer.writerow(
+                (
+                    f"{event.time_s:.6f}",
+                    event.machine_id,
+                    event.container_id,
+                    event.event.value,
+                    event.job,
+                    f"{event.load:.6f}",
+                )
+            )
+            count += 1
+    return count
+
+
+def read_trace_csv(path) -> list[TraceEvent]:
+    """Read lifecycle events from CSV (schema of :func:`write_trace_csv`)."""
+    events = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_TRACE_HEADER) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"trace CSV missing columns: {sorted(missing)}")
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                events.append(
+                    TraceEvent(
+                        time_s=float(row["time_s"]),
+                        machine_id=int(row["machine_id"]),
+                        container_id=row["container_id"],
+                        event=TraceEventType(row["event"]),
+                        job=row["job"],
+                        load=float(row["load"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"bad trace row at line {line_no}: {exc}"
+                ) from exc
+    return events
+
+
+def dataset_from_trace_csv(
+    path,
+    shape: MachineShape,
+    *,
+    catalogue: dict[str, JobSignature] | None = None,
+    end_time_s: float | None = None,
+    strict: bool = True,
+) -> ScenarioDataset:
+    """One-call ingestion: trace CSV → :class:`ScenarioDataset`."""
+    return dataset_from_trace(
+        read_trace_csv(path),
+        shape,
+        catalogue=catalogue,
+        end_time_s=end_time_s,
+        strict=strict,
+    )
+
+
+def export_samples_csv(profiled: ProfiledDataset, path) -> int:
+    """Export collected metrics as long-format CSV
+    (scenario_id, metric, value); returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("scenario_id", "metric", "value"))
+        for row_index, scenario in enumerate(profiled.dataset.scenarios):
+            for col, name in enumerate(profiled.metric_names):
+                writer.writerow(
+                    (
+                        scenario.scenario_id,
+                        name,
+                        f"{profiled.matrix[row_index, col]:.9g}",
+                    )
+                )
+                count += 1
+    return count

@@ -1,0 +1,346 @@
+"""Fixed-point shared-resource contention solver.
+
+Given a machine and the set of job instances co-located on it, this module
+computes every instance's steady-state performance under contention for:
+
+* **LLC capacity** — proportional-to-access-rate partitioning, with each
+  job's miss ratio read off its hyperbolic miss-ratio curve (Feature 1 acts
+  here by shrinking the capacity being shared);
+* **DRAM bandwidth** — total miss traffic inflates memory latency through a
+  queueing-style congestion term;
+* **Physical cores / SMT** — busy hardware threads beyond the physical core
+  count share core throughput at ``smt_speedup`` (SMT on) or strict
+  time-slicing (SMT off — Feature 3);
+* **DVFS frequency** — core-side CPI components are in cycles while memory
+  stalls are in nanoseconds, so frequency changes (Feature 2) shift the
+  balance exactly as leading-loads DVFS models predict.
+
+The solver iterates cache shares → miss rates → bandwidth congestion →
+CPI → instruction rates to a damped fixed point.  Everything downstream of
+the simulator (Profiler counters, FLARE clustering, replay) consumes only
+its outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .cpistack import CPIStack
+from .machine import MachinePerf
+from .signatures import JobSignature, Priority
+
+__all__ = [
+    "RunningInstance",
+    "InstancePerformance",
+    "ColocationPerformance",
+    "solve_colocation",
+    "solve_colocation_cached",
+    "inherent_performance",
+]
+
+_BRANCH_PENALTY_CYCLES = 15.0
+_L2_BLOCKING = 0.30
+_LLC_HIT_BLOCKING = 0.40
+_CACHE_LINE_BYTES = 64.0
+_BW_CONGESTION_GAIN = 1.6
+_BW_UTIL_CAP = 0.95
+_MAX_ITERATIONS = 60
+_RELATIVE_TOLERANCE = 1e-7
+_DAMPING = 0.35
+
+
+@dataclass(frozen=True)
+class RunningInstance:
+    """One container scheduled on the machine.
+
+    Attributes
+    ----------
+    signature:
+        The job's resource signature.
+    load:
+        User-demand level in ``(0, 1]`` fixed at submission time; scales
+        thread busy-time (and therefore all throughput-derived traffic).
+    """
+
+    signature: JobSignature
+    load: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+
+    @property
+    def busy_threads(self) -> float:
+        """Hardware threads this instance keeps busy on average."""
+        return self.signature.vcpus * self.signature.active_fraction * self.load
+
+
+@dataclass(frozen=True)
+class InstancePerformance:
+    """Steady-state performance of one instance under co-location."""
+
+    job_name: str
+    priority: Priority
+    mips: float
+    ipc: float
+    cpi_stack: CPIStack
+    busy_threads: float
+    cache_share_mb: float
+    llc_miss_ratio: float
+    llc_mpki: float
+    dram_gbps: float
+    network_gbps: float
+    disk_mbps: float
+    frequency_ghz: float
+
+    @property
+    def is_high_priority(self) -> bool:
+        return self.priority is Priority.HIGH
+
+
+@dataclass(frozen=True)
+class ColocationPerformance:
+    """Machine-wide solution for one co-location scenario."""
+
+    machine: MachinePerf
+    instances: tuple[InstancePerformance, ...]
+    cpu_utilization: float
+    mem_bw_utilization: float
+    mem_latency_ns: float
+    converged: bool
+    iterations: int
+
+    @property
+    def total_mips(self) -> float:
+        return sum(inst.mips for inst in self.instances)
+
+    @property
+    def hp_mips(self) -> float:
+        return sum(i.mips for i in self.instances if i.is_high_priority)
+
+    def per_job_mips(self) -> dict[str, float]:
+        """Total MIPS by job name (summing multiple instances)."""
+        totals: dict[str, float] = {}
+        for inst in self.instances:
+            totals[inst.job_name] = totals.get(inst.job_name, 0.0) + inst.mips
+        return totals
+
+
+def solve_colocation(
+    machine: MachinePerf,
+    instances: list[RunningInstance] | tuple[RunningInstance, ...],
+) -> ColocationPerformance:
+    """Solve the contention fixed point for *instances* on *machine*."""
+    if not instances:
+        return ColocationPerformance(
+            machine=machine,
+            instances=(),
+            cpu_utilization=0.0,
+            mem_bw_utilization=0.0,
+            mem_latency_ns=machine.mem_latency_ns,
+            converged=True,
+            iterations=0,
+        )
+
+    n = len(instances)
+    busy = np.array([inst.busy_threads for inst in instances])
+    total_busy = float(busy.sum())
+    freq = machine.effective_frequency_ghz(total_busy)
+    core_factor = _core_throughput_factor(machine, total_busy)
+
+    sigs = [inst.signature for inst in instances]
+    llc_apki = np.array([s.llc_apki for s in sigs])
+
+    # Initial guess: equal cache shares, unloaded memory latency.
+    inst_rate = np.full(n, 1e9)
+    mem_latency = machine.mem_latency_ns
+    shares = np.full(n, machine.llc_mb / n)
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, _MAX_ITERATIONS + 1):
+        # --- LLC partitioning: proportional to access rate -------------
+        access_rate = inst_rate * llc_apki / 1000.0
+        total_access = access_rate.sum()
+        if total_access > 0.0:
+            target_shares = machine.llc_mb * access_rate / total_access
+        else:
+            target_shares = np.full(n, machine.llc_mb / n)
+        shares = _DAMPING * shares + (1.0 - _DAMPING) * target_shares
+
+        miss_ratio = np.array(
+            [s.mrc.miss_ratio(share) for s, share in zip(sigs, shares)]
+        )
+        mpki = llc_apki * miss_ratio
+
+        # --- DRAM bandwidth congestion ----------------------------------
+        bytes_per_instr = (
+            mpki
+            / 1000.0
+            * _CACHE_LINE_BYTES
+            * (1.0 + np.array([s.write_fraction for s in sigs]))
+        )
+        traffic_gbps = inst_rate * bytes_per_instr / 1e9
+        util = min(float(traffic_gbps.sum()) / machine.mem_bw_gbps, _BW_UTIL_CAP)
+        mem_latency = machine.mem_latency_ns * (
+            1.0 + _BW_CONGESTION_GAIN * util * util / (1.0 - util)
+        )
+
+        # --- CPI stacks and instruction rates ---------------------------
+        new_rate = np.empty(n)
+        for i, sig in enumerate(sigs):
+            stack = _build_stack(
+                machine, sig, freq, miss_ratio[i], mem_latency, core_factor
+            )
+            new_rate[i] = busy[i] * freq * 1e9 / stack.total
+
+        if np.allclose(new_rate, inst_rate, rtol=_RELATIVE_TOLERANCE, atol=1.0):
+            inst_rate = new_rate
+            converged = True
+            break
+        inst_rate = _DAMPING * inst_rate + (1.0 - _DAMPING) * new_rate
+
+    # Final consistent pass with the converged rates.
+    access_rate = inst_rate * llc_apki / 1000.0
+    total_access = access_rate.sum()
+    if total_access > 0.0:
+        shares = machine.llc_mb * access_rate / total_access
+    miss_ratio = np.array(
+        [s.mrc.miss_ratio(share) for s, share in zip(sigs, shares)]
+    )
+    mpki = llc_apki * miss_ratio
+    bytes_per_instr = (
+        mpki
+        / 1000.0
+        * _CACHE_LINE_BYTES
+        * (1.0 + np.array([s.write_fraction for s in sigs]))
+    )
+    traffic_gbps = inst_rate * bytes_per_instr / 1e9
+    raw_util = float(traffic_gbps.sum()) / machine.mem_bw_gbps
+    util = min(raw_util, _BW_UTIL_CAP)
+    mem_latency = machine.mem_latency_ns * (
+        1.0 + _BW_CONGESTION_GAIN * util * util / (1.0 - util)
+    )
+
+    results = []
+    for i, (inst, sig) in enumerate(zip(instances, sigs)):
+        stack = _build_stack(
+            machine, sig, freq, miss_ratio[i], mem_latency, core_factor
+        )
+        rate = busy[i] * freq * 1e9 / stack.total
+        results.append(
+            InstancePerformance(
+                job_name=sig.name,
+                priority=sig.priority,
+                mips=rate / 1e6,
+                ipc=1.0 / stack.total,
+                cpi_stack=stack,
+                busy_threads=float(busy[i]),
+                cache_share_mb=float(shares[i]),
+                llc_miss_ratio=float(miss_ratio[i]),
+                llc_mpki=float(mpki[i]),
+                dram_gbps=float(rate * bytes_per_instr[i] / 1e9),
+                network_gbps=float(rate * sig.network_bytes_per_instr * 8.0 / 1e9),
+                disk_mbps=float(rate * sig.disk_bytes_per_instr / 1e6),
+                frequency_ghz=freq,
+            )
+        )
+
+    return ColocationPerformance(
+        machine=machine,
+        instances=tuple(results),
+        cpu_utilization=min(total_busy / machine.hardware_threads, 1.0),
+        mem_bw_utilization=raw_util,
+        mem_latency_ns=mem_latency,
+        converged=converged,
+        iterations=iterations,
+    )
+
+
+@lru_cache(maxsize=65536)
+def solve_colocation_cached(
+    machine: MachinePerf,
+    instances: tuple[RunningInstance, ...],
+) -> ColocationPerformance:
+    """Memoised :func:`solve_colocation` for repeated scenario evaluation.
+
+    FLARE, the baselines and the Profiler all solve the same (machine,
+    scenario) pairs; every argument is a frozen dataclass, so caching on
+    identity-by-value is safe.  Pass instances as a tuple.
+    """
+    return solve_colocation(machine, instances)
+
+
+def inherent_performance(
+    machine: MachinePerf, signature: JobSignature
+) -> InstancePerformance:
+    """Performance of one instance running *alone* on an empty machine.
+
+    The paper normalises each job's in-datacenter MIPS by this "inherent
+    MIPS" so jobs with naturally high instruction rates do not dominate the
+    summary metric (§5.1).
+    """
+    solution = solve_colocation(machine, [RunningInstance(signature, load=1.0)])
+    return solution.instances[0]
+
+
+def _core_throughput_factor(machine: MachinePerf, total_busy: float) -> float:
+    """Per-thread throughput factor from core sharing.
+
+    With ``t`` average busy threads per core (t ∈ [0, 2]), aggregate core
+    throughput ramps linearly from 1.0 at t=1 to ``smt_speedup`` at t=2
+    (or stays at 1.0 without SMT).  Each thread receives ``agg(t)/t``.
+    """
+    cores = machine.physical_cores
+    if total_busy <= cores or total_busy <= 0.0:
+        return 1.0
+    threads_per_core = min(total_busy / cores, 2.0)
+    aggregate_speedup = machine.smt_speedup if machine.smt_enabled else 1.0
+    aggregate = 1.0 + (aggregate_speedup - 1.0) * (threads_per_core - 1.0)
+    return aggregate / threads_per_core
+
+
+def _build_stack(
+    machine: MachinePerf,
+    sig: JobSignature,
+    freq_ghz: float,
+    llc_miss_ratio: float,
+    mem_latency_ns: float,
+    core_factor: float,
+) -> CPIStack:
+    """Assemble the CPI stack for one instance at the current state."""
+    branch = sig.branch_mpki / 1000.0 * _BRANCH_PENALTY_CYCLES
+    l2_stall = sig.l2_apki / 1000.0 * _L2_BLOCKING * machine.l2_hit_cycles
+    llc_hits_pki = sig.llc_apki * (1.0 - llc_miss_ratio)
+    llc_hit_stall = (
+        llc_hits_pki / 1000.0 * _LLC_HIT_BLOCKING * machine.llc_hit_cycles
+    )
+    dram_stall = (
+        sig.llc_apki
+        * llc_miss_ratio
+        / 1000.0
+        * mem_latency_ns
+        * freq_ghz
+        * sig.mem_blocking_factor
+    )
+    # Core sharing penalises cycles that need the pipeline (issue slots,
+    # fetch bandwidth, on-core caches).  DRAM stall cycles overlap with the
+    # co-resident thread, so memory-bound jobs are naturally SMT-friendly.
+    core_side_cpi = (
+        sig.base_cpi + sig.frontend_cpi + branch + l2_stall + llc_hit_stall
+    )
+    smt_penalty = (
+        core_side_cpi * (1.0 / core_factor - 1.0) if core_factor < 1.0 else 0.0
+    )
+    return CPIStack(
+        base=sig.base_cpi,
+        frontend=sig.frontend_cpi,
+        branch=branch,
+        l2=l2_stall,
+        llc_hit=llc_hit_stall,
+        dram=dram_stall,
+        smt=smt_penalty,
+    )

@@ -1,0 +1,106 @@
+"""CPI-stack decomposition and its mapping onto topdown categories.
+
+The contention solver produces, for every job instance, a breakdown of
+cycles-per-instruction into additive components.  The Profiler then derives
+Intel-topdown-style high-level counters (retiring / frontend-bound /
+bad-speculation / backend-bound, with backend split into core- and
+memory-bound) from the same stack, exactly the counter families the paper
+collects (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CPIStack", "TopdownBreakdown"]
+
+
+@dataclass(frozen=True)
+class CPIStack:
+    """Additive cycles-per-instruction components for one instance.
+
+    Attributes
+    ----------
+    base:
+        Issue/dependency-limited cycles (useful work).
+    frontend:
+        Fetch/decode starvation cycles.
+    branch:
+        Misprediction recovery cycles.
+    l2 / llc_hit:
+        Stalls on L2 and LLC hits.
+    dram:
+        Stalls on LLC misses serviced by (possibly congested) DRAM.
+    smt:
+        Cycles lost to sharing a physical core with a co-resident thread.
+    """
+
+    base: float
+    frontend: float
+    branch: float
+    l2: float
+    llc_hit: float
+    dram: float
+    smt: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("base", "frontend", "branch", "l2", "llc_hit", "dram", "smt"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"CPI component {name} must be non-negative")
+        if self.base <= 0.0:
+            raise ValueError("base CPI must be positive")
+
+    @property
+    def total(self) -> float:
+        """Total cycles per instruction."""
+        return (
+            self.base
+            + self.frontend
+            + self.branch
+            + self.l2
+            + self.llc_hit
+            + self.dram
+            + self.smt
+        )
+
+    @property
+    def memory(self) -> float:
+        """Memory-subsystem stall cycles (L2 + LLC + DRAM)."""
+        return self.l2 + self.llc_hit + self.dram
+
+    def topdown(self) -> "TopdownBreakdown":
+        """Map the stack onto topdown slot fractions (sums to 1)."""
+        total = self.total
+        return TopdownBreakdown(
+            retiring=self.base / total,
+            frontend_bound=self.frontend / total,
+            bad_speculation=self.branch / total,
+            backend_bound=(self.memory + self.smt) / total,
+            memory_bound=self.memory / total,
+            core_bound=self.smt / total,
+        )
+
+
+@dataclass(frozen=True)
+class TopdownBreakdown:
+    """Topdown level-1 (+ the backend level-2 split) slot fractions."""
+
+    retiring: float
+    frontend_bound: float
+    bad_speculation: float
+    backend_bound: float
+    memory_bound: float
+    core_bound: float
+
+    def __post_init__(self) -> None:
+        level1 = (
+            self.retiring
+            + self.frontend_bound
+            + self.bad_speculation
+            + self.backend_bound
+        )
+        if abs(level1 - 1.0) > 1e-6:
+            raise ValueError(f"level-1 topdown slots must sum to 1, got {level1}")
+        split = self.memory_bound + self.core_bound
+        if abs(split - self.backend_bound) > 1e-6:
+            raise ValueError("memory_bound + core_bound must equal backend_bound")

@@ -1,0 +1,119 @@
+"""Request-latency model for interactive services.
+
+The paper summarises performance as normalised MIPS but stresses that
+FLARE "is not bound to any specific performance metric" (§5.1) — tail
+latency being the obvious alternative for latency-critical services.
+This module derives per-instance request latency from the contention
+solution with a standard M/M/1-per-worker approximation:
+
+* the *service time* of a request inflates with the job's CPI relative to
+  running alone (interference slows every instruction down);
+* the *wait time* follows 1/(1-ρ) queueing growth, where the effective
+  utilisation is the offered demand times the service-time inflation —
+  an interfered-with server saturates earlier;
+* the p99 uses the exponential sojourn-time quantile, ``W · ln(100)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from .contention import InstancePerformance
+
+__all__ = ["LatencyEstimate", "instance_latency", "DEFAULT_SERVICE_TIME_MS"]
+
+#: Uncontended mean service time per request (ms), by job code.  Values
+#: follow the service classes of the CloudSuite benchmarks: memcached
+#: sub-millisecond, search/serving a few ms, streaming chunk delivery
+#: larger.  Jobs not listed fall back to 2 ms.
+DEFAULT_SERVICE_TIME_MS: dict[str, float] = {
+    "DC": 0.3,
+    "WSC": 4.0,
+    "WSV": 3.0,
+    "DS": 5.0,
+    "MS": 8.0,
+    "DA": 50.0,
+    "GA": 50.0,
+    "IA": 40.0,
+}
+
+_FALLBACK_SERVICE_TIME_MS = 2.0
+_MAX_UTILISATION = 0.99
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Mean and tail request latency of one service instance."""
+
+    job_name: str
+    service_time_ms: float
+    utilisation: float
+    mean_ms: float
+    p99_ms: float
+
+    @property
+    def queueing_factor(self) -> float:
+        """Mean sojourn over uncontended service time."""
+        return self.mean_ms / self.service_time_ms
+
+
+def instance_latency(
+    perf: InstancePerformance,
+    inherent: InstancePerformance,
+    load: float,
+    *,
+    service_time_ms: float | None = None,
+) -> LatencyEstimate:
+    """Request latency of an instance under its current co-location.
+
+    Parameters
+    ----------
+    perf:
+        The instance's solved performance in the co-location.
+    inherent:
+        The same instance solved alone on an empty machine (the
+        normaliser the MIPS metric also uses).
+    load:
+        The instance's demand level: offered utilisation per worker
+        before interference.
+    service_time_ms:
+        Uncontended mean service time; defaults to the job's entry in
+        :data:`DEFAULT_SERVICE_TIME_MS`.
+    """
+    if not 0.0 < load <= 1.0:
+        raise ValueError("load must be in (0, 1]")
+    if perf.job_name != inherent.job_name:
+        raise ValueError(
+            f"performance is for {perf.job_name!r} but inherent is for "
+            f"{inherent.job_name!r}"
+        )
+    base = (
+        service_time_ms
+        if service_time_ms is not None
+        else DEFAULT_SERVICE_TIME_MS.get(
+            perf.job_name, _FALLBACK_SERVICE_TIME_MS
+        )
+    )
+    if base <= 0.0:
+        raise ValueError("service_time_ms must be positive")
+
+    # Interference slows every instruction: service-time inflation is the
+    # ratio of uncontended to contended per-thread instruction rate.
+    inflation = (
+        inherent.ipc * inherent.frequency_ghz
+    ) / (perf.ipc * perf.frequency_ghz)
+    inflation = max(inflation, 1.0)
+    service = base * inflation
+
+    utilisation = min(load * inflation, _MAX_UTILISATION)
+    mean = service / (1.0 - utilisation)
+    p99 = mean * math.log(100.0)
+    return LatencyEstimate(
+        job_name=perf.job_name,
+        service_time_ms=base,
+        utilisation=utilisation,
+        mean_ms=mean,
+        p99_ms=p99,
+    )

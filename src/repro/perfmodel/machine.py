@@ -1,0 +1,122 @@
+"""Physical machine performance parameters.
+
+These are the knobs the paper's three features turn (Table 4): LLC
+capacity (Feature 1, via Intel CAT), the DVFS frequency ceiling
+(Feature 2) and SMT/Hyper-Threading (Feature 3) — all without changing the
+machine's *shape* (schedulable vCPUs, DRAM) that the scheduler sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachinePerf"]
+
+
+@dataclass(frozen=True)
+class MachinePerf:
+    """Performance-relevant hardware description of one server.
+
+    Attributes
+    ----------
+    physical_cores:
+        Total physical cores across sockets (24 for the default E5-2650 v4
+        pair at 12 cores/socket, exposing 48 hardware threads with SMT).
+    smt_enabled:
+        Whether two hardware threads share each core.  Disabling SMT does
+        not change the schedulable vCPU count (shape is preserved); it
+        changes how oversubscribed threads share core throughput.
+    smt_speedup:
+        Aggregate throughput of two SMT threads on one core relative to a
+        single thread (typ. ~1.25).  With SMT off, co-resident threads
+        strictly time-slice (aggregate 1.0).
+    min_freq_ghz / max_freq_ghz:
+        DVFS range.
+    governor:
+        Frequency-selection policy: ``"performance"`` pins busy cores at
+        ``max_freq_ghz``; ``"ondemand"`` scales the clock linearly with
+        core utilisation between the range endpoints — the classic
+        power-saving policy whose datacenter cost FLARE can quantify.
+    llc_mb:
+        Total last-level cache across sockets (2 × 30 MB default; Feature 1
+        restricts it to 2 × 12 MB via way masking).
+    mem_bw_gbps:
+        Peak DRAM bandwidth (4 channels DDR4-2400 per socket; ~92 GB/s
+        achievable streaming bandwidth across two sockets).
+    mem_latency_ns:
+        Unloaded DRAM access latency.
+    l2_hit_cycles / llc_hit_cycles:
+        Access latencies of the mid-level caches, in core cycles.
+    network_gbps / disk_mbps:
+        I/O ceilings feeding the utilisation counters.
+    """
+
+    physical_cores: int = 24
+    governor: str = "performance"
+    smt_enabled: bool = True
+    smt_speedup: float = 1.25
+    min_freq_ghz: float = 1.2
+    max_freq_ghz: float = 2.9
+    llc_mb: float = 60.0
+    mem_bw_gbps: float = 92.0
+    mem_latency_ns: float = 85.0
+    l2_hit_cycles: float = 12.0
+    llc_hit_cycles: float = 40.0
+    network_gbps: float = 10.0
+    disk_mbps: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.physical_cores < 1:
+            raise ValueError("physical_cores must be >= 1")
+        if self.governor not in ("performance", "ondemand"):
+            raise ValueError(
+                f"unknown governor {self.governor!r}; expected "
+                "'performance' or 'ondemand'"
+            )
+        if not 1.0 <= self.smt_speedup <= 2.0:
+            raise ValueError("smt_speedup must be in [1, 2]")
+        if self.min_freq_ghz <= 0.0 or self.max_freq_ghz < self.min_freq_ghz:
+            raise ValueError("frequency range is invalid")
+        for attr in (
+            "llc_mb",
+            "mem_bw_gbps",
+            "mem_latency_ns",
+            "l2_hit_cycles",
+            "llc_hit_cycles",
+            "network_gbps",
+            "disk_mbps",
+        ):
+            if getattr(self, attr) <= 0.0:
+                raise ValueError(f"{attr} must be positive")
+
+    @property
+    def hardware_threads(self) -> int:
+        """Schedulable hardware threads (vCPUs) this machine exposes."""
+        return self.physical_cores * 2
+
+    def with_llc_mb(self, llc_mb: float) -> "MachinePerf":
+        """Copy with a different usable LLC capacity (Feature 1)."""
+        return replace(self, llc_mb=llc_mb)
+
+    def with_max_freq_ghz(self, max_freq_ghz: float) -> "MachinePerf":
+        """Copy with a different DVFS ceiling (Feature 2)."""
+        return replace(self, max_freq_ghz=max_freq_ghz)
+
+    def with_smt(self, enabled: bool) -> "MachinePerf":
+        """Copy with SMT toggled (Feature 3)."""
+        return replace(self, smt_enabled=enabled)
+
+    def with_governor(self, governor: str) -> "MachinePerf":
+        """Copy with a different DVFS governor policy."""
+        return replace(self, governor=governor)
+
+    def effective_frequency_ghz(self, busy_threads: float) -> float:
+        """Clock the governor selects at the given machine activity."""
+        if self.governor == "performance":
+            return self.max_freq_ghz
+        utilisation = min(
+            max(busy_threads, 0.0) / self.physical_cores, 1.0
+        )
+        return self.min_freq_ghz + utilisation * (
+            self.max_freq_ghz - self.min_freq_ghz
+        )

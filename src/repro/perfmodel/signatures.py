@@ -1,0 +1,148 @@
+"""Job resource signatures: the microarchitectural personality of a job.
+
+The paper runs real CloudSuite / SPEC CPU2006 binaries; those are not
+available here, so each job is described by a *signature* — inherent CPI
+components, cache behaviour, bandwidth appetite and I/O rates per instance.
+The contention model (:mod:`repro.perfmodel.contention`) combines the
+signatures of co-located instances into per-job performance, which is all
+the FLARE pipeline ever observes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from .mrc import MissRatioCurve
+
+__all__ = ["Priority", "JobSignature"]
+
+
+class Priority(enum.Enum):
+    """Job scheduling priority (paper §3.1).
+
+    High-priority (HP) jobs are the services whose performance the
+    datacenter manages; low-priority (LP) batch jobs run on free quota and
+    their throughput is ignored when summarising feature impact.
+    """
+
+    HIGH = "HP"
+    LOW = "LP"
+
+
+@dataclass(frozen=True)
+class JobSignature:
+    """Per-instance resource and performance profile of a job.
+
+    All rates are per retired instruction unless noted.  An *instance* is
+    one container: ``vcpus`` hardware threads plus ``dram_gb`` of memory
+    (the paper fixes instances at 4 vCPUs, Table 3).
+
+    Attributes
+    ----------
+    name:
+        Short job code (``DA``, ``DC`` … for HP; SPEC names for LP).
+    description:
+        Human-readable description (benchmark + configuration, Table 3).
+    priority:
+        HP or LP.
+    vcpus / dram_gb:
+        Container resource request, used by the scheduler (no overcommit).
+    base_cpi:
+        Cycles per instruction with perfect caches and no stalls
+        (issue-width / dependency limited; lower = more ILP).
+    frontend_cpi:
+        Frontend (fetch/decode) stall cycles per instruction — large
+        instruction footprints (scale-out services) have high values.
+    branch_mpki:
+        Branch mispredictions per kilo-instruction.
+    l1d_apki / l2_apki / llc_apki:
+        Accesses per kilo-instruction reaching each cache level.
+    l1i_apki:
+        Instruction-cache accesses per kilo-instruction (frontend traffic).
+    mrc:
+        LLC miss-ratio curve of the instance.
+    mem_blocking_factor:
+        Fraction of LLC-miss latency that actually stalls retirement
+        (1/MLP); latency-sensitive pointer chasing ≈ 0.8, streaming ≈ 0.2.
+    write_fraction:
+        Fraction of LLC misses that also produce a writeback.
+    active_fraction:
+        Fraction of allocated vCPU time the instance keeps its threads
+        busy at nominal load (servers waiting on requests sit below 1.0).
+    network_bytes_per_instr / disk_bytes_per_instr:
+        I/O appetite, feeding the network/disk counters of the Profiler.
+    spin_fraction:
+        Fraction of retired instructions that are spin/polling filler and
+        carry no useful work.  Kept small: the paper notes its jobs are
+        tuned to minimise spinning so MIPS tracks application throughput.
+    """
+
+    name: str
+    description: str
+    priority: Priority
+    vcpus: int
+    dram_gb: float
+    base_cpi: float
+    frontend_cpi: float
+    branch_mpki: float
+    l1i_apki: float
+    l1d_apki: float
+    l2_apki: float
+    llc_apki: float
+    mrc: MissRatioCurve
+    mem_blocking_factor: float
+    write_fraction: float = 0.3
+    active_fraction: float = 0.9
+    network_bytes_per_instr: float = 0.0
+    disk_bytes_per_instr: float = 0.0
+    spin_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        if self.dram_gb <= 0.0:
+            raise ValueError("dram_gb must be positive")
+        for attr in ("base_cpi", "frontend_cpi"):
+            if getattr(self, attr) < 0.0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.base_cpi <= 0.0:
+            raise ValueError("base_cpi must be positive")
+        for attr in (
+            "branch_mpki",
+            "l1i_apki",
+            "l1d_apki",
+            "l2_apki",
+            "llc_apki",
+            "network_bytes_per_instr",
+            "disk_bytes_per_instr",
+        ):
+            if getattr(self, attr) < 0.0:
+                raise ValueError(f"{attr} must be non-negative")
+        if not 0.0 < self.mem_blocking_factor <= 1.0:
+            raise ValueError("mem_blocking_factor must be in (0, 1]")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 < self.active_fraction <= 1.0:
+            raise ValueError("active_fraction must be in (0, 1]")
+        if not 0.0 <= self.spin_fraction < 1.0:
+            raise ValueError("spin_fraction must be in [0, 1)")
+
+    @property
+    def is_high_priority(self) -> bool:
+        return self.priority is Priority.HIGH
+
+    def scaled_load(self, load: float) -> "JobSignature":
+        """Signature at a user-demand *load* in ``(0, 1]``.
+
+        Load scales thread busy-time and I/O appetite; the per-instruction
+        cache behaviour is intrinsic to the code and does not change.
+        """
+        if not 0.0 < load <= 1.0:
+            raise ValueError("load must be in (0, 1]")
+        return replace(
+            self,
+            active_fraction=self.active_fraction * load,
+            network_bytes_per_instr=self.network_bytes_per_instr,
+            disk_bytes_per_instr=self.disk_bytes_per_instr,
+        )

@@ -1,0 +1,14 @@
+"""Plain-text reporting: ASCII tables and cluster radar profiles."""
+
+from .jsonable import to_jsonable
+from .radar import render_cluster_profile, render_radar_report, signed_bar
+from .tables import format_value, render_table
+
+__all__ = [
+    "render_table",
+    "format_value",
+    "signed_bar",
+    "render_cluster_profile",
+    "render_radar_report",
+    "to_jsonable",
+]

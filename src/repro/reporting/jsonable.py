@@ -1,0 +1,58 @@
+"""Converting result objects into JSON-serialisable structures.
+
+Experiment results are nested frozen dataclasses holding numpy arrays,
+enums and (for features) callables.  :func:`to_jsonable` flattens them
+into plain dict/list/scalar structures so the benchmark harness can write
+machine-readable artefacts next to the rendered text tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable"]
+
+_MAX_DEPTH = 24
+
+
+def to_jsonable(obj: Any, *, _depth: int = 0) -> Any:
+    """Recursively convert *obj* into JSON-compatible primitives.
+
+    Handles dataclasses, numpy arrays/scalars, enums, mappings and
+    sequences.  Callables (e.g. a Feature's ``apply``) are dropped from
+    dataclass output; unknown leaf objects fall back to ``repr``.
+    """
+    if _depth > _MAX_DEPTH:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if np.isfinite(obj) else repr(obj)
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, np.generic):
+        return to_jsonable(obj.item(), _depth=_depth + 1)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v, _depth=_depth + 1) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {}
+        for field in dataclasses.fields(obj):
+            value = getattr(obj, field.name)
+            if callable(value) and not dataclasses.is_dataclass(value):
+                continue
+            out[field.name] = to_jsonable(value, _depth=_depth + 1)
+        return out
+    if isinstance(obj, dict):
+        return {
+            str(to_jsonable(k, _depth=_depth + 1)): to_jsonable(
+                v, _depth=_depth + 1
+            )
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v, _depth=_depth + 1) for v in obj]
+    return repr(obj)

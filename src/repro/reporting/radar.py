@@ -1,0 +1,91 @@
+"""Text rendering of cluster "radar plots" (paper Figure 10).
+
+Each cluster centre lives in whitened PC space (zero mean, unit variance
+over the dataset), so a signed bar per PC conveys the same information the
+paper's radar plots do: which high-level metrics a group sits high or low
+on relative to the datacenter average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["signed_bar", "render_cluster_profile", "render_radar_report"]
+
+_BAR_WIDTH = 10
+
+
+def signed_bar(value: float, *, scale: float = 2.0, width: int = _BAR_WIDTH) -> str:
+    """Render *value* as a signed bar centred on '|'.
+
+    ``scale`` is the value mapped to a full half-width (±2σ by default).
+
+    Examples
+    --------
+    >>> signed_bar(2.0)
+    '          |##########'
+    >>> signed_bar(-1.0)
+    '     #####|          '
+    """
+    if scale <= 0.0:
+        raise ValueError("scale must be positive")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    magnitude = min(abs(value) / scale, 1.0)
+    filled = round(magnitude * width)
+    if value >= 0:
+        return " " * width + "|" + "#" * filled + " " * (width - filled)
+    return " " * (width - filled) + "#" * filled + "|" + " " * width
+
+
+def render_cluster_profile(
+    cluster_id: int,
+    weight: float,
+    centroid: np.ndarray,
+    spread: np.ndarray | None = None,
+) -> str:
+    """Multi-line profile of one cluster: a signed bar per PC.
+
+    Parameters
+    ----------
+    centroid:
+        Cluster centre in whitened PC space.
+    spread:
+        Optional per-PC standard deviation of the cluster's members,
+        appended as ``±x.xx`` (the shaded region of Figure 10).
+    """
+    centre = np.asarray(centroid, dtype=np.float64)
+    if spread is not None:
+        spread_arr = np.asarray(spread, dtype=np.float64)
+        if spread_arr.shape != centre.shape:
+            raise ValueError("spread must match centroid shape")
+    lines = [f"Cluster {cluster_id} (weight {weight:.1%})"]
+    for pc, value in enumerate(centre):
+        suffix = (
+            f"  ±{spread[pc]:.2f}" if spread is not None else ""
+        )
+        lines.append(f"  PC{pc:<3d} {signed_bar(float(value))} {value:+.2f}{suffix}")
+    return "\n".join(lines)
+
+
+def render_radar_report(
+    centroids: np.ndarray,
+    weights: np.ndarray,
+    spreads: np.ndarray | None = None,
+) -> str:
+    """Render every cluster's profile (the full Figure 10 report)."""
+    centres = np.asarray(centroids, dtype=np.float64)
+    weight_arr = np.asarray(weights, dtype=np.float64)
+    if centres.ndim != 2:
+        raise ValueError("centroids must be 2-D")
+    if weight_arr.shape != (centres.shape[0],):
+        raise ValueError("weights must have one entry per cluster")
+    blocks = []
+    for cid in range(centres.shape[0]):
+        spread = spreads[cid] if spreads is not None else None
+        blocks.append(
+            render_cluster_profile(
+                cid, float(weight_arr[cid]), centres[cid], spread
+            )
+        )
+    return "\n\n".join(blocks)

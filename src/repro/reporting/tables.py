@@ -1,0 +1,85 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; this module renders them as aligned ASCII tables so EXPERIMENTS.md
+and console output stay readable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: Any, *, precision: int = 2) -> str:
+    """Format one cell: floats to fixed precision, others via str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned.
+
+    Examples
+    --------
+    >>> print(render_table(["job", "impact"], [["GA", 12.5]]))
+    job | impact
+    ----+-------
+    GA  |  12.50
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+
+    rendered = [
+        [format_value(cell, precision=precision) for cell in row]
+        for row in rows
+    ]
+    numeric = [
+        all(
+            isinstance(row[col], (int, float)) and not isinstance(row[col], bool)
+            for row in rows
+        )
+        if rows
+        else False
+        for col in range(len(headers))
+    ]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered))
+        if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if numeric[col]:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Distance kernels shared by clustering and silhouette scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .validation import as_matrix
+
+__all__ = ["pairwise_sq_euclidean", "pairwise_euclidean", "nearest_indices"]
+
+
+def pairwise_sq_euclidean(a, b) -> np.ndarray:
+    """Squared Euclidean distances between rows of *a* and rows of *b*.
+
+    Uses the expansion ``|x-y|^2 = |x|^2 - 2 x.y + |y|^2`` for an
+    O(n·m·d) BLAS-backed computation, clamping tiny negatives produced by
+    floating-point cancellation back to zero.
+    """
+    mat_a = as_matrix(a, name="a")
+    mat_b = as_matrix(b, name="b")
+    if mat_a.shape[1] != mat_b.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: a has {mat_a.shape[1]} columns, "
+            f"b has {mat_b.shape[1]}"
+        )
+    sq_a = np.einsum("ij,ij->i", mat_a, mat_a)[:, None]
+    sq_b = np.einsum("ij,ij->i", mat_b, mat_b)[None, :]
+    dist = sq_a - 2.0 * (mat_a @ mat_b.T) + sq_b
+    np.maximum(dist, 0.0, out=dist)
+    return dist
+
+
+def pairwise_euclidean(a, b) -> np.ndarray:
+    """Euclidean distances between rows of *a* and rows of *b*."""
+    return np.sqrt(pairwise_sq_euclidean(a, b))
+
+
+def nearest_indices(points, targets) -> np.ndarray:
+    """For each row of *targets*, index of the nearest row in *points*.
+
+    Used to pick representative scenarios: the scenario closest to each
+    cluster centroid (paper §4.4).
+    """
+    dist = pairwise_sq_euclidean(points, targets)
+    return np.argmin(dist, axis=0)

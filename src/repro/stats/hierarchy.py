@@ -1,0 +1,159 @@
+"""Agglomerative (hierarchical) clustering.
+
+The paper uses K-means but notes that "alternatives (e.g., hierarchical
+clustering of [74, 80]) can also be applied" (§4.4) — those citations are
+the SPEC-characterisation studies that cluster workloads agglomeratively.
+This module provides average/complete/single-linkage agglomerative
+clustering with the same (labels, centroids) surface as
+:class:`repro.stats.KMeans`, so the Analyzer can swap it in for ablation.
+
+Implemented with the classic O(n²)-memory distance-matrix algorithm using
+Lance–Williams updates — fine for the few-thousand-scenario scale FLARE
+operates at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import pairwise_euclidean
+from .validation import as_matrix
+
+__all__ = ["AgglomerativeClustering", "AgglomerativeResult"]
+
+_LINKAGES = ("average", "complete", "single")
+
+
+@dataclass(frozen=True)
+class AgglomerativeResult:
+    """Outcome of one agglomerative clustering run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per input row (0 … n_clusters-1, relabelled densely).
+    centroids:
+        Mean point of each cluster — provided for API parity with
+        K-means (used for representative selection).
+    merge_heights:
+        Linkage distance at each of the ``n - n_clusters`` merges
+        performed, in merge order (monotone for complete/average linkage).
+    linkage:
+        Linkage criterion used.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    merge_heights: tuple[float, ...]
+    linkage: str
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+    @property
+    def inertia(self) -> float:
+        """Sum of squared distances to assigned centroids (for SSE
+        comparison against K-means)."""
+        # centroids are ordered by cluster id
+        return float(
+            sum(
+                ((point - self.centroids[label]) ** 2).sum()
+                for point, label in zip(self._points, self.labels)
+            )
+        )
+
+    # _points is attached post-construction (not part of equality).
+    @property
+    def _points(self) -> np.ndarray:
+        return object.__getattribute__(self, "_points_array")
+
+
+class AgglomerativeClustering:
+    """Bottom-up clustering by repeated nearest-pair merging.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to stop at.
+    linkage:
+        ``"average"`` (UPGMA), ``"complete"`` (max) or ``"single"`` (min).
+    """
+
+    def __init__(self, n_clusters: int, *, linkage: str = "average") -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if linkage not in _LINKAGES:
+            raise ValueError(
+                f"unknown linkage {linkage!r}; expected one of {_LINKAGES}"
+            )
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+
+    def fit(self, data) -> AgglomerativeResult:
+        """Cluster *data* ``(n_samples, n_features)``."""
+        matrix = as_matrix(data, name="data")
+        n = matrix.shape[0]
+        if self.n_clusters > n:
+            raise ValueError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n}"
+            )
+
+        dist = pairwise_euclidean(matrix, matrix)
+        np.fill_diagonal(dist, np.inf)
+        active = np.ones(n, dtype=bool)
+        sizes = np.ones(n)
+        # member lists per active cluster slot
+        members: list[list[int]] = [[i] for i in range(n)]
+        heights: list[float] = []
+
+        for _ in range(n - self.n_clusters):
+            # Find the closest active pair.
+            masked = np.where(
+                active[:, None] & active[None, :], dist, np.inf
+            )
+            flat = int(np.argmin(masked))
+            a, b = divmod(flat, n)
+            if a > b:
+                a, b = b, a
+            heights.append(float(masked[a, b]))
+
+            # Lance-Williams update of distances to the merged cluster a.
+            d_a, d_b = dist[a], dist[b]
+            if self.linkage == "single":
+                merged = np.minimum(d_a, d_b)
+            elif self.linkage == "complete":
+                merged = np.maximum(d_a, d_b)
+            else:  # average
+                merged = (sizes[a] * d_a + sizes[b] * d_b) / (
+                    sizes[a] + sizes[b]
+                )
+            dist[a, :] = merged
+            dist[:, a] = merged
+            dist[a, a] = np.inf
+            active[b] = False
+            sizes[a] += sizes[b]
+            members[a].extend(members[b])
+            members[b] = []
+
+        labels = np.empty(n, dtype=np.intp)
+        centroids = []
+        cluster_id = 0
+        for slot in range(n):
+            if not active[slot]:
+                continue
+            for idx in members[slot]:
+                labels[idx] = cluster_id
+            centroids.append(matrix[members[slot]].mean(axis=0))
+            cluster_id += 1
+
+        result = AgglomerativeResult(
+            labels=labels,
+            centroids=np.asarray(centroids),
+            merge_heights=tuple(heights),
+            linkage=self.linkage,
+        )
+        object.__setattr__(result, "_points_array", matrix)
+        return result

@@ -1,0 +1,250 @@
+"""K-means clustering (k-means++ initialisation + Lloyd iterations).
+
+FLARE groups job co-location scenarios in whitened PC space with K-means
+(paper §4.4).  This implementation supports:
+
+* k-means++ seeding (D² sampling) for robust initialisation,
+* multiple random restarts, keeping the lowest-inertia solution,
+* sample weights, so scenarios can be weighted by how often they occur,
+* empty-cluster repair (an empty cluster is re-seeded on the point
+  farthest from its assigned centroid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import pairwise_sq_euclidean
+from .validation import as_matrix, check_random_state
+
+__all__ = ["KMeans", "KMeansResult", "kmeans_plus_plus_init"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one K-means fit.
+
+    Attributes
+    ----------
+    centroids:
+        ``(n_clusters, n_features)`` cluster centres.
+    labels:
+        Cluster index assigned to each input row.
+    inertia:
+        Sum of squared distances from each point to its centroid — the
+        paper's SSE quality metric (Figure 9).
+    n_iter:
+        Lloyd iterations executed by the winning restart.
+    converged:
+        Whether assignments stabilised before ``max_iter``.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+    converged: bool
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.n_clusters)
+
+    def cluster_weights(self, sample_weight=None) -> np.ndarray:
+        """Fraction of (weighted) points per cluster.
+
+        These are the weights FLARE uses when averaging representative
+        impacts (§4.5): the probability of observing a scenario from each
+        group.
+        """
+        if sample_weight is None:
+            counts = self.cluster_sizes().astype(np.float64)
+        else:
+            weight = np.asarray(sample_weight, dtype=np.float64)
+            counts = np.bincount(
+                self.labels, weights=weight, minlength=self.n_clusters
+            )
+        total = counts.sum()
+        if total <= 0.0:
+            raise ValueError("total sample weight must be positive")
+        return counts / total
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    sample_weight: np.ndarray | None = None,
+) -> np.ndarray:
+    """Select initial centroids by D² weighted sampling (k-means++)."""
+    n_samples = data.shape[0]
+    weight = (
+        np.ones(n_samples)
+        if sample_weight is None
+        else np.asarray(sample_weight, dtype=np.float64)
+    )
+    prob = weight / weight.sum()
+    centroids = np.empty((n_clusters, data.shape[1]), dtype=np.float64)
+
+    first = rng.choice(n_samples, p=prob)
+    centroids[0] = data[first]
+    closest_sq = pairwise_sq_euclidean(data, centroids[:1]).ravel()
+
+    for k in range(1, n_clusters):
+        scores = closest_sq * weight
+        total = scores.sum()
+        if total <= 0.0:
+            # All remaining mass sits on already-chosen points (fewer
+            # distinct points than clusters); fall back to uniform draw.
+            idx = rng.choice(n_samples, p=prob)
+        else:
+            idx = rng.choice(n_samples, p=scores / total)
+        centroids[k] = data[idx]
+        new_sq = pairwise_sq_euclidean(data, centroids[k : k + 1]).ravel()
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centroids
+
+
+class KMeans:
+    """Lloyd's K-means with k-means++ restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters *k*.
+    n_init:
+        Independent restarts; the lowest-inertia run wins.
+    max_iter:
+        Iteration cap per restart.
+    tol:
+        Convergence threshold on total centroid movement (squared).
+    seed:
+        Integer seed or :class:`numpy.random.Generator` for determinism.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-8,
+        seed=None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.result_: KMeansResult | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data, sample_weight=None) -> KMeansResult:
+        """Cluster *data*; returns (and stores) the best restart."""
+        matrix = as_matrix(data, name="data")
+        n_samples = matrix.shape[0]
+        if self.n_clusters > n_samples:
+            raise ValueError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n_samples}"
+            )
+        weight = None
+        if sample_weight is not None:
+            weight = np.asarray(sample_weight, dtype=np.float64)
+            if weight.shape != (n_samples,):
+                raise ValueError("sample_weight must have one entry per row")
+            if (weight < 0).any() or weight.sum() <= 0:
+                raise ValueError("sample_weight must be non-negative, sum > 0")
+
+        rng = check_random_state(self.seed)
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            candidate = self._single_run(matrix, weight, rng)
+            if best is None or candidate.inertia < best.inertia:
+                best = candidate
+        assert best is not None
+        self.result_ = best
+        return best
+
+    def predict(self, data) -> np.ndarray:
+        """Assign each row of *data* to the nearest fitted centroid."""
+        if self.result_ is None:
+            raise RuntimeError("KMeans must be fitted before predict")
+        matrix = as_matrix(data, name="data")
+        dist = pairwise_sq_euclidean(matrix, self.result_.centroids)
+        return np.argmin(dist, axis=1)
+
+    # ------------------------------------------------------------------
+    def _single_run(
+        self,
+        data: np.ndarray,
+        weight: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> KMeansResult:
+        centroids = kmeans_plus_plus_init(data, self.n_clusters, rng, weight)
+        eff_weight = np.ones(data.shape[0]) if weight is None else weight
+        labels = np.full(data.shape[0], -1, dtype=np.intp)
+        converged = False
+        n_iter = 0
+
+        for n_iter in range(1, self.max_iter + 1):
+            dist = pairwise_sq_euclidean(data, centroids)
+            new_labels = np.argmin(dist, axis=1)
+            new_centroids = _update_centroids(
+                data, new_labels, eff_weight, centroids, dist, self.n_clusters
+            )
+            shift = float(((new_centroids - centroids) ** 2).sum())
+            stable = bool((new_labels == labels).all())
+            centroids, labels = new_centroids, new_labels
+            if stable or shift <= self.tol:
+                converged = True
+                break
+
+        final_dist = pairwise_sq_euclidean(data, centroids)
+        labels = np.argmin(final_dist, axis=1)
+        point_sq = final_dist[np.arange(data.shape[0]), labels]
+        inertia = float((point_sq * eff_weight).sum())
+        return KMeansResult(
+            centroids=centroids,
+            labels=labels,
+            inertia=inertia,
+            n_iter=n_iter,
+            converged=converged,
+        )
+
+
+def _update_centroids(
+    data: np.ndarray,
+    labels: np.ndarray,
+    weight: np.ndarray,
+    old_centroids: np.ndarray,
+    dist: np.ndarray,
+    n_clusters: int,
+) -> np.ndarray:
+    """Weighted centroid update with empty-cluster repair."""
+    centroids = old_centroids.copy()
+    mass = np.bincount(labels, weights=weight, minlength=n_clusters)
+    for dim in range(data.shape[1]):
+        sums = np.bincount(
+            labels, weights=weight * data[:, dim], minlength=n_clusters
+        )
+        live = mass > 0
+        centroids[live, dim] = sums[live] / mass[live]
+
+    empty = np.flatnonzero(mass == 0)
+    if empty.size:
+        # Re-seed each empty cluster on the point currently farthest from
+        # its assigned centroid — a standard repair that keeps k constant.
+        point_sq = dist[np.arange(data.shape[0]), labels]
+        order = np.argsort(point_sq)[::-1]
+        for slot, cluster in enumerate(empty):
+            centroids[cluster] = data[order[slot % order.size]]
+    return centroids

@@ -1,0 +1,180 @@
+"""Principal Component Analysis via singular value decomposition.
+
+FLARE constructs its high-level metrics (the paper's Figure 8) as principal
+components of the standardised raw-metric matrix.  PCA is chosen over
+non-linear reducers for interpretability: every PC is a *linear* combination
+of raw counters, so its loadings can be read off and labelled
+("CPU-intensive + frontend-bandwidth-bound + ALU-heavy", §4.3).
+
+Implemented from scratch on :func:`numpy.linalg.svd`; no sklearn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .validation import as_matrix
+
+__all__ = ["PCA", "PCAResult", "components_for_variance"]
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """Immutable summary of a fitted PCA decomposition.
+
+    Attributes
+    ----------
+    components:
+        Array of shape ``(n_components, n_features)``; row *i* holds the
+        loadings of PC *i* on the original features.
+    explained_variance:
+        Variance of the data along each PC (descending).
+    explained_variance_ratio:
+        ``explained_variance`` normalised to sum to 1 over *all* possible
+        components (not just the retained ones).
+    mean:
+        Per-feature mean removed before decomposition.
+    singular_values:
+        Singular values corresponding to the retained components.
+    """
+
+    components: np.ndarray
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+    singular_values: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[0]
+
+    def cumulative_variance_ratio(self) -> np.ndarray:
+        """Cumulative explained-variance ratio over the retained PCs."""
+        return np.cumsum(self.explained_variance_ratio)
+
+
+class PCA:
+    """PCA estimator with an sklearn-like fit/transform surface.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep.  ``None`` keeps
+        ``min(n_samples, n_features)`` components.
+
+    Notes
+    -----
+    Deterministic sign convention: each component is flipped so that the
+    loading with the largest absolute value is positive.  This keeps PC
+    interpretations (Figure 8 labels) stable across runs and platforms.
+    """
+
+    def __init__(self, n_components: int | None = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be a positive integer or None")
+        self.n_components = n_components
+        self.result_: PCAResult | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, data) -> "PCA":
+        """Fit the decomposition on *data* ``(n_samples, n_features)``."""
+        matrix = as_matrix(data, name="data", min_rows=2)
+        n_samples, n_features = matrix.shape
+        max_rank = min(n_samples, n_features)
+        keep = self.n_components if self.n_components is not None else max_rank
+        if keep > max_rank:
+            raise ValueError(
+                f"n_components={keep} exceeds min(n_samples, n_features)={max_rank}"
+            )
+
+        mean = matrix.mean(axis=0)
+        centered = matrix - mean
+        # full_matrices=False: thin SVD, O(min(n,p)^2 * max(n,p)).
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+
+        total_variance = (singular**2).sum() / (n_samples - 1)
+        explained = singular**2 / (n_samples - 1)
+        if total_variance > 0.0:
+            ratio = explained / total_variance
+        else:
+            ratio = np.zeros_like(explained)
+
+        components = vt[:keep]
+        components = _stable_signs(components)
+
+        self.result_ = PCAResult(
+            components=components,
+            explained_variance=explained[:keep],
+            explained_variance_ratio=ratio[:keep],
+            mean=mean,
+            singular_values=singular[:keep],
+        )
+        return self
+
+    def transform(self, data) -> np.ndarray:
+        """Project *data* onto the fitted components (PC scores)."""
+        result = self._require_fitted()
+        matrix = as_matrix(data, name="data")
+        if matrix.shape[1] != result.mean.shape[0]:
+            raise ValueError(
+                f"data has {matrix.shape[1]} features, PCA was fitted "
+                f"with {result.mean.shape[0]}"
+            )
+        return (matrix - result.mean) @ result.components.T
+
+    def fit_transform(self, data) -> np.ndarray:
+        """Fit on *data* and return its PC scores."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, scores) -> np.ndarray:
+        """Reconstruct (approximately) the original features from scores."""
+        result = self._require_fitted()
+        matrix = as_matrix(scores, name="scores")
+        if matrix.shape[1] != result.n_components:
+            raise ValueError(
+                f"scores has {matrix.shape[1]} columns, expected "
+                f"{result.n_components}"
+            )
+        return matrix @ result.components + result.mean
+
+    # ------------------------------------------------------------------
+    @property
+    def components_(self) -> np.ndarray:
+        return self._require_fitted().components
+
+    @property
+    def explained_variance_ratio_(self) -> np.ndarray:
+        return self._require_fitted().explained_variance_ratio
+
+    def _require_fitted(self) -> PCAResult:
+        if self.result_ is None:
+            raise RuntimeError("PCA must be fitted before use")
+        return self.result_
+
+
+def components_for_variance(data, target_ratio: float) -> int:
+    """Smallest number of PCs whose cumulative variance ≥ *target_ratio*.
+
+    This is the paper's Figure 7 procedure: FLARE keeps enough PCs to
+    explain 95 % of the variance of the standardised metric matrix
+    (18 PCs in the authors' datacenter).
+    """
+    if not 0.0 < target_ratio <= 1.0:
+        raise ValueError("target_ratio must be in (0, 1]")
+    pca = PCA().fit(data)
+    cumulative = pca.result_.cumulative_variance_ratio()
+    # Guard against float round-off keeping the last step below 1.0.
+    reachable = min(target_ratio, float(cumulative[-1]))
+    return int(np.searchsorted(cumulative, reachable - 1e-12) + 1)
+
+
+def _stable_signs(components: np.ndarray) -> np.ndarray:
+    """Flip component signs so the dominant loading of each is positive."""
+    flipped = components.copy()
+    for i, row in enumerate(flipped):
+        pivot = np.argmax(np.abs(row))
+        if row[pivot] < 0:
+            flipped[i] = -row
+    return flipped

@@ -1,0 +1,90 @@
+"""Shared array-validation helpers for the statistics substrate.
+
+Every public entry point in :mod:`repro.stats` funnels its array inputs
+through these helpers so that error messages are uniform and the numeric
+kernels can assume clean, 2-D, finite ``float64`` data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_matrix",
+    "as_vector",
+    "check_finite",
+    "check_labels",
+    "check_random_state",
+]
+
+
+def as_matrix(data, *, name: str = "data", min_rows: int = 1) -> np.ndarray:
+    """Coerce *data* to a 2-D ``float64`` array and validate it.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  One-dimensional input is rejected
+        (callers should reshape explicitly — implicit promotion hides bugs).
+    name:
+        Name used in error messages.
+    min_rows:
+        Minimum number of rows required.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``float64`` array of shape ``(n_samples, n_features)``.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] < min_rows:
+        raise ValueError(
+            f"{name} needs at least {min_rows} row(s), got {arr.shape[0]}"
+        )
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must have at least one column")
+    check_finite(arr, name=name)
+    return arr
+
+
+def as_vector(data, *, name: str = "data") -> np.ndarray:
+    """Coerce *data* to a 1-D ``float64`` array and validate finiteness."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    check_finite(arr, name=name)
+    return arr
+
+
+def check_finite(arr: np.ndarray, *, name: str = "data") -> None:
+    """Raise ``ValueError`` if *arr* contains NaN or infinity."""
+    if not np.isfinite(arr).all():
+        bad = int(np.size(arr) - np.isfinite(arr).sum())
+        raise ValueError(f"{name} contains {bad} non-finite value(s)")
+
+
+def check_labels(labels, n_samples: int) -> np.ndarray:
+    """Validate a cluster-label vector against the sample count."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {arr.shape}")
+    if arr.shape[0] != n_samples:
+        raise ValueError(
+            f"labels length {arr.shape[0]} does not match n_samples {n_samples}"
+        )
+    if arr.size and arr.min() < 0:
+        raise ValueError("labels must be non-negative integers")
+    return arr.astype(np.intp)
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Normalise *seed* into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,40 @@
+"""Telemetry substrate: metric registry, Profiler daemon, relational store.
+
+Implements the paper's data-collection layer (§4.2): the two-level
+(machine / HP) counter surface of Figure 6, a measurement-noise model, the
+Profiler that derives counters for every recorded co-location scenario,
+and the relational database the samples and replayable job commands are
+persisted to.
+"""
+
+from .database import Column, Database, Schema, Table
+from .metrics import (
+    MACHINE_ONLY_METRICS,
+    PER_LEVEL_METRICS,
+    MetricLevel,
+    MetricSpec,
+    all_metric_names,
+    all_metric_specs,
+    metric_name,
+)
+from .noise import MeasurementNoise
+from .profiler import ProfiledDataset, Profiler, format_command, parse_command
+
+__all__ = [
+    "Column",
+    "Schema",
+    "Table",
+    "Database",
+    "MetricLevel",
+    "MetricSpec",
+    "PER_LEVEL_METRICS",
+    "MACHINE_ONLY_METRICS",
+    "metric_name",
+    "all_metric_specs",
+    "all_metric_names",
+    "MeasurementNoise",
+    "Profiler",
+    "ProfiledDataset",
+    "format_command",
+    "parse_command",
+]

@@ -1,0 +1,208 @@
+"""Raw metric registry: the counters the Profiler collects (Figure 6).
+
+FLARE's two-level collection records every metric at *machine* scope (sum
+over all jobs — the running environment) and at *HP* scope (High Priority
+jobs only — the jobs whose performance is managed).  Names follow the
+paper's convention, e.g. ``LLC-APKI-Machine`` and ``LLC-APKI-HP``.
+
+The registry intentionally contains redundant derived counters (e.g. total
+memory bytes/s, which is just GB/s rescaled; hit ratio = 1 − miss ratio) —
+real monitoring stacks export such duplicates, and the refinement step
+(paper §4.2: 100+ → ~85 metrics) exists precisely to prune them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "MetricLevel",
+    "MetricSpec",
+    "PER_LEVEL_METRICS",
+    "MACHINE_ONLY_METRICS",
+    "metric_name",
+    "all_metric_specs",
+    "all_metric_names",
+]
+
+
+class MetricLevel(enum.Enum):
+    """Scope of a two-level metric."""
+
+    MACHINE = "Machine"
+    HP = "HP"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Description of one raw counter.
+
+    Attributes
+    ----------
+    name:
+        Full metric name as it appears in the dataset columns.
+    base:
+        Level-independent base name (equals ``name`` for machine-only
+        metrics).
+    level:
+        ``MetricLevel`` for two-level metrics; None for machine-only.
+    category:
+        Counter family ("performance", "cache", "topdown", "memory",
+        "cpu", "io", "os").
+    unit:
+        Physical unit; ``"fraction"`` marks metrics clipped to [0, 1]
+        after measurement noise.
+    description:
+        What the counter measures.
+    """
+
+    name: str
+    base: str
+    level: MetricLevel | None
+    category: str
+    unit: str
+    description: str
+
+    @property
+    def is_fraction(self) -> bool:
+        return self.unit == "fraction"
+
+
+# (base name, category, unit, description)
+PER_LEVEL_METRICS: tuple[tuple[str, str, str, str], ...] = (
+    ("MIPS", "performance", "Minstr/s", "Million instructions retired per second"),
+    ("IPC", "performance", "instr/cycle", "Instructions per cycle"),
+    ("CPI", "performance", "cycle/instr", "Cycles per instruction"),
+    ("MIPSPerThread", "performance", "Minstr/s", "MIPS per busy hardware thread"),
+    ("MIPSPerVCPU", "performance", "Minstr/s", "MIPS per allocated vCPU"),
+    ("SpinPct", "performance", "fraction", "Fraction of instructions in spin loops"),
+    ("BusyThreads", "cpu", "threads", "Average busy hardware threads"),
+    ("CPUUtil", "cpu", "fraction", "Busy threads over hardware threads"),
+    ("AllocatedVCPUs", "cpu", "vcpus", "vCPUs allocated to containers"),
+    ("VCPUUtil", "cpu", "fraction", "Allocated vCPUs over schedulable vCPUs"),
+    ("ContainerCount", "cpu", "count", "Number of running containers"),
+    ("DRAMUsedGB", "memory", "GB", "DRAM allocated to containers"),
+    ("DRAMUtil", "memory", "fraction", "DRAM allocated over machine DRAM"),
+    ("L1I-APKI", "cache", "acc/Kinstr", "L1 instruction-cache accesses per kilo-instruction"),
+    ("L1D-APKI", "cache", "acc/Kinstr", "L1 data-cache accesses per kilo-instruction"),
+    ("L1D-MPKI", "cache", "miss/Kinstr", "L1D misses per kilo-instruction (= L2 accesses)"),
+    ("L2-APKI", "cache", "acc/Kinstr", "L2 accesses per kilo-instruction"),
+    ("L2-MPKI", "cache", "miss/Kinstr", "L2 misses per kilo-instruction (= LLC accesses)"),
+    ("LLC-APKI", "cache", "acc/Kinstr", "LLC accesses per kilo-instruction"),
+    ("LLC-MPKI", "cache", "miss/Kinstr", "LLC misses per kilo-instruction"),
+    ("LLC-MissRatio", "cache", "fraction", "LLC misses over LLC accesses"),
+    ("LLC-HitRatio", "cache", "fraction", "LLC hits over LLC accesses (redundant with miss ratio)"),
+    ("LLC-MissesPerSec", "cache", "miss/s", "Absolute LLC miss rate"),
+    ("CacheOccupancyMB", "cache", "MB", "LLC capacity occupied"),
+    ("Branch-MPKI", "performance", "miss/Kinstr", "Branch mispredictions per kilo-instruction"),
+    ("Topdown-Retiring", "topdown", "fraction", "Topdown: useful-work slot fraction"),
+    ("Topdown-FrontendBound", "topdown", "fraction", "Topdown: frontend-starved slot fraction"),
+    ("Topdown-BadSpeculation", "topdown", "fraction", "Topdown: wasted-speculation slot fraction"),
+    ("Topdown-BackendBound", "topdown", "fraction", "Topdown: backend-stalled slot fraction"),
+    ("Topdown-MemoryBound", "topdown", "fraction", "Topdown: memory-subsystem stall fraction"),
+    ("Topdown-CoreBound", "topdown", "fraction", "Topdown: core-resource stall fraction"),
+    ("CPIStack-Base", "topdown", "cycle/instr", "CPI stack: issue/dependency component"),
+    ("CPIStack-Frontend", "topdown", "cycle/instr", "CPI stack: frontend stalls"),
+    ("CPIStack-Branch", "topdown", "cycle/instr", "CPI stack: misprediction recovery"),
+    ("CPIStack-L2", "topdown", "cycle/instr", "CPI stack: L2 hit stalls"),
+    ("CPIStack-LLCHit", "topdown", "cycle/instr", "CPI stack: LLC hit stalls"),
+    ("CPIStack-DRAM", "topdown", "cycle/instr", "CPI stack: DRAM stalls"),
+    ("CPIStack-SMT", "topdown", "cycle/instr", "CPI stack: core-sharing penalty"),
+    ("MemReadGBps", "memory", "GB/s", "DRAM read bandwidth"),
+    ("MemWriteGBps", "memory", "GB/s", "DRAM write bandwidth"),
+    ("MemTotalGBps", "memory", "GB/s", "DRAM total bandwidth"),
+    ("MemTotalBytesPerSec", "memory", "B/s", "DRAM total bandwidth in bytes/s (redundant rescale)"),
+    ("MemBWUtil", "memory", "fraction", "DRAM bandwidth over machine peak"),
+    ("NetworkGbps", "io", "Gb/s", "Network traffic"),
+    ("NetworkUtil", "io", "fraction", "Network traffic over NIC capacity"),
+    ("DiskMBps", "io", "MB/s", "Disk traffic"),
+    ("DiskUtil", "io", "fraction", "Disk traffic over device capability"),
+)
+
+#: Machine-scope-only counters (environment / OS level).
+MACHINE_ONLY_METRICS: tuple[tuple[str, str, str, str], ...] = (
+    ("MemLatencyNs", "memory", "ns", "Loaded DRAM access latency"),
+    ("MemFreeGB", "memory", "GB", "Unallocated machine DRAM"),
+    ("FreeVCPUs", "cpu", "vcpus", "Unallocated schedulable vCPUs"),
+    ("HPVCPUShare", "cpu", "fraction", "HP share of allocated vCPUs"),
+    ("LoadAverage", "os", "threads", "1-minute load average (≈ busy threads)"),
+    ("ContextSwitchesPerSec", "os", "1/s", "OS context switches per second"),
+    ("PageFaultsPerSec", "os", "1/s", "Minor page faults per second"),
+    ("ProcessCount", "os", "count", "Processes visible to the OS"),
+)
+
+
+#: Bases that get a temporal standard-deviation companion when the
+#: Profiler's temporal extension is enabled (paper §4.1: "one may include
+#: standard deviations (e.g., IPC: 1.4±0.5) to enrich the temporal
+#: information").
+TEMPORAL_BASES: tuple[str, ...] = (
+    "MIPS",
+    "IPC",
+    "LLC-MPKI",
+    "MemTotalGBps",
+)
+
+
+def metric_name(base: str, level: MetricLevel) -> str:
+    """Full column name of a two-level metric at *level*."""
+    return f"{base}-{level.value}"
+
+
+def temporal_metric_name(base: str, level: MetricLevel) -> str:
+    """Column name of a temporal (std-dev) companion metric."""
+    return f"{base}-Std-{level.value}"
+
+
+def all_metric_specs(*, include_temporal: bool = False) -> tuple[MetricSpec, ...]:
+    """The complete ordered metric registry (machine block, HP block,
+    machine-only block, optional temporal block)."""
+    specs: list[MetricSpec] = []
+    for level in (MetricLevel.MACHINE, MetricLevel.HP):
+        for base, category, unit, description in PER_LEVEL_METRICS:
+            specs.append(
+                MetricSpec(
+                    name=metric_name(base, level),
+                    base=base,
+                    level=level,
+                    category=category,
+                    unit=unit,
+                    description=f"{description} ({level.value} scope)",
+                )
+            )
+    for base, category, unit, description in MACHINE_ONLY_METRICS:
+        specs.append(
+            MetricSpec(
+                name=base,
+                base=base,
+                level=None,
+                category=category,
+                unit=unit,
+                description=description,
+            )
+        )
+    if include_temporal:
+        for level in (MetricLevel.MACHINE, MetricLevel.HP):
+            for base in TEMPORAL_BASES:
+                specs.append(
+                    MetricSpec(
+                        name=temporal_metric_name(base, level),
+                        base=f"{base}-Std",
+                        level=level,
+                        category="temporal",
+                        unit="std",
+                        description=(
+                            f"Temporal standard deviation of {base} "
+                            f"({level.value} scope)"
+                        ),
+                    )
+                )
+    return tuple(specs)
+
+
+def all_metric_names(*, include_temporal: bool = False) -> tuple[str, ...]:
+    """Column names in registry order."""
+    return tuple(
+        spec.name for spec in all_metric_specs(include_temporal=include_temporal)
+    )

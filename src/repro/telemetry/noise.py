@@ -1,0 +1,57 @@
+"""Measurement-noise model for collected counters.
+
+Production metric pipelines are noisy: sampling-based counters, timer
+jitter, interrupt skew.  The Profiler perturbs every collected value with
+multiplicative Gaussian noise so that downstream refinement/PCA face
+realistic (not laboratory-clean) inputs, as the paper's own data does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import MetricSpec
+
+__all__ = ["MeasurementNoise"]
+
+
+class MeasurementNoise:
+    """Multiplicative Gaussian perturbation of metric vectors.
+
+    Parameters
+    ----------
+    sigma:
+        Relative standard deviation (0.02 = 2 % jitter).  Zero disables
+        noise entirely (useful for exact-value tests).
+    rng:
+        Random generator; pass a seeded generator for reproducibility.
+    """
+
+    def __init__(self, sigma: float, rng: np.random.Generator) -> None:
+        if sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = sigma
+        self._rng = rng
+
+    def apply(
+        self, values: np.ndarray, specs: tuple[MetricSpec, ...]
+    ) -> np.ndarray:
+        """Return a noisy copy of *values* (one vector, registry order).
+
+        Fraction-unit metrics are clipped back into [0, 1]; all metrics
+        are clipped at zero (a counter cannot go negative).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != (len(specs),):
+            raise ValueError(
+                f"expected {len(specs)} values, got shape {arr.shape}"
+            )
+        if self.sigma == 0.0:
+            return arr.copy()
+        factors = 1.0 + self._rng.normal(0.0, self.sigma, size=arr.shape)
+        noisy = arr * factors
+        np.maximum(noisy, 0.0, out=noisy)
+        for i, spec in enumerate(specs):
+            if spec.is_fraction and noisy[i] > 1.0:
+                noisy[i] = 1.0
+        return noisy

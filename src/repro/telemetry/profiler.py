@@ -1,0 +1,488 @@
+"""The Profiler: turns scenarios into raw metric vectors (paper §4.2).
+
+The paper deploys a daemon to every server that periodically gathers
+system and microarchitectural statistics (perf, topdown, /proc) and logs
+them — with the commands of the running jobs — to a relational database.
+Here the Profiler derives the same counter surface from the contention
+model's solution of each recorded co-location scenario, adds measurement
+noise, and (optionally) persists everything to the in-memory database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.features import BASELINE, Feature
+from ..cluster.scenario import Scenario, ScenarioDataset
+from ..perfmodel.contention import (
+    ColocationPerformance,
+    InstancePerformance,
+    RunningInstance,
+    solve_colocation,
+)
+from ..perfmodel.machine import MachinePerf
+from .database import Column, Database, Schema
+from .metrics import (
+    PER_LEVEL_METRICS,
+    TEMPORAL_BASES,
+    MetricLevel,
+    MetricSpec,
+    all_metric_specs,
+    temporal_metric_name,
+)
+from .noise import MeasurementNoise
+
+__all__ = ["ProfiledDataset", "Profiler", "format_command", "parse_command"]
+
+
+def format_command(instance: RunningInstance) -> str:
+    """Render the container launch command the Profiler records.
+
+    Mirrors the paper's practice of logging "the commands and
+    configurations of running jobs" so a scenario can be reconstructed
+    later by the Replayer.
+    """
+    return (
+        f"docker run --cpus {instance.signature.vcpus} "
+        f"--memory {instance.signature.dram_gb:g}g "
+        f"--job {instance.signature.name} --load {instance.load:.4f}"
+    )
+
+
+def parse_command(command: str) -> tuple[str, float]:
+    """Recover (job name, load) from a recorded launch command."""
+    tokens = command.split()
+    try:
+        job = tokens[tokens.index("--job") + 1]
+        load = float(tokens[tokens.index("--load") + 1])
+    except (ValueError, IndexError):
+        raise ValueError(f"unparseable job command: {command!r}") from None
+    return job, load
+
+
+@dataclass(frozen=True)
+class ProfiledDataset:
+    """Scenario dataset + its collected raw-metric matrix.
+
+    Attributes
+    ----------
+    dataset:
+        The scenarios (identity, recorded instances, weights).
+    machine:
+        The machine configuration the metrics were collected under.
+    specs:
+        Registry entries for each matrix column.
+    matrix:
+        ``(n_scenarios, n_metrics)`` raw counter values.
+    """
+
+    dataset: ScenarioDataset
+    machine: MachinePerf
+    specs: tuple[MetricSpec, ...]
+    matrix: np.ndarray
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs)
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_metrics(self) -> int:
+        return self.matrix.shape[1]
+
+    def column(self, metric: str) -> np.ndarray:
+        """Values of one metric across all scenarios."""
+        try:
+            idx = self.metric_names.index(metric)
+        except ValueError:
+            raise KeyError(f"unknown metric {metric!r}") from None
+        return self.matrix[:, idx].copy()
+
+
+class Profiler:
+    """Collects the Figure 6 metric surface for every scenario.
+
+    Parameters
+    ----------
+    noise_sigma:
+        Relative measurement noise (0 disables).
+    seed:
+        Seed for the noise stream.
+    database:
+        Optional :class:`Database`; when given, scenario metadata
+        (including replayable job commands) and all metric samples are
+        persisted into ``scenarios`` and ``samples`` tables.
+    temporal_samples:
+        When > 0, the Profiler additionally observes each scenario at
+        this many jittered user-demand points and appends temporal
+        standard-deviation metrics (paper §4.1's "IPC: 1.4±0.5"
+        enrichment) for the :data:`TEMPORAL_BASES` counters.
+    temporal_jitter:
+        Relative magnitude of the demand jitter.
+    per_job_metrics:
+        Job names to add per-job presence metrics for
+        (``InstanceCount-<job>`` and ``VCPUShare-<job>``).  The paper
+        notes per-job metrics "would greatly improve the estimation
+        accuracy for the job" but inflate the feature space, so they are
+        recommended "only when necessary" (§5.3) — hence opt-in.
+    """
+
+    def __init__(
+        self,
+        *,
+        noise_sigma: float = 0.02,
+        seed: int = 7,
+        database: Database | None = None,
+        temporal_samples: int = 0,
+        temporal_jitter: float = 0.15,
+        per_job_metrics: tuple[str, ...] = (),
+    ) -> None:
+        if temporal_samples < 0:
+            raise ValueError("temporal_samples must be non-negative")
+        if not 0.0 <= temporal_jitter < 1.0:
+            raise ValueError("temporal_jitter must be in [0, 1)")
+        if len(set(per_job_metrics)) != len(per_job_metrics):
+            raise ValueError("per_job_metrics must not repeat job names")
+        self.temporal_samples = temporal_samples
+        self.temporal_jitter = temporal_jitter
+        self.per_job_metrics = tuple(per_job_metrics)
+        specs = list(all_metric_specs(include_temporal=temporal_samples > 0))
+        for job in self.per_job_metrics:
+            specs.append(
+                MetricSpec(
+                    name=f"InstanceCount-{job}",
+                    base=f"InstanceCount-{job}",
+                    level=None,
+                    category="per-job",
+                    unit="count",
+                    description=f"Instances of {job} in the co-location",
+                )
+            )
+            specs.append(
+                MetricSpec(
+                    name=f"VCPUShare-{job}",
+                    base=f"VCPUShare-{job}",
+                    level=None,
+                    category="per-job",
+                    unit="fraction",
+                    description=f"{job}'s share of allocated vCPUs",
+                )
+            )
+        self.specs = tuple(specs)
+        self.noise_sigma = noise_sigma
+        self.seed = seed
+        self.database = database
+        if database is not None:
+            self._ensure_tables(database)
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        dataset: ScenarioDataset,
+        feature: Feature = BASELINE,
+    ) -> ProfiledDataset:
+        """Collect metrics for every scenario under *feature*'s machine."""
+        machine = feature(dataset.shape.perf)
+        noise = MeasurementNoise(
+            self.noise_sigma, np.random.default_rng(self.seed)
+        )
+        matrix = np.empty((len(dataset), len(self.specs)))
+        for row, scenario in enumerate(dataset.scenarios):
+            clean = self.collect(scenario, dataset, machine)
+            matrix[row] = noise.apply(clean, self.specs)
+            if self.database is not None:
+                self._persist(scenario, matrix[row])
+        return ProfiledDataset(
+            dataset=dataset, machine=machine, specs=self.specs, matrix=matrix
+        )
+
+    def collect(
+        self,
+        scenario: Scenario,
+        dataset: ScenarioDataset,
+        machine: MachinePerf,
+    ) -> np.ndarray:
+        """Noise-free metric vector for one scenario (registry order)."""
+        solution = solve_colocation(machine, list(scenario.instances))
+        shape = dataset.shape
+        values: dict[str, float] = {}
+
+        pairs = list(zip(scenario.instances, solution.instances))
+        for level, selector in (
+            (MetricLevel.MACHINE, lambda _: True),
+            (MetricLevel.HP, lambda perf: perf.is_high_priority),
+        ):
+            subset = [(ri, pi) for ri, pi in pairs if selector(pi)]
+            level_values = _level_metrics(subset, shape.vcpus, shape.dram_gb, machine)
+            for base, value in level_values.items():
+                values[f"{base}-{level.value}"] = value
+
+        values.update(
+            _machine_only_metrics(pairs, shape.vcpus, shape.dram_gb, solution)
+        )
+        if self.temporal_samples > 0:
+            values.update(self._temporal_metrics(scenario, machine, values))
+        for job in self.per_job_metrics:
+            count = scenario.count_of(job)
+            allocated = scenario.total_vcpus
+            values[f"InstanceCount-{job}"] = float(count)
+            values[f"VCPUShare-{job}"] = (
+                count * 4.0 / allocated if allocated else 0.0
+            )
+
+        vector = np.array([values[spec.name] for spec in self.specs])
+        return vector
+
+    def _temporal_metrics(
+        self,
+        scenario: Scenario,
+        machine: MachinePerf,
+        base_values: dict[str, float],
+    ) -> dict[str, float]:
+        """Std-dev of key counters over jittered user-demand samples.
+
+        Deterministic per (profiler seed, scenario id): load jitter uses a
+        dedicated stream so temporal metrics never perturb the main noise
+        sequence.
+        """
+        rng = np.random.default_rng((self.seed, scenario.scenario_id))
+        samples: dict[str, list[float]] = {}
+        for level in (MetricLevel.MACHINE, MetricLevel.HP):
+            for base in TEMPORAL_BASES:
+                name = f"{base}-{level.value}"
+                samples[name] = [base_values[name]]
+
+        for _ in range(self.temporal_samples):
+            jittered = []
+            for inst in scenario.instances:
+                factor = 1.0 + rng.uniform(
+                    -self.temporal_jitter, self.temporal_jitter
+                )
+                load = float(np.clip(inst.load * factor, 0.05, 1.0))
+                jittered.append(
+                    RunningInstance(signature=inst.signature, load=load)
+                )
+            solution = solve_colocation(machine, jittered)
+            pairs = list(zip(jittered, solution.instances))
+            for level, selector in (
+                (MetricLevel.MACHINE, lambda _: True),
+                (MetricLevel.HP, lambda perf: perf.is_high_priority),
+            ):
+                subset = [(ri, pi) for ri, pi in pairs if selector(pi)]
+                level_values = _level_metrics(
+                    subset,
+                    scenario.total_vcpus,
+                    1.0,
+                    machine,
+                )
+                for base in TEMPORAL_BASES:
+                    samples[f"{base}-{level.value}"].append(
+                        level_values[base]
+                    )
+
+        out = {}
+        for level in (MetricLevel.MACHINE, MetricLevel.HP):
+            for base in TEMPORAL_BASES:
+                series = np.asarray(samples[f"{base}-{level.value}"])
+                out[temporal_metric_name(base, level)] = float(
+                    series.std(ddof=0)
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def _ensure_tables(self, database: Database) -> None:
+        if "scenarios" not in database.table_names:
+            database.create_table(
+                "scenarios",
+                Schema(
+                    columns=(
+                        Column("scenario_id", int),
+                        Column("key_text", str),
+                        Column("n_containers", int),
+                        Column("n_occurrences", int),
+                        Column("total_duration_s", float),
+                        Column("commands", str),
+                    ),
+                    primary_key="scenario_id",
+                ),
+            )
+        if "samples" not in database.table_names:
+            database.create_table(
+                "samples",
+                Schema(
+                    columns=(
+                        Column("scenario_id", int),
+                        Column("metric", str),
+                        Column("value", float),
+                    )
+                ),
+            )
+
+    def _persist(self, scenario: Scenario, values: np.ndarray) -> None:
+        assert self.database is not None
+        scenarios = self.database.table("scenarios")
+        try:
+            scenarios.get(scenario.scenario_id)
+        except KeyError:
+            scenarios.insert(
+                {
+                    "scenario_id": scenario.scenario_id,
+                    "key_text": ",".join(
+                        f"{name}x{count}" for name, count in scenario.key
+                    ),
+                    "n_containers": len(scenario.instances),
+                    "n_occurrences": scenario.n_occurrences,
+                    "total_duration_s": scenario.total_duration_s,
+                    "commands": ";".join(
+                        format_command(inst) for inst in scenario.instances
+                    ),
+                }
+            )
+        samples = self.database.table("samples")
+        samples.insert_many(
+            {
+                "scenario_id": scenario.scenario_id,
+                "metric": spec.name,
+                "value": float(value),
+            }
+            for spec, value in zip(self.specs, values)
+        )
+
+
+# ----------------------------------------------------------------------
+def _level_metrics(
+    subset: list[tuple[RunningInstance, InstancePerformance]],
+    shape_vcpus: int,
+    shape_dram_gb: float,
+    machine: MachinePerf,
+) -> dict[str, float]:
+    """Aggregate one scope's counters over the selected instances."""
+    if not subset:
+        return {base: 0.0 for base, *_ in PER_LEVEL_METRICS}
+
+    perf = [pi for _, pi in subset]
+    sigs = [ri.signature for ri, _ in subset]
+
+    mips = np.array([p.mips for p in perf])
+    instr_rate = mips * 1e6
+    total_instr = float(instr_rate.sum())
+    busy = np.array([p.busy_threads for p in perf])
+    cycles = busy * np.array([p.frequency_ghz for p in perf]) * 1e9
+    total_cycles = float(cycles.sum())
+    w_instr = instr_rate / total_instr if total_instr > 0 else instr_rate
+    w_cycles = cycles / total_cycles if total_cycles > 0 else cycles
+
+    def instrw(values) -> float:
+        return float(np.asarray(values, dtype=np.float64) @ w_instr)
+
+    def cyclew(values) -> float:
+        return float(np.asarray(values, dtype=np.float64) @ w_cycles)
+
+    allocated = float(sum(s.vcpus for s in sigs))
+    dram_used = float(sum(s.dram_gb for s in sigs))
+    total_mips = float(mips.sum())
+    ipc = total_instr / total_cycles if total_cycles > 0 else 0.0
+
+    llc_apki = np.array([s.llc_apki for s in sigs])
+    llc_mpki = np.array([p.llc_mpki for p in perf])
+    access_rate = instr_rate * llc_apki / 1000.0
+    miss_rate = instr_rate * llc_mpki / 1000.0
+    total_access = float(access_rate.sum())
+    miss_ratio = float(miss_rate.sum()) / total_access if total_access > 0 else 0.0
+
+    write_frac = np.array([s.write_fraction for s in sigs])
+    dram_gbps = np.array([p.dram_gbps for p in perf])
+    read_gbps = float((dram_gbps / (1.0 + write_frac)).sum())
+    total_gbps = float(dram_gbps.sum())
+    write_gbps = total_gbps - read_gbps
+
+    network = float(sum(p.network_gbps for p in perf))
+    disk = float(sum(p.disk_mbps for p in perf))
+
+    stacks = [p.cpi_stack for p in perf]
+    topdowns = [s.topdown() for s in stacks]
+
+    return {
+        "MIPS": total_mips,
+        "IPC": ipc,
+        "CPI": 1.0 / ipc if ipc > 0 else 0.0,
+        "MIPSPerThread": total_mips / float(busy.sum()) if busy.sum() > 0 else 0.0,
+        "MIPSPerVCPU": total_mips / allocated if allocated > 0 else 0.0,
+        "SpinPct": instrw([s.spin_fraction for s in sigs]),
+        "BusyThreads": float(busy.sum()),
+        "CPUUtil": min(float(busy.sum()) / machine.hardware_threads, 1.0),
+        "AllocatedVCPUs": allocated,
+        "VCPUUtil": allocated / shape_vcpus,
+        "ContainerCount": float(len(subset)),
+        "DRAMUsedGB": dram_used,
+        "DRAMUtil": dram_used / shape_dram_gb,
+        "L1I-APKI": instrw([s.l1i_apki for s in sigs]),
+        "L1D-APKI": instrw([s.l1d_apki for s in sigs]),
+        "L1D-MPKI": instrw([s.l2_apki for s in sigs]),
+        "L2-APKI": instrw([s.l2_apki for s in sigs]),
+        "L2-MPKI": instrw(llc_apki),
+        "LLC-APKI": instrw(llc_apki),
+        "LLC-MPKI": instrw(llc_mpki),
+        "LLC-MissRatio": miss_ratio,
+        "LLC-HitRatio": 1.0 - miss_ratio if total_access > 0 else 0.0,
+        "LLC-MissesPerSec": float(miss_rate.sum()) * 1000.0,
+        "CacheOccupancyMB": float(sum(p.cache_share_mb for p in perf)),
+        "Branch-MPKI": instrw([s.branch_mpki for s in sigs]),
+        "Topdown-Retiring": cyclew([t.retiring for t in topdowns]),
+        "Topdown-FrontendBound": cyclew([t.frontend_bound for t in topdowns]),
+        "Topdown-BadSpeculation": cyclew([t.bad_speculation for t in topdowns]),
+        "Topdown-BackendBound": cyclew([t.backend_bound for t in topdowns]),
+        "Topdown-MemoryBound": cyclew([t.memory_bound for t in topdowns]),
+        "Topdown-CoreBound": cyclew([t.core_bound for t in topdowns]),
+        "CPIStack-Base": instrw([s.base for s in stacks]),
+        "CPIStack-Frontend": instrw([s.frontend for s in stacks]),
+        "CPIStack-Branch": instrw([s.branch for s in stacks]),
+        "CPIStack-L2": instrw([s.l2 for s in stacks]),
+        "CPIStack-LLCHit": instrw([s.llc_hit for s in stacks]),
+        "CPIStack-DRAM": instrw([s.dram for s in stacks]),
+        "CPIStack-SMT": instrw([s.smt for s in stacks]),
+        "MemReadGBps": read_gbps,
+        "MemWriteGBps": write_gbps,
+        "MemTotalGBps": total_gbps,
+        "MemTotalBytesPerSec": total_gbps * 1e9,
+        "MemBWUtil": min(total_gbps / machine.mem_bw_gbps, 1.0),
+        "NetworkGbps": network,
+        "NetworkUtil": min(network / machine.network_gbps, 1.0),
+        "DiskMBps": disk,
+        "DiskUtil": min(disk / machine.disk_mbps, 1.0),
+    }
+
+
+def _machine_only_metrics(
+    pairs: list[tuple[RunningInstance, InstancePerformance]],
+    shape_vcpus: int,
+    shape_dram_gb: float,
+    solution: ColocationPerformance,
+) -> dict[str, float]:
+    """Environment/OS-level counters that exist only at machine scope."""
+    allocated = sum(ri.signature.vcpus for ri, _ in pairs)
+    hp_allocated = sum(
+        ri.signature.vcpus for ri, pi in pairs if pi.is_high_priority
+    )
+    dram_used = sum(ri.signature.dram_gb for ri, _ in pairs)
+    busy = sum(pi.busy_threads for _, pi in pairs)
+    containers = len(pairs)
+    dram_gbps = sum(pi.dram_gbps for _, pi in pairs)
+    return {
+        "MemLatencyNs": solution.mem_latency_ns,
+        "MemFreeGB": shape_dram_gb - dram_used,
+        "FreeVCPUs": float(shape_vcpus - allocated),
+        "HPVCPUShare": hp_allocated / allocated if allocated else 0.0,
+        "LoadAverage": busy,
+        # Synthetic OS counters: plausible functions of machine activity,
+        # giving refinement realistic near-duplicates to find.
+        "ContextSwitchesPerSec": 120.0 * busy + 40.0 * containers,
+        "PageFaultsPerSec": 900.0 * dram_gbps + 30.0 * containers,
+        "ProcessCount": 60.0 + 12.0 * containers,
+    }
+

@@ -1,0 +1,43 @@
+"""Job catalogue: CloudSuite-derived HP services + SPEC-derived LP batch.
+
+Mirrors Table 3 of the paper.  ``all_jobs()`` is the flat registry the
+submission system and the Replayer both draw from — the same signature
+object is used when a job runs in the simulated datacenter and when it is
+reconstructed on the testbed, just as the paper replays the recorded
+container commands.
+"""
+
+from ..perfmodel.signatures import JobSignature
+from .cloudsuite import HP_JOB_NAMES, HP_JOBS, hp_job
+from .spec import LP_JOB_NAMES, LP_JOBS, lp_job
+
+__all__ = [
+    "HP_JOBS",
+    "HP_JOB_NAMES",
+    "hp_job",
+    "LP_JOBS",
+    "LP_JOB_NAMES",
+    "lp_job",
+    "all_jobs",
+    "get_job",
+]
+
+
+def all_jobs() -> dict[str, JobSignature]:
+    """Full registry of HP + LP job signatures, keyed by job name."""
+    registry: dict[str, JobSignature] = {}
+    registry.update(HP_JOBS)
+    registry.update(LP_JOBS)
+    return registry
+
+
+def get_job(name: str) -> JobSignature:
+    """Look up any job (HP or LP) by name."""
+    if name in HP_JOBS:
+        return HP_JOBS[name]
+    if name in LP_JOBS:
+        return LP_JOBS[name]
+    raise KeyError(
+        f"unknown job {name!r}; expected one of "
+        f"{sorted(HP_JOBS) + sorted(LP_JOBS)}"
+    )

@@ -1,0 +1,234 @@
+"""High-priority (HP) job signatures, modelled on CloudSuite (Table 3).
+
+The paper runs eight CloudSuite services as HP jobs.  Each signature below
+encodes the published first-order characterisation of that service
+(Ferdman et al., ASPLOS'12 "Clearing the Clouds"; Palit et al., ISPASS'16):
+scale-out services are frontend-bound with large instruction footprints and
+low IPC; analytics jobs are memory-bound; caching/streaming are network
+heavy with modest core demand.  Working-set parameters are tuned so that
+LLC sensitivity varies widely across jobs — the property that makes
+Feature 1 (cache sizing) interesting (paper Figures 2–3).
+
+Every instance is a 4-vCPU container, matching the paper's resource
+management policy (§5.1).
+"""
+
+from __future__ import annotations
+
+from ..perfmodel.mrc import MissRatioCurve
+from ..perfmodel.signatures import JobSignature, Priority
+
+__all__ = ["HP_JOBS", "HP_JOB_NAMES", "hp_job"]
+
+
+def _hp(
+    name: str,
+    description: str,
+    *,
+    dram_gb: float,
+    base_cpi: float,
+    frontend_cpi: float,
+    branch_mpki: float,
+    l1i_apki: float,
+    l1d_apki: float,
+    l2_apki: float,
+    llc_apki: float,
+    mrc: MissRatioCurve,
+    mem_blocking_factor: float,
+    write_fraction: float,
+    active_fraction: float,
+    network_bytes_per_instr: float = 0.0,
+    disk_bytes_per_instr: float = 0.0,
+) -> JobSignature:
+    return JobSignature(
+        name=name,
+        description=description,
+        priority=Priority.HIGH,
+        vcpus=4,
+        dram_gb=dram_gb,
+        base_cpi=base_cpi,
+        frontend_cpi=frontend_cpi,
+        branch_mpki=branch_mpki,
+        l1i_apki=l1i_apki,
+        l1d_apki=l1d_apki,
+        l2_apki=l2_apki,
+        llc_apki=llc_apki,
+        mrc=mrc,
+        mem_blocking_factor=mem_blocking_factor,
+        write_fraction=write_fraction,
+        active_fraction=active_fraction,
+        network_bytes_per_instr=network_bytes_per_instr,
+        disk_bytes_per_instr=disk_bytes_per_instr,
+    )
+
+
+#: The eight HP services of Table 3, keyed by the paper's job codes.
+HP_JOBS: dict[str, JobSignature] = {
+    # Hadoop + Mahout naive-Bayes training: batch, steady map/reduce
+    # churn over large inputs; disk-fed, moderately memory-bound.
+    "DA": _hp(
+        "DA",
+        "Data Analytics — Apache Hadoop with Mahout, TrainNB phase",
+        dram_gb=16.0,
+        base_cpi=0.62,
+        frontend_cpi=0.22,
+        branch_mpki=5.0,
+        l1i_apki=310.0,
+        l1d_apki=360.0,
+        l2_apki=48.0,
+        llc_apki=14.0,
+        mrc=MissRatioCurve(half_capacity_mb=9.0, shape=1.1, floor=0.10),
+        mem_blocking_factor=0.45,
+        write_fraction=0.35,
+        active_fraction=0.92,
+        network_bytes_per_instr=0.004,
+        disk_bytes_per_instr=0.012,
+    ),
+    # memcached: tiny request kernels, network-dominated, data set far
+    # exceeds any LLC so misses are mostly compulsory.
+    "DC": _hp(
+        "DC",
+        "Data Caching — memcached, 4 threads, 4 GB working set, 100K QPS",
+        dram_gb=6.0,
+        base_cpi=0.55,
+        frontend_cpi=0.30,
+        branch_mpki=7.5,
+        l1i_apki=330.0,
+        l1d_apki=340.0,
+        l2_apki=40.0,
+        llc_apki=10.0,
+        mrc=MissRatioCurve(half_capacity_mb=3.0, shape=0.7, floor=0.38),
+        mem_blocking_factor=0.70,
+        write_fraction=0.20,
+        active_fraction=0.80,
+        network_bytes_per_instr=0.030,
+    ),
+    # Cassandra: Java heap churn, large instruction footprint, disk +
+    # memory bound with a sizeable cacheable hot set.
+    "DS": _hp(
+        "DS",
+        "Data Serving — Apache Cassandra, 20 threads, 16 GB DRAM",
+        dram_gb=16.0,
+        base_cpi=0.70,
+        frontend_cpi=0.42,
+        branch_mpki=9.0,
+        l1i_apki=380.0,
+        l1d_apki=370.0,
+        l2_apki=55.0,
+        llc_apki=16.0,
+        mrc=MissRatioCurve(half_capacity_mb=12.0, shape=1.0, floor=0.14),
+        mem_blocking_factor=0.60,
+        write_fraction=0.40,
+        active_fraction=0.70,
+        network_bytes_per_instr=0.010,
+        disk_bytes_per_instr=0.020,
+    ),
+    # Spark graph analytics (PageRank-style): pointer chasing over edge
+    # lists — the most latency-bound HP job.
+    "GA": _hp(
+        "GA",
+        "Graph Analytics — Apache Spark, 4 vCPU / 4 GB executor",
+        dram_gb=8.0,
+        base_cpi=0.58,
+        frontend_cpi=0.12,
+        branch_mpki=6.0,
+        l1i_apki=240.0,
+        l1d_apki=400.0,
+        l2_apki=70.0,
+        llc_apki=24.0,
+        mrc=MissRatioCurve(half_capacity_mb=16.0, shape=0.9, floor=0.22),
+        mem_blocking_factor=0.80,
+        write_fraction=0.25,
+        active_fraction=0.95,
+    ),
+    # Spark in-memory analytics (ALS recommendation): dense linear algebra
+    # mixed with shuffle phases; cache-friendly relative to GA.
+    "IA": _hp(
+        "IA",
+        "In-memory Analytics — Apache Spark, 4 vCPU / 4 GB executor",
+        dram_gb=8.0,
+        base_cpi=0.48,
+        frontend_cpi=0.10,
+        branch_mpki=3.5,
+        l1i_apki=220.0,
+        l1d_apki=420.0,
+        l2_apki=52.0,
+        llc_apki=15.0,
+        mrc=MissRatioCurve(half_capacity_mb=10.0, shape=1.3, floor=0.08),
+        mem_blocking_factor=0.40,
+        write_fraction=0.30,
+        active_fraction=0.95,
+    ),
+    # Nginx video streaming: sendfile loops, almost pure sequential I/O;
+    # little cache reuse but also little dependence on it.
+    "MS": _hp(
+        "MS",
+        "Media Streaming — Nginx, 4 threads, 50 connections",
+        dram_gb=6.0,
+        base_cpi=0.52,
+        frontend_cpi=0.18,
+        branch_mpki=4.0,
+        l1i_apki=280.0,
+        l1d_apki=330.0,
+        l2_apki=35.0,
+        llc_apki=12.0,
+        mrc=MissRatioCurve(half_capacity_mb=2.0, shape=0.6, floor=0.55),
+        mem_blocking_factor=0.25,
+        write_fraction=0.15,
+        active_fraction=0.78,
+        network_bytes_per_instr=0.060,
+        disk_bytes_per_instr=0.025,
+    ),
+    # Solr web search: index traversal with a hot posting-list set that
+    # rewards LLC capacity — the classic cache-sensitive service.
+    "WSC": _hp(
+        "WSC",
+        "Web Search — Apache Solr, 12 GB index, Tomcat-managed threads",
+        dram_gb=12.0,
+        base_cpi=0.66,
+        frontend_cpi=0.38,
+        branch_mpki=8.0,
+        l1i_apki=360.0,
+        l1d_apki=350.0,
+        l2_apki=50.0,
+        llc_apki=13.0,
+        mrc=MissRatioCurve(half_capacity_mb=14.0, shape=1.4, floor=0.06),
+        mem_blocking_factor=0.65,
+        write_fraction=0.20,
+        active_fraction=0.65,
+        network_bytes_per_instr=0.006,
+    ),
+    # LAMP web serving: PHP interpretation is branchy and frontend-bound
+    # with modest data-side demand.
+    "WSV": _hp(
+        "WSV",
+        "Web Serving — Nginx + PHP + MySQL + memcached",
+        dram_gb=8.0,
+        base_cpi=0.72,
+        frontend_cpi=0.48,
+        branch_mpki=11.0,
+        l1i_apki=400.0,
+        l1d_apki=340.0,
+        l2_apki=45.0,
+        llc_apki=9.0,
+        mrc=MissRatioCurve(half_capacity_mb=6.0, shape=1.0, floor=0.12),
+        mem_blocking_factor=0.55,
+        write_fraction=0.30,
+        active_fraction=0.72,
+        network_bytes_per_instr=0.012,
+        disk_bytes_per_instr=0.004,
+    ),
+}
+
+#: Job codes in the order the paper's figures list them.
+HP_JOB_NAMES: tuple[str, ...] = tuple(HP_JOBS)
+
+
+def hp_job(name: str) -> JobSignature:
+    """Look up an HP job signature by its paper code (e.g. ``"WSC"``)."""
+    try:
+        return HP_JOBS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown HP job {name!r}; expected one of {sorted(HP_JOBS)}"
+        ) from None

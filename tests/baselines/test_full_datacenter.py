@@ -1,0 +1,83 @@
+"""Unit tests for the full-datacenter (truth) evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    evaluate_full_datacenter,
+    per_job_scenario_reductions,
+)
+from repro.cluster import BASELINE, FEATURE_1_CACHE, FEATURE_2_DVFS
+
+
+class TestEvaluateFullDatacenter:
+    def test_covers_only_hp_scenarios(self, tiny_dataset):
+        truth = evaluate_full_datacenter(tiny_dataset, FEATURE_1_CACHE)
+        # Scenario 3 is LP-only and must be excluded.
+        assert 3 not in truth.scenario_ids
+        assert truth.evaluation_cost == 5
+
+    def test_weights_normalised(self, tiny_dataset):
+        truth = evaluate_full_datacenter(tiny_dataset, FEATURE_1_CACHE)
+        assert truth.weights.sum() == pytest.approx(1.0)
+
+    def test_overall_within_scenario_range(self, tiny_dataset):
+        truth = evaluate_full_datacenter(tiny_dataset, FEATURE_2_DVFS)
+        assert (
+            truth.reductions_pct.min()
+            <= truth.overall_reduction_pct
+            <= truth.reductions_pct.max()
+        )
+
+    def test_baseline_feature_has_zero_impact(self, tiny_dataset):
+        truth = evaluate_full_datacenter(tiny_dataset, BASELINE)
+        np.testing.assert_allclose(truth.reductions_pct, 0.0, atol=1e-9)
+
+    def test_per_job_covers_hosted_jobs(self, tiny_dataset):
+        truth = evaluate_full_datacenter(tiny_dataset, FEATURE_1_CACHE)
+        assert set(truth.per_job) == {
+            "WSC", "GA", "DC", "DA", "WSV", "IA", "MS", "DS",
+        }
+
+    def test_lp_only_dataset_raises(self, tiny_dataset):
+        from repro.cluster import ScenarioDataset
+
+        lp_only = ScenarioDataset(
+            shape=tiny_dataset.shape, scenarios=(tiny_dataset.scenarios[3],)
+        )
+        with pytest.raises(ValueError, match="no scenario with HP"):
+            evaluate_full_datacenter(lp_only, FEATURE_1_CACHE)
+
+    def test_features_have_positive_impact(self, tiny_dataset):
+        for feature in (FEATURE_1_CACHE, FEATURE_2_DVFS):
+            truth = evaluate_full_datacenter(tiny_dataset, feature)
+            assert truth.overall_reduction_pct > 0.0
+
+
+class TestPerJobScenarioReductions:
+    def test_only_hosting_scenarios(self, tiny_dataset):
+        pop = per_job_scenario_reductions(
+            tiny_dataset, FEATURE_1_CACHE, "WSC"
+        )
+        assert set(pop.scenario_ids) == {0, 5}
+
+    def test_weights_include_instance_count(self, tiny_dataset):
+        pop = per_job_scenario_reductions(tiny_dataset, FEATURE_1_CACHE, "DA")
+        # Only scenario 2 hosts DA (x2); weight normalises to 1.
+        assert pop.scenario_ids == (2,)
+        assert pop.weights[0] == pytest.approx(1.0)
+
+    def test_mean_matches_truth_per_job(self, tiny_dataset):
+        truth = evaluate_full_datacenter(tiny_dataset, FEATURE_1_CACHE)
+        pop = per_job_scenario_reductions(tiny_dataset, FEATURE_1_CACHE, "WSC")
+        assert pop.mean_reduction_pct == pytest.approx(
+            truth.per_job["WSC"], abs=1e-9
+        )
+
+    def test_std_zero_for_single_scenario(self, tiny_dataset):
+        pop = per_job_scenario_reductions(tiny_dataset, FEATURE_1_CACHE, "DA")
+        assert pop.std_reduction_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_job_raises(self, tiny_dataset):
+        with pytest.raises(ValueError, match="no scenario hosts"):
+            per_job_scenario_reductions(tiny_dataset, FEATURE_1_CACHE, "nope")

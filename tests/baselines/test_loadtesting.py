@@ -1,0 +1,58 @@
+"""Unit tests for the conventional load-testing baseline."""
+
+import pytest
+
+from repro.baselines import load_test_all_jobs, load_test_job
+from repro.cluster import BASELINE, FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.cluster.machine import DEFAULT_SHAPE, SMALL_SHAPE
+from repro.workloads import HP_JOB_NAMES, HP_JOBS
+
+
+class TestLoadTestJob:
+    def test_populates_machine_with_instances(self):
+        result = load_test_job(DEFAULT_SHAPE, HP_JOBS["GA"], FEATURE_1_CACHE)
+        # 48 vCPUs / 4 per instance = 12, within DRAM budget for GA.
+        assert result.n_instances == 12
+
+    def test_dram_limits_instance_count(self):
+        # DS requests 16 GB -> 256/16 = 16 by DRAM but 12 by vCPU.
+        result = load_test_job(DEFAULT_SHAPE, HP_JOBS["DS"], FEATURE_1_CACHE)
+        assert result.n_instances == 12
+        # WSC requests 12 GB; on the small shape DRAM (128 GB) allows 10,
+        # vCPUs (32/4) allow 8 -> 8.
+        small = load_test_job(SMALL_SHAPE, HP_JOBS["WSC"], FEATURE_1_CACHE)
+        assert small.n_instances == 8
+
+    def test_feature_reduces_mips(self):
+        result = load_test_job(DEFAULT_SHAPE, HP_JOBS["WSC"], FEATURE_2_DVFS)
+        assert result.feature_mips < result.baseline_mips
+        assert result.reduction_pct > 0.0
+
+    def test_baseline_feature_is_zero_impact(self):
+        result = load_test_job(DEFAULT_SHAPE, HP_JOBS["WSC"], BASELINE)
+        assert result.reduction_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_job_name_recorded(self):
+        result = load_test_job(DEFAULT_SHAPE, HP_JOBS["DC"], FEATURE_1_CACHE)
+        assert result.job_name == "DC"
+        assert result.feature is FEATURE_1_CACHE
+
+    def test_cache_sensitive_job_reacts_more_to_feature1(self):
+        wsc = load_test_job(DEFAULT_SHAPE, HP_JOBS["WSC"], FEATURE_1_CACHE)
+        ms = load_test_job(DEFAULT_SHAPE, HP_JOBS["MS"], FEATURE_1_CACHE)
+        assert wsc.reduction_pct > ms.reduction_pct
+
+
+class TestLoadTestAllJobs:
+    def test_covers_all_hp_services(self):
+        results = load_test_all_jobs(DEFAULT_SHAPE, FEATURE_1_CACHE)
+        assert set(results) == set(HP_JOB_NAMES)
+        for name, result in results.items():
+            assert result.job_name == name
+
+    def test_custom_catalogue(self):
+        subset = {"WSC": HP_JOBS["WSC"]}
+        results = load_test_all_jobs(
+            DEFAULT_SHAPE, FEATURE_1_CACHE, jobs=subset
+        )
+        assert set(results) == {"WSC"}

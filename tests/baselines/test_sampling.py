@@ -1,0 +1,114 @@
+"""Unit tests for the sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    evaluate_by_sampling,
+    evaluate_full_datacenter,
+    evaluate_job_by_sampling,
+    sampling_cost_curve,
+)
+from repro.cluster import FEATURE_1_CACHE, FEATURE_2_DVFS
+
+
+@pytest.fixture(scope="module")
+def dataset(small_sim):
+    return small_sim.dataset
+
+
+@pytest.fixture(scope="module")
+def truth(dataset):
+    return evaluate_full_datacenter(dataset, FEATURE_1_CACHE)
+
+
+class TestAllJobSampling:
+    def test_estimates_target_the_truth(self, dataset, truth):
+        sampling = evaluate_by_sampling(
+            dataset,
+            FEATURE_1_CACHE,
+            sample_size=20,
+            n_trials=500,
+            seed=1,
+            truth=truth,
+        )
+        assert sampling.truth == pytest.approx(truth.overall_reduction_pct)
+        assert sampling.mean_estimate == pytest.approx(
+            truth.overall_reduction_pct, abs=0.5
+        )
+
+    def test_more_samples_less_spread(self, dataset, truth):
+        small = evaluate_by_sampling(
+            dataset, FEATURE_1_CACHE, sample_size=5, n_trials=400,
+            seed=2, truth=truth,
+        )
+        large = evaluate_by_sampling(
+            dataset, FEATURE_1_CACHE, sample_size=80, n_trials=400,
+            seed=2, truth=truth,
+        )
+        assert large.trials.estimates.std() < small.trials.estimates.std()
+
+    def test_cost_recorded(self, dataset, truth):
+        sampling = evaluate_by_sampling(
+            dataset, FEATURE_1_CACHE, sample_size=18, n_trials=10,
+            seed=0, truth=truth,
+        )
+        assert sampling.evaluation_cost == 18
+        assert sampling.job_name is None
+
+    def test_computes_truth_when_not_given(self, dataset, truth):
+        sampling = evaluate_by_sampling(
+            dataset, FEATURE_1_CACHE, sample_size=10, n_trials=10, seed=0
+        )
+        assert sampling.truth == pytest.approx(truth.overall_reduction_pct)
+
+
+class TestPerJobSampling:
+    def test_targets_per_job_truth(self, dataset, truth):
+        sampling = evaluate_job_by_sampling(
+            dataset, FEATURE_1_CACHE, "WSC", sample_size=18,
+            n_trials=300, seed=3,
+        )
+        assert sampling.job_name == "WSC"
+        assert sampling.truth == pytest.approx(truth.per_job["WSC"], abs=1e-9)
+
+    def test_sample_size_capped_at_population(self, dataset):
+        sampling = evaluate_job_by_sampling(
+            dataset, FEATURE_1_CACHE, "WSC", sample_size=10_000,
+            n_trials=5, seed=0,
+        )
+        hosting = len(dataset.scenarios_with_job("WSC"))
+        assert sampling.evaluation_cost == hosting
+
+    def test_unknown_job_raises(self, dataset):
+        with pytest.raises(ValueError):
+            evaluate_job_by_sampling(
+                dataset, FEATURE_1_CACHE, "nope", sample_size=5, n_trials=2
+            )
+
+
+class TestCostCurve:
+    def test_monotone_decreasing(self, truth):
+        curve = sampling_cost_curve(truth, (10, 20, 40, 80))
+        errors = [err for _, err in curve]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_rows_carry_sizes(self, truth):
+        curve = sampling_cost_curve(truth, (18, 36))
+        assert [size for size, _ in curve] == [18, 36]
+
+    def test_invalid_size_raises(self, truth):
+        with pytest.raises(ValueError):
+            sampling_cost_curve(truth, (0,))
+
+    def test_theoretical_curve_tracks_empirical(self, dataset, truth):
+        """The Fig-13 analytic expected-max error must approximate the
+        empirically observed 95th-percentile error."""
+        size = 20
+        curve = sampling_cost_curve(truth, (size,))
+        analytic = curve[0][1]
+        empirical = evaluate_by_sampling(
+            dataset, FEATURE_1_CACHE, sample_size=size, n_trials=2000,
+            seed=5, truth=truth,
+        ).trials.max_error_at_confidence(0.95)
+        assert analytic == pytest.approx(empirical, rel=0.35)

@@ -1,0 +1,130 @@
+"""Unit tests for the diurnal demand cycle."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DatacenterConfig, SubmissionConfig, SubmissionSystem, run_simulation
+from repro.perfmodel import Priority
+
+
+def make_system(seed=0, **kwargs):
+    return SubmissionSystem(
+        SubmissionConfig(**kwargs), np.random.default_rng(seed)
+    )
+
+
+class TestDemandMultiplier:
+    def test_disabled_by_default(self):
+        system = make_system()
+        for t in (0.0, 1e4, 5e5):
+            assert system.demand_multiplier(t) == 1.0
+
+    def test_sinusoidal_extremes(self):
+        system = make_system(diurnal_amplitude=0.4, diurnal_period_s=86400.0)
+        peak = system.demand_multiplier(86400.0 / 4.0)
+        trough = system.demand_multiplier(3.0 * 86400.0 / 4.0)
+        assert peak == pytest.approx(1.4)
+        assert trough == pytest.approx(0.6)
+
+    def test_periodicity(self):
+        system = make_system(diurnal_amplitude=0.3)
+        assert system.demand_multiplier(1000.0) == pytest.approx(
+            system.demand_multiplier(1000.0 + 86400.0)
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SubmissionConfig(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            SubmissionConfig(diurnal_amplitude=-0.1)
+        with pytest.raises(ValueError):
+            SubmissionConfig(diurnal_period_s=0.0)
+
+
+class TestInhomogeneousArrivals:
+    def test_thinning_preserves_mean_rate(self):
+        """Over whole cycles the time-average rate equals the base rate."""
+        system = make_system(
+            seed=3, arrival_rate_per_hour=120.0, diurnal_amplitude=0.5
+        )
+        t, count = 0.0, 0
+        horizon = 10 * 86400.0
+        while t < horizon:
+            t += system.next_interarrival_s(t)
+            count += 1
+        expected = 120.0 * horizon / 3600.0
+        assert count == pytest.approx(expected, rel=0.05)
+
+    def test_peak_hours_busier_than_trough_hours(self):
+        system = make_system(
+            seed=4, arrival_rate_per_hour=200.0, diurnal_amplitude=0.8
+        )
+        day = 86400.0
+        t, peak_count, trough_count = 0.0, 0, 0
+        while t < 20 * day:
+            t += system.next_interarrival_s(t)
+            phase = (t % day) / day
+            if 0.0 <= phase < 0.5:
+                peak_count += 1  # sin > 0 half of the cycle
+            else:
+                trough_count += 1
+        assert peak_count > trough_count * 1.5
+
+
+class TestDiurnalLoads:
+    def test_hp_loads_follow_cycle(self):
+        system = make_system(
+            seed=5, diurnal_amplitude=0.5, hp_fraction=1.0,
+            load_choices=(0.8,),
+        )
+        day = 86400.0
+        peak_load = system.next_request(day / 4.0).load
+        trough_load = system.next_request(3.0 * day / 4.0).load
+        assert peak_load > 0.8
+        assert trough_load < 0.8
+
+    def test_lp_loads_unmodulated(self):
+        system = make_system(
+            seed=6, diurnal_amplitude=0.5, hp_fraction=0.0,
+            load_choices=(0.8,),
+        )
+        request = system.next_request(86400.0 / 4.0)
+        assert request.signature.priority is Priority.LOW
+        assert request.load == pytest.approx(0.8)
+
+    def test_loads_stay_in_valid_range(self):
+        system = make_system(seed=7, diurnal_amplitude=0.9, hp_fraction=1.0)
+        for i in range(200):
+            request = system.next_request(now_s=i * 500.0)
+            assert 0.0 < request.load <= 1.0
+
+
+class TestDiurnalSimulation:
+    def test_simulation_runs_with_cycle(self):
+        result = run_simulation(
+            DatacenterConfig(
+                seed=8,
+                target_unique_scenarios=60,
+                submission=SubmissionConfig(diurnal_amplitude=0.4),
+            )
+        )
+        assert result.n_unique_scenarios == 60
+        loads = {
+            i.load
+            for s in result.dataset.scenarios
+            for i in s.instances
+        }
+        # Modulation produces loads outside the discrete choices.
+        assert len(loads) > 3
+
+    def test_deterministic(self):
+        cfg = DatacenterConfig(
+            seed=9,
+            target_unique_scenarios=40,
+            submission=SubmissionConfig(diurnal_amplitude=0.4),
+        )
+        a = run_simulation(cfg)
+        b = run_simulation(cfg)
+        assert [s.key for s in a.dataset.scenarios] == [
+            s.key for s in b.dataset.scenarios
+        ]

@@ -1,0 +1,115 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.cluster import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        hits = []
+        q.schedule(5.0, lambda: hits.append("late"))
+        q.schedule(1.0, lambda: hits.append("early"))
+        q.run()
+        assert hits == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        q = EventQueue()
+        hits = []
+        for i in range(5):
+            q.schedule(3.0, lambda i=i: hits.append(i))
+        q.run()
+        assert hits == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(7.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [7.5]
+        assert q.now == 7.5
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        hits = []
+        q.schedule(2.0, lambda: q.schedule_after(3.0, lambda: hits.append(q.now)))
+        q.run()
+        assert hits == [5.0]
+
+    def test_schedule_in_past_raises(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError, match="before current time"):
+            q.schedule(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        q = EventQueue()
+        hits = []
+        ev = q.schedule(1.0, lambda: hits.append("x"))
+        ev.cancel()
+        q.run()
+        assert hits == []
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+
+class TestRun:
+    def test_until_stops_clock_at_horizon(self):
+        q = EventQueue()
+        hits = []
+        q.schedule(1.0, lambda: hits.append(1))
+        q.schedule(10.0, lambda: hits.append(10))
+        q.run(until=5.0)
+        assert hits == [1]
+        assert q.now == 5.0
+
+    def test_until_then_resume(self):
+        q = EventQueue()
+        hits = []
+        q.schedule(10.0, lambda: hits.append(10))
+        q.run(until=5.0)
+        q.run()
+        assert hits == [10]
+
+    def test_stop_predicate_halts_early(self):
+        q = EventQueue()
+        hits = []
+        for t in range(1, 6):
+            q.schedule(float(t), lambda t=t: hits.append(t))
+        q.run(stop=lambda: len(hits) >= 2)
+        assert hits == [1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_events_scheduled_during_run_fire(self):
+        q = EventQueue()
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n < 3:
+                q.schedule_after(1.0, lambda: chain(n + 1))
+
+        q.schedule(0.0, lambda: chain(0))
+        q.run()
+        assert hits == [0, 1, 2, 3]
+
+    def test_run_until_advances_clock_with_no_events(self):
+        q = EventQueue()
+        q.run(until=42.0)
+        assert q.now == 42.0

@@ -1,0 +1,75 @@
+"""Unit tests for the Table 4 features."""
+
+import pytest
+
+from repro.cluster import (
+    BASELINE,
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    FEATURE_3_SMT,
+    PAPER_FEATURES,
+    Feature,
+)
+from repro.perfmodel import MachinePerf
+
+
+class TestPaperFeatures:
+    def test_baseline_is_identity(self):
+        m = MachinePerf()
+        assert BASELINE(m) == m
+
+    def test_feature1_shrinks_llc_proportionally(self):
+        m = MachinePerf(llc_mb=60.0)
+        assert FEATURE_1_CACHE(m).llc_mb == pytest.approx(24.0)  # 12/30
+
+    def test_feature1_scales_with_socket_llc(self):
+        small = MachinePerf(llc_mb=40.0)
+        assert FEATURE_1_CACHE(small).llc_mb == pytest.approx(16.0)
+
+    def test_feature2_caps_frequency(self):
+        m = MachinePerf(max_freq_ghz=2.9)
+        assert FEATURE_2_DVFS(m).max_freq_ghz == 1.8
+
+    def test_feature3_disables_smt(self):
+        m = MachinePerf()
+        out = FEATURE_3_SMT(m)
+        assert not out.smt_enabled
+        assert out.hardware_threads == m.hardware_threads
+
+    def test_features_leave_other_params_untouched(self):
+        m = MachinePerf()
+        for feature in PAPER_FEATURES:
+            out = feature(m)
+            assert out.physical_cores == m.physical_cores
+            assert out.mem_bw_gbps == m.mem_bw_gbps
+
+    def test_three_paper_features(self):
+        assert [f.name for f in PAPER_FEATURES] == [
+            "feature1",
+            "feature2",
+            "feature3",
+        ]
+
+    def test_descriptions_non_empty(self):
+        for feature in (BASELINE, *PAPER_FEATURES):
+            assert feature.description
+
+
+class TestShapePreservation:
+    def test_shape_changing_feature_rejected(self):
+        bad = Feature(
+            name="bad",
+            description="halves the cores",
+            apply=lambda m: MachinePerf(physical_cores=m.physical_cores // 2),
+        )
+        with pytest.raises(ValueError, match="changed the machine shape"):
+            bad(MachinePerf())
+
+    def test_custom_shape_preserving_feature_ok(self):
+        tweak = Feature(
+            name="latency",
+            description="slower DRAM",
+            apply=lambda m: MachinePerf(mem_latency_ns=m.mem_latency_ns * 1.2),
+        )
+        out = tweak(MachinePerf())
+        assert out.mem_latency_ns == pytest.approx(102.0)

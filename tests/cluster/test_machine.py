@@ -1,0 +1,117 @@
+"""Unit tests for machine shapes and runtime machine state."""
+
+import pytest
+
+from repro.cluster import DEFAULT_SHAPE, SMALL_SHAPE, Machine, MachineShape
+from repro.cluster.job import JobInstance, JobRequest
+from repro.perfmodel import MachinePerf
+from repro.workloads import HP_JOBS
+
+
+def make_instance(job="WSC", machine_id=0, load=1.0, duration=3600.0):
+    return JobInstance(
+        request=JobRequest(
+            signature=HP_JOBS[job], load=load, duration_s=duration
+        ),
+        machine_id=machine_id,
+        start_time=0.0,
+    )
+
+
+class TestShapes:
+    def test_default_shape_matches_table2(self):
+        assert DEFAULT_SHAPE.vcpus == 48
+        assert DEFAULT_SHAPE.dram_gb == 256.0
+        assert DEFAULT_SHAPE.perf.llc_mb == 60.0
+        assert DEFAULT_SHAPE.perf.max_freq_ghz == 2.9
+
+    def test_small_shape_matches_table5(self):
+        assert SMALL_SHAPE.vcpus == 32
+        assert SMALL_SHAPE.dram_gb == 128.0
+        assert SMALL_SHAPE.perf.llc_mb == 40.0
+        assert SMALL_SHAPE.vcpus < DEFAULT_SHAPE.vcpus
+
+    def test_shape_thread_consistency_enforced(self):
+        with pytest.raises(ValueError, match="hardware threads"):
+            MachineShape(
+                name="bad",
+                vcpus=64,
+                dram_gb=128.0,
+                perf=MachinePerf(physical_cores=24),
+            )
+
+    def test_invalid_shape_params(self):
+        with pytest.raises(ValueError):
+            MachineShape(name="x", vcpus=0, dram_gb=1.0, perf=MachinePerf())
+        with pytest.raises(ValueError):
+            MachineShape(name="x", vcpus=48, dram_gb=0.0, perf=MachinePerf())
+
+
+class TestMachineState:
+    def test_empty_machine(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        assert m.used_vcpus == 0
+        assert m.free_vcpus == 48
+        assert m.vcpu_utilization == 0.0
+
+    def test_place_updates_accounting(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        m.place(make_instance("WSC"))
+        assert m.used_vcpus == 4
+        assert m.used_dram_gb == HP_JOBS["WSC"].dram_gb
+        assert m.vcpu_utilization == pytest.approx(4 / 48)
+
+    def test_remove_restores_capacity(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        inst = make_instance("GA")
+        m.place(inst)
+        m.remove(inst)
+        assert m.used_vcpus == 0
+
+    def test_remove_unknown_raises(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        with pytest.raises(ValueError, match="not on machine"):
+            m.remove(make_instance())
+
+    def test_no_vcpu_overcommit(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        for _ in range(12):  # 48 vCPUs
+            m.place(make_instance("GA"))
+        assert m.free_vcpus == 0
+        assert not m.fits(4, 1.0)
+        with pytest.raises(ValueError, match="cannot fit"):
+            m.place(make_instance("GA"))
+
+    def test_no_dram_overcommit(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        # DS requests 16 GB; 16 instances would need 256 GB and 64 vCPUs,
+        # so build a DRAM-bound case with 12 vCPU-fitting DS requests.
+        for _ in range(12):
+            m.place(make_instance("DS"))  # 192 GB used, 48 vCPUs
+        assert not m.fits(4, 100.0)
+        assert m.fits(0, 10.0) is False or m.free_vcpus == 0
+
+    def test_fits_boundary_exact(self):
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        assert m.fits(48, 256.0)
+        assert not m.fits(49, 1.0)
+        assert not m.fits(1, 257.0)
+
+    def test_instance_ids_unique(self):
+        a, b = make_instance(), make_instance()
+        assert a.instance_id != b.instance_id
+
+
+class TestJobRequest:
+    def test_end_time(self):
+        inst = make_instance(duration=1800.0)
+        assert inst.end_time == pytest.approx(inst.start_time + 1800.0)
+
+    def test_job_name(self):
+        assert make_instance("DC").job_name == "DC"
+
+    def test_invalid_request(self):
+        with pytest.raises(ValueError):
+            JobRequest(signature=HP_JOBS["DC"], load=0.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            JobRequest(signature=HP_JOBS["DC"], load=1.0, duration_s=0.0)

@@ -1,0 +1,167 @@
+"""Unit tests for scenario identity, recording and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DEFAULT_SHAPE, Machine, ScenarioRecorder
+from repro.cluster.job import JobInstance, JobRequest
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+def place(machine, job, load=1.0, start=0.0):
+    catalogue = {**HP_JOBS, **LP_JOBS}
+    inst = JobInstance(
+        request=JobRequest(
+            signature=catalogue[job], load=load, duration_s=3600.0
+        ),
+        machine_id=machine.machine_id,
+        start_time=start,
+    )
+    machine.place(inst)
+    return inst
+
+
+class TestRecorder:
+    def test_records_first_composition(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        place(m, "WSC")
+        recorder.on_composition_change(m, 0.0)
+        assert recorder.n_unique == 1
+
+    def test_same_mix_on_two_machines_is_one_scenario(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m0 = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        m1 = Machine(machine_id=1, shape=DEFAULT_SHAPE)
+        place(m0, "WSC")
+        place(m1, "WSC")
+        recorder.on_composition_change(m0, 0.0)
+        recorder.on_composition_change(m1, 0.0)
+        assert recorder.n_unique == 1
+
+    def test_mix_identity_ignores_order(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m0 = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        m1 = Machine(machine_id=1, shape=DEFAULT_SHAPE)
+        place(m0, "WSC")
+        place(m0, "GA")
+        place(m1, "GA")
+        place(m1, "WSC")
+        recorder.on_composition_change(m0, 0.0)
+        recorder.on_composition_change(m1, 0.0)
+        assert recorder.n_unique == 1
+
+    def test_duration_accounting(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        inst = place(m, "WSC")
+        recorder.on_composition_change(m, 0.0)
+        place(m, "GA", start=100.0)
+        recorder.on_composition_change(m, 100.0)  # WSC-only lasted 100 s
+        m.remove(inst)
+        recorder.on_composition_change(m, 250.0)  # WSC+GA lasted 150 s
+        recorder.finalize(400.0)  # GA-only lasted 150 s
+
+        dataset = recorder.dataset()
+        durations = {s.key: s.total_duration_s for s in dataset.scenarios}
+        assert durations[(("WSC", 1),)] == pytest.approx(100.0)
+        assert durations[(("GA", 1), ("WSC", 1))] == pytest.approx(150.0)
+        assert durations[(("GA", 1),)] == pytest.approx(150.0)
+
+    def test_recurrence_accumulates(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        inst = place(m, "WSC")
+        recorder.on_composition_change(m, 0.0)
+        ga = place(m, "GA", start=10.0)
+        recorder.on_composition_change(m, 10.0)
+        m.remove(ga)
+        recorder.on_composition_change(m, 20.0)  # back to WSC-only
+        recorder.finalize(50.0)
+        dataset = recorder.dataset()
+        wsc_only = next(
+            s for s in dataset.scenarios if s.key == (("WSC", 1),)
+        )
+        assert wsc_only.n_occurrences == 2
+        assert wsc_only.total_duration_s == pytest.approx(10.0 + 30.0)
+
+    def test_empty_machine_not_a_scenario(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        inst = place(m, "WSC")
+        recorder.on_composition_change(m, 0.0)
+        m.remove(inst)
+        recorder.on_composition_change(m, 10.0)
+        recorder.finalize(100.0)
+        assert recorder.n_unique == 1  # only the WSC mix
+
+    def test_scenario_ids_dense_in_observation_order(self):
+        recorder = ScenarioRecorder(DEFAULT_SHAPE)
+        m = Machine(machine_id=0, shape=DEFAULT_SHAPE)
+        place(m, "WSC")
+        recorder.on_composition_change(m, 0.0)
+        place(m, "GA", start=1.0)
+        recorder.on_composition_change(m, 1.0)
+        dataset = recorder.dataset()
+        assert [s.scenario_id for s in dataset.scenarios] == [0, 1]
+
+
+class TestScenarioProperties:
+    def test_vcpu_accounting(self, tiny_dataset):
+        s = tiny_dataset[4]  # IA + MS + DS + omnetpp
+        assert s.total_vcpus == 16
+        assert s.hp_vcpus == 12
+        assert s.lp_vcpus == 4
+
+    def test_occupancy(self, tiny_dataset):
+        s = tiny_dataset[0]  # 2 jobs x 4 vCPU on 48
+        assert s.occupancy(tiny_dataset.shape) == pytest.approx(8 / 48)
+
+    def test_count_of(self, tiny_dataset):
+        s = tiny_dataset[2]  # DA x2 + WSV
+        assert s.count_of("DA") == 2
+        assert s.count_of("WSV") == 1
+        assert s.count_of("GA") == 0
+
+    def test_job_names_sorted(self, tiny_dataset):
+        names = tiny_dataset[2].job_names()
+        assert list(names) == sorted(names)
+
+    def test_hp_instances_filtered(self, tiny_dataset):
+        s = tiny_dataset[1]  # DC + mcf
+        hp = s.hp_instances
+        assert len(hp) == 1
+        assert hp[0].signature.name == "DC"
+
+
+class TestDataset:
+    def test_weights_normalised(self, tiny_dataset):
+        w = tiny_dataset.weights()
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0.0).all()
+
+    def test_weights_proportional_to_duration(self, tiny_dataset):
+        w = tiny_dataset.weights()
+        # Scenario 0 observed 7200 s, scenario 1 observed 3600 s.
+        assert w[0] / w[1] == pytest.approx(2.0)
+
+    def test_scenarios_with_job(self, tiny_dataset):
+        hosting = tiny_dataset.scenarios_with_job("WSC")
+        assert {s.scenario_id for s in hosting} == {0, 5}
+
+    def test_with_weights_from(self, tiny_dataset):
+        new = tiny_dataset.with_weights_from({tiny_dataset[0].key: 100.0})
+        w = new.weights()
+        assert w[0] == pytest.approx(w.max())
+        # Unlisted scenarios get zero duration -> epsilon weight.
+        assert w[1] < w[0]
+
+    def test_indexing_and_len(self, tiny_dataset):
+        assert len(tiny_dataset) == 6
+        assert tiny_dataset[3].scenario_id == 3
+
+    def test_empty_weights(self):
+        from repro.cluster import ScenarioDataset
+
+        empty = ScenarioDataset(shape=DEFAULT_SHAPE, scenarios=())
+        assert empty.weights().size == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DEFAULT_SHAPE,
+    BestFitPackingScheduler,
+    LeastUtilizedScheduler,
+    Machine,
+    RandomFitScheduler,
+)
+from repro.cluster.job import JobInstance, JobRequest
+from repro.workloads import HP_JOBS
+
+
+def request(job="WSC"):
+    return JobRequest(signature=HP_JOBS[job], load=1.0, duration_s=3600.0)
+
+
+def machines(n=3):
+    return [Machine(machine_id=i, shape=DEFAULT_SHAPE) for i in range(n)]
+
+
+def fill(machine, n, job="GA"):
+    for _ in range(n):
+        machine.place(
+            JobInstance(
+                request=request(job),
+                machine_id=machine.machine_id,
+                start_time=0.0,
+            )
+        )
+
+
+class TestLeastUtilized:
+    def test_picks_emptiest(self):
+        ms = machines(3)
+        fill(ms[0], 3)
+        fill(ms[1], 1)
+        fill(ms[2], 2)
+        chosen = LeastUtilizedScheduler().select_machine(ms, request())
+        assert chosen is ms[1]
+
+    def test_tie_breaks_by_machine_id(self):
+        ms = machines(3)
+        chosen = LeastUtilizedScheduler().select_machine(ms, request())
+        assert chosen is ms[0]
+
+    def test_denies_when_saturated(self):
+        ms = machines(2)
+        fill(ms[0], 12)
+        fill(ms[1], 12)
+        assert LeastUtilizedScheduler().select_machine(ms, request()) is None
+
+    def test_skips_infeasible_machines(self):
+        ms = machines(2)
+        fill(ms[0], 12)  # full
+        fill(ms[1], 11)
+        chosen = LeastUtilizedScheduler().select_machine(ms, request())
+        assert chosen is ms[1]
+
+    def test_respects_dram_limits(self):
+        ms = machines(2)
+        fill(ms[0], 12, job="DS")  # 192 GB
+        # DS needs 16 GB; machine 0 full on vCPUs anyway; use big request.
+        chosen = LeastUtilizedScheduler().select_machine(ms, request("DS"))
+        assert chosen is ms[1]
+
+
+class TestBestFitPacking:
+    def test_picks_fullest_feasible(self):
+        ms = machines(3)
+        fill(ms[0], 3)
+        fill(ms[1], 11)
+        fill(ms[2], 7)
+        chosen = BestFitPackingScheduler().select_machine(ms, request())
+        assert chosen is ms[1]
+
+    def test_overflows_to_next_fullest(self):
+        ms = machines(2)
+        fill(ms[0], 12)
+        fill(ms[1], 5)
+        chosen = BestFitPackingScheduler().select_machine(ms, request())
+        assert chosen is ms[1]
+
+    def test_denies_when_all_full(self):
+        ms = machines(1)
+        fill(ms[0], 12)
+        assert BestFitPackingScheduler().select_machine(ms, request()) is None
+
+
+class TestRandomFit:
+    def test_only_picks_feasible(self):
+        rng = np.random.default_rng(0)
+        ms = machines(3)
+        fill(ms[0], 12)
+        scheduler = RandomFitScheduler(rng)
+        for _ in range(20):
+            chosen = scheduler.select_machine(ms, request())
+            assert chosen in (ms[1], ms[2])
+
+    def test_deterministic_with_seeded_rng(self):
+        ms = machines(5)
+        a = RandomFitScheduler(np.random.default_rng(7))
+        b = RandomFitScheduler(np.random.default_rng(7))
+        picks_a = [a.select_machine(ms, request()).machine_id for _ in range(10)]
+        picks_b = [b.select_machine(ms, request()).machine_id for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_denies_when_nothing_fits(self):
+        ms = machines(1)
+        fill(ms[0], 12)
+        scheduler = RandomFitScheduler(np.random.default_rng(0))
+        assert scheduler.select_machine(ms, request()) is None
+
+    def test_scheduler_names(self):
+        assert LeastUtilizedScheduler().name == "least-utilized"
+        assert BestFitPackingScheduler().name == "best-fit-packing"
+        assert RandomFitScheduler(np.random.default_rng(0)).name == "random-fit"

@@ -1,0 +1,136 @@
+"""Integration-level tests for the datacenter simulation."""
+
+import pytest
+
+from repro.cluster import (
+    DatacenterConfig,
+    BestFitPackingScheduler,
+    SubmissionConfig,
+    run_simulation,
+)
+from repro.cluster.machine import SMALL_SHAPE
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        cfg = DatacenterConfig(seed=7, target_unique_scenarios=40)
+        a = run_simulation(cfg)
+        b = run_simulation(cfg)
+        assert [s.key for s in a.dataset.scenarios] == [
+            s.key for s in b.dataset.scenarios
+        ]
+        assert a.stats.n_submitted == b.stats.n_submitted
+
+    def test_different_seed_different_dataset(self):
+        a = run_simulation(DatacenterConfig(seed=1, target_unique_scenarios=40))
+        b = run_simulation(DatacenterConfig(seed=2, target_unique_scenarios=40))
+        assert [s.key for s in a.dataset.scenarios] != [
+            s.key for s in b.dataset.scenarios
+        ]
+
+
+class TestTargets:
+    def test_stops_at_target_unique(self):
+        result = run_simulation(
+            DatacenterConfig(seed=3, target_unique_scenarios=50)
+        )
+        assert result.n_unique_scenarios == 50
+
+    def test_runs_to_horizon_without_target(self):
+        result = run_simulation(
+            DatacenterConfig(
+                seed=3,
+                target_unique_scenarios=None,
+                max_days=0.05,
+                submission=SubmissionConfig(arrival_rate_per_hour=30.0),
+            )
+        )
+        assert result.stats.sim_time_s == pytest.approx(0.05 * 86400.0)
+        assert result.n_unique_scenarios > 0
+
+    def test_paper_scale_reaches_895(self):
+        result = run_simulation(DatacenterConfig(seed=2023))
+        assert result.n_unique_scenarios == 895
+
+
+class TestAccounting:
+    def test_submissions_balance(self):
+        result = run_simulation(
+            DatacenterConfig(seed=4, target_unique_scenarios=60)
+        )
+        stats = result.stats
+        assert stats.n_submitted == stats.n_placed + stats.n_denied
+        assert stats.n_completed <= stats.n_placed
+
+    def test_saturation_produces_denials(self):
+        # One machine + very high arrival rate must deny requests.
+        result = run_simulation(
+            DatacenterConfig(
+                seed=5,
+                n_machines=1,
+                target_unique_scenarios=None,
+                max_days=0.2,
+                submission=SubmissionConfig(arrival_rate_per_hour=400.0),
+            )
+        )
+        assert result.stats.n_denied > 0
+        assert 0.0 < result.stats.denial_rate < 1.0
+
+    def test_scenarios_respect_machine_capacity(self):
+        result = run_simulation(
+            DatacenterConfig(seed=6, target_unique_scenarios=80)
+        )
+        shape = result.dataset.shape
+        for scenario in result.dataset.scenarios:
+            assert scenario.total_vcpus <= shape.vcpus
+            dram = sum(i.signature.dram_gb for i in scenario.instances)
+            assert dram <= shape.dram_gb + 1e-9
+
+    def test_weights_sum_to_one(self):
+        result = run_simulation(
+            DatacenterConfig(seed=6, target_unique_scenarios=80)
+        )
+        assert result.dataset.weights().sum() == pytest.approx(1.0)
+
+
+class TestVariants:
+    def test_small_shape_simulation(self):
+        result = run_simulation(
+            DatacenterConfig(
+                shape=SMALL_SHAPE, seed=8, target_unique_scenarios=40
+            )
+        )
+        assert result.dataset.shape is SMALL_SHAPE
+        for scenario in result.dataset.scenarios:
+            assert scenario.total_vcpus <= SMALL_SHAPE.vcpus
+
+    def test_alternative_scheduler_changes_mixes(self):
+        cfg = DatacenterConfig(seed=9, target_unique_scenarios=60)
+        default = run_simulation(cfg)
+        packed = run_simulation(cfg, scheduler=BestFitPackingScheduler())
+        assert {s.key for s in default.dataset.scenarios} != {
+            s.key for s in packed.dataset.scenarios
+        }
+
+    def test_packing_scheduler_reaches_higher_occupancy_sooner(self):
+        cfg = DatacenterConfig(seed=10, target_unique_scenarios=60)
+        default = run_simulation(cfg)
+        packed = run_simulation(cfg, scheduler=BestFitPackingScheduler())
+        mean_occ = lambda r: sum(
+            s.occupancy(r.dataset.shape) for s in r.dataset.scenarios
+        ) / len(r.dataset)
+        assert mean_occ(packed) > mean_occ(default) * 0.8
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_machines": 0},
+            {"max_days": 0.0},
+            {"target_unique_scenarios": 0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            DatacenterConfig(**kwargs)

@@ -1,0 +1,88 @@
+"""Property-based tests for datacenter-simulation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DatacenterConfig, SubmissionConfig, run_simulation
+from repro.io import dataset_from_dict, dataset_to_dict
+
+configs = st.builds(
+    DatacenterConfig,
+    seed=st.integers(0, 10_000),
+    n_machines=st.integers(1, 6),
+    target_unique_scenarios=st.integers(5, 40),
+    max_days=st.just(2.0),
+    submission=st.builds(
+        SubmissionConfig,
+        arrival_rate_per_hour=st.floats(20.0, 200.0),
+        hp_fraction=st.floats(0.2, 0.9),
+    ),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(configs)
+def test_no_scenario_overcommits_machines(config):
+    result = run_simulation(config)
+    shape = result.dataset.shape
+    for scenario in result.dataset.scenarios:
+        assert scenario.total_vcpus <= shape.vcpus
+        dram = sum(i.signature.dram_gb for i in scenario.instances)
+        assert dram <= shape.dram_gb + 1e-9
+        assert scenario.hp_vcpus + scenario.lp_vcpus == scenario.total_vcpus
+
+
+@settings(max_examples=25, deadline=None)
+@given(configs)
+def test_observed_machine_time_bounded(config):
+    """Total recorded scenario time cannot exceed machines × wall time."""
+    result = run_simulation(config)
+    total = sum(s.total_duration_s for s in result.dataset.scenarios)
+    assert total <= config.n_machines * result.stats.sim_time_s + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(configs)
+def test_submission_accounting_balances(config):
+    result = run_simulation(config)
+    stats = result.stats
+    assert stats.n_submitted == stats.n_placed + stats.n_denied
+    assert 0 <= stats.n_completed <= stats.n_placed
+    assert 0.0 <= stats.denial_rate <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(configs)
+def test_weights_form_distribution(config):
+    result = run_simulation(config)
+    weights = result.dataset.weights()
+    if weights.size:
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0.0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs)
+def test_dataset_serialization_round_trip(config):
+    dataset = run_simulation(config).dataset
+    rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+    assert len(rebuilt) == len(dataset)
+    for a, b in zip(dataset.scenarios, rebuilt.scenarios):
+        assert a.key == b.key
+        assert a.total_duration_s == b.total_duration_s
+        for ia, ib in zip(a.instances, b.instances):
+            assert ia.signature == ib.signature
+            assert ia.load == ib.load
+    np.testing.assert_allclose(rebuilt.weights(), dataset.weights())
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs)
+def test_scenario_ids_dense_and_keys_unique(config):
+    dataset = run_simulation(config).dataset
+    ids = [s.scenario_id for s in dataset.scenarios]
+    assert ids == list(range(len(dataset)))
+    keys = [s.key for s in dataset.scenarios]
+    assert len(keys) == len(set(keys))

@@ -1,0 +1,176 @@
+"""Unit tests for the job submission system."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SubmissionConfig, SubmissionSystem
+from repro.perfmodel import Priority
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+def make_system(seed=0, **kwargs):
+    return SubmissionSystem(
+        SubmissionConfig(**kwargs), np.random.default_rng(seed)
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate_per_hour": 0.0},
+            {"hp_fraction": -0.1},
+            {"hp_fraction": 1.1},
+            {"min_duration_s": 0.0},
+            {"mean_extra_duration_s": -1.0},
+            {"load_choices": ()},
+            {"load_choices": (0.0,)},
+            {"load_choices": (1.5,)},
+        ],
+    )
+    def test_invalid_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            SubmissionConfig(**kwargs)
+
+    def test_unknown_mix_job_raises(self):
+        with pytest.raises(ValueError, match="unknown jobs"):
+            make_system(hp_mix={"NOPE": 1.0})
+
+    def test_negative_mix_weight_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make_system(hp_mix={"WSC": -1.0})
+
+
+class TestArrivals:
+    def test_interarrival_mean_matches_rate(self):
+        system = make_system(seed=1, arrival_rate_per_hour=120.0)
+        gaps = [system.next_interarrival_s() for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(30.0, rel=0.1)
+
+    def test_deterministic_for_seed(self):
+        a = make_system(seed=3)
+        b = make_system(seed=3)
+        for _ in range(20):
+            ra, rb = a.next_request(), b.next_request()
+            assert ra.signature.name == rb.signature.name
+            assert ra.load == rb.load
+            assert ra.duration_s == rb.duration_s
+
+
+class TestRequests:
+    def test_duration_floor_respected(self):
+        system = make_system(seed=2, min_duration_s=1800.0)
+        for _ in range(200):
+            assert system.next_request().duration_s >= 1800.0
+
+    def test_zero_extra_duration_is_exact(self):
+        system = make_system(
+            seed=2, min_duration_s=600.0, mean_extra_duration_s=0.0
+        )
+        assert system.next_request().duration_s == 600.0
+
+    def test_loads_come_from_choices(self):
+        choices = (0.7, 0.85, 1.0)
+        system = make_system(seed=4, load_choices=choices)
+        seen = {system.next_request().load for _ in range(200)}
+        assert seen <= set(choices)
+        assert len(seen) == 3
+
+    def test_hp_fraction_respected(self):
+        system = make_system(seed=5, hp_fraction=0.7)
+        kinds = [
+            system.next_request().signature.priority for _ in range(3000)
+        ]
+        hp_share = sum(1 for k in kinds if k is Priority.HIGH) / len(kinds)
+        assert hp_share == pytest.approx(0.7, abs=0.03)
+
+    def test_hp_fraction_extremes(self):
+        all_hp = make_system(seed=6, hp_fraction=1.0)
+        assert all(
+            all_hp.next_request().signature.priority is Priority.HIGH
+            for _ in range(50)
+        )
+        all_lp = make_system(seed=6, hp_fraction=0.0)
+        assert all(
+            all_lp.next_request().signature.priority is Priority.LOW
+            for _ in range(50)
+        )
+
+    def test_mix_weights_bias_selection(self):
+        system = make_system(
+            seed=7, hp_fraction=1.0, hp_mix={"WSC": 10.0, "GA": 0.0}
+        )
+        names = [system.next_request().signature.name for _ in range(500)]
+        assert names.count("GA") == 0
+        assert names.count("WSC") > 500 / len(HP_JOBS)
+
+    def test_requests_reference_catalogue_signatures(self):
+        system = make_system(seed=8)
+        for _ in range(50):
+            req = system.next_request()
+            assert req.signature.name in {**HP_JOBS, **LP_JOBS}
+
+
+class TestBursts:
+    def test_default_burst_is_one(self):
+        system = make_system(seed=1)
+        assert all(system.next_burst_size() == 1 for _ in range(20))
+
+    def test_burst_sizes_from_choices(self):
+        system = make_system(seed=2, burst_choices=(1, 2, 4))
+        seen = {system.next_burst_size() for _ in range(300)}
+        assert seen == {1, 2, 4}
+
+    def test_invalid_bursts(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SubmissionConfig(burst_choices=())
+        with pytest.raises(ValueError):
+            SubmissionConfig(burst_choices=(0,))
+
+    def test_single_choice_does_not_touch_rng(self):
+        """Sampling a burst of the single-choice default must not advance
+        the random stream, so seeded results stay reproducible."""
+        a = make_system(seed=3)
+        b = make_system(seed=3)
+        for _ in range(10):
+            a.next_burst_size()
+        ra, rb = a.next_request(), b.next_request()
+        assert ra.signature.name == rb.signature.name
+        assert ra.load == rb.load
+
+    def test_burst_simulation_produces_multi_instance_mixes(self):
+        from repro.cluster import DatacenterConfig, run_simulation
+
+        result = run_simulation(
+            DatacenterConfig(
+                seed=4,
+                target_unique_scenarios=80,
+                submission=SubmissionConfig(burst_choices=(2, 3)),
+            )
+        )
+        multi = [
+            s
+            for s in result.dataset.scenarios
+            if any(count >= 2 for _, count in s.key)
+        ]
+        assert len(multi) > len(result.dataset) * 0.3
+
+    def test_burst_denials_counted_per_instance(self):
+        from repro.cluster import DatacenterConfig, run_simulation
+
+        result = run_simulation(
+            DatacenterConfig(
+                seed=5,
+                n_machines=1,
+                target_unique_scenarios=None,
+                max_days=0.3,
+                submission=SubmissionConfig(
+                    arrival_rate_per_hour=200.0, burst_choices=(4,)
+                ),
+            )
+        )
+        stats = result.stats
+        assert stats.n_submitted == stats.n_placed + stats.n_denied
+        assert stats.n_denied > 0

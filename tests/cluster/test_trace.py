@@ -1,0 +1,185 @@
+"""Unit tests for trace-based dataset ingestion."""
+
+import pytest
+
+from repro.cluster import (
+    DEFAULT_SHAPE,
+    TraceEvent,
+    TraceEventType,
+    dataset_from_trace,
+)
+
+START = TraceEventType.START
+STOP = TraceEventType.STOP
+
+
+def ev(t, machine, cid, kind, job="", load=1.0):
+    return TraceEvent(
+        time_s=t,
+        machine_id=machine,
+        container_id=cid,
+        event=kind,
+        job=job,
+        load=load,
+    )
+
+
+class TestBasicIngestion:
+    def test_single_container_lifecycle(self):
+        dataset = dataset_from_trace(
+            [
+                ev(0.0, 0, "c1", START, "WSC", 0.8),
+                ev(100.0, 0, "c1", STOP),
+            ],
+            DEFAULT_SHAPE,
+        )
+        assert len(dataset) == 1
+        scenario = dataset[0]
+        assert scenario.key == (("WSC", 1),)
+        assert scenario.total_duration_s == pytest.approx(100.0)
+        assert scenario.instances[0].load == pytest.approx(0.8)
+
+    def test_colocation_intervals(self):
+        dataset = dataset_from_trace(
+            [
+                ev(0.0, 0, "a", START, "WSC"),
+                ev(50.0, 0, "b", START, "GA"),
+                ev(150.0, 0, "a", STOP),
+                ev(300.0, 0, "b", STOP),
+            ],
+            DEFAULT_SHAPE,
+        )
+        durations = {s.key: s.total_duration_s for s in dataset.scenarios}
+        assert durations[(("WSC", 1),)] == pytest.approx(50.0)
+        assert durations[(("GA", 1), ("WSC", 1))] == pytest.approx(100.0)
+        assert durations[(("GA", 1),)] == pytest.approx(150.0)
+
+    def test_machines_are_independent(self):
+        dataset = dataset_from_trace(
+            [
+                ev(0.0, 0, "a", START, "WSC"),
+                ev(0.0, 1, "b", START, "WSC"),
+                ev(10.0, 0, "a", STOP),
+                ev(30.0, 1, "b", STOP),
+            ],
+            DEFAULT_SHAPE,
+        )
+        # Same mix on both machines -> one scenario, summed durations.
+        assert len(dataset) == 1
+        assert dataset[0].total_duration_s == pytest.approx(40.0)
+        assert dataset[0].n_occurrences == 2
+
+    def test_open_containers_closed_at_horizon(self):
+        dataset = dataset_from_trace(
+            [ev(0.0, 0, "a", START, "DC")],
+            DEFAULT_SHAPE,
+            end_time_s=500.0,
+        )
+        assert dataset[0].total_duration_s == pytest.approx(500.0)
+
+    def test_custom_catalogue(self):
+        import dataclasses
+
+        from repro.workloads import HP_JOBS
+
+        custom = dataclasses.replace(HP_JOBS["WSC"], name="XJOB")
+        dataset = dataset_from_trace(
+            [ev(0.0, 0, "a", START, "XJOB"), ev(5.0, 0, "a", STOP)],
+            DEFAULT_SHAPE,
+            catalogue={"XJOB": custom},
+        )
+        assert dataset[0].instances[0].signature.name == "XJOB"
+
+    def test_empty_trace(self):
+        dataset = dataset_from_trace([], DEFAULT_SHAPE)
+        assert len(dataset) == 0
+
+
+class TestStrictValidation:
+    def test_unknown_job_raises(self):
+        with pytest.raises(ValueError, match="unknown job"):
+            dataset_from_trace(
+                [ev(0.0, 0, "a", START, "NOPE")], DEFAULT_SHAPE
+            )
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ValueError, match="STOP without START"):
+            dataset_from_trace([ev(0.0, 0, "a", STOP)], DEFAULT_SHAPE)
+
+    def test_duplicate_start_raises(self):
+        with pytest.raises(ValueError, match="duplicate START"):
+            dataset_from_trace(
+                [
+                    ev(0.0, 0, "a", START, "WSC"),
+                    ev(1.0, 0, "a", START, "GA"),
+                ],
+                DEFAULT_SHAPE,
+            )
+
+    def test_backwards_time_raises(self):
+        with pytest.raises(ValueError, match="backwards"):
+            dataset_from_trace(
+                [
+                    ev(10.0, 0, "a", START, "WSC"),
+                    ev(5.0, 0, "b", START, "GA"),
+                ],
+                DEFAULT_SHAPE,
+            )
+
+    def test_capacity_violation_raises(self):
+        events = [
+            ev(float(i), 0, f"c{i}", START, "GA") for i in range(13)
+        ]  # 13 × 4 vCPU > 48
+        with pytest.raises(ValueError, match="over capacity"):
+            dataset_from_trace(events, DEFAULT_SHAPE)
+
+    def test_bad_horizon_raises(self):
+        with pytest.raises(ValueError, match="precedes"):
+            dataset_from_trace(
+                [ev(100.0, 0, "a", START, "WSC")],
+                DEFAULT_SHAPE,
+                end_time_s=50.0,
+            )
+
+
+class TestLenientMode:
+    def test_skips_malformed_events(self):
+        dataset = dataset_from_trace(
+            [
+                ev(0.0, 0, "a", START, "WSC"),
+                ev(1.0, 0, "zzz", STOP),  # no matching START
+                ev(2.0, 0, "b", START, "NOPE"),  # unknown job
+                ev(50.0, 0, "a", STOP),
+            ],
+            DEFAULT_SHAPE,
+            strict=False,
+        )
+        assert len(dataset) == 1
+        assert dataset[0].key == (("WSC", 1),)
+
+
+class TestPipelineCompatibility:
+    def test_trace_dataset_feeds_flare(self):
+        """A trace-derived dataset runs through the full pipeline."""
+        from repro.cluster import FEATURE_1_CACHE
+        from repro.core import Flare, FlareConfig
+        from repro.core.analyzer import AnalyzerConfig
+
+        jobs = ["WSC", "GA", "DC", "mcf", "IA", "DS"]
+        events = []
+        t = 0.0
+        for i, job in enumerate(jobs * 3):
+            events.append(ev(t, i % 2, f"c{i}", START, job, 0.85))
+            t += 40.0
+        for i in range(len(jobs) * 3):
+            events.append(ev(t, i % 2, f"c{i}", STOP))
+            t += 25.0
+        dataset = dataset_from_trace(events, DEFAULT_SHAPE)
+        assert len(dataset) >= 4
+        flare = Flare(
+            FlareConfig(
+                analyzer=AnalyzerConfig(n_clusters=3, kmeans_restarts=2)
+            )
+        ).fit(dataset)
+        estimate = flare.evaluate(FEATURE_1_CACHE)
+        assert estimate.reduction_pct > 0.0

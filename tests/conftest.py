@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (a simulated datacenter, a fitted FLARE model) are
+built once per session at a reduced scale; cheap hand-built scenarios are
+provided for precise unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import DatacenterConfig, ScenarioDataset, run_simulation
+from repro.cluster.machine import DEFAULT_SHAPE
+from repro.cluster.scenario import Scenario
+from repro.core import Flare, FlareConfig
+from repro.core.analyzer import AnalyzerConfig
+from repro.perfmodel import RunningInstance
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+def make_scenario(
+    scenario_id: int,
+    jobs: list[tuple[str, float]],
+    *,
+    duration_s: float = 3600.0,
+    occurrences: int = 1,
+) -> Scenario:
+    """Build a scenario from (job name, load) pairs."""
+    catalogue = {**HP_JOBS, **LP_JOBS}
+    instances = tuple(
+        RunningInstance(signature=catalogue[name], load=load)
+        for name, load in sorted(jobs)
+    )
+    counts: dict[str, int] = {}
+    for name, _ in jobs:
+        counts[name] = counts.get(name, 0) + 1
+    return Scenario(
+        scenario_id=scenario_id,
+        key=tuple(sorted(counts.items())),
+        instances=instances,
+        n_occurrences=occurrences,
+        total_duration_s=duration_s,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> ScenarioDataset:
+    """Six hand-built scenarios covering HP-only, mixed, and LP-only."""
+    scenarios = (
+        make_scenario(0, [("WSC", 1.0), ("GA", 1.0)], duration_s=7200.0),
+        make_scenario(1, [("DC", 0.85), ("mcf", 1.0)], duration_s=3600.0),
+        make_scenario(2, [("DA", 1.0), ("DA", 0.7), ("WSV", 0.85)]),
+        make_scenario(3, [("sjeng", 1.0), ("libquantum", 1.0)]),
+        make_scenario(
+            4,
+            [("IA", 1.0), ("MS", 0.7), ("DS", 0.85), ("omnetpp", 1.0)],
+            duration_s=1800.0,
+        ),
+        make_scenario(5, [("WSC", 0.7)], duration_s=5400.0),
+    )
+    return ScenarioDataset(shape=DEFAULT_SHAPE, scenarios=scenarios)
+
+
+@pytest.fixture(scope="session")
+def small_sim():
+    """A reduced simulated datacenter (shared, treat as read-only)."""
+    return run_simulation(
+        DatacenterConfig(seed=42, target_unique_scenarios=120)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_flare(small_sim) -> Flare:
+    """A fitted FLARE model over the reduced datacenter."""
+    config = FlareConfig(
+        analyzer=AnalyzerConfig(
+            n_clusters=8, cluster_counts=tuple(range(2, 13, 2))
+        )
+    )
+    return Flare(config).fit(small_sim.dataset)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

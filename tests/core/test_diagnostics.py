@@ -1,0 +1,125 @@
+"""Unit tests for representativeness diagnostics and uncertain estimates."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.core import (
+    diagnose,
+    estimate_all_job_impact,
+    estimate_with_uncertainty,
+)
+
+
+@pytest.fixture(scope="module")
+def report(small_flare):
+    return diagnose(small_flare)
+
+
+class TestDiagnose:
+    def test_one_entry_per_group(self, report, small_flare):
+        assert len(report.groups) == len(small_flare.representatives)
+
+    def test_sizes_partition_dataset(self, report, small_flare):
+        assert sum(g.size for g in report.groups) == len(small_flare.dataset)
+
+    def test_representative_is_central(self, report):
+        """The medoid must be at most as far from the centroid as the
+        average member — that is its definition."""
+        for group in report.groups:
+            assert group.representative_distance <= (
+                group.mean_member_distance + 1e-9
+            )
+            assert group.centrality <= 1.0 + 1e-9
+
+    def test_distances_ordered(self, report):
+        for group in report.groups:
+            assert group.representative_distance <= group.max_member_distance
+
+    def test_silhouette_bounds(self, report):
+        assert -1.0 <= report.overall_silhouette <= 1.0
+        for group in report.groups:
+            assert -1.0 <= group.mean_silhouette <= 1.0
+
+    def test_worst_group(self, report):
+        worst = report.worst_group()
+        assert worst.mean_member_distance == max(
+            g.mean_member_distance for g in report.groups
+        )
+
+    def test_mean_centrality(self, report):
+        assert 0.0 <= report.mean_centrality() <= 1.0 + 1e-9
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Representativeness" in text
+        assert "silhouette" in text
+
+
+class TestEstimateWithUncertainty:
+    @pytest.fixture(scope="module")
+    def uncertain(self, small_flare):
+        return estimate_with_uncertainty(
+            small_flare.representatives,
+            small_flare.replayer,
+            FEATURE_2_DVFS,
+            members_per_group=3,
+        )
+
+    def test_point_near_medoid_estimate(self, small_flare, uncertain):
+        medoid = estimate_all_job_impact(
+            small_flare.representatives,
+            small_flare.replayer,
+            FEATURE_2_DVFS,
+        )
+        assert uncertain.reduction_pct == pytest.approx(
+            medoid.reduction_pct, abs=1.5
+        )
+
+    def test_costs_scale_with_members(self, small_flare, uncertain):
+        single = estimate_with_uncertainty(
+            small_flare.representatives,
+            small_flare.replayer,
+            FEATURE_2_DVFS,
+            members_per_group=1,
+        )
+        assert uncertain.evaluation_cost > single.evaluation_cost
+        assert uncertain.members_per_group == 3
+
+    def test_single_member_has_zero_stderr(self, small_flare):
+        single = estimate_with_uncertainty(
+            small_flare.representatives,
+            small_flare.replayer,
+            FEATURE_1_CACHE,
+            members_per_group=1,
+        )
+        assert single.stderr_pct == pytest.approx(0.0, abs=1e-12)
+
+    def test_interval_brackets_point(self, uncertain):
+        low, high = uncertain.interval()
+        assert low <= uncertain.reduction_pct <= high
+        assert high - low == pytest.approx(2 * 1.96 * uncertain.stderr_pct)
+
+    def test_matches_single_member_medoid(self, small_flare):
+        """With m=1 the estimator degenerates to the paper's method."""
+        single = estimate_with_uncertainty(
+            small_flare.representatives,
+            small_flare.replayer,
+            FEATURE_1_CACHE,
+            members_per_group=1,
+        )
+        medoid = estimate_all_job_impact(
+            small_flare.representatives,
+            small_flare.replayer,
+            FEATURE_1_CACHE,
+        )
+        assert single.reduction_pct == pytest.approx(medoid.reduction_pct)
+
+    def test_invalid_members_raises(self, small_flare):
+        with pytest.raises(ValueError):
+            estimate_with_uncertainty(
+                small_flare.representatives,
+                small_flare.replayer,
+                FEATURE_1_CACHE,
+                members_per_group=0,
+            )

@@ -1,0 +1,115 @@
+"""Unit tests for the FLARE estimators."""
+
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.core import (
+    Replayer,
+    estimate_all_job_impact,
+    estimate_per_job_impact,
+)
+
+
+@pytest.fixture(scope="module")
+def reps(small_flare):
+    return small_flare.representatives
+
+
+@pytest.fixture(scope="module")
+def replayer(small_flare):
+    return Replayer(small_flare.dataset.shape)
+
+
+class TestAllJobEstimate:
+    def test_weighted_average_of_clusters(self, reps, replayer):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_1_CACHE)
+        manual = sum(
+            c.weight * c.reduction_pct for c in estimate.per_cluster
+        )
+        assert estimate.reduction_pct == pytest.approx(manual)
+
+    def test_weights_renormalised(self, reps, replayer):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_1_CACHE)
+        assert sum(c.weight for c in estimate.per_cluster) == pytest.approx(1.0)
+
+    def test_cost_is_at_most_cluster_count(self, reps, replayer):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_1_CACHE)
+        assert 1 <= estimate.evaluation_cost <= len(reps)
+        assert estimate.evaluation_cost == len(estimate.per_cluster)
+
+    def test_estimate_within_cluster_extremes(self, reps, replayer):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_2_DVFS)
+        reductions = [c.reduction_pct for c in estimate.per_cluster]
+        assert min(reductions) <= estimate.reduction_pct <= max(reductions)
+
+    def test_job_name_is_none(self, reps, replayer):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_1_CACHE)
+        assert estimate.job_name is None
+
+    def test_cluster_reductions_mapping(self, reps, replayer):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_1_CACHE)
+        mapping = estimate.cluster_reductions()
+        assert len(mapping) == len(estimate.per_cluster)
+        for impact in estimate.per_cluster:
+            assert mapping[impact.cluster_id] == impact.reduction_pct
+
+    def test_representatives_host_hp_jobs(self, reps, replayer, small_flare):
+        estimate = estimate_all_job_impact(reps, replayer, FEATURE_1_CACHE)
+        for impact in estimate.per_cluster:
+            scenario = next(
+                s
+                for s in small_flare.dataset.scenarios
+                if s.scenario_id == impact.scenario_id
+            )
+            assert scenario.hp_instances
+
+
+class TestPerJobEstimate:
+    def test_measures_only_hosting_scenarios(self, reps, replayer, small_flare):
+        estimate = estimate_per_job_impact(
+            reps, replayer, FEATURE_1_CACHE, "WSC"
+        )
+        for impact in estimate.per_cluster:
+            scenario = next(
+                s
+                for s in small_flare.dataset.scenarios
+                if s.scenario_id == impact.scenario_id
+            )
+            assert scenario.count_of("WSC") > 0
+
+    def test_weighted_by_job_instances(self, reps, replayer):
+        estimate = estimate_per_job_impact(
+            reps, replayer, FEATURE_1_CACHE, "WSC"
+        )
+        assert sum(c.weight for c in estimate.per_cluster) == pytest.approx(1.0)
+        manual = sum(c.weight * c.reduction_pct for c in estimate.per_cluster)
+        assert estimate.reduction_pct == pytest.approx(manual)
+
+    def test_job_name_recorded(self, reps, replayer):
+        estimate = estimate_per_job_impact(
+            reps, replayer, FEATURE_1_CACHE, "GA"
+        )
+        assert estimate.job_name == "GA"
+
+    def test_unknown_job_raises(self, reps, replayer):
+        with pytest.raises(ValueError, match="does not appear"):
+            estimate_per_job_impact(
+                reps, replayer, FEATURE_1_CACHE, "not-a-job"
+            )
+
+    def test_fallback_scenario_may_differ_from_representative(
+        self, reps, replayer
+    ):
+        """When a representative lacks the job, the next-nearest member is
+        used — so at least sometimes the measured scenario is not the
+        group's representative."""
+        estimate = estimate_per_job_impact(
+            reps, replayer, FEATURE_1_CACHE, "WSC"
+        )
+        rep_ids = {g.representative_index for g in reps.groups}
+        measured_ids = {c.scenario_id for c in estimate.per_cluster}
+        # All measured scenarios are group members; not necessarily reps.
+        assert measured_ids  # non-empty
+        assert measured_ids <= {
+            idx for g in reps.groups for idx in g.ranked_members
+        }

@@ -1,0 +1,100 @@
+"""Unit tests for the heterogeneous-fleet evaluator (§5.5)."""
+
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.cluster.machine import DEFAULT_SHAPE, SMALL_SHAPE
+from repro.core import FleetEvaluator, FleetSegment
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return FleetEvaluator.from_simulations(
+        [(DEFAULT_SHAPE, 16), (SMALL_SHAPE, 8)],
+        seed=31,
+        target_unique_scenarios=80,
+        n_clusters=6,
+    )
+
+
+class TestConstruction:
+    def test_segments_built_per_shape(self, fleet):
+        names = [segment.shape.name for segment in fleet.segments]
+        assert names == ["default", "small"]
+
+    def test_capacity_accounting(self, fleet):
+        assert fleet.total_capacity_vcpus == 16 * 48 + 8 * 32
+        weights = fleet.segment_weights()
+        assert weights["default"] == pytest.approx(768 / 1024)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one segment"):
+            FleetEvaluator([])
+
+    def test_duplicate_shapes_rejected(self, fleet):
+        seg = fleet.segments[0]
+        with pytest.raises(ValueError, match="unique"):
+            FleetEvaluator([seg, seg])
+
+    def test_shape_model_mismatch_rejected(self, fleet):
+        default_segment = fleet.segments[0]
+        with pytest.raises(ValueError, match="does not match"):
+            FleetSegment(
+                shape=SMALL_SHAPE,
+                n_machines=4,
+                flare=default_segment.flare,
+            )
+
+    def test_invalid_machine_count(self, fleet):
+        with pytest.raises(ValueError):
+            FleetSegment(
+                shape=DEFAULT_SHAPE,
+                n_machines=0,
+                flare=fleet.segments[0].flare,
+            )
+
+
+class TestEvaluation:
+    def test_fleet_estimate_is_capacity_weighted_mean(self, fleet):
+        estimate = fleet.evaluate(FEATURE_2_DVFS)
+        manual = sum(
+            weight * seg_estimate.reduction_pct
+            for seg_estimate, weight in estimate.per_segment.values()
+        )
+        assert estimate.reduction_pct == pytest.approx(manual)
+
+    def test_fleet_between_segment_extremes(self, fleet):
+        estimate = fleet.evaluate(FEATURE_2_DVFS)
+        reductions = [
+            e.reduction_pct for e, _ in estimate.per_segment.values()
+        ]
+        assert min(reductions) <= estimate.reduction_pct <= max(reductions)
+
+    def test_dvfs_smaller_on_small_shape(self, fleet):
+        """The 1.8 GHz cap removes less headroom from a 2.6 GHz machine
+        than from a 2.9 GHz one."""
+        estimate = fleet.evaluate(FEATURE_2_DVFS)
+        assert estimate.segment_reduction("small") < (
+            estimate.segment_reduction("default")
+        )
+
+    def test_cost_sums_segments(self, fleet):
+        estimate = fleet.evaluate(FEATURE_1_CACHE)
+        assert estimate.evaluation_cost == sum(
+            e.evaluation_cost for e, _ in estimate.per_segment.values()
+        )
+
+    def test_per_job_estimate(self, fleet):
+        estimate = fleet.evaluate_job(FEATURE_2_DVFS, "WSC")
+        assert estimate.reduction_pct > 0.0
+        assert set(estimate.per_segment) <= {"default", "small"}
+
+    def test_unknown_job_raises(self, fleet):
+        with pytest.raises(ValueError, match="hosted by no fleet"):
+            fleet.evaluate_job(FEATURE_2_DVFS, "not-a-job")
+
+    def test_render(self, fleet):
+        text = fleet.evaluate(FEATURE_2_DVFS).render()
+        assert "fleet" in text
+        assert "default" in text

@@ -1,0 +1,67 @@
+"""Unit tests for PC interpretation (Figure 8 machinery)."""
+
+import pytest
+
+from repro.core import interpret_components
+
+
+@pytest.fixture(scope="module")
+def fitted(small_flare):
+    return small_flare
+
+
+class TestInterpretation:
+    def test_one_interpretation_per_retained_pc(self, fitted):
+        interps = fitted.interpretations
+        assert len(interps) == fitted.analysis.n_components
+        assert [i.index for i in interps] == list(range(len(interps)))
+
+    def test_loadings_sorted_by_magnitude(self, fitted):
+        for interp in fitted.interpretations:
+            mags = [abs(e.loading) for e in interp.top_loadings]
+            assert mags == sorted(mags, reverse=True)
+
+    def test_labels_non_empty(self, fitted):
+        for interp in fitted.interpretations:
+            assert interp.label
+
+    def test_describe_contains_signs_and_variance(self, fitted):
+        line = fitted.interpretations[0].describe()
+        assert "PC0" in line
+        assert "% var" in line
+        assert "+" in line or "-" in line
+
+    def test_variance_ratios_descending(self, fitted):
+        ratios = [i.explained_variance_ratio for i in fitted.interpretations]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_top_n_respected(self, fitted):
+        interps = interpret_components(
+            fitted.analysis.pca,
+            fitted.refined.specs,
+            n_components=3,
+            top_n=2,
+        )
+        assert len(interps) == 3
+        for interp in interps:
+            assert len(interp.top_loadings) <= 2
+
+    def test_entry_describe_format(self, fitted):
+        entry = fitted.interpretations[0].top_loadings[0]
+        text = entry.describe()
+        assert entry.spec.name in text
+        assert entry.sign in ("+", "-")
+
+    def test_spec_count_mismatch_raises(self, fitted):
+        with pytest.raises(ValueError, match="do not match"):
+            interpret_components(
+                fitted.analysis.pca, fitted.refined.specs[:-1]
+            )
+
+    def test_bad_component_count_raises(self, fitted):
+        with pytest.raises(ValueError):
+            interpret_components(
+                fitted.analysis.pca,
+                fitted.refined.specs,
+                n_components=10_000,
+            )

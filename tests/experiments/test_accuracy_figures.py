@@ -1,0 +1,129 @@
+"""Tests for the headline accuracy/cost experiments (Figures 11–13).
+
+The assertions encode the paper's qualitative claims: clusters respond
+differently to the same feature, FLARE tracks the truth closely while
+equal-cost sampling spreads much wider, and sampling cannot match FLARE
+even at ~10× the budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PAPER_FEATURES
+from repro.experiments import (
+    fig11_cluster_impacts,
+    fig12_accuracy,
+    fig13_cost_accuracy,
+)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig11_cluster_impacts.run(ctx)
+
+    def test_matrix_dimensions(self, result, ctx):
+        assert result.reductions_pct.shape == (ctx.n_clusters, 3)
+
+    def test_groups_respond_differently(self, result):
+        for j in range(len(result.features)):
+            assert result.spread_of(j) > 1.0
+
+    def test_most_impacted_cluster_valid(self, result):
+        cid = result.most_impacted_cluster(0)
+        assert cid in result.cluster_ids
+
+    def test_measured_cells_nonnegative(self, result):
+        live = result.reductions_pct[~np.isnan(result.reductions_pct)]
+        assert (live >= -1.0).all()
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 11" in text
+        assert "feature1" in text
+
+
+class TestFig12a:
+    @pytest.fixture(scope="class")
+    def rows(self, ctx):
+        return fig12_accuracy.run_all_job(ctx, n_trials=400, seed=0)
+
+    def test_one_row_per_feature(self, rows):
+        assert [r.feature.name for r in rows] == [
+            f.name for f in PAPER_FEATURES
+        ]
+
+    def test_flare_error_below_one_percent(self, rows):
+        """The paper's headline: FLARE errors ~1 % absolute."""
+        for row in rows:
+            assert row.flare_error_pct < 1.0
+
+    def test_flare_beats_equal_cost_sampling_worst_case(self, rows):
+        for row in rows:
+            assert row.flare_error_pct < row.sampling_max_error_pct
+
+    def test_sampling_centred_on_truth(self, rows):
+        for row in rows:
+            assert row.sampling.mean == pytest.approx(row.truth_pct, abs=0.5)
+
+    def test_ci_contains_truth(self, rows):
+        for row in rows:
+            low, high = row.sampling_ci95
+            assert low <= row.truth_pct <= high
+
+
+class TestFig12b:
+    @pytest.fixture(scope="class")
+    def rows(self, ctx):
+        return fig12_accuracy.run_per_job(
+            ctx, jobs=("WSC", "GA", "DC"), n_trials=300, seed=0
+        )
+
+    def test_rows_cover_feature_job_grid(self, rows):
+        assert len(rows) == 3 * 3
+
+    def test_flare_tracks_per_job_truth(self, rows):
+        for row in rows:
+            assert row.flare_error_pct < max(2.0, 0.3 * abs(row.truth_pct))
+
+    def test_sampling_mean_near_truth(self, rows):
+        for row in rows:
+            assert row.sampling_mean_pct == pytest.approx(
+                row.truth_pct, abs=1.0
+            )
+
+    def test_full_run_renders(self, ctx):
+        result = fig12_accuracy.run(ctx, n_trials=100, seed=1)
+        text = result.render()
+        assert "Figure 12a" in text
+        assert "Figure 12b" in text
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig13_cost_accuracy.run(ctx)
+
+    def test_curve_decreases_with_cost(self, result):
+        errs = result.sampling_expected_max_error_pct
+        assert (np.diff(errs) < 0.0).all()
+
+    def test_sampling_cannot_match_flare_at_10x(self, result):
+        """The paper's §5.4 finding."""
+        assert result.sampling_multiplier_to_match_flare() is None
+        assert result.sampling_expected_max_error_pct[-1] > (
+            result.flare_max_error_pct
+        )
+
+    def test_cost_reduction_factor(self, result, ctx):
+        expected = result.datacenter_cost / ctx.n_clusters
+        assert result.cost_reduction_vs_datacenter == pytest.approx(expected)
+        assert result.cost_reduction_vs_datacenter > 10.0
+
+    def test_flare_error_small(self, result):
+        assert result.flare_max_error_pct < 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 13" in text
+        assert "cheaper than" in text

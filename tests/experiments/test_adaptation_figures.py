@@ -1,0 +1,80 @@
+"""Tests for the adaptation experiments (Figure 14 and §5.6)."""
+
+import pytest
+
+from repro.cluster import FEATURE_2_DVFS, RandomFitScheduler
+from repro.experiments import fig14_heterogeneous, sec56_scheduler_change
+
+
+class TestFig14a:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig14_heterogeneous.run_transfer(ctx)
+
+    def test_many_scenarios_infeasible_on_small(self, result):
+        """§5.5: identical co-locations cannot be reproduced on a
+        different machine shape."""
+        assert result.infeasible_fraction > 0.2
+
+    def test_feasible_scenarios_occupy_small_machine_more(self, result):
+        # A mix occupying X% of 48 vCPUs occupies 1.5X% of 32 vCPUs.
+        assert result.mean_occupancy_small_feasible != pytest.approx(
+            result.mean_occupancy_default, abs=1e-6
+        )
+
+    def test_render(self, result):
+        assert "Figure 14a" in result.render()
+
+
+class TestFig14b:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig14_heterogeneous.run(ctx)
+
+    def test_covers_all_hp_jobs(self, result):
+        assert len(result.rows) == 8
+
+    def test_rederived_flare_tracks_small_truth(self, result):
+        """§5.5: a fresh representative set on the new shape restores
+        estimation accuracy."""
+        assert result.mean_flare_error() < 1.5
+
+    def test_flare_more_accurate_than_loadtesting(self, result):
+        assert result.mean_flare_error() < result.mean_loadtest_error()
+
+    def test_uses_small_shape(self, result):
+        assert result.shape.name == "small"
+        assert result.feature is FEATURE_2_DVFS
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 14b" in text
+
+
+class TestSec56:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return sec56_scheduler_change.run(ctx)
+
+    def test_exact_keys_rarely_recur(self, result):
+        """Why reweighting must classify behaviours, not match keys."""
+        assert result.exact_key_coverage < 0.5
+
+    def test_reweighting_improves_estimate(self, result):
+        assert result.improved
+        assert result.reweighted_error_pct < 1.5
+
+    def test_render(self, result):
+        text = result.render()
+        assert "scheduler change" in text
+        assert "best-fit-packing" in text
+
+    def test_alternative_scheduler_accepted(self, ctx):
+        import numpy as np
+
+        result = sec56_scheduler_change.run(
+            ctx,
+            scheduler=RandomFitScheduler(np.random.default_rng(0)),
+        )
+        assert result.scheduler_name == "random-fit"
+        assert result.reweighted_error_pct < 2.0

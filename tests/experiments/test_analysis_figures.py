@@ -1,0 +1,135 @@
+"""Tests for the analysis-pipeline experiments (Figures 7–10)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig07_pca_variance,
+    fig08_pc_interpretation,
+    fig09_cluster_selection,
+    fig10_cluster_radar,
+)
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig07_pca_variance.run(ctx)
+
+    def test_selected_components_reach_target(self, result):
+        cum = result.cumulative_ratio[result.selected_components - 1]
+        assert cum >= result.variance_target - 1e-9
+
+    def test_selection_is_minimal(self, result):
+        if result.selected_components > 1:
+            below = result.cumulative_ratio[result.selected_components - 2]
+            assert below < result.variance_target
+
+    def test_cumulative_monotone(self, result):
+        assert (np.diff(result.cumulative_ratio) >= -1e-12).all()
+
+    def test_components_for_arbitrary_targets(self, result):
+        assert result.components_for(0.5) <= result.components_for(0.95)
+        with pytest.raises(ValueError):
+            result.components_for(0.0)
+
+    def test_render(self, result):
+        assert "Figure 7" in result.render()
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig08_pc_interpretation.run(ctx)
+
+    def test_matches_retained_components(self, result, ctx):
+        assert result.n_components == ctx.flare.analysis.n_components
+
+    def test_some_components_mix_scopes(self, result):
+        """The paper's co-location-specific trait: PCs combining machine-
+        and HP-scope metrics (e.g. their PC10)."""
+        assert len(result.components_mixing_scopes()) >= 1
+
+    def test_render_lists_every_pc(self, result):
+        text = result.render()
+        for interp in result.interpretations:
+            assert f"PC{interp.index}" in text
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig09_cluster_selection.run(ctx)
+
+    def test_sse_decreases_with_k(self, result):
+        assert (np.diff(result.sweep.sse) < 0.0).all()
+
+    def test_silhouette_in_range(self, result):
+        assert (result.sweep.silhouette >= -1.0).all()
+        assert (result.sweep.silhouette <= 1.0).all()
+
+    def test_knee_within_sweep(self, result):
+        assert result.knee_k in result.sweep.cluster_counts
+
+    def test_chosen_k_matches_context(self, result, ctx):
+        assert result.chosen_k == ctx.n_clusters
+
+    def test_lookup_helpers(self, result):
+        k = int(result.sweep.cluster_counts[0])
+        assert result.sse_at(k) == result.sweep.sse[0]
+        assert result.silhouette_at(k) == result.sweep.silhouette[0]
+
+    def test_render(self, result):
+        assert "Figure 9" in result.render()
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig10_cluster_radar.run(ctx)
+
+    def test_dimensions(self, result, ctx):
+        assert result.n_clusters == ctx.n_clusters
+        assert result.n_components == ctx.flare.analysis.n_components
+
+    def test_weights_sum_to_one(self, result):
+        assert result.weights.sum() == pytest.approx(1.0)
+
+    def test_no_dominant_cluster(self, result):
+        """Paper: the datacenter is a wide mix of behaviours with similar
+        importance — no group dominates."""
+        assert result.max_weight() < 0.5
+
+    def test_clusters_are_distinct(self, result):
+        assert result.min_center_separation() > 0.5
+
+    def test_differing_pcs_detects_differences(self, result):
+        diffs = result.differing_pcs(0, 1, threshold=0.25)
+        assert len(diffs) >= 1
+
+    def test_spreads_nonnegative(self, result):
+        assert (result.spreads >= 0.0).all()
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Cluster 0" in text
+        assert "PC0" in text
+
+
+class TestFig09Gap:
+    def test_gap_statistic_optional(self, ctx):
+        from repro.experiments import fig09_cluster_selection
+
+        result = fig09_cluster_selection.run(
+            ctx, with_gap=True, gap_counts=(2, 4, 8), gap_references=3
+        )
+        assert result.gap is not None
+        suggested = result.gap.suggested_k()
+        assert suggested in (2, 4, 8)
+        assert "gap-statistic" in result.render()
+
+    def test_gap_absent_by_default(self, ctx):
+        from repro.experiments import fig09_cluster_selection
+
+        result = fig09_cluster_selection.run(ctx)
+        assert result.gap is None

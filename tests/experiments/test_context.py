@@ -1,0 +1,32 @@
+"""Unit tests for the experiment context."""
+
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE
+from repro.experiments import get_context
+
+
+class TestGetContext:
+    def test_small_scale_dimensions(self, ctx):
+        assert len(ctx.dataset) == 160
+        assert ctx.n_clusters == 8
+
+    def test_memoised(self, ctx):
+        assert get_context("small", seed=5) is ctx
+
+    def test_distinct_seeds_distinct_contexts(self, ctx):
+        other = get_context("small", seed=6)
+        assert other is not ctx
+        assert [s.key for s in other.dataset.scenarios] != [
+            s.key for s in ctx.dataset.scenarios
+        ]
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_context("huge")
+
+    def test_truth_memoised(self, ctx):
+        a = ctx.truth(FEATURE_1_CACHE)
+        b = ctx.truth(FEATURE_1_CACHE)
+        assert a is b
+        assert a.overall_reduction_pct > 0.0

@@ -1,0 +1,45 @@
+"""Tests for the Figure 1 methodology landscape."""
+
+import pytest
+
+from repro.experiments import fig01_landscape
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return fig01_landscape.run(ctx, n_trials=300, seed=1)
+
+
+class TestFig01:
+    def test_all_methods_present(self, result):
+        methods = {p.method for p in result.points}
+        assert methods == {
+            "load-testing benchmarks",
+            "sampling-based",
+            "FLARE",
+            "full datacenter (truth)",
+        }
+
+    def test_paper_ordering_of_errors(self, result):
+        """Figure 1's layout: load-testing and sampling imprecise, FLARE
+        and the full datacenter accurate."""
+        flare = result.point("FLARE")
+        assert flare.worst_error_pct < result.point("sampling-based").worst_error_pct
+        assert flare.worst_error_pct < (
+            result.point("load-testing benchmarks").worst_error_pct
+        )
+        assert result.point("full datacenter (truth)").worst_error_pct == 0.0
+
+    def test_paper_ordering_of_costs(self, result):
+        """FLARE at sampling-like cost, both far below the datacenter."""
+        flare = result.point("FLARE")
+        full = result.point("full datacenter (truth)")
+        assert flare.cost_scenarios == result.point("sampling-based").cost_scenarios
+        assert full.cost_scenarios / flare.cost_scenarios > 10.0
+
+    def test_unknown_method_raises(self, result):
+        with pytest.raises(KeyError):
+            result.point("nope")
+
+    def test_render(self, result):
+        assert "Figure 1" in result.render()

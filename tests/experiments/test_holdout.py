@@ -1,0 +1,53 @@
+"""Tests for hold-out validation."""
+
+import pytest
+
+from repro.experiments import holdout
+
+
+class TestSplitDataset:
+    def test_halves_partition_dataset(self, ctx):
+        train, held = holdout.split_dataset(ctx.dataset)
+        assert len(train) + len(held) == len(ctx.dataset)
+        train_keys = {s.key for s in train.scenarios}
+        held_keys = {s.key for s in held.scenarios}
+        assert not train_keys & held_keys
+
+    def test_ids_redensified(self, ctx):
+        train, held = holdout.split_dataset(ctx.dataset)
+        for half in (train, held):
+            assert [s.scenario_id for s in half.scenarios] == list(
+                range(len(half))
+            )
+
+    def test_durations_preserved(self, ctx):
+        train, held = holdout.split_dataset(ctx.dataset)
+        total = sum(s.total_duration_s for s in ctx.dataset.scenarios)
+        split_total = sum(
+            s.total_duration_s for s in train.scenarios
+        ) + sum(s.total_duration_s for s in held.scenarios)
+        assert split_total == pytest.approx(total)
+
+
+class TestHoldoutValidation:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return holdout.run(ctx)
+
+    def test_covers_all_features(self, result):
+        assert [r.feature.name for r in result.rows] == [
+            "feature1", "feature2", "feature3",
+        ]
+
+    def test_generalises_to_unseen_scenarios(self, result):
+        """The core claim: behaviour groups fitted on half the scenarios
+        estimate the never-seen half within ~1.5 pp."""
+        assert result.max_reweighted_error() < 1.5
+
+    def test_reweighting_not_worse_overall(self, result):
+        stale = sum(r.train_error_pct for r in result.rows)
+        adapted = sum(r.reweighted_error_pct for r in result.rows)
+        assert adapted <= stale + 0.5
+
+    def test_render(self, result):
+        assert "Hold-out validation" in result.render()

@@ -1,0 +1,102 @@
+"""Tests for the motivation experiments (Figures 2 and 3).
+
+These assert the *shape* of the paper's findings, not absolute numbers:
+load-testing deviates from in-datacenter truth, occupancy is step-like and
+diverse, and per-scenario impact correlates with no single metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE
+from repro.experiments import fig02_loadtesting_pitfall, fig03_scenario_landscape
+from repro.workloads import HP_JOB_NAMES
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig02_loadtesting_pitfall.run(ctx)
+
+    def test_one_row_per_hp_job(self, result):
+        assert [r.job_name for r in result.rows] == list(HP_JOB_NAMES)
+
+    def test_impacts_positive(self, result):
+        for row in result.rows:
+            assert row.loadtest_reduction_pct > 0.0
+            assert row.datacenter_reduction_pct > 0.0
+
+    def test_loadtesting_deviates_from_datacenter(self, result):
+        """The paper's core motivation: load-testing alone misestimates
+        in-datacenter impact for at least some services."""
+        assert result.max_deviation_pct > 0.5
+        deviating = [r for r in result.rows if r.deviation_pct > 0.3]
+        assert len(deviating) >= 3
+
+    def test_datacenter_variance_nonzero(self, result):
+        # Scenarios react differently -> non-trivial std (error bars).
+        assert max(r.datacenter_std_pct for r in result.rows) > 0.3
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 2" in text
+        for job in HP_JOB_NAMES:
+            assert job in text
+
+
+class TestFig03a:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig03_scenario_landscape.run_occupancy(ctx)
+
+    def test_sorted_by_occupancy(self, result):
+        assert (np.diff(result.total_occupancy) >= -1e-12).all()
+
+    def test_step_like_pattern(self, result, ctx):
+        """Occupancy can only take multiples of 4/48 vCPUs — the visible
+        steps of Figure 3a."""
+        shape = ctx.dataset.shape
+        levels = np.unique(np.round(result.total_occupancy * shape.vcpus))
+        assert (levels % 4 == 0).all()
+        assert result.distinct_levels <= shape.vcpus // 4
+
+    def test_hp_plus_lp_equals_total(self, result):
+        np.testing.assert_allclose(
+            result.hp_occupancy + result.lp_occupancy,
+            result.total_occupancy,
+            atol=1e-12,
+        )
+
+    def test_wide_occupancy_spread(self, result):
+        assert result.total_occupancy.min() < 0.3
+        assert result.total_occupancy.max() > 0.9
+
+    def test_render(self, result):
+        assert "Figure 3a" in result.render()
+
+
+class TestFig03b:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig03_scenario_landscape.run_impact_vs_mpki(ctx)
+
+    def test_impact_not_explained_by_mpki(self, result):
+        """The paper's key motivating observation (§3.2)."""
+        assert abs(result.pearson_r) < 0.5
+
+    def test_impacts_heterogeneous(self, result):
+        spread = result.reductions_pct.max() - result.reductions_pct.min()
+        assert spread > 2.0
+
+    def test_no_single_metric_explains_impact(self, result, ctx):
+        name, r = result.best_single_metric_r(ctx)
+        assert name
+        assert abs(r) < 0.95
+
+    def test_arrays_aligned(self, result):
+        assert result.reductions_pct.shape == result.hp_llc_mpki.shape
+
+    def test_render(self, result):
+        text = result.render()
+        assert "pearson" in text
+        assert FEATURE_1_CACHE.name in text

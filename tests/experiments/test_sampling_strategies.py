@@ -1,0 +1,44 @@
+"""Tests for the sampling-strategies extension experiment."""
+
+import pytest
+
+from repro.experiments import sampling_strategies
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return sampling_strategies.run(ctx, n_trials=400, seed=1)
+
+
+class TestSamplingStrategies:
+    def test_four_strategies(self, result):
+        assert len(result.rows) == 4
+        assert result.row("FLARE")
+
+    def test_flare_beats_all_sampling_variants(self, result):
+        flare = result.row("FLARE").mean_abs_error_pct
+        for row in result.rows:
+            if row.strategy == "FLARE":
+                continue
+            assert flare < row.mean_abs_error_pct
+
+    def test_stratification_helps_only_modestly(self, result):
+        """§3.2's no-single-metric finding: stratifying on one intuitive
+        metric cannot close the gap to FLARE."""
+        naive = result.row("random sampling").mean_abs_error_pct
+        flare = result.row("FLARE").mean_abs_error_pct
+        for strategy in (
+            "stratified (occupancy)",
+            "stratified (HP cache pressure)",
+        ):
+            stratified = result.row(strategy).mean_abs_error_pct
+            # Better than some large improvement threshold would imply the
+            # single metric explains the impact — it must not.
+            assert stratified > flare * 1.5
+
+    def test_unknown_strategy_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+    def test_render(self, result):
+        assert "Sampling strategies" in result.render()

@@ -1,0 +1,37 @@
+"""Tests for the clustering-stability experiment."""
+
+import pytest
+
+from repro.experiments import stability
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return stability.run(ctx, n_seeds=3)
+
+
+class TestStability:
+    def test_ari_bounds(self, result):
+        for ari in result.seed_ari:
+            assert -1.0 <= ari <= 1.0
+        assert -1.0 <= result.noise_ari <= 1.0
+
+    def test_partitions_not_random(self, result):
+        """Reclusterings must agree far above chance (ARI ~0)."""
+        assert result.min_seed_ari > 0.2
+        assert result.noise_ari > 0.2
+
+    def test_estimates_more_stable_than_partitions(self, result, ctx):
+        """The deployment-relevant number: even where partitions shuffle,
+        the weighted estimate moves by at most a couple of points."""
+        truth = ctx.truth(result.feature).overall_reduction_pct
+        assert result.estimate_spread_pct < max(2.0, 0.15 * truth)
+
+    def test_validation(self, ctx):
+        with pytest.raises(ValueError):
+            stability.run(ctx, n_seeds=1)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "stability" in text
+        assert "ARI" in text

@@ -1,0 +1,165 @@
+"""Unit tests for JSON persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE
+from repro.core import Flare, FlareConfig
+from repro.core.analyzer import AnalyzerConfig
+from repro.io import (
+    config_from_dict,
+    config_to_dict,
+    dataset_from_dict,
+    dataset_to_dict,
+    fitted_digest,
+    load_dataset,
+    load_model,
+    save_dataset,
+    save_model,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_preserves_scenarios(self, tiny_dataset):
+        rebuilt = dataset_from_dict(dataset_to_dict(tiny_dataset))
+        assert len(rebuilt) == len(tiny_dataset)
+        for a, b in zip(tiny_dataset.scenarios, rebuilt.scenarios):
+            assert a.key == b.key
+            assert a.scenario_id == b.scenario_id
+            assert a.total_duration_s == b.total_duration_s
+            assert a.n_occurrences == b.n_occurrences
+
+    def test_preserves_instances_exactly(self, tiny_dataset):
+        rebuilt = dataset_from_dict(dataset_to_dict(tiny_dataset))
+        for a, b in zip(tiny_dataset.scenarios, rebuilt.scenarios):
+            for ia, ib in zip(a.instances, b.instances):
+                assert ia.signature == ib.signature
+                assert ia.load == ib.load
+
+    def test_preserves_shape(self, tiny_dataset):
+        rebuilt = dataset_from_dict(dataset_to_dict(tiny_dataset))
+        assert rebuilt.shape == tiny_dataset.shape
+
+    def test_weights_unchanged(self, tiny_dataset):
+        rebuilt = dataset_from_dict(dataset_to_dict(tiny_dataset))
+        np.testing.assert_allclose(rebuilt.weights(), tiny_dataset.weights())
+
+    def test_payload_is_valid_json(self, tiny_dataset):
+        payload = json.dumps(dataset_to_dict(tiny_dataset))
+        assert json.loads(payload)
+
+    def test_file_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(tiny_dataset, path)
+        rebuilt = load_dataset(path)
+        assert [s.key for s in rebuilt.scenarios] == [
+            s.key for s in tiny_dataset.scenarios
+        ]
+
+    def test_version_check(self, tiny_dataset):
+        payload = dataset_to_dict(tiny_dataset)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            dataset_from_dict(payload)
+
+    def test_custom_signature_survives(self, tiny_dataset):
+        """Signatures are embedded, so non-catalogue jobs round-trip."""
+        import dataclasses
+
+        from repro.cluster import ScenarioDataset
+        from repro.cluster.scenario import Scenario
+        from repro.perfmodel import RunningInstance
+        from repro.workloads import HP_JOBS
+
+        custom = dataclasses.replace(
+            HP_JOBS["WSC"], name="CUSTOM", base_cpi=0.33
+        )
+        scenario = Scenario(
+            scenario_id=0,
+            key=(("CUSTOM", 1),),
+            instances=(RunningInstance(signature=custom, load=1.0),),
+            n_occurrences=1,
+            total_duration_s=60.0,
+        )
+        dataset = ScenarioDataset(
+            shape=tiny_dataset.shape, scenarios=(scenario,)
+        )
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        sig = rebuilt.scenarios[0].instances[0].signature
+        assert sig.name == "CUSTOM"
+        assert sig.base_cpi == 0.33
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = FlareConfig()
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+    def test_custom_config(self):
+        config = FlareConfig(
+            refinement_threshold=0.9,
+            noise_sigma=0.05,
+            profiler_seed=99,
+            analyzer=AnalyzerConfig(
+                n_clusters=7,
+                n_components=4,
+                cluster_counts=(2, 3),
+                kmeans_restarts=3,
+                seed=5,
+            ),
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+
+class TestModelRoundTrip:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_dataset):
+        config = FlareConfig(
+            analyzer=AnalyzerConfig(n_clusters=2, kmeans_restarts=2, seed=1)
+        )
+        return Flare(config).fit(tiny_dataset)
+
+    def test_save_load_reproduces_estimates(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        reloaded = load_model(path)
+        assert reloaded.evaluate(FEATURE_1_CACHE).reduction_pct == (
+            fitted.evaluate(FEATURE_1_CACHE).reduction_pct
+        )
+
+    def test_digest_stable(self, fitted):
+        assert fitted_digest(fitted) == fitted_digest(fitted)
+
+    def test_digest_detects_different_fit(self, fitted, tiny_dataset):
+        other = Flare(
+            FlareConfig(
+                analyzer=AnalyzerConfig(
+                    n_clusters=3, kmeans_restarts=2, seed=1
+                )
+            )
+        ).fit(tiny_dataset)
+        assert fitted_digest(other) != fitted_digest(fitted)
+
+    def test_verification_failure_raises(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        payload = json.loads(path.read_text())
+        payload["fitted_digest"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="does not reproduce"):
+            load_model(path)
+        # verify=False skips the check.
+        assert load_model(path, verify=False) is not None
+
+    def test_version_check(self, fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(fitted, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 42
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_model(path)

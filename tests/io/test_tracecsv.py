@@ -1,0 +1,99 @@
+"""Unit tests for CSV trace import/export."""
+
+import csv
+
+import pytest
+
+from repro.cluster import DEFAULT_SHAPE, TraceEvent, TraceEventType
+from repro.io import (
+    dataset_from_trace_csv,
+    export_samples_csv,
+    read_trace_csv,
+    write_trace_csv,
+)
+
+START = TraceEventType.START
+STOP = TraceEventType.STOP
+
+
+@pytest.fixture()
+def events():
+    return [
+        TraceEvent(0.0, 0, "a", START, "WSC", 0.85),
+        TraceEvent(30.0, 0, "b", START, "GA", 1.0),
+        TraceEvent(90.0, 0, "a", STOP),
+        TraceEvent(120.0, 0, "b", STOP),
+    ]
+
+
+class TestTraceCsvRoundTrip:
+    def test_round_trip(self, events, tmp_path):
+        path = tmp_path / "trace.csv"
+        n = write_trace_csv(events, path)
+        assert n == 4
+        back = read_trace_csv(path)
+        assert len(back) == 4
+        for original, parsed in zip(events, back):
+            assert parsed.time_s == pytest.approx(original.time_s)
+            assert parsed.machine_id == original.machine_id
+            assert parsed.container_id == original.container_id
+            assert parsed.event == original.event
+            assert parsed.job == original.job
+            assert parsed.load == pytest.approx(original.load)
+
+    def test_dataset_from_csv(self, events, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(events, path)
+        dataset = dataset_from_trace_csv(path, DEFAULT_SHAPE)
+        keys = {s.key for s in dataset.scenarios}
+        assert (("GA", 1), ("WSC", 1)) in keys
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,machine_id\n0.0,1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_trace_csv(path)
+
+    def test_bad_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time_s,machine_id,container_id,event,job,load\n"
+            "notanumber,0,a,start,WSC,1.0\n"
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace_csv(path)
+
+    def test_unknown_event_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time_s,machine_id,container_id,event,job,load\n"
+            "0.0,0,a,pause,WSC,1.0\n"
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace_csv(path)
+
+
+class TestSamplesExport:
+    def test_long_format_export(self, tiny_dataset, tmp_path):
+        from repro.telemetry import Profiler
+
+        profiled = Profiler(noise_sigma=0.0, seed=1).profile(tiny_dataset)
+        path = tmp_path / "samples.csv"
+        n = export_samples_csv(profiled, path)
+        assert n == profiled.n_scenarios * profiled.n_metrics
+
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == n
+        first = rows[0]
+        assert set(first) == {"scenario_id", "metric", "value"}
+        # Spot-check a value against the matrix.
+        target = [
+            r
+            for r in rows
+            if r["scenario_id"] == "0" and r["metric"] == "MIPS-Machine"
+        ]
+        assert len(target) == 1
+        assert float(target[0]["value"]) == pytest.approx(
+            profiled.column("MIPS-Machine")[0], rel=1e-6
+        )

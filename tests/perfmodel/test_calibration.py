@@ -1,0 +1,89 @@
+"""Unit tests for model calibration from measurements."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import CPIStack, MissRatioCurve
+from repro.perfmodel.calibration import (
+    calibrate_cpi_components,
+    fit_mrc,
+)
+
+
+class TestFitMrc:
+    def test_recovers_known_curve(self):
+        truth = MissRatioCurve(half_capacity_mb=12.0, shape=1.3, floor=0.08)
+        sizes = np.array([0.5, 1, 2, 4, 8, 12, 16, 24, 32, 48, 60])
+        ratios = np.array([truth.miss_ratio(c) for c in sizes])
+        fit = fit_mrc(sizes, ratios)
+        assert fit.rmse < 1e-6
+        assert fit.mrc.half_capacity_mb == pytest.approx(12.0, rel=0.05)
+        assert fit.mrc.shape == pytest.approx(1.3, rel=0.05)
+        assert fit.mrc.floor == pytest.approx(0.08, abs=0.01)
+
+    def test_tolerates_measurement_noise(self, rng):
+        truth = MissRatioCurve(half_capacity_mb=6.0, shape=1.0, floor=0.2)
+        sizes = np.linspace(0.5, 40, 20)
+        ratios = np.clip(
+            [truth.miss_ratio(c) for c in sizes]
+            + rng.normal(0, 0.01, size=20),
+            0.0,
+            1.0,
+        )
+        fit = fit_mrc(sizes, ratios)
+        assert fit.rmse < 0.03
+        assert fit.mrc.half_capacity_mb == pytest.approx(6.0, rel=0.5)
+
+    def test_fitted_curve_usable_in_signature(self):
+        truth = MissRatioCurve(half_capacity_mb=10.0, shape=0.9, floor=0.3)
+        sizes = np.array([1, 4, 8, 16, 32, 60], dtype=float)
+        fit = fit_mrc(sizes, [truth.miss_ratio(c) for c in sizes])
+        # Returned object is a real MissRatioCurve with valid invariants.
+        assert 0.0 <= fit.mrc.floor < 1.0
+        assert fit.mrc.miss_ratio(0.0) == pytest.approx(1.0)
+
+    def test_streaming_job_high_floor(self):
+        sizes = np.array([1, 5, 10, 30, 60], dtype=float)
+        ratios = np.array([0.93, 0.90, 0.89, 0.885, 0.88])
+        fit = fit_mrc(sizes, ratios)
+        assert fit.mrc.floor > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_mrc([1.0, 2.0], [0.5, 0.4])
+        with pytest.raises(ValueError, match="matching"):
+            fit_mrc([1.0, 2.0, 3.0], [0.5, 0.4])
+        with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+            fit_mrc([1.0, 2.0, 3.0], [0.5, 0.4, 1.4])
+        with pytest.raises(ValueError, match="non-negative"):
+            fit_mrc([-1.0, 2.0, 3.0], [0.5, 0.4, 0.3])
+
+    def test_n_points_recorded(self):
+        truth = MissRatioCurve(half_capacity_mb=5.0)
+        sizes = np.array([1, 2, 4, 8], dtype=float)
+        fit = fit_mrc(sizes, [truth.miss_ratio(c) for c in sizes])
+        assert fit.n_points == 4
+
+
+class TestCalibrateCpi:
+    def test_round_trip_through_topdown(self):
+        """Components derived from a stack's own topdown must sum back to
+        the stack's CPI and match its grouping."""
+        stack = CPIStack(
+            base=0.5, frontend=0.3, branch=0.1, l2=0.05, llc_hit=0.1,
+            dram=0.6, smt=0.15,
+        )
+        ipc = 1.0 / stack.total
+        components = calibrate_cpi_components(ipc, stack.topdown())
+        assert components.total == pytest.approx(stack.total)
+        assert components.base_cpi == pytest.approx(stack.base)
+        assert components.frontend_cpi == pytest.approx(stack.frontend)
+        assert components.bad_speculation_cpi == pytest.approx(stack.branch)
+        assert components.backend_cpi == pytest.approx(
+            stack.memory + stack.smt
+        )
+
+    def test_invalid_ipc(self):
+        stack = CPIStack(base=1.0, frontend=0, branch=0, l2=0, llc_hit=0, dram=0)
+        with pytest.raises(ValueError):
+            calibrate_cpi_components(0.0, stack.topdown())

@@ -1,0 +1,210 @@
+"""Unit tests for the contention solver: each sharing mechanism behaves
+the way the corresponding feature needs it to."""
+
+import pytest
+
+from repro.perfmodel import (
+    MachinePerf,
+    RunningInstance,
+    inherent_performance,
+    solve_colocation,
+    solve_colocation_cached,
+)
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+@pytest.fixture()
+def machine():
+    return MachinePerf()
+
+
+def insts(*names, load=1.0):
+    catalogue = {**HP_JOBS, **LP_JOBS}
+    return [RunningInstance(signature=catalogue[n], load=load) for n in names]
+
+
+class TestBasics:
+    def test_empty_machine(self, machine):
+        sol = solve_colocation(machine, [])
+        assert sol.total_mips == 0.0
+        assert sol.cpu_utilization == 0.0
+        assert sol.converged
+
+    def test_single_job_converges(self, machine):
+        sol = solve_colocation(machine, insts("WSC"))
+        assert sol.converged
+        assert sol.instances[0].mips > 0.0
+
+    def test_solution_aligned_with_inputs(self, machine):
+        instances = insts("WSC", "mcf", "DC")
+        sol = solve_colocation(machine, instances)
+        assert [i.job_name for i in sol.instances] == ["WSC", "mcf", "DC"]
+
+    def test_hp_mips_counts_only_hp(self, machine):
+        sol = solve_colocation(machine, insts("WSC", "mcf"))
+        hp = [i for i in sol.instances if i.is_high_priority]
+        assert sol.hp_mips == pytest.approx(sum(i.mips for i in hp))
+        assert sol.hp_mips < sol.total_mips
+
+    def test_per_job_mips_sums_instances(self, machine):
+        sol = solve_colocation(machine, insts("WSC", "WSC"))
+        per_job = sol.per_job_mips()
+        assert per_job["WSC"] == pytest.approx(sol.total_mips)
+
+    def test_cache_shares_sum_to_llc(self, machine):
+        sol = solve_colocation(machine, insts("WSC", "GA", "mcf"))
+        total_share = sum(i.cache_share_mb for i in sol.instances)
+        assert total_share == pytest.approx(machine.llc_mb, rel=1e-6)
+
+    def test_load_scales_throughput(self, machine):
+        full = solve_colocation(machine, insts("IA", load=1.0))
+        half = solve_colocation(machine, insts("IA", load=0.5))
+        assert half.instances[0].mips < full.instances[0].mips
+
+
+class TestCacheContention:
+    def test_colocation_raises_miss_ratio(self, machine):
+        alone = inherent_performance(machine, HP_JOBS["WSC"])
+        crowded = solve_colocation(
+            machine, insts("WSC", "mcf", "mcf", "GA", "omnetpp")
+        )
+        wsc = crowded.instances[0]
+        assert wsc.llc_miss_ratio > alone.llc_miss_ratio
+        assert wsc.mips < alone.mips
+
+    def test_smaller_llc_hurts_cache_sensitive_job(self, machine):
+        instances = insts("WSC", "GA", "DS")
+        base = solve_colocation(machine, instances)
+        small = solve_colocation(machine.with_llc_mb(24.0), instances)
+        for b, s in zip(base.instances, small.instances):
+            assert s.llc_mpki > b.llc_mpki
+            assert s.mips < b.mips
+
+    def test_streaming_job_insensitive_to_llc(self, machine):
+        base = solve_colocation(machine, insts("libquantum"))
+        small = solve_colocation(machine.with_llc_mb(24.0), insts("libquantum"))
+        reduction = 1.0 - small.instances[0].mips / base.instances[0].mips
+        assert reduction < 0.05
+
+    def test_cache_sensitive_job_hurts_more_than_streaming(self, machine):
+        instances = insts("WSC", "libquantum")
+        base = solve_colocation(machine, instances)
+        small = solve_colocation(machine.with_llc_mb(12.0), instances)
+        red = [
+            1.0 - s.mips / b.mips
+            for b, s in zip(base.instances, small.instances)
+        ]
+        assert red[0] > red[1]
+
+
+class TestBandwidthContention:
+    def test_bandwidth_hogs_inflate_latency(self, machine):
+        light = solve_colocation(machine, insts("WSC"))
+        heavy = solve_colocation(
+            machine, insts("WSC", "libquantum", "libquantum", "mcf", "mcf")
+        )
+        assert heavy.mem_latency_ns > light.mem_latency_ns
+        assert heavy.mem_bw_utilization > light.mem_bw_utilization
+
+    def test_victim_slows_under_bandwidth_pressure(self, machine):
+        alone = inherent_performance(machine, LP_JOBS["omnetpp"])
+        pressured = solve_colocation(
+            machine, insts("omnetpp", "libquantum", "libquantum", "libquantum")
+        )
+        assert pressured.instances[0].mips < alone.mips
+
+
+class TestFrequencyScaling:
+    def test_lower_freq_reduces_throughput(self, machine):
+        base = solve_colocation(machine, insts("sjeng"))
+        slow = solve_colocation(machine.with_max_freq_ghz(1.8), insts("sjeng"))
+        assert slow.instances[0].mips < base.instances[0].mips
+
+    def test_compute_bound_hurts_more_than_memory_bound(self, machine):
+        instances = insts("sjeng", "mcf")
+        base = solve_colocation(machine, instances)
+        slow = solve_colocation(machine.with_max_freq_ghz(1.8), instances)
+        red = [
+            1.0 - s.mips / b.mips
+            for b, s in zip(base.instances, slow.instances)
+        ]
+        assert red[0] > red[1]  # sjeng (compute) > mcf (memory)
+
+    def test_compute_job_scales_almost_linearly(self, machine):
+        base = solve_colocation(machine, insts("sjeng"))
+        slow = solve_colocation(machine.with_max_freq_ghz(1.8), insts("sjeng"))
+        ratio = slow.instances[0].mips / base.instances[0].mips
+        assert ratio == pytest.approx(1.8 / 2.9, abs=0.05)
+
+
+class TestSMT:
+    def test_no_penalty_when_underloaded(self, machine):
+        # 2 containers = at most 8 busy threads on 24 cores.
+        instances = insts("IA", "GA")
+        with_smt = solve_colocation(machine, instances)
+        without = solve_colocation(machine.with_smt(False), instances)
+        for a, b in zip(with_smt.instances, without.instances):
+            assert a.mips == pytest.approx(b.mips, rel=1e-6)
+
+    def test_penalty_when_oversubscribed(self, machine):
+        # 12 LP containers = 48 busy threads on 24 cores.
+        instances = insts(*["sjeng"] * 12)
+        with_smt = solve_colocation(machine, instances)
+        without = solve_colocation(machine.with_smt(False), instances)
+        assert without.total_mips < with_smt.total_mips
+
+    def test_memory_bound_less_smt_sensitive(self, machine):
+        instances = insts(*["sjeng"] * 6, *["mcf"] * 6)
+        with_smt = solve_colocation(machine, instances)
+        without = solve_colocation(machine.with_smt(False), instances)
+        red = [
+            1.0 - b.mips / a.mips
+            for a, b in zip(with_smt.instances, without.instances)
+        ]
+        sjeng_red = sum(red[:6]) / 6
+        mcf_red = sum(red[6:]) / 6
+        assert sjeng_red > mcf_red
+
+
+class TestInherentPerformance:
+    def test_alone_beats_crowded(self, machine):
+        for name in ("WSC", "GA", "mcf"):
+            sig = {**HP_JOBS, **LP_JOBS}[name]
+            alone = inherent_performance(machine, sig)
+            crowd = solve_colocation(
+                machine, insts(name, "mcf", "libquantum", "GA", "DS")
+            )
+            assert crowd.instances[0].mips <= alone.mips + 1e-6
+
+    def test_all_catalogue_jobs_have_positive_inherent(self, machine):
+        for sig in {**HP_JOBS, **LP_JOBS}.values():
+            perf = inherent_performance(machine, sig)
+            assert perf.mips > 0.0
+            assert 0.0 < perf.ipc < 4.0
+
+
+class TestCaching:
+    def test_cached_matches_uncached(self, machine):
+        instances = tuple(insts("WSC", "mcf"))
+        a = solve_colocation_cached(machine, instances)
+        b = solve_colocation(machine, list(instances))
+        assert a.total_mips == pytest.approx(b.total_mips)
+
+    def test_cache_returns_same_object(self, machine):
+        instances = tuple(insts("DC"))
+        assert solve_colocation_cached(machine, instances) is (
+            solve_colocation_cached(machine, instances)
+        )
+
+
+class TestRunningInstance:
+    def test_busy_threads(self):
+        inst = RunningInstance(signature=HP_JOBS["GA"], load=0.5)
+        expected = 4 * HP_JOBS["GA"].active_fraction * 0.5
+        assert inst.busy_threads == pytest.approx(expected)
+
+    def test_invalid_load_raises(self):
+        with pytest.raises(ValueError):
+            RunningInstance(signature=HP_JOBS["GA"], load=0.0)
+        with pytest.raises(ValueError):
+            RunningInstance(signature=HP_JOBS["GA"], load=1.1)

@@ -1,0 +1,79 @@
+"""Unit tests for CPI stacks and topdown mapping."""
+
+import pytest
+
+from repro.perfmodel import CPIStack, TopdownBreakdown
+
+
+@pytest.fixture()
+def stack():
+    return CPIStack(
+        base=0.5, frontend=0.2, branch=0.1, l2=0.05, llc_hit=0.1, dram=0.8, smt=0.25
+    )
+
+
+class TestCPIStack:
+    def test_total_is_sum(self, stack):
+        assert stack.total == pytest.approx(2.0)
+
+    def test_memory_component(self, stack):
+        assert stack.memory == pytest.approx(0.95)
+
+    def test_negative_component_raises(self):
+        with pytest.raises(ValueError):
+            CPIStack(base=0.5, frontend=-0.1, branch=0, l2=0, llc_hit=0, dram=0)
+
+    def test_zero_base_raises(self):
+        with pytest.raises(ValueError):
+            CPIStack(base=0.0, frontend=0.1, branch=0, l2=0, llc_hit=0, dram=0)
+
+    def test_smt_defaults_to_zero(self):
+        s = CPIStack(base=1.0, frontend=0, branch=0, l2=0, llc_hit=0, dram=0)
+        assert s.smt == 0.0
+        assert s.total == 1.0
+
+
+class TestTopdown:
+    def test_level1_sums_to_one(self, stack):
+        td = stack.topdown()
+        total = (
+            td.retiring + td.frontend_bound + td.bad_speculation + td.backend_bound
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_backend_split_consistent(self, stack):
+        td = stack.topdown()
+        assert td.memory_bound + td.core_bound == pytest.approx(td.backend_bound)
+
+    def test_fractions_match_components(self, stack):
+        td = stack.topdown()
+        assert td.retiring == pytest.approx(0.5 / 2.0)
+        assert td.frontend_bound == pytest.approx(0.2 / 2.0)
+        assert td.bad_speculation == pytest.approx(0.1 / 2.0)
+        assert td.memory_bound == pytest.approx(0.95 / 2.0)
+        assert td.core_bound == pytest.approx(0.25 / 2.0)
+
+    def test_memory_bound_job_dominated_by_memory(self):
+        s = CPIStack(base=0.3, frontend=0.05, branch=0.02, l2=0.1, llc_hit=0.2, dram=3.0)
+        td = s.topdown()
+        assert td.memory_bound > 0.8
+
+    def test_breakdown_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TopdownBreakdown(
+                retiring=0.5,
+                frontend_bound=0.1,
+                bad_speculation=0.1,
+                backend_bound=0.1,
+                memory_bound=0.05,
+                core_bound=0.05,
+            )
+        with pytest.raises(ValueError, match="must equal backend"):
+            TopdownBreakdown(
+                retiring=0.5,
+                frontend_bound=0.2,
+                bad_speculation=0.1,
+                backend_bound=0.2,
+                memory_bound=0.05,
+                core_bound=0.05,
+            )

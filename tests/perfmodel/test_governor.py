@@ -1,0 +1,92 @@
+"""Unit tests for the DVFS governor policies."""
+
+import pytest
+
+from repro.cluster import Feature
+from repro.perfmodel import MachinePerf, RunningInstance, solve_colocation
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+def insts(*names, load=1.0):
+    catalogue = {**HP_JOBS, **LP_JOBS}
+    return [RunningInstance(catalogue[n], load=load) for n in names]
+
+
+class TestEffectiveFrequency:
+    def test_performance_governor_always_max(self):
+        m = MachinePerf()
+        for busy in (0.0, 5.0, 24.0, 48.0):
+            assert m.effective_frequency_ghz(busy) == m.max_freq_ghz
+
+    def test_ondemand_scales_with_utilisation(self):
+        m = MachinePerf(governor="ondemand")
+        assert m.effective_frequency_ghz(0.0) == pytest.approx(m.min_freq_ghz)
+        half = m.effective_frequency_ghz(12.0)  # 12 of 24 cores
+        assert half == pytest.approx(
+            m.min_freq_ghz + 0.5 * (m.max_freq_ghz - m.min_freq_ghz)
+        )
+        assert m.effective_frequency_ghz(24.0) == pytest.approx(
+            m.max_freq_ghz
+        )
+
+    def test_ondemand_saturates_at_max(self):
+        m = MachinePerf(governor="ondemand")
+        assert m.effective_frequency_ghz(48.0) == pytest.approx(
+            m.max_freq_ghz
+        )
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ValueError, match="unknown governor"):
+            MachinePerf(governor="turbo")
+
+    def test_with_governor(self):
+        m = MachinePerf().with_governor("ondemand")
+        assert m.governor == "ondemand"
+        assert MachinePerf().governor == "performance"
+
+
+class TestOndemandSolutions:
+    def test_light_load_runs_slower(self):
+        perf = solve_colocation(MachinePerf(), insts("IA"))
+        ondemand = solve_colocation(
+            MachinePerf(governor="ondemand"), insts("IA")
+        )
+        assert ondemand.instances[0].mips < perf.instances[0].mips
+        assert ondemand.instances[0].frequency_ghz < (
+            perf.instances[0].frequency_ghz
+        )
+
+    def test_saturated_machine_matches_performance_governor(self):
+        # 12 LP containers keep all 24 cores busy -> ondemand == max.
+        instances = insts(*["sjeng"] * 12)
+        perf = solve_colocation(MachinePerf(), instances)
+        ondemand = solve_colocation(
+            MachinePerf(governor="ondemand"), instances
+        )
+        assert ondemand.total_mips == pytest.approx(
+            perf.total_mips, rel=1e-9
+        )
+
+    def test_governor_switch_as_feature(self):
+        """An ondemand rollout is a shape-preserving software feature —
+        exactly FLARE's target class."""
+        feature = Feature(
+            name="ondemand-governor",
+            description="switch the fleet to the ondemand governor",
+            apply=lambda m: m.with_governor("ondemand"),
+        )
+        machine = feature(MachinePerf())
+        assert machine.governor == "ondemand"
+        assert machine.hardware_threads == MachinePerf().hardware_threads
+
+    def test_memory_bound_jobs_less_hurt_by_ondemand(self):
+        instances = insts("sjeng", "mcf")
+        perf = solve_colocation(MachinePerf(), instances)
+        ondemand = solve_colocation(
+            MachinePerf(governor="ondemand"), instances
+        )
+        reductions = [
+            1.0 - o.mips / p.mips
+            for p, o in zip(perf.instances, ondemand.instances)
+        ]
+        assert reductions[0] > reductions[1]  # compute > memory bound

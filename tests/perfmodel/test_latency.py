@@ -1,0 +1,115 @@
+"""Unit tests for the request-latency model."""
+
+import pytest
+
+from repro.perfmodel import (
+    DEFAULT_SERVICE_TIME_MS,
+    MachinePerf,
+    RunningInstance,
+    inherent_performance,
+    instance_latency,
+    solve_colocation,
+)
+from repro.workloads import HP_JOBS, LP_JOBS
+
+
+@pytest.fixture()
+def machine():
+    return MachinePerf()
+
+
+def alone(machine, job="WSC", load=1.0):
+    sig = {**HP_JOBS, **LP_JOBS}[job]
+    sol = solve_colocation(machine, [RunningInstance(sig, load=load)])
+    return sol.instances[0]
+
+
+class TestInstanceLatency:
+    def test_uncontended_latency_is_queueing_only(self, machine):
+        perf = alone(machine, "WSC", load=0.5)
+        est = instance_latency(perf, perf, 0.5)
+        # No interference: inflation 1, mean = S/(1-0.5) = 2S.
+        assert est.mean_ms == pytest.approx(
+            DEFAULT_SERVICE_TIME_MS["WSC"] * 2.0
+        )
+        assert est.utilisation == pytest.approx(0.5)
+
+    def test_p99_exceeds_mean(self, machine):
+        perf = alone(machine, "DC", load=0.6)
+        est = instance_latency(perf, perf, 0.6)
+        assert est.p99_ms > est.mean_ms
+        assert est.p99_ms == pytest.approx(est.mean_ms * 4.605, rel=1e-3)
+
+    def test_interference_inflates_latency(self, machine):
+        sig = HP_JOBS["WSC"]
+        inherent = inherent_performance(machine, sig)
+        crowded = solve_colocation(
+            machine,
+            [RunningInstance(sig)]
+            + [RunningInstance(LP_JOBS["mcf"]) for _ in range(8)],
+        )
+        contended = instance_latency(crowded.instances[0], inherent, 1.0)
+        baseline = instance_latency(inherent, inherent, 1.0)
+        assert contended.mean_ms > baseline.mean_ms
+        assert contended.utilisation >= baseline.utilisation
+
+    def test_latency_amplifies_throughput_loss(self, machine):
+        """Queueing makes tail latency degrade faster than MIPS."""
+        sig = HP_JOBS["WSC"]
+        inherent = inherent_performance(machine, sig)
+        crowded = solve_colocation(
+            machine,
+            [RunningInstance(sig, load=0.8)]
+            + [RunningInstance(LP_JOBS["mcf"]) for _ in range(8)],
+        )
+        perf = crowded.instances[0]
+        mips_loss = 1.0 - perf.mips / (inherent.mips * 0.8)
+        lat = instance_latency(perf, inherent, 0.8)
+        base = instance_latency(inherent, inherent, 0.8)
+        latency_loss = 1.0 - base.p99_ms / lat.p99_ms
+        assert latency_loss > mips_loss * 0.9
+
+    def test_higher_load_higher_latency(self, machine):
+        low = alone(machine, "DS", load=0.5)
+        high = alone(machine, "DS", load=0.85)
+        est_low = instance_latency(low, low, 0.5)
+        est_high = instance_latency(high, high, 0.85)
+        assert est_high.mean_ms > est_low.mean_ms
+
+    def test_utilisation_capped(self, machine):
+        sig = HP_JOBS["GA"]
+        inherent = inherent_performance(machine, sig)
+        crowded = solve_colocation(
+            machine,
+            [RunningInstance(sig)]
+            + [RunningInstance(LP_JOBS["libquantum"]) for _ in range(11)],
+        )
+        est = instance_latency(crowded.instances[0], inherent, 1.0)
+        assert est.utilisation <= 0.99
+        assert est.mean_ms < float("inf")
+
+    def test_custom_service_time(self, machine):
+        perf = alone(machine, "WSC", load=0.5)
+        est = instance_latency(perf, perf, 0.5, service_time_ms=10.0)
+        assert est.service_time_ms == 10.0
+        assert est.mean_ms == pytest.approx(20.0)
+
+    def test_unlisted_job_uses_fallback(self, machine):
+        perf = alone(machine, "mcf", load=0.5)
+        est = instance_latency(perf, perf, 0.5)
+        assert est.service_time_ms == 2.0
+
+    def test_validation(self, machine):
+        perf = alone(machine, "WSC")
+        other = alone(machine, "GA")
+        with pytest.raises(ValueError, match="load"):
+            instance_latency(perf, perf, 0.0)
+        with pytest.raises(ValueError, match="inherent"):
+            instance_latency(perf, other, 0.5)
+        with pytest.raises(ValueError, match="service_time"):
+            instance_latency(perf, perf, 0.5, service_time_ms=0.0)
+
+    def test_queueing_factor(self, machine):
+        perf = alone(machine, "WSC", load=0.5)
+        est = instance_latency(perf, perf, 0.5)
+        assert est.queueing_factor == pytest.approx(2.0)

@@ -1,0 +1,57 @@
+"""Unit tests for the machine performance description."""
+
+import pytest
+
+from repro.perfmodel import MachinePerf
+
+
+class TestMachinePerf:
+    def test_defaults_are_table2(self):
+        m = MachinePerf()
+        assert m.physical_cores == 24
+        assert m.hardware_threads == 48
+        assert m.llc_mb == 60.0
+        assert m.max_freq_ghz == 2.9
+        assert m.smt_enabled
+
+    def test_with_llc(self):
+        m = MachinePerf().with_llc_mb(24.0)
+        assert m.llc_mb == 24.0
+        assert m.max_freq_ghz == MachinePerf().max_freq_ghz
+
+    def test_with_max_freq(self):
+        m = MachinePerf().with_max_freq_ghz(1.8)
+        assert m.max_freq_ghz == 1.8
+
+    def test_with_smt(self):
+        m = MachinePerf().with_smt(False)
+        assert not m.smt_enabled
+        # Shape (hardware threads) is preserved.
+        assert m.hardware_threads == 48
+
+    def test_hashable_for_caching(self):
+        assert hash(MachinePerf()) == hash(MachinePerf())
+        assert MachinePerf() != MachinePerf().with_smt(False)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"physical_cores": 0},
+            {"smt_speedup": 0.9},
+            {"smt_speedup": 2.5},
+            {"min_freq_ghz": 0.0},
+            {"min_freq_ghz": 3.0, "max_freq_ghz": 2.0},
+            {"llc_mb": 0.0},
+            {"mem_bw_gbps": -1.0},
+            {"mem_latency_ns": 0.0},
+            {"network_gbps": 0.0},
+            {"disk_mbps": 0.0},
+        ],
+    )
+    def test_invalid_params_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            MachinePerf(**kwargs)
+
+    def test_freq_reduction_below_min_raises(self):
+        with pytest.raises(ValueError):
+            MachinePerf().with_max_freq_ghz(0.5)

@@ -1,0 +1,60 @@
+"""Unit tests for miss-ratio curves."""
+
+import pytest
+
+from repro.perfmodel import MissRatioCurve
+
+
+class TestMissRatioCurve:
+    def test_zero_cache_misses_everything(self):
+        mrc = MissRatioCurve(half_capacity_mb=8.0, floor=0.05)
+        assert mrc.miss_ratio(0.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        mrc = MissRatioCurve(half_capacity_mb=8.0)
+        sizes = [0.0, 1.0, 4.0, 8.0, 16.0, 64.0]
+        ratios = [mrc.miss_ratio(s) for s in sizes]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_floor_is_asymptote(self):
+        mrc = MissRatioCurve(half_capacity_mb=2.0, shape=2.0, floor=0.12)
+        assert mrc.miss_ratio(1e6) == pytest.approx(0.12, abs=1e-4)
+        assert mrc.miss_ratio(1e6) >= 0.12
+
+    def test_half_capacity_semantics(self):
+        mrc = MissRatioCurve(half_capacity_mb=10.0, shape=1.0, floor=0.0)
+        assert mrc.miss_ratio(10.0) == pytest.approx(0.5)
+
+    def test_steeper_shape_drops_faster(self):
+        shallow = MissRatioCurve(half_capacity_mb=8.0, shape=0.5, floor=0.0)
+        steep = MissRatioCurve(half_capacity_mb=8.0, shape=2.0, floor=0.0)
+        assert steep.miss_ratio(16.0) < shallow.miss_ratio(16.0)
+
+    def test_bounded_in_unit_interval(self):
+        mrc = MissRatioCurve(half_capacity_mb=5.0, shape=1.3, floor=0.3)
+        for cache in (0.0, 0.1, 5.0, 500.0):
+            assert 0.0 <= mrc.miss_ratio(cache) <= 1.0
+
+    def test_marginal_utility_positive_and_decreasing(self):
+        mrc = MissRatioCurve(half_capacity_mb=8.0)
+        u1 = mrc.marginal_utility(1.0)
+        u2 = mrc.marginal_utility(20.0)
+        assert u1 > u2 > 0.0
+
+    def test_negative_cache_raises(self):
+        with pytest.raises(ValueError):
+            MissRatioCurve(half_capacity_mb=8.0).miss_ratio(-1.0)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            MissRatioCurve(half_capacity_mb=0.0)
+        with pytest.raises(ValueError):
+            MissRatioCurve(half_capacity_mb=1.0, shape=0.0)
+        with pytest.raises(ValueError):
+            MissRatioCurve(half_capacity_mb=1.0, floor=1.0)
+        with pytest.raises(ValueError):
+            MissRatioCurve(half_capacity_mb=1.0, floor=-0.1)
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            MissRatioCurve(half_capacity_mb=1.0).marginal_utility(1.0, delta_mb=0.0)

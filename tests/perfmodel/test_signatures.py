@@ -1,0 +1,95 @@
+"""Unit tests for job signatures."""
+
+import dataclasses
+
+import pytest
+
+from repro.perfmodel import JobSignature, MissRatioCurve, Priority
+
+
+@pytest.fixture()
+def base_kwargs():
+    return dict(
+        name="toy",
+        description="toy job",
+        priority=Priority.HIGH,
+        vcpus=4,
+        dram_gb=8.0,
+        base_cpi=0.5,
+        frontend_cpi=0.2,
+        branch_mpki=5.0,
+        l1i_apki=300.0,
+        l1d_apki=350.0,
+        l2_apki=40.0,
+        llc_apki=10.0,
+        mrc=MissRatioCurve(half_capacity_mb=8.0),
+        mem_blocking_factor=0.5,
+    )
+
+
+class TestJobSignature:
+    def test_valid_construction(self, base_kwargs):
+        sig = JobSignature(**base_kwargs)
+        assert sig.is_high_priority
+        assert sig.vcpus == 4
+
+    def test_lp_not_high_priority(self, base_kwargs):
+        base_kwargs["priority"] = Priority.LOW
+        assert not JobSignature(**base_kwargs).is_high_priority
+
+    def test_frozen(self, base_kwargs):
+        sig = JobSignature(**base_kwargs)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sig.vcpus = 8
+
+    def test_hashable(self, base_kwargs):
+        sig = JobSignature(**base_kwargs)
+        assert hash(sig) == hash(JobSignature(**base_kwargs))
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("vcpus", 0),
+            ("dram_gb", 0.0),
+            ("base_cpi", 0.0),
+            ("frontend_cpi", -0.1),
+            ("branch_mpki", -1.0),
+            ("llc_apki", -1.0),
+            ("mem_blocking_factor", 0.0),
+            ("mem_blocking_factor", 1.5),
+            ("write_fraction", 1.1),
+            ("active_fraction", 0.0),
+            ("active_fraction", 1.2),
+            ("spin_fraction", 1.0),
+            ("network_bytes_per_instr", -0.1),
+        ],
+    )
+    def test_invalid_field_raises(self, base_kwargs, field, value):
+        base_kwargs[field] = value
+        with pytest.raises(ValueError):
+            JobSignature(**base_kwargs)
+
+
+class TestScaledLoad:
+    def test_scales_active_fraction(self, base_kwargs):
+        base_kwargs["active_fraction"] = 0.8
+        sig = JobSignature(**base_kwargs)
+        scaled = sig.scaled_load(0.5)
+        assert scaled.active_fraction == pytest.approx(0.4)
+
+    def test_preserves_cache_behaviour(self, base_kwargs):
+        sig = JobSignature(**base_kwargs)
+        scaled = sig.scaled_load(0.5)
+        assert scaled.llc_apki == sig.llc_apki
+        assert scaled.mrc == sig.mrc
+
+    def test_full_load_is_identity(self, base_kwargs):
+        sig = JobSignature(**base_kwargs)
+        assert sig.scaled_load(1.0) == sig
+
+    def test_invalid_load_raises(self, base_kwargs):
+        sig = JobSignature(**base_kwargs)
+        with pytest.raises(ValueError):
+            sig.scaled_load(0.0)
+        with pytest.raises(ValueError):
+            sig.scaled_load(1.5)

@@ -1,0 +1,83 @@
+"""Unit tests for JSON conversion of result objects."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE
+from repro.reporting import to_jsonable
+
+
+class TestPrimitives:
+    def test_passthrough(self):
+        for value in (None, True, 3, "x", 2.5):
+            assert to_jsonable(value) == value
+
+    def test_non_finite_floats_become_strings(self):
+        assert to_jsonable(float("nan")) == "nan"
+        assert to_jsonable(float("inf")) == "inf"
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(4)) == 4
+        assert isinstance(to_jsonable(np.float64(1.5)), float)
+
+    def test_numpy_arrays(self):
+        out = to_jsonable(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert out == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_enum(self):
+        from repro.perfmodel import Priority
+
+        assert to_jsonable(Priority.HIGH) == "HP"
+
+    def test_containers(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert to_jsonable({"a": np.int64(1)}) == {"a": 1}
+
+    def test_unknown_object_reprs(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert to_jsonable(Weird()) == "<weird>"
+
+
+class TestDataclasses:
+    def test_nested_dataclass(self):
+        @dataclasses.dataclass
+        class Inner:
+            values: np.ndarray
+
+        @dataclasses.dataclass
+        class Outer:
+            name: str
+            inner: Inner
+
+        out = to_jsonable(Outer(name="x", inner=Inner(np.arange(3.0))))
+        assert out == {"name": "x", "inner": {"values": [0.0, 1.0, 2.0]}}
+
+    def test_feature_callable_dropped(self):
+        out = to_jsonable(FEATURE_1_CACHE)
+        assert out["name"] == "feature1"
+        assert "apply" not in out
+
+    def test_real_result_serialises(self, small_flare):
+        estimate = small_flare.evaluate(FEATURE_1_CACHE)
+        payload = json.dumps(to_jsonable(estimate))
+        back = json.loads(payload)
+        assert back["reduction_pct"] == pytest.approx(
+            estimate.reduction_pct
+        )
+        assert len(back["per_cluster"]) == len(estimate.per_cluster)
+
+    def test_depth_guard(self):
+        nested = [1]
+        ref = nested
+        for _ in range(40):
+            ref.append([1])
+            ref = ref[-1]
+        out = to_jsonable(nested)  # must not recurse forever
+        assert isinstance(out, list)

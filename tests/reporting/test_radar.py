@@ -1,0 +1,79 @@
+"""Unit tests for text radar rendering."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    render_cluster_profile,
+    render_radar_report,
+    signed_bar,
+)
+
+
+class TestSignedBar:
+    def test_positive_bar_right_of_pivot(self):
+        bar = signed_bar(1.0, scale=2.0, width=10)
+        left, right = bar.split("|")
+        assert "#" not in left
+        assert right.count("#") == 5
+
+    def test_negative_bar_left_of_pivot(self):
+        bar = signed_bar(-2.0, scale=2.0, width=10)
+        left, right = bar.split("|")
+        assert left.count("#") == 10
+        assert "#" not in right
+
+    def test_zero_is_empty(self):
+        bar = signed_bar(0.0)
+        assert "#" not in bar
+
+    def test_saturates_at_scale(self):
+        assert signed_bar(100.0, scale=2.0, width=8).count("#") == 8
+
+    def test_constant_width(self):
+        for v in (-3.0, -0.5, 0.0, 0.7, 5.0):
+            assert len(signed_bar(v, width=10)) == 21
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            signed_bar(1.0, scale=0.0)
+        with pytest.raises(ValueError):
+            signed_bar(1.0, width=0)
+
+
+class TestClusterProfile:
+    def test_header_has_id_and_weight(self):
+        out = render_cluster_profile(3, 0.125, np.array([0.5, -0.5]))
+        assert out.splitlines()[0] == "Cluster 3 (weight 12.5%)"
+
+    def test_one_line_per_pc(self):
+        out = render_cluster_profile(0, 0.5, np.array([0.1, 0.2, 0.3]))
+        assert len(out.splitlines()) == 4
+
+    def test_spread_appended(self):
+        out = render_cluster_profile(
+            0, 0.5, np.array([1.0]), spread=np.array([0.25])
+        )
+        assert "±0.25" in out
+
+    def test_spread_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_cluster_profile(
+                0, 0.5, np.array([1.0, 2.0]), spread=np.array([0.1])
+            )
+
+
+class TestRadarReport:
+    def test_block_per_cluster(self):
+        centroids = np.zeros((3, 2))
+        weights = np.full(3, 1 / 3)
+        out = render_radar_report(centroids, weights)
+        assert out.count("Cluster ") == 3
+
+    def test_weight_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_radar_report(np.zeros((2, 2)), np.array([1.0]))
+
+    def test_1d_centroids_rejected(self):
+        with pytest.raises(ValueError):
+            render_radar_report(np.zeros(3), np.ones(3))

@@ -1,0 +1,60 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.reporting import format_value, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+        assert format_value(3.14159, precision=4) == "3.1416"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool_not_formatted_as_number(self):
+        assert format_value(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["job", "impact"], [["GA", 12.5], ["WSC", 3.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("job")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_numeric_columns_right_aligned(self):
+        out = render_table(["name", "v"], [["a", 1.0], ["b", 100.0]])
+        lines = out.splitlines()
+        assert lines[2].endswith("  1.00")
+        assert lines[3].endswith("100.00")
+
+    def test_text_columns_left_aligned(self):
+        out = render_table(["name", "v"], [["a", 1], ["long", 2]])
+        assert out.splitlines()[2].startswith("a   ")
+
+    def test_title_prepended(self):
+        out = render_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_mixed_column_not_right_aligned(self):
+        out = render_table(["v"], [["x"], [1.0]])
+        # Mixed type column is treated as text.
+        assert out.splitlines()[2].startswith("x")

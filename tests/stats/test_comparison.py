@@ -1,0 +1,90 @@
+"""Unit tests for clustering-comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.stats import KMeans, adjusted_rand_index, gap_statistic
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelling_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self, rng):
+        a = rng.integers(0, 4, size=3000)
+        b = rng.integers(0, 4, size=3000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_partial_agreement_between_zero_and_one(self):
+        a = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        b = np.array([0, 0, 1, 1, 1, 2, 2, 2, 0])
+        ari = adjusted_rand_index(a, b)
+        assert 0.0 < ari < 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 5, size=100)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_single_cluster_each(self):
+        a = np.zeros(10, dtype=int)
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0], [0])
+
+    def test_kmeans_same_blobs_high_ari(self, rng):
+        centres = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        pts = np.concatenate(
+            [rng.normal(c, 0.3, size=(30, 2)) for c in centres]
+        )
+        a = KMeans(3, seed=1).fit(pts).labels
+        b = KMeans(3, seed=99).fit(pts).labels
+        assert adjusted_rand_index(a, b) > 0.95
+
+
+class TestGapStatistic:
+    def test_detects_three_blobs(self, rng):
+        centres = np.array([[0.0, 0.0], [12.0, 0.0], [0.0, 12.0]])
+        pts = np.concatenate(
+            [rng.normal(c, 0.4, size=(40, 2)) for c in centres]
+        )
+        result = gap_statistic(pts, (1, 2, 3, 4, 5), seed=0, n_references=8)
+        assert result.suggested_k() == 3
+
+    def test_uniform_data_suggests_few_clusters(self, rng):
+        pts = rng.uniform(0, 1, size=(150, 2))
+        result = gap_statistic(pts, (1, 2, 3, 4), seed=0, n_references=8)
+        assert result.suggested_k() <= 2
+
+    def test_curve_shapes(self, rng):
+        pts = rng.normal(size=(80, 3))
+        result = gap_statistic(pts, (1, 2, 3), seed=0, n_references=4)
+        assert result.gaps.shape == (3,)
+        assert (result.std_errors >= 0.0).all()
+
+    def test_deterministic(self, rng):
+        pts = rng.normal(size=(60, 2))
+        a = gap_statistic(pts, (2, 3), seed=5, n_references=4)
+        b = gap_statistic(pts, (2, 3), seed=5, n_references=4)
+        np.testing.assert_array_equal(a.gaps, b.gaps)
+
+    def test_validation(self, rng):
+        pts = rng.normal(size=(20, 2))
+        with pytest.raises(ValueError):
+            gap_statistic(pts, (), seed=0)
+        with pytest.raises(ValueError):
+            gap_statistic(pts, (0, 2), seed=0)
+        with pytest.raises(ValueError):
+            gap_statistic(pts, (2,), seed=0, n_references=1)

@@ -1,0 +1,102 @@
+"""Unit tests for correlation analysis and metric pruning."""
+
+import numpy as np
+import pytest
+
+from repro.stats import correlation_matrix, prune_correlated
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self, rng):
+        data = rng.normal(size=(100, 4))
+        corr = correlation_matrix(data)
+        np.testing.assert_allclose(np.diag(corr), 1.0, atol=1e-9)
+
+    def test_symmetric(self, rng):
+        corr = correlation_matrix(rng.normal(size=(50, 5)))
+        np.testing.assert_allclose(corr, corr.T, atol=1e-12)
+
+    def test_perfect_positive_correlation(self, rng):
+        x = rng.normal(size=100)
+        data = np.column_stack([x, 2.0 * x + 5.0])
+        corr = correlation_matrix(data)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_perfect_negative_correlation(self, rng):
+        x = rng.normal(size=100)
+        corr = correlation_matrix(np.column_stack([x, -x]))
+        assert corr[0, 1] == pytest.approx(-1.0)
+
+    def test_constant_column_zero_correlation(self, rng):
+        data = np.column_stack([rng.normal(size=50), np.full(50, 3.0)])
+        corr = correlation_matrix(data)
+        assert corr[0, 1] == 0.0
+        assert corr[1, 1] == 0.0
+
+    def test_clipped_to_unit_interval(self, rng):
+        corr = correlation_matrix(rng.normal(size=(30, 6)))
+        assert (np.abs(corr) <= 1.0).all()
+
+
+class TestPruneCorrelated:
+    def test_drops_exact_duplicate(self, rng):
+        x = rng.normal(size=200)
+        y = rng.normal(size=200)
+        data = np.column_stack([x, y, x * 3.0])
+        report = prune_correlated(data, threshold=0.95)
+        assert report.n_kept == 2
+        assert report.n_dropped == 1
+        # The duplicate pair is (0, 2); exactly one of them survives.
+        assert (0 in report.kept) != (2 in report.kept)
+        assert 1 in report.kept
+
+    def test_keeps_uncorrelated(self, rng):
+        data = rng.normal(size=(500, 5))
+        report = prune_correlated(data, threshold=0.95)
+        assert report.n_kept == 5
+        assert report.dropped == {}
+
+    def test_dropped_maps_to_kept_metric(self, rng):
+        x = rng.normal(size=100)
+        data = np.column_stack([x, x * 2.0, x * -1.0])
+        report = prune_correlated(data, threshold=0.9)
+        assert report.n_kept == 1
+        for dropped, keeper in report.dropped.items():
+            assert keeper in report.kept
+            assert dropped not in report.kept
+
+    def test_threshold_one_keeps_near_duplicates(self, rng):
+        x = rng.normal(size=300)
+        noisy = x + rng.normal(0, 0.05, size=300)
+        data = np.column_stack([x, noisy])
+        assert prune_correlated(data, threshold=1.0).n_kept == 2
+        assert prune_correlated(data, threshold=0.9).n_kept == 1
+
+    def test_invalid_threshold_raises(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            prune_correlated(data, threshold=0.0)
+        with pytest.raises(ValueError):
+            prune_correlated(data, threshold=1.5)
+
+    def test_kept_indices_sorted(self, rng):
+        data = rng.normal(size=(100, 6))
+        report = prune_correlated(data)
+        assert list(report.kept) == sorted(report.kept)
+
+    def test_kept_names_and_descriptions(self, rng):
+        x = rng.normal(size=100)
+        data = np.column_stack([x, x * 2.0])
+        report = prune_correlated(data, threshold=0.9)
+        names = ["alpha", "beta"]
+        kept_names = report.kept_names(names)
+        assert len(kept_names) == 1
+        drops = report.describe_drops(names)
+        assert len(drops) == 1
+        assert "|r| >" in drops[0]
+
+    def test_partition_is_complete(self, rng):
+        data = rng.normal(size=(80, 7))
+        data[:, 3] = data[:, 0] * 2.0
+        report = prune_correlated(data)
+        assert set(report.kept) | set(report.dropped) == set(range(7))

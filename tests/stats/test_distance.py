@@ -1,0 +1,61 @@
+"""Unit tests for distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.stats import nearest_indices, pairwise_euclidean, pairwise_sq_euclidean
+
+
+class TestPairwiseSqEuclidean:
+    def test_matches_naive(self, rng):
+        a = rng.normal(size=(10, 4))
+        b = rng.normal(size=(7, 4))
+        out = pairwise_sq_euclidean(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(out, naive, atol=1e-10)
+
+    def test_self_distance_zero_diagonal(self, rng):
+        a = rng.normal(size=(5, 3))
+        out = pairwise_sq_euclidean(a, a)
+        np.testing.assert_allclose(np.diag(out), 0.0, atol=1e-10)
+
+    def test_never_negative(self, rng):
+        a = rng.normal(size=(50, 2)) * 1e-8
+        assert (pairwise_sq_euclidean(a, a) >= 0.0).all()
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            pairwise_sq_euclidean(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_shape(self, rng):
+        out = pairwise_sq_euclidean(rng.normal(size=(3, 2)), rng.normal(size=(5, 2)))
+        assert out.shape == (3, 5)
+
+
+class TestPairwiseEuclidean:
+    def test_is_sqrt_of_squared(self, rng):
+        a = rng.normal(size=(6, 3))
+        b = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            pairwise_euclidean(a, b) ** 2, pairwise_sq_euclidean(a, b), atol=1e-9
+        )
+
+    def test_triangle_inequality(self, rng):
+        pts = rng.normal(size=(8, 3))
+        d = pairwise_euclidean(pts, pts)
+        for i in range(8):
+            for j in range(8):
+                for k in range(8):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestNearestIndices:
+    def test_picks_exact_match(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        targets = np.array([[9.5, 0.1], [0.1, 0.2]])
+        out = nearest_indices(points, targets)
+        assert out.tolist() == [1, 0]
+
+    def test_one_target(self):
+        points = np.array([[0.0], [5.0]])
+        assert nearest_indices(points, np.array([[4.0]])).tolist() == [1]

@@ -1,0 +1,97 @@
+"""Unit tests for agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.stats import AgglomerativeClustering, KMeans, silhouette_score
+
+
+@pytest.fixture()
+def three_blobs(rng):
+    centres = np.array([[0.0, 0.0], [9.0, 0.0], [0.0, 9.0]])
+    points = np.concatenate([rng.normal(c, 0.3, size=(25, 2)) for c in centres])
+    labels = np.repeat([0, 1, 2], 25)
+    return points, labels
+
+
+@pytest.mark.parametrize("linkage", ["average", "complete", "single"])
+class TestLinkages:
+    def test_recovers_blobs(self, three_blobs, linkage):
+        points, truth = three_blobs
+        result = AgglomerativeClustering(3, linkage=linkage).fit(points)
+        for blob in range(3):
+            assert np.unique(result.labels[truth == blob]).size == 1
+
+    def test_labels_dense(self, three_blobs, linkage):
+        points, _ = three_blobs
+        result = AgglomerativeClustering(3, linkage=linkage).fit(points)
+        assert sorted(np.unique(result.labels)) == [0, 1, 2]
+
+    def test_centroids_are_cluster_means(self, three_blobs, linkage):
+        points, _ = three_blobs
+        result = AgglomerativeClustering(3, linkage=linkage).fit(points)
+        for cid in range(3):
+            member_mean = points[result.labels == cid].mean(axis=0)
+            np.testing.assert_allclose(result.centroids[cid], member_mean)
+
+
+class TestStructure:
+    def test_n_clusters_one_merges_everything(self, three_blobs):
+        points, _ = three_blobs
+        result = AgglomerativeClustering(1).fit(points)
+        assert np.unique(result.labels).size == 1
+        assert len(result.merge_heights) == points.shape[0] - 1
+
+    def test_n_clusters_equals_n_does_nothing(self, rng):
+        points = rng.normal(size=(6, 2))
+        result = AgglomerativeClustering(6).fit(points)
+        assert np.unique(result.labels).size == 6
+        assert result.merge_heights == ()
+
+    def test_merge_heights_monotone_for_complete_linkage(self, three_blobs):
+        points, _ = three_blobs
+        result = AgglomerativeClustering(2, linkage="complete").fit(points)
+        heights = np.array(result.merge_heights)
+        assert (np.diff(heights) >= -1e-9).all()
+
+    def test_inertia_positive_and_comparable_to_kmeans(self, three_blobs):
+        points, _ = three_blobs
+        agg = AgglomerativeClustering(3, linkage="average").fit(points)
+        km = KMeans(3, seed=0).fit(points)
+        # On clean blobs the partitions coincide, so SSE matches closely.
+        assert agg.inertia == pytest.approx(km.inertia, rel=0.05)
+
+    def test_silhouette_reasonable(self, three_blobs):
+        points, _ = three_blobs
+        result = AgglomerativeClustering(3).fit(points)
+        assert silhouette_score(points, result.labels) > 0.8
+
+    def test_deterministic(self, three_blobs):
+        points, _ = three_blobs
+        a = AgglomerativeClustering(4).fit(points)
+        b = AgglomerativeClustering(4).fit(points)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestValidation:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(0)
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            AgglomerativeClustering(2, linkage="ward")
+
+    def test_k_exceeds_n(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            AgglomerativeClustering(5).fit(rng.normal(size=(3, 2)))
+
+    def test_single_linkage_chains(self):
+        """Single linkage merges through chains — a line of close points
+        collapses into one cluster while a distant point stays alone."""
+        line = np.array([[float(i), 0.0] for i in range(10)])
+        outlier = np.array([[100.0, 0.0]])
+        points = np.concatenate([line, outlier])
+        result = AgglomerativeClustering(2, linkage="single").fit(points)
+        assert np.unique(result.labels[:10]).size == 1
+        assert result.labels[10] != result.labels[0]

@@ -1,0 +1,164 @@
+"""Unit tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.stats import KMeans, kmeans_plus_plus_init
+
+
+@pytest.fixture()
+def three_blobs(rng):
+    """Three well-separated Gaussian blobs."""
+    centres = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.concatenate(
+        [rng.normal(c, 0.3, size=(40, 2)) for c in centres]
+    )
+    labels = np.repeat([0, 1, 2], 40)
+    return points, labels, centres
+
+
+class TestKMeansBasics:
+    def test_recovers_separated_blobs(self, three_blobs):
+        points, true_labels, centres = three_blobs
+        result = KMeans(3, seed=0).fit(points)
+        # Each true blob must map to exactly one cluster.
+        for blob in range(3):
+            blob_labels = result.labels[true_labels == blob]
+            assert np.unique(blob_labels).size == 1
+        # Centroids near true centres (in some permutation).
+        dist = np.sqrt(
+            ((result.centroids[:, None, :] - centres[None, :, :]) ** 2).sum(-1)
+        )
+        assert (dist.min(axis=1) < 0.5).all()
+
+    def test_inertia_decreases_with_more_clusters(self, three_blobs):
+        points, _, _ = three_blobs
+        inertias = [
+            KMeans(k, seed=0, n_init=4).fit(points).inertia for k in (2, 3, 6)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_labels_cover_all_points(self, three_blobs):
+        points, _, _ = three_blobs
+        result = KMeans(3, seed=0).fit(points)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.labels.min() >= 0
+        assert result.labels.max() <= 2
+
+    def test_k_equals_n_gives_zero_inertia(self, rng):
+        points = rng.normal(size=(6, 2))
+        result = KMeans(6, seed=1, n_init=4).fit(points)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_for_seed(self, three_blobs):
+        points, _, _ = three_blobs
+        a = KMeans(3, seed=11).fit(points)
+        b = KMeans(3, seed=11).fit(points)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_converged_flag_set(self, three_blobs):
+        points, _, _ = three_blobs
+        assert KMeans(3, seed=0).fit(points).converged
+
+    def test_single_cluster(self, rng):
+        points = rng.normal(size=(20, 3))
+        result = KMeans(1, seed=0).fit(points)
+        np.testing.assert_allclose(
+            result.centroids[0], points.mean(axis=0), atol=1e-9
+        )
+
+
+class TestKMeansValidation:
+    def test_k_larger_than_n_raises(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            KMeans(5, seed=0).fit(rng.normal(size=(3, 2)))
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_invalid_n_init_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(2, n_init=0)
+
+    def test_bad_weight_length_raises(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="one entry per row"):
+            KMeans(2, seed=0).fit(points, sample_weight=np.ones(5))
+
+    def test_negative_weights_raise(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            KMeans(2, seed=0).fit(points, sample_weight=-np.ones(10))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            KMeans(2).predict([[0.0, 0.0]])
+
+
+class TestKMeansWeights:
+    def test_heavy_point_pulls_centroid(self):
+        points = np.array([[0.0], [1.0]])
+        weights = np.array([1.0, 99.0])
+        result = KMeans(1, seed=0).fit(points, sample_weight=weights)
+        assert result.centroids[0, 0] == pytest.approx(0.99)
+
+    def test_cluster_weights_sum_to_one(self, three_blobs):
+        points, _, _ = three_blobs
+        result = KMeans(3, seed=0).fit(points)
+        assert result.cluster_weights().sum() == pytest.approx(1.0)
+
+    def test_cluster_weights_respect_sample_weight(self):
+        points = np.array([[0.0], [0.1], [10.0]])
+        result = KMeans(2, seed=0).fit(points)
+        weighted = result.cluster_weights(sample_weight=[5.0, 5.0, 90.0])
+        lone_cluster = result.labels[2]
+        assert weighted[lone_cluster] == pytest.approx(0.9)
+
+    def test_cluster_sizes_sum_to_n(self, three_blobs):
+        points, _, _ = three_blobs
+        result = KMeans(3, seed=0).fit(points)
+        assert result.cluster_sizes().sum() == points.shape[0]
+
+
+class TestKMeansPredict:
+    def test_predict_matches_training_labels(self, three_blobs):
+        points, _, _ = three_blobs
+        km = KMeans(3, seed=0)
+        result = km.fit(points)
+        np.testing.assert_array_equal(km.predict(points), result.labels)
+
+    def test_predict_new_points(self, three_blobs):
+        points, _, _ = three_blobs
+        km = KMeans(3, seed=0)
+        result = km.fit(points)
+        new_label = km.predict(np.array([[10.1, -0.2]]))[0]
+        # Must match the cluster owning the (10, 0) blob.
+        blob_cluster = result.labels[40]
+        assert new_label == blob_cluster
+
+
+class TestKMeansPlusPlusInit:
+    def test_returns_k_distinct_centroids_on_blobs(self, three_blobs, rng):
+        points, _, _ = three_blobs
+        centroids = kmeans_plus_plus_init(points, 3, rng)
+        assert centroids.shape == (3, 2)
+        # With well-separated blobs, D^2 sampling picks one per blob
+        # almost always; at minimum all centroids are actual points.
+        for c in centroids:
+            assert (np.abs(points - c).sum(axis=1) < 1e-12).any()
+
+    def test_duplicate_points_fall_back_gracefully(self, rng):
+        points = np.zeros((5, 2))
+        centroids = kmeans_plus_plus_init(points, 3, rng)
+        assert centroids.shape == (3, 2)
+        np.testing.assert_allclose(centroids, 0.0)
+
+
+class TestEmptyClusterRepair:
+    def test_more_clusters_than_distinct_points(self, rng):
+        # 3 distinct locations, k=3, many duplicates: forces repair paths.
+        points = np.array([[0.0, 0.0]] * 5 + [[5.0, 5.0]] * 5 + [[9.0, 0.0]] * 5)
+        result = KMeans(3, seed=2, n_init=4).fit(points)
+        assert np.unique(result.labels).size == 3
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,131 @@
+"""Unit tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.stats import PCA, components_for_variance
+
+
+@pytest.fixture()
+def correlated_data(rng):
+    """3 features, but only 2 underlying factors (third = linear combo)."""
+    factors = rng.normal(size=(300, 2))
+    col3 = factors[:, 0] * 0.5 + factors[:, 1] * 0.5
+    return np.column_stack([factors, col3])
+
+
+class TestPCAFit:
+    def test_variance_ratios_sum_to_one(self, rng):
+        data = rng.normal(size=(100, 5))
+        pca = PCA().fit(data)
+        assert pca.result_.explained_variance_ratio.sum() == pytest.approx(1.0)
+
+    def test_ratios_are_descending(self, rng):
+        data = rng.normal(size=(100, 6)) * np.arange(1, 7)
+        ratios = PCA().fit(data).result_.explained_variance_ratio
+        assert (np.diff(ratios) <= 1e-12).all()
+
+    def test_components_are_orthonormal(self, rng):
+        data = rng.normal(size=(80, 4))
+        comps = PCA().fit(data).components_
+        np.testing.assert_allclose(comps @ comps.T, np.eye(4), atol=1e-10)
+
+    def test_rank_deficient_data_has_zero_tail_variance(self, correlated_data):
+        pca = PCA().fit(correlated_data)
+        assert pca.result_.explained_variance_ratio[-1] == pytest.approx(
+            0.0, abs=1e-10
+        )
+
+    def test_n_components_limits_output(self, rng):
+        data = rng.normal(size=(50, 5))
+        pca = PCA(n_components=2).fit(data)
+        assert pca.components_.shape == (2, 5)
+
+    def test_n_components_too_large_raises(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            PCA(n_components=10).fit(rng.normal(size=(5, 4)))
+
+    def test_invalid_n_components_raises(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            PCA().fit([[1.0, 2.0]])
+
+    def test_sign_convention_dominant_loading_positive(self, rng):
+        data = rng.normal(size=(100, 4))
+        for row in PCA().fit(data).components_:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_deterministic_across_fits(self, rng):
+        data = rng.normal(size=(60, 5))
+        a = PCA().fit(data).components_
+        b = PCA().fit(data).components_
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPCATransform:
+    def test_scores_have_variance_equal_to_eigenvalues(self, rng):
+        data = rng.normal(size=(500, 4)) * [3.0, 2.0, 1.0, 0.5]
+        pca = PCA().fit(data)
+        scores = pca.transform(data)
+        np.testing.assert_allclose(
+            scores.var(axis=0, ddof=1),
+            pca.result_.explained_variance,
+            rtol=1e-8,
+        )
+
+    def test_round_trip_full_rank(self, rng):
+        data = rng.normal(size=(40, 3))
+        pca = PCA().fit(data)
+        recon = pca.inverse_transform(pca.transform(data))
+        np.testing.assert_allclose(recon, data, atol=1e-9)
+
+    def test_truncated_reconstruction_error_bounded(self, correlated_data):
+        pca = PCA(n_components=2).fit(correlated_data)
+        recon = pca.inverse_transform(pca.transform(correlated_data))
+        # Data has rank 2, so 2 components reconstruct exactly.
+        np.testing.assert_allclose(recon, correlated_data, atol=1e-9)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            PCA().transform([[1.0, 2.0]])
+
+    def test_feature_count_mismatch_raises(self, rng):
+        pca = PCA().fit(rng.normal(size=(20, 3)))
+        with pytest.raises(ValueError, match="features"):
+            pca.transform([[1.0, 2.0]])
+
+    def test_scores_column_mismatch_raises(self, rng):
+        pca = PCA(n_components=2).fit(rng.normal(size=(20, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            pca.inverse_transform([[1.0, 2.0, 3.0]])
+
+
+class TestComponentsForVariance:
+    def test_rank2_data_needs_two_components(self, correlated_data):
+        assert components_for_variance(correlated_data, 0.999) == 2
+
+    def test_full_target_reachable(self, rng):
+        data = rng.normal(size=(50, 4))
+        n = components_for_variance(data, 1.0)
+        assert n == 4
+
+    def test_small_target_needs_one(self, rng):
+        data = rng.normal(size=(200, 3)) * [100.0, 1.0, 1.0]
+        assert components_for_variance(data, 0.5) == 1
+
+    def test_invalid_target_raises(self, rng):
+        data = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            components_for_variance(data, 0.0)
+        with pytest.raises(ValueError):
+            components_for_variance(data, 1.5)
+
+    def test_monotone_in_target(self, rng):
+        data = rng.normal(size=(100, 6)) * np.arange(1, 7)
+        counts = [
+            components_for_variance(data, t) for t in (0.5, 0.8, 0.95, 0.99)
+        ]
+        assert counts == sorted(counts)

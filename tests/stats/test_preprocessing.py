@@ -1,0 +1,69 @@
+"""Unit tests for standardisation and whitening."""
+
+import numpy as np
+import pytest
+
+from repro.stats import StandardScaler, whiten
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        out = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_becomes_zero(self):
+        data = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        out = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(out[:, 1], 0.0)
+
+    def test_inverse_round_trip(self, rng):
+        data = rng.normal(size=(50, 3)) * [1.0, 10.0, 100.0] + [0, 5, -2]
+        scaler = StandardScaler()
+        z = scaler.fit_transform(data)
+        np.testing.assert_allclose(scaler.inverse_transform(z), data, atol=1e-9)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().transform([[1.0]])
+
+    def test_inverse_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().inverse_transform([[1.0]])
+
+    def test_column_count_mismatch_raises(self):
+        scaler = StandardScaler().fit([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(ValueError, match="columns"):
+            scaler.transform([[1.0]])
+
+    def test_transform_uses_fit_statistics(self):
+        scaler = StandardScaler().fit([[0.0], [2.0]])
+        out = scaler.transform([[4.0]])
+        # mean=1, std=1 -> (4-1)/1 = 3
+        assert out[0, 0] == pytest.approx(3.0)
+
+    def test_records_sample_count(self):
+        scaler = StandardScaler().fit(np.zeros((7, 2)))
+        assert scaler.n_samples_ == 7
+
+
+class TestWhiten:
+    def test_unit_variance_columns(self, rng):
+        data = rng.normal(size=(100, 3)) * [1.0, 5.0, 0.1]
+        out = whiten(data)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+    def test_zero_variance_column_stays_zero(self):
+        data = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        out = whiten(data)
+        np.testing.assert_allclose(out[:, 1], 0.0)
+
+    def test_centres_data(self, rng):
+        data = rng.normal(10.0, 2.0, size=(100, 2))
+        out = whiten(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_preserves_shape(self, rng):
+        data = rng.normal(size=(10, 4))
+        assert whiten(data).shape == (10, 4)

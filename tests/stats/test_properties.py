@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for the statistics substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import (
+    PCA,
+    KMeans,
+    StandardScaler,
+    correlation_matrix,
+    pairwise_sq_euclidean,
+    prune_correlated,
+    whiten,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def matrices(min_rows=2, max_rows=30, min_cols=1, max_cols=6):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.integers(min_cols, max_cols).flatmap(
+            lambda p: arrays(np.float64, (n, p), elements=finite_floats)
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_scaler_output_bounded_moments(data):
+    out = StandardScaler().fit_transform(data)
+    assert np.isfinite(out).all()
+    assert np.all(np.abs(out.mean(axis=0)) < 1e-6)
+    stds = out.std(axis=0)
+    # Each column is either standardised or constant-zero.
+    assert np.all((np.abs(stds - 1.0) < 1e-6) | (stds < 1e-12))
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_whiten_idempotent_on_live_columns(data):
+    once = whiten(data)
+    twice = whiten(once)
+    np.testing.assert_allclose(once, twice, atol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, min_cols=2))
+def test_pca_preserves_total_variance(data):
+    pca = PCA().fit(data)
+    total = data.var(axis=0, ddof=1).sum()
+    recovered = pca.result_.explained_variance.sum()
+    np.testing.assert_allclose(recovered, total, rtol=1e-6, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, min_cols=2))
+def test_pca_full_reconstruction(data):
+    pca = PCA().fit(data)
+    recon = pca.inverse_transform(pca.transform(data))
+    scale = max(1.0, np.abs(data).max())
+    np.testing.assert_allclose(recon, data, atol=1e-6 * scale)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices())
+def test_correlation_matrix_bounded_and_symmetric(data):
+    corr = correlation_matrix(data)
+    assert (np.abs(corr) <= 1.0 + 1e-12).all()
+    np.testing.assert_allclose(corr, corr.T, atol=1e-10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), st.floats(min_value=0.5, max_value=1.0, exclude_min=True))
+def test_prune_partitions_columns(data, threshold):
+    report = prune_correlated(data, threshold=threshold)
+    all_cols = set(range(data.shape[1]))
+    assert set(report.kept) | set(report.dropped) == all_cols
+    assert set(report.kept) & set(report.dropped) == set()
+    assert report.n_kept >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrices(min_rows=2), matrices(min_rows=1))
+def test_pairwise_distances_nonnegative(a, b):
+    if a.shape[1] != b.shape[1]:
+        b = np.zeros((b.shape[0], a.shape[1]))
+    dist = pairwise_sq_euclidean(a, b)
+    assert (dist >= 0.0).all()
+    assert dist.shape == (a.shape[0], b.shape[0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    matrices(min_rows=4, max_rows=25, min_cols=1, max_cols=3),
+    st.integers(min_value=1, max_value=4),
+)
+def test_kmeans_invariants(data, k):
+    k = min(k, data.shape[0])
+    result = KMeans(k, seed=0, n_init=2, max_iter=50).fit(data)
+    assert result.labels.shape == (data.shape[0],)
+    assert result.labels.max() < k
+    assert result.inertia >= 0.0
+    # Every point's assigned centroid is its nearest centroid.
+    dist = pairwise_sq_euclidean(data, result.centroids)
+    np.testing.assert_array_equal(np.argmin(dist, axis=1), result.labels)

@@ -1,0 +1,103 @@
+"""Unit tests for array-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stats.validation import (
+    as_matrix,
+    as_vector,
+    check_finite,
+    check_labels,
+    check_random_state,
+)
+
+
+class TestAsMatrix:
+    def test_accepts_list_of_lists(self):
+        out = as_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            as_matrix([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_too_few_rows(self):
+        with pytest.raises(ValueError, match="at least 2 row"):
+            as_matrix([[1.0, 2.0]], min_rows=2)
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            as_matrix(np.zeros((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_matrix([[1.0, np.inf]])
+
+    def test_name_in_error_message(self):
+        with pytest.raises(ValueError, match="mydata"):
+            as_matrix([1.0], name="mydata")
+
+
+class TestAsVector:
+    def test_accepts_list(self):
+        out = as_vector([1, 2, 3])
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            as_vector([[1.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            as_vector([np.nan])
+
+
+class TestCheckFinite:
+    def test_passes_on_finite(self):
+        check_finite(np.ones((2, 2)))
+
+    def test_counts_bad_values(self):
+        arr = np.array([1.0, np.nan, np.inf])
+        with pytest.raises(ValueError, match="2 non-finite"):
+            check_finite(arr)
+
+
+class TestCheckLabels:
+    def test_returns_intp(self):
+        out = check_labels([0, 1, 0], 3)
+        assert out.dtype == np.intp
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="does not match"):
+            check_labels([0, 1], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_labels([0, -1], 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_labels(np.zeros((2, 2)), 2)
+
+
+class TestCheckRandomState:
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_wraps_int_seed(self):
+        a = check_random_state(7)
+        b = check_random_state(7)
+        assert a.random() == b.random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)

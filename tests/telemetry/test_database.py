@@ -1,0 +1,161 @@
+"""Unit tests for the in-memory relational store."""
+
+import pytest
+
+from repro.telemetry import Column, Database, Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema(
+        columns=(
+            Column("id", int),
+            Column("name", str),
+            Column("value", float),
+            Column("note", str, nullable=True),
+        ),
+        primary_key="id",
+    )
+
+
+@pytest.fixture()
+def table(schema):
+    t = Table("metrics", schema)
+    t.insert({"id": 1, "name": "mips", "value": 100.0, "note": None})
+    t.insert({"id": 2, "name": "ipc", "value": 0.8, "note": "x"})
+    t.insert({"id": 3, "name": "mips", "value": 50.0, "note": None})
+    return t
+
+
+class TestColumn:
+    def test_type_check(self):
+        col = Column("x", int)
+        assert col.validate(3) == 3
+        with pytest.raises(TypeError):
+            col.validate("3")
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(TypeError, match="got bool"):
+            Column("x", int).validate(True)
+
+    def test_int_promoted_to_float(self):
+        assert Column("x", float).validate(3) == 3.0
+
+    def test_nullability(self):
+        assert Column("x", str, nullable=True).validate(None) is None
+        with pytest.raises(ValueError, match="not nullable"):
+            Column("x", str).validate(None)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            Column("x", list)
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(columns=(Column("a", int), Column("a", int)))
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(ValueError, match="not a column"):
+            Schema(columns=(Column("a", int),), primary_key="b")
+
+    def test_validate_row_rejects_unknown_columns(self, schema):
+        with pytest.raises(ValueError, match="unknown columns"):
+            schema.validate_row({"id": 1, "name": "x", "value": 1.0, "bad": 2})
+
+    def test_missing_nullable_defaults_to_none(self, schema):
+        row = schema.validate_row({"id": 1, "name": "x", "value": 1.0})
+        assert row["note"] is None
+
+
+class TestTable:
+    def test_insert_and_len(self, table):
+        assert len(table) == 3
+
+    def test_primary_key_lookup(self, table):
+        assert table.get(2)["name"] == "ipc"
+
+    def test_missing_key_raises(self, table):
+        with pytest.raises(KeyError):
+            table.get(99)
+
+    def test_duplicate_pk_rejected(self, table):
+        with pytest.raises(ValueError, match="duplicate primary key"):
+            table.insert({"id": 1, "name": "dup", "value": 0.0})
+
+    def test_select_where(self, table):
+        rows = table.select(where=lambda r: r["name"] == "mips")
+        assert {r["id"] for r in rows} == {1, 3}
+
+    def test_select_order_and_limit(self, table):
+        rows = table.select(order_by="value", descending=True, limit=2)
+        assert [r["id"] for r in rows] == [1, 3]
+
+    def test_select_unknown_order_column_raises(self, table):
+        with pytest.raises(KeyError):
+            table.select(order_by="nope")
+
+    def test_select_returns_copies(self, table):
+        row = table.select()[0]
+        row["value"] = -1.0
+        assert table.get(row["id"])["value"] != -1.0
+
+    def test_update(self, table):
+        n = table.update(lambda r: r["name"] == "mips", {"value": 0.0})
+        assert n == 2
+        assert table.get(1)["value"] == 0.0
+
+    def test_update_pk_rejected(self, table):
+        with pytest.raises(ValueError, match="primary key"):
+            table.update(lambda r: True, {"id": 9})
+
+    def test_update_type_checked(self, table):
+        with pytest.raises(TypeError):
+            table.update(lambda r: True, {"value": "not a float"})
+
+    def test_delete_rebuilds_index(self, table):
+        assert table.delete(lambda r: r["id"] == 2) == 1
+        assert len(table) == 2
+        with pytest.raises(KeyError):
+            table.get(2)
+        table.insert({"id": 2, "name": "back", "value": 1.0})
+        assert table.get(2)["name"] == "back"
+
+    def test_insert_many_counts(self, schema):
+        t = Table("t", schema)
+        n = t.insert_many(
+            {"id": i, "name": "n", "value": float(i)} for i in range(5)
+        )
+        assert n == 5
+
+    def test_iteration_yields_copies(self, table):
+        for row in table:
+            row["name"] = "mutated"
+        assert table.get(1)["name"] == "mips"
+
+
+class TestDatabase:
+    def test_create_and_lookup(self, schema):
+        db = Database()
+        db.create_table("a", schema)
+        assert db.table("a").name == "a"
+        assert db.table_names == ("a",)
+
+    def test_duplicate_table_rejected(self, schema):
+        db = Database()
+        db.create_table("a", schema)
+        with pytest.raises(ValueError, match="already exists"):
+            db.create_table("a", schema)
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            Database().table("missing")
+
+    def test_drop_table(self, schema):
+        db = Database()
+        db.create_table("a", schema)
+        db.drop_table("a")
+        assert db.table_names == ()
+        with pytest.raises(KeyError):
+            db.drop_table("a")

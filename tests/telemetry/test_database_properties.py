@@ -1,0 +1,107 @@
+"""Stateful property-based tests for the relational store.
+
+A hypothesis state machine drives random insert/update/delete/select
+sequences against a `Table` while maintaining a plain-dict mirror; every
+step cross-checks the two. This catches index-rebuild and copy-semantics
+bugs that example-based tests miss.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.telemetry import Column, Schema, Table
+
+keys = st.integers(0, 30)
+values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+names = st.sampled_from(["mips", "ipc", "mpki", "util"])
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = Table(
+            "t",
+            Schema(
+                columns=(
+                    Column("id", int),
+                    Column("name", str),
+                    Column("value", float),
+                ),
+                primary_key="id",
+            ),
+        )
+        self.mirror: dict[int, dict] = {}
+
+    @rule(key=keys, name=names, value=values)
+    def insert(self, key, name, value):
+        row = {"id": key, "name": name, "value": value}
+        if key in self.mirror:
+            try:
+                self.table.insert(row)
+                raise AssertionError("duplicate PK accepted")
+            except ValueError:
+                pass
+        else:
+            self.table.insert(row)
+            self.mirror[key] = dict(row)
+
+    @rule(key=keys)
+    def delete(self, key):
+        removed = self.table.delete(lambda r: r["id"] == key)
+        expected = 1 if key in self.mirror else 0
+        assert removed == expected
+        self.mirror.pop(key, None)
+
+    @rule(name=names, value=values)
+    def update_by_name(self, name, value):
+        updated = self.table.update(
+            lambda r: r["name"] == name, {"value": value}
+        )
+        expected = [k for k, r in self.mirror.items() if r["name"] == name]
+        assert updated == len(expected)
+        for k in expected:
+            self.mirror[k]["value"] = value
+
+    @rule(key=keys)
+    def lookup(self, key):
+        if key in self.mirror:
+            assert self.table.get(key) == self.mirror[key]
+        else:
+            try:
+                self.table.get(key)
+                raise AssertionError("missing PK returned a row")
+            except KeyError:
+                pass
+
+    @rule()
+    def select_all_matches_mirror(self):
+        rows = {r["id"]: r for r in self.table.select()}
+        assert rows == self.mirror
+
+    @rule(key=keys)
+    def mutating_returned_rows_is_safe(self, key):
+        if key not in self.mirror:
+            return
+        row = self.table.get(key)
+        row["value"] = -12345.0
+        assert self.table.get(key) == self.mirror[key]
+
+    @invariant()
+    def length_consistent(self):
+        assert len(self.table) == len(self.mirror)
+
+    @invariant()
+    def order_by_sorts(self):
+        rows = self.table.select(order_by="value")
+        values_sorted = [r["value"] for r in rows]
+        assert values_sorted == sorted(values_sorted)
+
+
+TestTableStateMachine = TableMachine.TestCase

@@ -1,0 +1,90 @@
+"""Unit tests for the metric registry."""
+
+from repro.telemetry import (
+    MACHINE_ONLY_METRICS,
+    PER_LEVEL_METRICS,
+    MetricLevel,
+    all_metric_names,
+    all_metric_specs,
+    metric_name,
+)
+
+
+class TestRegistryShape:
+    def test_over_100_raw_metrics(self):
+        # The paper collects 100+ raw metrics (§4.2).
+        assert len(all_metric_names()) >= 100
+
+    def test_two_level_collection(self):
+        names = set(all_metric_names())
+        for base, *_ in PER_LEVEL_METRICS:
+            assert f"{base}-Machine" in names
+            assert f"{base}-HP" in names
+
+    def test_machine_only_metrics_have_no_hp_variant(self):
+        names = set(all_metric_names())
+        for base, *_ in MACHINE_ONLY_METRICS:
+            assert base in names
+            assert f"{base}-HP" not in names
+
+    def test_no_duplicate_names(self):
+        names = all_metric_names()
+        assert len(names) == len(set(names))
+
+    def test_total_count_consistent(self):
+        expected = 2 * len(PER_LEVEL_METRICS) + len(MACHINE_ONLY_METRICS)
+        assert len(all_metric_specs()) == expected
+
+
+class TestSpecs:
+    def test_levels_assigned(self):
+        for spec in all_metric_specs():
+            if spec.name.endswith("-Machine"):
+                assert spec.level is MetricLevel.MACHINE
+            elif spec.name.endswith("-HP"):
+                assert spec.level is MetricLevel.HP
+            else:
+                assert spec.level is None
+
+    def test_fraction_units_flagged(self):
+        by_name = {s.name: s for s in all_metric_specs()}
+        assert by_name["CPUUtil-Machine"].is_fraction
+        assert by_name["LLC-MissRatio-HP"].is_fraction
+        assert not by_name["MIPS-HP"].is_fraction
+
+    def test_descriptions_and_categories_non_empty(self):
+        known = {"performance", "cache", "topdown", "memory", "cpu", "io", "os", "temporal", "per-job"}
+        for spec in all_metric_specs():
+            assert spec.description
+            assert spec.category in known
+
+    def test_figure6_families_present(self):
+        """The paper's Figure 6 metric families must all be covered."""
+        names = set(all_metric_names())
+        required = [
+            "MIPS-HP",
+            "IPC-Machine",
+            "LLC-APKI-Machine",
+            "LLC-APKI-HP",
+            "LLC-MPKI-HP",
+            "Branch-MPKI-Machine",
+            "Topdown-FrontendBound-HP",
+            "Topdown-BackendBound-Machine",
+            "MemTotalGBps-Machine",
+            "CPUUtil-Machine",
+            "NetworkGbps-Machine",
+            "DiskMBps-HP",
+        ]
+        for name in required:
+            assert name in names
+
+    def test_intentional_redundancies_present(self):
+        """Refinement needs real duplicates to prune (§4.2)."""
+        names = set(all_metric_names())
+        assert "MemTotalBytesPerSec-Machine" in names  # rescale of GBps
+        assert "LLC-HitRatio-Machine" in names  # 1 - miss ratio
+        assert "LoadAverage" in names  # ≈ busy threads
+
+    def test_metric_name_helper(self):
+        assert metric_name("MIPS", MetricLevel.HP) == "MIPS-HP"
+        assert metric_name("MIPS", MetricLevel.MACHINE) == "MIPS-Machine"

@@ -1,0 +1,82 @@
+"""Unit tests for the per-job metric extension (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FEATURE_1_CACHE
+from repro.core import Flare, FlareConfig
+from repro.core.analyzer import AnalyzerConfig
+from repro.telemetry import Profiler
+
+
+class TestProfilerPerJobMetrics:
+    @pytest.fixture(scope="class")
+    def profiled(self, tiny_dataset):
+        profiler = Profiler(
+            noise_sigma=0.0, seed=1, per_job_metrics=("WSC", "DA")
+        )
+        return profiler.profile(tiny_dataset)
+
+    def test_columns_appended(self, profiled):
+        names = set(profiled.metric_names)
+        for job in ("WSC", "DA"):
+            assert f"InstanceCount-{job}" in names
+            assert f"VCPUShare-{job}" in names
+
+    def test_counts_match_scenarios(self, profiled, tiny_dataset):
+        counts = profiled.column("InstanceCount-DA")
+        expected = [s.count_of("DA") for s in tiny_dataset.scenarios]
+        np.testing.assert_allclose(counts, expected)
+
+    def test_vcpu_share(self, profiled, tiny_dataset):
+        shares = profiled.column("VCPUShare-WSC")
+        # Scenario 0: WSC + GA -> WSC holds 4 of 8 vCPUs.
+        assert shares[0] == pytest.approx(0.5)
+        # Scenario 5: WSC alone -> full share.
+        assert shares[5] == pytest.approx(1.0)
+        # Scenario 3 (LP-only): zero.
+        assert shares[3] == 0.0
+
+    def test_share_is_fraction_metric(self, profiled):
+        spec = next(
+            s for s in profiled.specs if s.name == "VCPUShare-WSC"
+        )
+        assert spec.is_fraction
+        assert spec.category == "per-job"
+
+    def test_duplicate_jobs_rejected(self):
+        with pytest.raises(ValueError, match="repeat"):
+            Profiler(per_job_metrics=("WSC", "WSC"))
+
+    def test_default_profiler_unchanged(self, tiny_dataset):
+        default = Profiler(noise_sigma=0.0, seed=1).profile(tiny_dataset)
+        assert not any("InstanceCount-" in n for n in default.metric_names)
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def tuned(self, small_sim):
+        config = FlareConfig(
+            per_job_metrics=("WSC",),
+            analyzer=AnalyzerConfig(n_clusters=8, kmeans_restarts=4),
+        )
+        return Flare(config).fit(small_sim.dataset)
+
+    def test_fit_and_evaluate(self, tuned):
+        estimate = tuned.evaluate_job(FEATURE_1_CACHE, "WSC")
+        assert estimate.reduction_pct > 0.0
+
+    def test_extra_metrics_in_feature_space(self, tuned):
+        assert "InstanceCount-WSC" in tuned.profiled.metric_names
+
+    def test_classification_uses_same_surface(self, tuned, small_sim):
+        labels = tuned.classify_dataset(small_sim.dataset)
+        agreement = (labels == tuned.analysis.labels).mean()
+        assert agreement > 0.9
+
+    def test_config_round_trips(self):
+        from repro.io import config_from_dict, config_to_dict
+
+        config = FlareConfig(per_job_metrics=("GA", "WSC"))
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt.per_job_metrics == ("GA", "WSC")

@@ -1,0 +1,187 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dataset.json"
+    code = main(
+        [
+            "simulate",
+            "--seed",
+            "4",
+            "--scenarios",
+            "60",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(dataset_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-model") / "model.json"
+    code = main(
+        [
+            "fit",
+            "--dataset",
+            str(dataset_path),
+            "--clusters",
+            "5",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_feature_rejected(self, model_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--model", str(model_path), "--feature", "nope"]
+            )
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_writes_dataset(self, dataset_path, capsys):
+        from repro.io import load_dataset
+
+        dataset = load_dataset(dataset_path)
+        assert len(dataset) == 60
+
+
+class TestFitAndEvaluate:
+    def test_model_written(self, model_path):
+        from repro.io import load_model
+
+        flare = load_model(model_path)
+        assert flare.analysis.n_clusters == 5
+
+    def test_evaluate_all_job(self, model_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "feature1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MIPS reduction" in out
+        assert "per-group breakdown" in out
+
+    def test_evaluate_per_job(self, model_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "feature2",
+                "--job",
+                "WSC",
+            ]
+        )
+        assert code == 0
+        assert "impact on WSC" in capsys.readouterr().out
+
+    def test_evaluate_baseline_is_zero(self, model_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "baseline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.00% MIPS reduction" in out
+
+
+class TestReport:
+    def test_report_prints_pcs_and_radar(self, model_path, capsys):
+        code = main(["report", "--model", str(model_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PC0" in out
+        assert "Cluster 0" in out
+
+
+class TestExperiment:
+    def test_experiment_fig07(self, capsys):
+        code = main(
+            ["experiment", "--figure", "fig07", "--scale", "small",
+             "--seed", "5"]
+        )
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+
+class TestIngestAndDiagnose:
+    def test_ingest_from_trace_csv(self, tmp_path, capsys):
+        from repro.cluster import TraceEvent, TraceEventType
+        from repro.io import load_dataset, write_trace_csv
+
+        trace = tmp_path / "trace.csv"
+        write_trace_csv(
+            [
+                TraceEvent(0.0, 0, "a", TraceEventType.START, "WSC", 0.85),
+                TraceEvent(60.0, 0, "b", TraceEventType.START, "GA", 1.0),
+                TraceEvent(120.0, 0, "a", TraceEventType.STOP),
+                TraceEvent(150.0, 0, "b", TraceEventType.STOP),
+            ],
+            trace,
+        )
+        out = tmp_path / "dataset.json"
+        code = main(["ingest", "--trace", str(trace), "--out", str(out)])
+        assert code == 0
+        assert "ingested 3 distinct co-locations" in capsys.readouterr().out
+        dataset = load_dataset(out)
+        assert len(dataset) == 3
+
+    def test_lenient_ingest_skips_bad_rows(self, tmp_path, capsys):
+        from repro.cluster import TraceEvent, TraceEventType
+        from repro.io import write_trace_csv
+
+        trace = tmp_path / "trace.csv"
+        write_trace_csv(
+            [
+                TraceEvent(0.0, 0, "a", TraceEventType.START, "WSC", 0.85),
+                TraceEvent(1.0, 0, "zz", TraceEventType.STOP),  # orphan
+                TraceEvent(50.0, 0, "a", TraceEventType.STOP),
+            ],
+            trace,
+        )
+        out = tmp_path / "dataset.json"
+        code = main(
+            ["ingest", "--trace", str(trace), "--lenient", "--out", str(out)]
+        )
+        assert code == 0
+
+    def test_diagnose(self, model_path, capsys):
+        code = main(["diagnose", "--model", str(model_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Representativeness" in out
+        assert "loosest group" in out

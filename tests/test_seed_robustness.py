@@ -1,0 +1,60 @@
+"""Seed robustness: the headline result must not be single-seed luck.
+
+Re-runs the full simulate → fit → evaluate → compare-to-truth loop for
+several independent datacenter seeds at reduced scale and asserts that
+FLARE's accuracy advantage holds for every one of them.
+"""
+
+import pytest
+
+from repro import (
+    AnalyzerConfig,
+    DatacenterConfig,
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    Flare,
+    FlareConfig,
+    evaluate_full_datacenter,
+    run_simulation,
+)
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def fitted_world(request):
+    seed = request.param
+    sim = run_simulation(
+        DatacenterConfig(seed=seed, target_unique_scenarios=150)
+    )
+    flare = Flare(
+        FlareConfig(analyzer=AnalyzerConfig(n_clusters=8, kmeans_restarts=4))
+    ).fit(sim.dataset)
+    return seed, sim, flare
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("feature", [FEATURE_1_CACHE, FEATURE_2_DVFS])
+    def test_accuracy_holds_across_seeds(self, fitted_world, feature):
+        seed, sim, flare = fitted_world
+        truth = evaluate_full_datacenter(sim.dataset, feature)
+        error = abs(
+            flare.evaluate(feature).reduction_pct
+            - truth.overall_reduction_pct
+        )
+        assert error < 1.5, f"seed {seed}: error {error:.2f}pp"
+
+    def test_cost_reduction_holds_across_seeds(self, fitted_world):
+        seed, sim, flare = fitted_world
+        estimate = flare.evaluate(FEATURE_1_CACHE)
+        hp_scenarios = sum(
+            1 for s in sim.dataset.scenarios if s.hp_instances
+        )
+        assert hp_scenarios / estimate.evaluation_cost > 10.0
+
+    def test_structure_not_degenerate(self, fitted_world):
+        seed, sim, flare = fitted_world
+        weights = flare.analysis.cluster_weights
+        # No cluster swallows the datacenter; none are weightless-empty.
+        assert weights.max() < 0.6
+        assert (weights > 0.0).sum() >= 6

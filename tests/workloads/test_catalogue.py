@@ -1,0 +1,113 @@
+"""Unit tests for the Table 3 job catalogue."""
+
+import pytest
+
+from repro.perfmodel import Priority
+from repro.workloads import (
+    HP_JOB_NAMES,
+    HP_JOBS,
+    LP_JOB_NAMES,
+    LP_JOBS,
+    all_jobs,
+    get_job,
+    hp_job,
+    lp_job,
+)
+
+
+class TestCatalogueShape:
+    def test_eight_hp_services(self):
+        assert len(HP_JOBS) == 8
+        assert set(HP_JOB_NAMES) == {
+            "DA", "DC", "DS", "GA", "IA", "MS", "WSC", "WSV",
+        }
+
+    def test_six_lp_benchmarks(self):
+        assert len(LP_JOBS) == 6
+        assert set(LP_JOB_NAMES) == {
+            "perlbench", "sjeng", "libquantum", "xalancbmk", "omnetpp", "mcf",
+        }
+
+    def test_all_instances_are_4_vcpu_containers(self):
+        for sig in all_jobs().values():
+            assert sig.vcpus == 4
+
+    def test_priorities(self):
+        for sig in HP_JOBS.values():
+            assert sig.priority is Priority.HIGH
+        for sig in LP_JOBS.values():
+            assert sig.priority is Priority.LOW
+
+    def test_names_match_keys(self):
+        for name, sig in all_jobs().items():
+            assert sig.name == name
+
+    def test_no_name_collision_between_hp_and_lp(self):
+        assert not set(HP_JOBS) & set(LP_JOBS)
+
+    def test_lp_jobs_fully_active(self):
+        for sig in LP_JOBS.values():
+            assert sig.active_fraction == 1.0
+            assert sig.network_bytes_per_instr == 0.0
+
+
+class TestPersonalities:
+    """The catalogue must exhibit the first-order traits the paper's
+    workloads have — these drive every experiment's shape."""
+
+    def test_mcf_is_most_memory_bound_lp(self):
+        assert LP_JOBS["mcf"].llc_apki >= max(
+            LP_JOBS[n].llc_apki for n in ("perlbench", "sjeng", "xalancbmk")
+        )
+        assert LP_JOBS["mcf"].mem_blocking_factor > 0.7
+
+    def test_sjeng_is_compute_bound(self):
+        assert LP_JOBS["sjeng"].llc_apki < 3.0
+
+    def test_libquantum_is_streaming(self):
+        assert LP_JOBS["libquantum"].mrc.floor > 0.5  # little cache reuse
+        assert LP_JOBS["libquantum"].mem_blocking_factor < 0.3  # prefetchable
+
+    def test_scale_out_services_are_frontend_heavy(self):
+        # Clearing-the-Clouds: scale-out services have large instruction
+        # working sets -> high frontend stall components.
+        for name in ("DS", "WSC", "WSV"):
+            assert HP_JOBS[name].frontend_cpi >= 0.3
+
+    def test_network_services_have_network_traffic(self):
+        for name in ("DC", "MS", "WSV", "WSC"):
+            assert HP_JOBS[name].network_bytes_per_instr > 0.0
+
+    def test_analytics_have_no_network_traffic(self):
+        for name in ("GA", "IA"):
+            assert HP_JOBS[name].network_bytes_per_instr == 0.0
+
+    def test_cache_sensitivity_varies_widely(self):
+        # Needed so Feature 1 produces heterogeneous impacts (Fig. 3b).
+        half_caps = [sig.mrc.half_capacity_mb for sig in all_jobs().values()]
+        assert max(half_caps) / min(half_caps) > 5.0
+
+
+class TestLookups:
+    def test_hp_job_lookup(self):
+        assert hp_job("WSC").name == "WSC"
+
+    def test_lp_job_lookup(self):
+        assert lp_job("mcf").name == "mcf"
+
+    def test_get_job_spans_both(self):
+        assert get_job("WSC").priority is Priority.HIGH
+        assert get_job("mcf").priority is Priority.LOW
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError, match="unknown HP job"):
+            hp_job("nope")
+        with pytest.raises(KeyError, match="unknown LP job"):
+            lp_job("WSC")
+        with pytest.raises(KeyError, match="unknown job"):
+            get_job("nope")
+
+    def test_all_jobs_is_a_copy(self):
+        registry = all_jobs()
+        registry.clear()
+        assert len(all_jobs()) == 14
