@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean artifacts
+.PHONY: install test bench bench-smoke figures examples clean artifacts
 
 install:
 	pip install -e '.[dev]' || pip install -e . --no-build-isolation
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Serial vs process-pool sampling wall-clock; appends to
+# benchmarks/results/bench_smoke.jsonl and checks bit-identical output.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py
 
 # Regenerate every paper figure + extension experiment artefact.
 figures: bench

@@ -1,0 +1,122 @@
+"""Smoke benchmark: sampling-baseline wall-clock, serial vs process pool.
+
+Times the 1,000-trial random-sampling baseline (the hottest fan-out
+loop) with the serial executor and with a process pool, verifies the
+estimates are bit-identical, and appends one JSON line per run to
+``benchmarks/results/bench_smoke.jsonl``.  Run via ``make bench-smoke``.
+
+On multi-core machines the process pool should win clearly (the
+acceptance bar is >= 2x on >= 4 cores); on a single core it only adds
+dispatch overhead — the record keeps ``cpu_count`` alongside the
+timings so the two situations are distinguishable in the artefact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.api import (
+    DatacenterConfig,
+    FEATURE_2_DVFS,
+    ProcessExecutor,
+    SerialExecutor,
+    available_workers,
+    evaluate_by_sampling,
+    evaluate_full_datacenter,
+    run_simulation,
+)
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "bench_smoke.jsonl"
+)
+
+
+def _time_run(dataset, truth, executor, *, n_trials: int, seed: int):
+    # The one-time truth computation is passed in precomputed so the
+    # timing isolates the trial fan-out the executor actually affects.
+    start = time.perf_counter()
+    evaluation = evaluate_by_sampling(
+        dataset,
+        FEATURE_2_DVFS,
+        sample_size=18,
+        n_trials=n_trials,
+        seed=seed,
+        truth=truth,
+        executor=executor,
+    )
+    return time.perf_counter() - start, evaluation.trials.estimates
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=1000)
+    parser.add_argument("--scenarios", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=available_workers(),
+        help="process-pool size for the parallel run",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"simulating {args.scenarios} scenarios "
+        f"(seed {args.seed}) ...",
+        flush=True,
+    )
+    dataset = run_simulation(
+        DatacenterConfig(
+            seed=args.seed, target_unique_scenarios=args.scenarios
+        )
+    ).dataset
+
+    truth = evaluate_full_datacenter(dataset, FEATURE_2_DVFS)
+
+    serial_s, serial_estimates = _time_run(
+        dataset, truth, SerialExecutor(), n_trials=args.trials, seed=args.seed
+    )
+    print(f"serial:         {serial_s:8.3f} s ({args.trials} trials)")
+
+    with ProcessExecutor(max_workers=args.workers) as pool:
+        # Warm the pool so worker start-up is not billed to the trials.
+        pool.map(abs, range(args.workers))
+        parallel_s, parallel_estimates = _time_run(
+            dataset, truth, pool, n_trials=args.trials, seed=args.seed
+        )
+    print(
+        f"process:{args.workers:<2}     {parallel_s:8.3f} s "
+        f"(speedup {serial_s / parallel_s:.2f}x)"
+    )
+
+    identical = bool(np.array_equal(serial_estimates, parallel_estimates))
+    print(f"bit-identical estimates: {identical}")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "cpu_count": available_workers(),
+        "workers": args.workers,
+        "n_trials": args.trials,
+        "n_scenarios": len(dataset),
+        "seed": args.seed,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "bit_identical": identical,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    print(f"recorded -> {RESULTS_PATH}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ import dataclasses
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     AnalyzerConfig,
     DatacenterConfig,
     Flare,

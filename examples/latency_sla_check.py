@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import (
+from repro.api import (
     AnalyzerConfig,
     DatacenterConfig,
     Flare,

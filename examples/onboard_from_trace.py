@@ -26,7 +26,7 @@ import zlib
 
 import numpy as np
 
-from repro import AnalyzerConfig, FEATURE_1_CACHE, Flare, FlareConfig
+from repro.api import AnalyzerConfig, FEATURE_1_CACHE, Flare, FlareConfig
 from repro.cluster import (
     DEFAULT_SHAPE,
     TraceEvent,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import (
+from repro.api import (
     AnalyzerConfig,
     DatacenterConfig,
     FEATURE_1_CACHE,

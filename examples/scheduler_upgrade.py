@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import (
+from repro.api import (
     AnalyzerConfig,
     DatacenterConfig,
     FEATURE_2_DVFS,

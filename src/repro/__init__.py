@@ -9,7 +9,7 @@ DVFS, SMT, software changes) on just those representatives.
 
 Quickstart::
 
-    from repro import (
+    from repro.api import (
         DatacenterConfig, run_simulation, Flare, FEATURE_1_CACHE,
     )
 
@@ -17,92 +17,105 @@ Quickstart::
     flare = Flare().fit(result.dataset)
     estimate = flare.evaluate(FEATURE_1_CACHE)
     print(f"estimated MIPS reduction: {estimate.reduction_pct:.1f}%")
+
+:mod:`repro.api` is the supported entry-point surface.  The historical
+top-level re-exports (``from repro import Flare``) keep working through
+lazy shims but emit a ``DeprecationWarning``; new code should import
+from ``repro.api``.
 """
 
-from .baselines import (
-    DatacenterTruth,
-    LoadTestResult,
-    SamplingEvaluation,
-    evaluate_by_sampling,
-    evaluate_full_datacenter,
-    evaluate_job_by_sampling,
-    load_test_all_jobs,
-    load_test_job,
-    sampling_cost_curve,
-)
-from .cluster import (
-    BASELINE,
-    DEFAULT_SHAPE,
-    FEATURE_1_CACHE,
-    FEATURE_2_DVFS,
-    FEATURE_3_SMT,
-    PAPER_FEATURES,
-    SMALL_SHAPE,
-    DatacenterConfig,
-    Feature,
-    MachineShape,
-    ScenarioDataset,
-    SimulationResult,
-    SubmissionConfig,
-    run_simulation,
-)
-from .core import (
-    AnalyzerConfig,
-    FeatureImpactEstimate,
-    FleetEvaluator,
-    FleetSegment,
-    Flare,
-    FlareConfig,
-    Replayer,
-)
-from .telemetry import Database, ProfiledDataset, Profiler
-from .workloads import HP_JOB_NAMES, HP_JOBS, LP_JOB_NAMES, LP_JOBS, get_job
+from __future__ import annotations
 
-__version__ = "1.0.0"
+import importlib
+import warnings
 
-__all__ = [
-    "__version__",
-    # simulation
-    "DatacenterConfig",
-    "SubmissionConfig",
-    "SimulationResult",
-    "run_simulation",
-    "MachineShape",
-    "DEFAULT_SHAPE",
-    "SMALL_SHAPE",
-    "ScenarioDataset",
-    # features
-    "Feature",
-    "BASELINE",
-    "FEATURE_1_CACHE",
-    "FEATURE_2_DVFS",
-    "FEATURE_3_SMT",
-    "PAPER_FEATURES",
-    # FLARE
-    "Flare",
-    "FlareConfig",
-    "AnalyzerConfig",
-    "FeatureImpactEstimate",
-    "Replayer",
-    "FleetEvaluator",
-    "FleetSegment",
-    "Profiler",
-    "ProfiledDataset",
-    "Database",
-    # baselines
-    "DatacenterTruth",
-    "evaluate_full_datacenter",
-    "SamplingEvaluation",
-    "evaluate_by_sampling",
-    "evaluate_job_by_sampling",
-    "sampling_cost_curve",
-    "LoadTestResult",
-    "load_test_job",
-    "load_test_all_jobs",
-    # workloads
-    "HP_JOBS",
-    "HP_JOB_NAMES",
-    "LP_JOBS",
-    "LP_JOB_NAMES",
-    "get_job",
-]
+__version__ = "1.1.0"
+
+#: Names served (with a DeprecationWarning) from :mod:`repro.api`.
+_API_SHIMS = frozenset(
+    {
+        # simulation
+        "DatacenterConfig",
+        "SubmissionConfig",
+        "SimulationResult",
+        "run_simulation",
+        "MachineShape",
+        "DEFAULT_SHAPE",
+        "SMALL_SHAPE",
+        "ScenarioDataset",
+        # features
+        "Feature",
+        "BASELINE",
+        "FEATURE_1_CACHE",
+        "FEATURE_2_DVFS",
+        "FEATURE_3_SMT",
+        "PAPER_FEATURES",
+        # FLARE
+        "Flare",
+        "FlareConfig",
+        "AnalyzerConfig",
+        "FeatureImpactEstimate",
+        "Replayer",
+        "FleetEvaluator",
+        "FleetSegment",
+        "Profiler",
+        "ProfiledDataset",
+        "Database",
+        # baselines
+        "DatacenterTruth",
+        "evaluate_full_datacenter",
+        "SamplingEvaluation",
+        "evaluate_by_sampling",
+        "evaluate_job_by_sampling",
+        "sampling_cost_curve",
+        "LoadTestResult",
+        "load_test_job",
+        "load_test_all_jobs",
+        # workloads
+        "HP_JOBS",
+        "HP_JOB_NAMES",
+        "LP_JOBS",
+        "LP_JOB_NAMES",
+        "get_job",
+    }
+)
+
+_SUBMODULES = frozenset(
+    {
+        "api",
+        "baselines",
+        "cli",
+        "cluster",
+        "core",
+        "experiments",
+        "io",
+        "perfmodel",
+        "reporting",
+        "runtime",
+        "stats",
+        "telemetry",
+        "workloads",
+    }
+)
+
+__all__ = ["__version__", *sorted(_API_SHIMS)]
+
+
+def __getattr__(name: str):
+    if name in _API_SHIMS:
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; use 'from repro.api import {name}'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import api
+
+        return getattr(api, name)
+    if name in _SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | _SUBMODULES)

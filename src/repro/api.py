@@ -1,0 +1,147 @@
+"""Stable public API of the FLARE reproduction.
+
+This module is the supported import surface: everything listed in
+``__all__`` keeps its name and signature across releases, while internal
+module layout (``repro.core``, ``repro.stats``, …) may change freely.
+Prefer::
+
+    from repro.api import Flare, FlareConfig, run_simulation, FEATURE_1_CACHE
+
+over reaching into submodules.  The legacy top-level re-exports
+(``from repro import Flare``) still work but emit a
+``DeprecationWarning`` pointing here.
+
+The surface groups into:
+
+* **simulation** — build a scenario dataset (`run_simulation`,
+  `DatacenterConfig`, machine shapes);
+* **pipeline** — fit and query FLARE (`Flare`, `FlareConfig`,
+  `AnalyzerConfig`, `Replayer`, fleet evaluation);
+* **features** — the Table 4 features and the `Feature` type;
+* **baselines** — full-datacenter, random-sampling, stratified and
+  load-testing comparisons;
+* **runtime** — the deterministic parallel execution engine
+  (`Executor`, `SerialExecutor`, `ProcessExecutor`, `resolve_executor`)
+  and the digest-keyed artefact cache (`RuntimeCache`);
+* **persistence** — dataset/model save & load round-trips.
+"""
+
+from __future__ import annotations
+
+from .baselines import (
+    DatacenterTruth,
+    LoadTestResult,
+    SamplingEvaluation,
+    evaluate_by_sampling,
+    evaluate_by_stratified_sampling,
+    evaluate_full_datacenter,
+    evaluate_job_by_sampling,
+    load_test_all_jobs,
+    load_test_job,
+    sampling_cost_curve,
+    stratify_by_metric,
+)
+from .cluster import (
+    BASELINE,
+    DEFAULT_SHAPE,
+    FEATURE_1_CACHE,
+    FEATURE_2_DVFS,
+    FEATURE_3_SMT,
+    PAPER_FEATURES,
+    SMALL_SHAPE,
+    DatacenterConfig,
+    Feature,
+    MachineShape,
+    ScenarioDataset,
+    SimulationResult,
+    SubmissionConfig,
+    run_simulation,
+)
+from .core import (
+    AnalyzerConfig,
+    FeatureImpactEstimate,
+    Flare,
+    FlareConfig,
+    FleetEvaluator,
+    FleetSegment,
+    Replayer,
+)
+from .io.serialization import (
+    load_dataset,
+    load_model,
+    save_dataset,
+    save_model,
+)
+from .runtime import (
+    Executor,
+    ProcessExecutor,
+    RuntimeCache,
+    SerialExecutor,
+    available_workers,
+    default_cache,
+    resolve_executor,
+)
+from .telemetry import RUNTIME_STATS, Database, ProfiledDataset, Profiler
+from .workloads import HP_JOB_NAMES, HP_JOBS, LP_JOB_NAMES, LP_JOBS, get_job
+
+__all__ = [
+    # simulation
+    "DatacenterConfig",
+    "SubmissionConfig",
+    "SimulationResult",
+    "run_simulation",
+    "MachineShape",
+    "DEFAULT_SHAPE",
+    "SMALL_SHAPE",
+    "ScenarioDataset",
+    # features
+    "Feature",
+    "BASELINE",
+    "FEATURE_1_CACHE",
+    "FEATURE_2_DVFS",
+    "FEATURE_3_SMT",
+    "PAPER_FEATURES",
+    # pipeline
+    "Flare",
+    "FlareConfig",
+    "AnalyzerConfig",
+    "FeatureImpactEstimate",
+    "Replayer",
+    "FleetEvaluator",
+    "FleetSegment",
+    "Profiler",
+    "ProfiledDataset",
+    "Database",
+    # baselines
+    "DatacenterTruth",
+    "evaluate_full_datacenter",
+    "SamplingEvaluation",
+    "evaluate_by_sampling",
+    "evaluate_job_by_sampling",
+    "evaluate_by_stratified_sampling",
+    "stratify_by_metric",
+    "sampling_cost_curve",
+    "LoadTestResult",
+    "load_test_job",
+    "load_test_all_jobs",
+    # runtime
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "available_workers",
+    "RuntimeCache",
+    "default_cache",
+    "RUNTIME_STATS",
+    # persistence
+    "save_dataset",
+    "load_dataset",
+    "save_model",
+    "load_model",
+    # workloads
+    "HP_JOBS",
+    "HP_JOB_NAMES",
+    "LP_JOBS",
+    "LP_JOB_NAMES",
+    "get_job",
+]

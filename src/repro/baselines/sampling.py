@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset
+from ..runtime.executor import Executor
 from ..stats.sampling import (
     SamplingTrialResult,
     expected_max_error,
@@ -69,13 +70,15 @@ def evaluate_by_sampling(
     n_trials: int = 1000,
     seed: int = 0,
     truth: DatacenterTruth | None = None,
+    executor: "Executor | str | None" = None,
 ) -> SamplingEvaluation:
     """All-job sampling baseline.
 
     Scenarios are drawn with probability proportional to observation time
     (what watching random machines at random times yields), with
     replacement, so the estimator targets the same weighted truth as the
-    full-datacenter evaluation.
+    full-datacenter evaluation.  Trials dispatch on *executor*; results
+    are independent of the executor chosen.
     """
     resolved = truth if truth is not None else evaluate_full_datacenter(
         dataset, feature
@@ -87,6 +90,7 @@ def evaluate_by_sampling(
         seed=seed,
         weights=resolved.weights,
         replace=True,
+        executor=executor,
     )
     return SamplingEvaluation(
         feature=feature,
@@ -104,6 +108,7 @@ def evaluate_job_by_sampling(
     sample_size: int,
     n_trials: int = 1000,
     seed: int = 0,
+    executor: "Executor | str | None" = None,
 ) -> SamplingEvaluation:
     """Per-job sampling baseline.
 
@@ -121,6 +126,7 @@ def evaluate_job_by_sampling(
         seed=seed,
         weights=population.weights,
         replace=True,
+        executor=executor,
     )
     return SamplingEvaluation(
         feature=feature,

@@ -10,14 +10,17 @@ makes that testable.
 
 from __future__ import annotations
 
+import functools
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset
-from ..stats.sampling import SamplingTrialResult
-from ..stats.validation import check_random_state
+from ..runtime.executor import Executor, resolve_executor
+from ..runtime.seeding import spawn_seed_sequences
+from ..stats.sampling import TRIAL_CHUNK_SIZE, SamplingTrialResult
 from .full_datacenter import DatacenterTruth, evaluate_full_datacenter
 from .sampling import SamplingEvaluation
 
@@ -25,9 +28,25 @@ __all__ = ["stratify_by_metric", "evaluate_by_stratified_sampling"]
 
 
 def stratify_by_metric(
-    values: np.ndarray, n_strata: int
+    values: np.ndarray, *args, n_strata: int = 6
 ) -> np.ndarray:
-    """Assign each element a stratum index by quantile of *values*."""
+    """Assign each element a stratum index by quantile of *values*.
+
+    ``n_strata`` is keyword-only; passing it positionally is deprecated.
+    """
+    if args:
+        if len(args) > 1:
+            raise TypeError(
+                "stratify_by_metric() takes one positional argument "
+                f"({1 + len(args)} given)"
+            )
+        warnings.warn(
+            "passing n_strata positionally to stratify_by_metric() is "
+            "deprecated; use n_strata=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        n_strata = args[0]
     if n_strata < 1:
         raise ValueError("n_strata must be >= 1")
     arr = np.asarray(values, dtype=np.float64)
@@ -37,6 +56,27 @@ def stratify_by_metric(
         return np.zeros(arr.size, dtype=np.intp)
     edges = np.quantile(arr, np.linspace(0.0, 1.0, n_strata + 1)[1:-1])
     return np.searchsorted(edges, arr, side="right").astype(np.intp)
+
+
+def _stratified_trial(
+    reductions: np.ndarray,
+    weights: np.ndarray,
+    stratum_members: tuple[np.ndarray, ...],
+    stratum_shares: np.ndarray,
+    allocation: np.ndarray,
+    seed_seq: np.random.SeedSequence,
+) -> float:
+    """One stratified trial with its own spawned stream (picklable)."""
+    rng = np.random.default_rng(seed_seq)
+    total = 0.0
+    for members, share, count in zip(
+        stratum_members, stratum_shares, allocation
+    ):
+        member_weights = weights[members]
+        prob = member_weights / member_weights.sum()
+        picked = rng.choice(members, size=count, replace=True, p=prob)
+        total += share * reductions[picked].mean()
+    return total
 
 
 def evaluate_by_stratified_sampling(
@@ -49,12 +89,15 @@ def evaluate_by_stratified_sampling(
     n_strata: int = 6,
     stratify_on: str = "occupancy",
     truth: DatacenterTruth | None = None,
+    executor: "Executor | str | None" = None,
 ) -> SamplingEvaluation:
     """Occupancy- (or metric-) stratified sampling estimate distribution.
 
     Each trial draws samples from every stratum (allocation proportional
     to stratum weight, at least one each) and combines stratum means with
-    stratum weights — the textbook stratified estimator.
+    stratum weights — the textbook stratified estimator.  Trials dispatch
+    on *executor* with per-trial spawned seeds, so results are identical
+    under serial and parallel execution.
 
     Parameters
     ----------
@@ -94,7 +137,7 @@ def evaluate_by_stratified_sampling(
             "expected 'occupancy' or 'hp_mpki'"
         )
 
-    strata = stratify_by_metric(keys, n_strata)
+    strata = stratify_by_metric(keys, n_strata=n_strata)
     reductions = resolved.reductions_pct
     weights = resolved.weights
 
@@ -119,18 +162,22 @@ def evaluate_by_stratified_sampling(
     while allocation.sum() < sample_size:
         allocation[int(np.argmax(stratum_weight_arr))] += 1
 
-    rng = check_random_state(seed)
-    estimates = np.empty(n_trials)
-    for trial in range(n_trials):
-        total = 0.0
-        for members, share, count in zip(
-            stratum_members, stratum_weight_arr, allocation
-        ):
-            member_weights = weights[members]
-            prob = member_weights / member_weights.sum()
-            picked = rng.choice(members, size=count, replace=True, p=prob)
-            total += share * reductions[picked].mean()
-        estimates[trial] = total
+    trial = functools.partial(
+        _stratified_trial,
+        reductions,
+        weights,
+        tuple(stratum_members),
+        stratum_weight_arr,
+        allocation,
+    )
+    estimates = np.asarray(
+        resolve_executor(executor).map(
+            trial,
+            spawn_seed_sequences(seed, n_trials),
+            chunk_size=TRIAL_CHUNK_SIZE,
+            stage="stratified-trials",
+        )
+    )
 
     trials = SamplingTrialResult(
         estimates=estimates,

@@ -101,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--feature", choices=sorted(_FEATURES), required=True
     )
     evaluate.add_argument("--job", help="per-job estimate for this HP job")
+    evaluate.add_argument(
+        "--executor",
+        help="execution backend: serial (default), process, process:<N>",
+    )
 
     report = sub.add_parser(
         "report", help="print a fitted model's interpretation report"
@@ -120,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("small", "paper"), default="small"
     )
     experiment.add_argument("--seed", type=int, default=2023)
+    experiment.add_argument(
+        "--executor",
+        help="execution backend: serial (default), process, process:<N>",
+    )
+    experiment.add_argument(
+        "--runtime-stats",
+        action="store_true",
+        help="print per-stage executor wall-clock/task stats afterwards",
+    )
 
     return parser
 
@@ -185,13 +198,16 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    from .runtime.executor import resolve_executor
+
     flare = load_model(args.model)
     feature = _FEATURES[args.feature]
+    executor = resolve_executor(args.executor)
     if args.job:
-        estimate = flare.evaluate_job(feature, args.job)
+        estimate = flare.evaluate_job(feature, args.job, executor=executor)
         label = f"{feature.name} impact on {args.job}"
     else:
-        estimate = flare.evaluate(feature)
+        estimate = flare.evaluate(feature, executor=executor)
         label = f"{feature.name} impact (all HP jobs)"
     print(f"{label}: {estimate.reduction_pct:.2f}% MIPS reduction")
     print(f"evaluation cost: {estimate.evaluation_cost} scenario replays")
@@ -245,6 +261,8 @@ def _cmd_experiment(args) -> int:
     from .experiments import get_context
 
     context = get_context(args.scale, seed=args.seed)
+    if args.executor:
+        context.use_executor(args.executor)
     figure = args.figure
     if figure == "fig03":
         print(experiments.fig03_scenario_landscape.run_occupancy(context).render())
@@ -278,6 +296,11 @@ def _cmd_experiment(args) -> int:
             "sec56": experiments.sec56_scheduler_change,
         }[figure]
         print(module.run(context).render())
+    if args.runtime_stats:
+        from .telemetry import RUNTIME_STATS
+
+        print()
+        print(RUNTIME_STATS.render())
     return 0
 
 

@@ -35,7 +35,9 @@ class Feature:
         Human-readable summary (Table 4 row).
     apply:
         Pure function mapping a baseline :class:`MachinePerf` to the
-        feature-enabled one.
+        feature-enabled one.  Use a module-level function (not a lambda)
+        if the feature must ship to process-pool executors, which pickle
+        the replay tasks.
     """
 
     name: str
@@ -53,11 +55,29 @@ class Feature:
         return out
 
 
+# The built-in apply functions are module-level (not lambdas) so the
+# Feature objects are picklable and replays can run on a process pool.
+def _apply_baseline(m: MachinePerf) -> MachinePerf:
+    return m
+
+
+def _apply_cache_restriction(m: MachinePerf) -> MachinePerf:
+    return m.with_llc_mb(m.llc_mb * 12.0 / 30.0)
+
+
+def _apply_dvfs_ceiling(m: MachinePerf) -> MachinePerf:
+    return m.with_max_freq_ghz(1.8)
+
+
+def _apply_smt_off(m: MachinePerf) -> MachinePerf:
+    return m.with_smt(False)
+
+
 #: No-op feature: the Table 4 baseline configuration.
 BASELINE = Feature(
     name="baseline",
     description="30 MB LLC/socket, 1.2-2.9 GHz, Hyper-Threading enabled",
-    apply=lambda m: m,
+    apply=_apply_baseline,
 )
 
 #: Feature 1 — cache sizing via way masking (Intel CAT): 30 -> 12 MB/socket.
@@ -65,7 +85,7 @@ FEATURE_1_CACHE = Feature(
     name="feature1",
     description="12 MB LLC/socket (cache allocation restricted), "
     "1.2-2.9 GHz, Hyper-Threading enabled",
-    apply=lambda m: m.with_llc_mb(m.llc_mb * 12.0 / 30.0),
+    apply=_apply_cache_restriction,
 )
 
 #: Feature 2 — DVFS policy: frequency ceiling 2.9 -> 1.8 GHz.
@@ -73,7 +93,7 @@ FEATURE_2_DVFS = Feature(
     name="feature2",
     description="30 MB LLC/socket, 1.2-1.8 GHz clock, "
     "Hyper-Threading enabled",
-    apply=lambda m: m.with_max_freq_ghz(1.8),
+    apply=_apply_dvfs_ceiling,
 )
 
 #: Feature 3 — SMT configuration: Hyper-Threading disabled.
@@ -81,7 +101,7 @@ FEATURE_3_SMT = Feature(
     name="feature3",
     description="30 MB LLC/socket, 1.2-2.9 GHz clock, "
     "Hyper-Threading disabled",
-    apply=lambda m: m.with_smt(False),
+    apply=_apply_smt_off,
 )
 
 #: The three features evaluated throughout the paper, in order.

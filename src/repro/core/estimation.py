@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..cluster.features import Feature
 from ..cluster.scenario import Scenario
+from ..runtime.executor import Executor
 from .replayer import ReplayMeasurement, Replayer
 from .representatives import RepresentativeSet
 
@@ -72,10 +73,15 @@ def estimate_all_job_impact(
     representatives: RepresentativeSet,
     replayer: Replayer,
     feature: Feature,
+    *,
+    executor: "Executor | str | None" = None,
 ) -> FeatureImpactEstimate:
-    """FLARE's comprehensive (all HP jobs) impact estimate."""
-    contributions: list[ClusterImpact] = []
-    cost = 0
+    """FLARE's comprehensive (all HP jobs) impact estimate.
+
+    Scenario selection stays serial (it is cheap); the per-representative
+    replays — the measured cost of the method — fan out on *executor*.
+    """
+    selected: list[tuple[tuple[int, float], Scenario]] = []
     for group in representatives.groups:
         scenario = group.first_member_where(
             representatives.dataset, lambda s: bool(s.hp_instances)
@@ -83,18 +89,24 @@ def estimate_all_job_impact(
         if scenario is None:
             # LP-only group: hosts nothing whose performance is managed.
             continue
-        measurement = replayer.replay(scenario, feature)
-        cost += 1
-        contributions.append(
-            ClusterImpact(
-                cluster_id=group.cluster_id,
-                weight=group.weight,
-                scenario_id=scenario.scenario_id,
-                reduction_pct=measurement.reduction_pct,
-                measurement=measurement,
-            )
+        selected.append(((group.cluster_id, group.weight), scenario))
+
+    measurements = replayer.replay_many(
+        tuple(scenario for _, scenario in selected), feature, executor=executor
+    )
+    contributions = [
+        ClusterImpact(
+            cluster_id=cluster_id,
+            weight=weight,
+            scenario_id=scenario.scenario_id,
+            reduction_pct=measurement.reduction_pct,
+            measurement=measurement,
         )
-    return _weighted_estimate(feature, None, contributions, cost)
+        for ((cluster_id, weight), scenario), measurement in zip(
+            selected, measurements
+        )
+    ]
+    return _weighted_estimate(feature, None, contributions, len(contributions))
 
 
 def estimate_per_job_impact(
@@ -102,10 +114,11 @@ def estimate_per_job_impact(
     replayer: Replayer,
     feature: Feature,
     job_name: str,
+    *,
+    executor: "Executor | str | None" = None,
 ) -> FeatureImpactEstimate:
     """FLARE's impact estimate for one HP job (§5.3 per-job method)."""
-    contributions: list[ClusterImpact] = []
-    cost = 0
+    selected: list[tuple[tuple[int, float], Scenario]] = []
     for group in representatives.groups:
         weight = representatives.job_instance_weight(group, job_name)
         if weight <= 0.0:
@@ -117,22 +130,30 @@ def estimate_per_job_impact(
         scenario = group.first_member_where(representatives.dataset, hosts_job)
         if scenario is None:
             continue
-        measurement = replayer.replay(scenario, feature)
-        cost += 1
-        contributions.append(
-            ClusterImpact(
-                cluster_id=group.cluster_id,
-                weight=weight,
-                scenario_id=scenario.scenario_id,
-                reduction_pct=measurement.job_reduction_pct(job_name),
-                measurement=measurement,
-            )
+        selected.append(((group.cluster_id, weight), scenario))
+
+    measurements = replayer.replay_many(
+        tuple(scenario for _, scenario in selected), feature, executor=executor
+    )
+    contributions = [
+        ClusterImpact(
+            cluster_id=cluster_id,
+            weight=weight,
+            scenario_id=scenario.scenario_id,
+            reduction_pct=measurement.job_reduction_pct(job_name),
+            measurement=measurement,
         )
+        for ((cluster_id, weight), scenario), measurement in zip(
+            selected, measurements
+        )
+    ]
     if not contributions:
         raise ValueError(
             f"job {job_name!r} does not appear in any scenario group"
         )
-    return _weighted_estimate(feature, job_name, contributions, cost)
+    return _weighted_estimate(
+        feature, job_name, contributions, len(contributions)
+    )
 
 
 def _weighted_estimate(

@@ -20,12 +20,13 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset, ScenarioKey
+from ..runtime.executor import Executor
 from ..telemetry.database import Database
 from ..telemetry.profiler import ProfiledDataset, Profiler
 from .analyzer import AnalysisResult, Analyzer, AnalyzerConfig
@@ -73,6 +74,23 @@ class FlareConfig:
     temporal_jitter: float = 0.15
     per_job_metrics: tuple[str, ...] = ()
 
+    def make_profiler(self, *, database: Database | None = None) -> Profiler:
+        """Build the Profiler this configuration describes.
+
+        The single construction point for Profilers: every collection
+        path (fitting, out-of-sample classification, cache warm-up) uses
+        the same knobs, so none can silently drop one.  ``database`` is
+        per-call because only fitting persists samples.
+        """
+        return Profiler(
+            noise_sigma=self.noise_sigma,
+            seed=self.profiler_seed,
+            database=database,
+            temporal_samples=self.temporal_samples,
+            temporal_jitter=self.temporal_jitter,
+            per_job_metrics=self.per_job_metrics,
+        )
+
 
 class Flare:
     """Facade over Profiler → Analyzer → representative extraction →
@@ -98,14 +116,7 @@ class Flare:
         """Run steps 1–3 on a scenario dataset; returns self."""
         if len(dataset) < 2:
             raise ValueError("FLARE needs at least 2 scenarios to fit")
-        profiler = Profiler(
-            noise_sigma=self.config.noise_sigma,
-            seed=self.config.profiler_seed,
-            database=self.database,
-            temporal_samples=self.config.temporal_samples,
-            temporal_jitter=self.config.temporal_jitter,
-            per_job_metrics=self.config.per_job_metrics,
-        )
+        profiler = self.config.make_profiler(database=self.database)
         self._profiled = profiler.profile(dataset)
         self._refined = refine(
             self._profiled, threshold=self.config.refinement_threshold
@@ -126,18 +137,35 @@ class Flare:
         return self
 
     # ------------------------------------------------------------------
-    def evaluate(self, feature: Feature) -> FeatureImpactEstimate:
-        """All-job impact estimate of *feature* (step 4)."""
+    def evaluate(
+        self,
+        feature: Feature,
+        *,
+        executor: "Executor | str | None" = None,
+    ) -> FeatureImpactEstimate:
+        """All-job impact estimate of *feature* (step 4).
+
+        Per-representative replays dispatch on *executor* (serial when
+        None); the estimate is identical for every executor.
+        """
         return estimate_all_job_impact(
-            self.representatives, self.replayer, feature
+            self.representatives, self.replayer, feature, executor=executor
         )
 
     def evaluate_job(
-        self, feature: Feature, job_name: str
+        self,
+        feature: Feature,
+        job_name: str,
+        *,
+        executor: "Executor | str | None" = None,
     ) -> FeatureImpactEstimate:
         """Per-job impact estimate of *feature* on *job_name*."""
         return estimate_per_job_impact(
-            self.representatives, self.replayer, feature, job_name
+            self.representatives,
+            self.replayer,
+            feature,
+            job_name,
+            executor=executor,
         )
 
     def reweight(
@@ -151,23 +179,13 @@ class Flare:
         cluster structure are all reused; only group weights (and thus the
         impact weighting) change.  Returns a new fitted ``Flare``.
         """
-        analysis = self.analysis
         reweighted_dataset = self.dataset.with_weights_from(durations)
-        new = Flare(self.config, database=self.database)
-        new._profiled = self._profiled
-        new._refined = self._refined
-        new._interpretations = self._interpretations
-        new._replayer = self._replayer
-
-        scenario_weights = reweighted_dataset.weights()
-        cluster_weights = analysis.kmeans.cluster_weights(
-            sample_weight=scenario_weights
+        cluster_weights = self.analysis.kmeans.cluster_weights(
+            sample_weight=reweighted_dataset.weights()
         )
-        new._analysis = self._with_cluster_weights(analysis, cluster_weights)
-        new._representatives = extract_representatives(
-            new._analysis, reweighted_dataset
+        return self._clone_with(
+            cluster_weights=cluster_weights, dataset=reweighted_dataset
         )
-        return new
 
     def classify_dataset(self, new_dataset: ScenarioDataset) -> "np.ndarray":
         """Assign each scenario of *new_dataset* to a fitted cluster.
@@ -188,14 +206,7 @@ class Flare:
                 f"{self.dataset.shape.name!r}; derive a new representative "
                 "set per machine shape (paper §5.5)"
             )
-        profiler = Profiler(
-            noise_sigma=self.config.noise_sigma,
-            seed=self.config.profiler_seed,
-            temporal_samples=self.config.temporal_samples,
-            temporal_jitter=self.config.temporal_jitter,
-            per_job_metrics=self.config.per_job_metrics,
-        )
-        profiled = profiler.profile(new_dataset)
+        profiled = self.config.make_profiler().profile(new_dataset)
         refined_matrix = profiled.matrix[:, list(self.refined.report.kept)]
         return self.analysis.classify(refined_matrix)
 
@@ -219,34 +230,31 @@ class Flare:
         if total <= 0.0:
             raise ValueError("new dataset carries no observation weight")
         new_weights /= total
+        return self._clone_with(cluster_weights=new_weights)
 
+    def _clone_with(
+        self,
+        *,
+        cluster_weights: "np.ndarray",
+        dataset: ScenarioDataset | None = None,
+    ) -> "Flare":
+        """New fitted ``Flare`` sharing steps 1–2, with new group weights.
+
+        The single cloning path behind every reweighting flow: collected
+        metrics, refinement, PCA space, interpretations and the replayer
+        are shared with ``self``; only the cluster weights (and therefore
+        the representatives' weighting over *dataset*) are re-derived.
+        """
         new = Flare(self.config, database=self.database)
         new._profiled = self._profiled
         new._refined = self._refined
         new._interpretations = self._interpretations
         new._replayer = self._replayer
-        new._analysis = self._with_cluster_weights(self.analysis, new_weights)
+        new._analysis = replace(self.analysis, cluster_weights=cluster_weights)
         new._representatives = extract_representatives(
-            new._analysis, self.representatives.dataset
+            new._analysis, dataset if dataset is not None else self.dataset
         )
         return new
-
-    @staticmethod
-    def _with_cluster_weights(
-        analysis: AnalysisResult, cluster_weights: "np.ndarray"
-    ) -> AnalysisResult:
-        return AnalysisResult(
-            refined=analysis.refined,
-            scaler=analysis.scaler,
-            pca=analysis.pca,
-            n_components=analysis.n_components,
-            scores=analysis.scores,
-            score_mean=analysis.score_mean,
-            score_std=analysis.score_std,
-            sweep=analysis.sweep,
-            kmeans=analysis.kmeans,
-            cluster_weights=cluster_weights,
-        )
 
     # ------------------------------------------------------------------
     @property

@@ -17,6 +17,7 @@ from ..cluster.machine import MachineShape
 from ..cluster.scenario import Scenario
 from ..perfmodel.contention import RunningInstance
 from ..perfmodel.signatures import JobSignature
+from ..runtime.executor import Executor, resolve_executor
 from ..telemetry.profiler import format_command, parse_command
 from ..workloads import get_job
 from .performance import (
@@ -148,3 +149,37 @@ class Replayer:
             baseline=baseline,
             enabled=enabled,
         )
+
+    def replay_many(
+        self,
+        scenarios: tuple[Scenario, ...],
+        feature: Feature,
+        *,
+        executor: "Executor | str | None" = None,
+    ) -> tuple[ReplayMeasurement, ...]:
+        """Replay several scenarios under *feature*, one task each.
+
+        Replays are independent (one testbed machine per scenario in the
+        paper), so they dispatch on *executor* in scenario order.  With a
+        process pool the replayer itself ships to the workers, which
+        requires the catalogue and metric function to be picklable — true
+        for everything in the library; pass ``executor=None`` (serial)
+        for exotic closures.
+        """
+        task = _ReplayTask(replayer=self, feature=feature)
+        return tuple(
+            resolve_executor(executor).map(
+                task, scenarios, chunk_size=4, stage="replays"
+            )
+        )
+
+
+@dataclass(frozen=True)
+class _ReplayTask:
+    """Picklable single-scenario replay closure for executor dispatch."""
+
+    replayer: Replayer
+    feature: Feature
+
+    def __call__(self, scenario: Scenario) -> ReplayMeasurement:
+        return self.replayer.replay(scenario, self.feature)

@@ -9,7 +9,7 @@ the ``"small"`` scale is a fast variant for tests and quick iteration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..baselines.full_datacenter import DatacenterTruth, evaluate_full_datacenter
@@ -18,6 +18,8 @@ from ..cluster.scenario import ScenarioDataset
 from ..cluster.simulation import DatacenterConfig, SimulationResult, run_simulation
 from ..core.analyzer import AnalyzerConfig
 from ..core.pipeline import Flare, FlareConfig
+from ..runtime.cache import default_cache
+from ..runtime.executor import Executor, resolve_executor
 
 __all__ = ["ExperimentScale", "ExperimentContext", "get_context"]
 
@@ -32,15 +34,28 @@ ExperimentScale = str
 
 @dataclass
 class ExperimentContext:
-    """A datacenter run, its fitted FLARE model, and cached truths."""
+    """A datacenter run, its fitted FLARE model, and cached truths.
+
+    ``executor`` is the shared execution backend every experiment module
+    dispatches its fan-out work (sampling trials, replays) on.  It
+    defaults to the environment-selected executor (``REPRO_EXECUTOR``)
+    and is a pure performance knob — figures are identical under any
+    executor.
+    """
 
     scale: str
     seed: int
     simulation: SimulationResult
     flare: Flare
+    executor: Executor = field(default_factory=resolve_executor)
 
     def __post_init__(self) -> None:
         self._truths: dict[tuple[str, int], DatacenterTruth] = {}
+
+    def use_executor(self, spec: "Executor | str | None") -> "ExperimentContext":
+        """Switch the shared executor (accepts specs like ``process:4``)."""
+        self.executor = resolve_executor(spec)
+        return self
 
     @property
     def dataset(self) -> ScenarioDataset:
@@ -70,13 +85,13 @@ def get_context(scale: str = "paper", seed: int = 2023) -> ExperimentContext:
 
     config = DatacenterConfig(seed=seed, target_unique_scenarios=target)
     simulation = run_simulation(config)
-    flare = Flare(
-        FlareConfig(
-            analyzer=AnalyzerConfig(
-                n_clusters=n_clusters, cluster_counts=sweep
-            )
-        )
-    ).fit(simulation.dataset)
+    flare_config = FlareConfig(
+        analyzer=AnalyzerConfig(n_clusters=n_clusters, cluster_counts=sweep)
+    )
+    # Digest-keyed cache: repeated contexts (and other callers fitting the
+    # same config on the same dataset) share one deterministic fit, and a
+    # REPRO_CACHE_DIR-backed disk layer survives across processes.
+    flare = default_cache().get_fitted(flare_config, simulation.dataset)
     return ExperimentContext(
         scale=scale, seed=seed, simulation=simulation, flare=flare
     )

@@ -125,7 +125,9 @@ def run_all_job(
     rows = []
     for feature in features:
         truth = context.truth(feature)
-        flare_estimate = context.flare.evaluate(feature)
+        flare_estimate = context.flare.evaluate(
+            feature, executor=context.executor
+        )
         sampling = evaluate_by_sampling(
             context.dataset,
             feature,
@@ -133,6 +135,7 @@ def run_all_job(
             n_trials=n_trials,
             seed=seed,
             truth=truth,
+            executor=context.executor,
         )
         rows.append(
             Fig12aRow(
@@ -141,7 +144,7 @@ def run_all_job(
                 flare_pct=flare_estimate.reduction_pct,
                 sampling=sampling.trials.summary(),
                 sampling_ci95=percentile_interval(
-                    sampling.trials.estimates, 0.95
+                    sampling.trials.estimates, confidence=0.95
                 ),
             )
         )
@@ -164,7 +167,9 @@ def run_per_job(
         for job_name in jobs:
             if job_name not in truth.per_job:
                 continue
-            flare_estimate = context.flare.evaluate_job(feature, job_name)
+            flare_estimate = context.flare.evaluate_job(
+                feature, job_name, executor=context.executor
+            )
             sampling = evaluate_job_by_sampling(
                 context.dataset,
                 feature,
@@ -172,6 +177,7 @@ def run_per_job(
                 sample_size=sample_size,
                 n_trials=n_trials,
                 seed=seed,
+                executor=context.executor,
             )
             rows.append(
                 Fig12bRow(
@@ -181,7 +187,7 @@ def run_per_job(
                     flare_pct=flare_estimate.reduction_pct,
                     sampling_mean_pct=sampling.mean_estimate,
                     sampling_ci95=percentile_interval(
-                        sampling.trials.estimates, 0.95
+                        sampling.trials.estimates, confidence=0.95
                     ),
                 )
             )

@@ -74,6 +74,7 @@ def run(
     """Compare sampling strategies against FLARE at equal cost."""
     cost = context.n_clusters
     truth = context.truth(feature)
+    executor = context.executor
 
     naive = evaluate_by_sampling(
         context.dataset,
@@ -82,6 +83,7 @@ def run(
         n_trials=n_trials,
         seed=seed,
         truth=truth,
+        executor=executor,
     )
     by_occupancy = evaluate_by_stratified_sampling(
         context.dataset,
@@ -91,6 +93,7 @@ def run(
         seed=seed,
         stratify_on="occupancy",
         truth=truth,
+        executor=executor,
     )
     by_mpki = evaluate_by_stratified_sampling(
         context.dataset,
@@ -100,9 +103,10 @@ def run(
         seed=seed,
         stratify_on="hp_mpki",
         truth=truth,
+        executor=executor,
     )
     flare_error = abs(
-        context.flare.evaluate(feature).reduction_pct
+        context.flare.evaluate(feature, executor=executor).reduction_pct
         - truth.overall_reduction_pct
     )
 

@@ -1,0 +1,66 @@
+"""Deterministic parallel execution runtime.
+
+The scaffolding every fan-out loop in the reproduction dispatches
+through:
+
+* :mod:`repro.runtime.executor` — the :class:`Executor` protocol with
+  serial and process-pool implementations, selectable per call or via
+  the ``REPRO_EXECUTOR`` environment variable;
+* :mod:`repro.runtime.seeding` — per-task seed derivation via
+  ``numpy.random.SeedSequence.spawn`` so parallel results are
+  bit-identical to serial ones;
+* :mod:`repro.runtime.cache` — digest-keyed in-memory/on-disk caching
+  of profiled datasets and fitted models (imported lazily; it pulls in
+  the whole pipeline).
+
+Per-dispatch wall-clock and task counts are surfaced through
+:data:`repro.telemetry.RUNTIME_STATS`.
+"""
+
+from .executor import (
+    EXECUTOR_ENV_VAR,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    available_workers,
+    resolve_executor,
+)
+from .seeding import (
+    root_seed_sequence,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "available_workers",
+    "EXECUTOR_ENV_VAR",
+    "root_seed_sequence",
+    "spawn_seed_sequences",
+    "spawn_generators",
+    # lazily re-exported from .cache (heavy import chain)
+    "RuntimeCache",
+    "default_cache",
+    "dataset_digest",
+    "config_digest",
+    "CACHE_DIR_ENV_VAR",
+]
+
+_CACHE_EXPORTS = {
+    "RuntimeCache",
+    "default_cache",
+    "dataset_digest",
+    "config_digest",
+    "CACHE_DIR_ENV_VAR",
+}
+
+
+def __getattr__(name: str):
+    if name in _CACHE_EXPORTS:
+        from . import cache
+
+        return getattr(cache, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,216 @@
+"""Executor abstraction: serial and process-pool task fan-out.
+
+The three hot fan-out loops of the reproduction — sampling trials,
+per-representative replays, and experiment-suite runs — all dispatch
+through an :class:`Executor`.  The contract is deliberately narrow:
+
+* ``map(fn, items)`` applies a picklable callable to every item and
+  returns results **in submission order**;
+* tasks must draw randomness only from their own item (see
+  :mod:`repro.runtime.seeding`), which makes results bit-identical under
+  any executor and any worker count;
+* items are batched into chunks before dispatch so per-task pickling is
+  amortised.
+
+Executor choice is a pure performance knob: ``SerialExecutor`` and
+``ProcessExecutor`` are interchangeable by construction, and the
+determinism test suite holds them to it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from ..telemetry.runtime_stats import RUNTIME_STATS, StageStats
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "available_workers",
+]
+
+#: Environment variable selecting the default executor, e.g. ``serial``,
+#: ``process`` or ``process:4``.
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def available_workers() -> int:
+    """Usable CPU count (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _apply_chunk(fn: Callable[[Any], Any], chunk: list) -> list:
+    """Worker-side kernel: apply *fn* to one batch of items."""
+    return [fn(item) for item in chunk]
+
+
+def _chunked(items: list, chunk_size: int) -> list[list]:
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        items[start : start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Minimal task-execution contract the fan-out loops rely on."""
+
+    name: str
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        chunk_size: int = 1,
+        stage: str | None = None,
+    ) -> list:
+        """Apply *fn* to every item, preserving submission order."""
+        ...
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        ...
+
+
+class _BaseExecutor:
+    """Shared chunking + stage-stats bookkeeping."""
+
+    name = "base"
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        chunk_size: int = 1,
+        stage: str | None = None,
+    ) -> list:
+        materialised = list(items)
+        if not materialised:
+            return []
+        start = time.perf_counter()
+        chunks = _chunked(materialised, chunk_size)
+        batched = self._map_chunks(fn, chunks)
+        results = [result for batch in batched for result in batch]
+        RUNTIME_STATS.record(
+            StageStats(
+                stage=stage or getattr(fn, "__name__", "anonymous"),
+                executor=self.name,
+                n_tasks=len(materialised),
+                n_chunks=len(chunks),
+                wall_s=time.perf_counter() - start,
+            )
+        )
+        return results
+
+    def _map_chunks(self, fn, chunks: list[list]) -> list[list]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def __enter__(self) -> "_BaseExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(_BaseExecutor):
+    """In-process execution — the reference the parallel path must match."""
+
+    name = "serial"
+
+    def _map_chunks(self, fn, chunks: list[list]) -> list[list]:
+        return [_apply_chunk(fn, chunk) for chunk in chunks]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ProcessExecutor(_BaseExecutor):
+    """``concurrent.futures.ProcessPoolExecutor``-backed execution.
+
+    The pool is created lazily on first use and reused across ``map``
+    calls, so repeated fan-outs (1000-trial baselines, per-figure
+    experiment suites) pay worker start-up once.  Tasks and their
+    arguments must be picklable; chunking amortises the pickling of
+    shared arguments (population arrays, replayers) over ``chunk_size``
+    tasks.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or available_workers()
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _map_chunks(self, fn, chunks: list[list]) -> list[list]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(_apply_chunk, fn, chunk) for chunk in chunks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
+    """Turn an executor spec into an executor instance.
+
+    Accepts an existing executor (returned unchanged), a spec string
+    (``"serial"``, ``"process"``, ``"process:4"``), or ``None`` — in
+    which case the :data:`EXECUTOR_ENV_VAR` environment variable is
+    consulted and the serial executor is the fallback.  Serial remains
+    the default so library behaviour is unchanged unless parallelism is
+    asked for.
+    """
+    if spec is None:
+        spec = os.environ.get(EXECUTOR_ENV_VAR) or "serial"
+    if isinstance(spec, (SerialExecutor, ProcessExecutor)):
+        return spec
+    if not isinstance(spec, str) and isinstance(spec, Executor):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"cannot resolve executor from {spec!r}")
+
+    kind, _, arg = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind == "serial":
+        if arg:
+            raise ValueError("serial executor takes no worker count")
+        return SerialExecutor()
+    if kind == "process":
+        workers = None
+        if arg:
+            try:
+                workers = int(arg)
+            except ValueError:
+                raise ValueError(
+                    f"invalid worker count {arg!r} in executor spec {spec!r}"
+                ) from None
+        return ProcessExecutor(max_workers=workers)
+    raise ValueError(
+        f"unknown executor spec {spec!r}; expected 'serial', 'process' "
+        "or 'process:<workers>'"
+    )

@@ -1,0 +1,54 @@
+"""Deterministic per-task seed derivation for parallel execution.
+
+Parallel fan-out must not change results: a trial's random stream has to
+depend only on (root seed, trial index), never on which worker ran it or
+how tasks were chunked.  ``numpy.random.SeedSequence.spawn`` provides
+exactly this — children are statistically independent and reproducible —
+so every fan-out loop in the repository derives one child sequence per
+task from a single root and builds a fresh ``Generator`` from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "root_seed_sequence",
+    "spawn_seed_sequences",
+    "spawn_generators",
+]
+
+
+def root_seed_sequence(seed) -> np.random.SeedSequence:
+    """Normalise *seed* into a root :class:`numpy.random.SeedSequence`.
+
+    Accepts ``None`` (fresh OS entropy), an integer, an existing
+    ``SeedSequence`` (returned unchanged), or a ``Generator`` — for the
+    latter one draw is taken from the stream so that callers sharing a
+    generator still obtain reproducible, independent roots.
+    """
+    if seed is None:
+        return np.random.SeedSequence()
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    return np.random.SeedSequence(int(seed))
+
+
+def spawn_seed_sequences(seed, n: int) -> tuple[np.random.SeedSequence, ...]:
+    """Spawn *n* independent child sequences from *seed*.
+
+    Child *i* depends only on the root entropy and its spawn position, so
+    task *i* sees the same stream under any executor and any chunking.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return tuple(root_seed_sequence(seed).spawn(n))
+
+
+def spawn_generators(seed, n: int) -> tuple[np.random.Generator, ...]:
+    """Spawn *n* independent generators from *seed* (one per task)."""
+    return tuple(
+        np.random.default_rng(seq) for seq in spawn_seed_sequences(seed, n)
+    )

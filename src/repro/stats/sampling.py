@@ -9,11 +9,15 @@ helpers for the cost/accuracy curve.
 
 from __future__ import annotations
 
+import functools
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from .validation import as_vector, check_random_state
+from ..runtime.executor import Executor, resolve_executor
+from ..runtime.seeding import spawn_seed_sequences
+from .validation import as_vector
 
 __all__ = [
     "DistributionSummary",
@@ -108,6 +112,28 @@ class SamplingTrialResult:
         return float(np.percentile(self.errors(), confidence * 100.0))
 
 
+#: Trials batched per pickled work unit when dispatching to an executor.
+TRIAL_CHUNK_SIZE = 32
+
+
+def _sampling_trial(
+    values: np.ndarray,
+    prob,
+    sample_size: int,
+    replace: bool,
+    seed_seq: np.random.SeedSequence,
+) -> float:
+    """One trial: draw a subsample with the trial's own stream.
+
+    Module-level (and fed shared arguments via ``functools.partial``) so
+    process-pool executors can pickle it; the stream depends only on the
+    spawned *seed_seq*, never on the executing worker.
+    """
+    rng = np.random.default_rng(seed_seq)
+    idx = rng.choice(values.size, size=sample_size, replace=replace, p=prob)
+    return float(values[idx].mean())
+
+
 def run_sampling_trials(
     population,
     *,
@@ -116,6 +142,7 @@ def run_sampling_trials(
     seed=None,
     weights=None,
     replace: bool = False,
+    executor: "Executor | str | None" = None,
 ) -> SamplingTrialResult:
     """Estimate a population mean from repeated random subsamples.
 
@@ -133,6 +160,10 @@ def run_sampling_trials(
     replace:
         Sample with replacement (needed when sample_size approaches the
         population size under weighting).
+    executor:
+        Executor (or spec string) the trials are dispatched on.  Each
+        trial draws from its own ``SeedSequence.spawn`` child stream, so
+        serial and parallel execution produce bit-identical estimates.
     """
     values = as_vector(population, name="population")
     if values.size == 0:
@@ -159,18 +190,40 @@ def run_sampling_trials(
     else:
         truth = float(values.mean())
 
-    rng = check_random_state(seed)
-    estimates = np.empty(n_trials)
-    for t in range(n_trials):
-        idx = rng.choice(values.size, size=sample_size, replace=replace, p=prob)
-        estimates[t] = values[idx].mean()
+    trial = functools.partial(_sampling_trial, values, prob, sample_size, replace)
+    estimates = np.asarray(
+        resolve_executor(executor).map(
+            trial,
+            spawn_seed_sequences(seed, n_trials),
+            chunk_size=TRIAL_CHUNK_SIZE,
+            stage="sampling-trials",
+        )
+    )
     return SamplingTrialResult(
         estimates=estimates, sample_size=sample_size, truth=truth
     )
 
 
-def percentile_interval(values, confidence: float = 0.95) -> tuple[float, float]:
-    """Central percentile interval of *values* (e.g. 95 % CI of trials)."""
+def percentile_interval(
+    values, *args, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Central percentile interval of *values* (e.g. 95 % CI of trials).
+
+    ``confidence`` is keyword-only; passing it positionally is deprecated.
+    """
+    if args:
+        if len(args) > 1:
+            raise TypeError(
+                "percentile_interval() takes one positional argument "
+                f"({1 + len(args)} given)"
+            )
+        warnings.warn(
+            "passing confidence positionally to percentile_interval() is "
+            "deprecated; use confidence=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        confidence = args[0]
     arr = as_vector(values, name="values")
     if arr.size == 0:
         raise ValueError("values must be non-empty")

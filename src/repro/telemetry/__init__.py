@@ -19,6 +19,7 @@ from .metrics import (
 )
 from .noise import MeasurementNoise
 from .profiler import ProfiledDataset, Profiler, format_command, parse_command
+from .runtime_stats import RUNTIME_STATS, RuntimeStatsRegistry, StageStats
 
 __all__ = [
     "Column",
@@ -37,4 +38,7 @@ __all__ = [
     "ProfiledDataset",
     "format_command",
     "parse_command",
+    "StageStats",
+    "RuntimeStatsRegistry",
+    "RUNTIME_STATS",
 ]

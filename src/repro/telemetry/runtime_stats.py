@@ -1,0 +1,97 @@
+"""Execution-stage statistics recorded by the parallel runtime.
+
+Every :meth:`repro.runtime.Executor.map` call reports one
+:class:`StageStats` record — stage label, executor kind, task/chunk
+counts and wall-clock — into the process-wide :data:`RUNTIME_STATS`
+registry, the same place the Profiler-side telemetry lives.  This is the
+observability hook for the paper's cost claims (§5.4): it shows where
+the evaluation time goes and what parallel dispatch buys.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["StageStats", "RuntimeStatsRegistry", "RUNTIME_STATS"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """One executor dispatch: how much work, how long, on what backend.
+
+    Attributes
+    ----------
+    stage:
+        Label of the fan-out loop (e.g. ``"sampling-trials"``).
+    executor:
+        Executor kind that ran it (``"serial"`` / ``"process"``).
+    n_tasks:
+        Individual tasks dispatched.
+    n_chunks:
+        Pickled work units the tasks were batched into.
+    wall_s:
+        End-to-end wall-clock of the dispatch, in seconds.
+    """
+
+    stage: str
+    executor: str
+    n_tasks: int
+    n_chunks: int
+    wall_s: float
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.n_tasks / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class RuntimeStatsRegistry:
+    """Bounded in-memory log of executor dispatches."""
+
+    def __init__(self, maxlen: int = 512) -> None:
+        self._records: deque[StageStats] = deque(maxlen=maxlen)
+
+    def record(self, stats: StageStats) -> None:
+        self._records.append(stats)
+
+    def records(self) -> tuple[StageStats, ...]:
+        """All retained records, oldest first."""
+        return tuple(self._records)
+
+    def stages(self) -> tuple[str, ...]:
+        """Distinct stage labels seen, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for rec in self._records:
+            seen.setdefault(rec.stage, None)
+        return tuple(seen)
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Per-stage aggregate: dispatches, tasks, chunks, wall seconds."""
+        out: dict[str, dict[str, float]] = {}
+        for rec in self._records:
+            agg = out.setdefault(
+                rec.stage,
+                {"dispatches": 0, "tasks": 0, "chunks": 0, "wall_s": 0.0},
+            )
+            agg["dispatches"] += 1
+            agg["tasks"] += rec.n_tasks
+            agg["chunks"] += rec.n_chunks
+            agg["wall_s"] += rec.wall_s
+        return out
+
+    def render(self) -> str:
+        """Human-readable per-stage summary table."""
+        lines = ["stage                     tasks  chunks   wall_s"]
+        for stage, agg in self.totals().items():
+            lines.append(
+                f"{stage:<24} {int(agg['tasks']):>6}  {int(agg['chunks']):>6}"
+                f"  {agg['wall_s']:>7.3f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+#: Process-wide registry the runtime reports into.
+RUNTIME_STATS = RuntimeStatsRegistry()

@@ -1,0 +1,131 @@
+"""Digest-keyed artefact cache: keying, memory LRU, and the disk layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.pipeline import FlareConfig
+from repro.runtime.cache import (
+    RuntimeCache,
+    config_digest,
+    dataset_digest,
+    default_cache,
+)
+
+
+@pytest.fixture()
+def config() -> FlareConfig:
+    return FlareConfig(
+        analyzer=AnalyzerConfig(
+            n_clusters=4, cluster_counts=tuple(range(2, 7))
+        )
+    )
+
+
+class TestDigests:
+    def test_dataset_digest_stable(self, tiny_dataset):
+        assert dataset_digest(tiny_dataset) == dataset_digest(tiny_dataset)
+
+    def test_dataset_digest_discriminates(self, tiny_dataset, small_sim):
+        assert dataset_digest(tiny_dataset) != dataset_digest(
+            small_sim.dataset
+        )
+
+    def test_config_digest_discriminates(self, config):
+        other = FlareConfig(analyzer=AnalyzerConfig(n_clusters=9))
+        assert config_digest(config) != config_digest(other)
+        assert config_digest(config) == config_digest(config)
+
+
+class TestMemoryLayer:
+    def test_profiled_memory_hit_returns_same_object(self, config, tiny_dataset):
+        cache = RuntimeCache()
+        first = cache.get_profiled(config, tiny_dataset)
+        second = cache.get_profiled(config, tiny_dataset)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_fitted_memory_hit_returns_same_object(self, config, tiny_dataset):
+        cache = RuntimeCache()
+        first = cache.get_fitted(config, tiny_dataset)
+        second = cache.get_fitted(config, tiny_dataset)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self, config, tiny_dataset, small_sim):
+        cache = RuntimeCache(memory_slots=1)
+        cache.get_profiled(config, tiny_dataset)
+        cache.get_profiled(config, small_sim.dataset)  # evicts tiny
+        cache.get_profiled(config, tiny_dataset)
+        assert cache.misses == 3
+
+    def test_zero_slots_never_caches(self, config, tiny_dataset):
+        cache = RuntimeCache(memory_slots=0)
+        cache.get_profiled(config, tiny_dataset)
+        cache.get_profiled(config, tiny_dataset)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeCache(memory_slots=-1)
+
+
+class TestDiskLayer:
+    def test_profiled_round_trip(self, config, tiny_dataset, tmp_path):
+        warm = RuntimeCache(disk_dir=tmp_path)
+        original = warm.get_profiled(config, tiny_dataset)
+
+        cold = RuntimeCache(disk_dir=tmp_path)
+        restored = cold.get_profiled(config, tiny_dataset)
+        assert cold.hits == 1 and cold.misses == 0
+        np.testing.assert_array_equal(restored.matrix, original.matrix)
+        assert restored.specs == original.specs
+
+    def test_stale_profiled_entry_invalidated_by_shape(
+        self, config, tiny_dataset, tmp_path
+    ):
+        warm = RuntimeCache(disk_dir=tmp_path)
+        warm.get_profiled(config, tiny_dataset)
+        (entry,) = tmp_path.glob("profiled-*.npy")
+        np.save(entry, np.zeros((2, 2)))  # wrong shape: must be recomputed
+
+        cold = RuntimeCache(disk_dir=tmp_path)
+        restored = cold.get_profiled(config, tiny_dataset)
+        assert cold.misses == 1
+        assert restored.matrix.shape[0] == len(tiny_dataset)
+
+    def test_fitted_round_trip(self, config, tiny_dataset, tmp_path):
+        warm = RuntimeCache(disk_dir=tmp_path)
+        original = warm.get_fitted(config, tiny_dataset)
+
+        cold = RuntimeCache(disk_dir=tmp_path)
+        restored = cold.get_fitted(config, tiny_dataset)
+        assert cold.hits == 1 and cold.misses == 0
+        np.testing.assert_array_equal(
+            restored.analysis.cluster_weights, original.analysis.cluster_weights
+        )
+
+    def test_corrupt_model_entry_recomputed(
+        self, config, tiny_dataset, tmp_path
+    ):
+        warm = RuntimeCache(disk_dir=tmp_path)
+        warm.get_fitted(config, tiny_dataset)
+        (entry,) = tmp_path.glob("model-*.json")
+        entry.write_text("{not json")
+
+        cold = RuntimeCache(disk_dir=tmp_path)
+        restored = cold.get_fitted(config, tiny_dataset)
+        assert cold.misses == 1
+        assert restored.analysis.n_clusters == config.analyzer.n_clusters
+
+
+class TestDefaultCache:
+    def test_singleton(self):
+        assert default_cache() is default_cache()
+
+    def test_clear_drops_memory(self, config, tiny_dataset):
+        cache = RuntimeCache()
+        cache.get_profiled(config, tiny_dataset)
+        cache.clear()
+        cache.get_profiled(config, tiny_dataset)
+        assert cache.misses == 2

@@ -1,0 +1,117 @@
+"""Serial and parallel execution must be bit-identical.
+
+Executor choice is a performance knob, not a semantics knob: every
+fan-out loop derives per-task streams via ``SeedSequence.spawn``, so the
+same root seed yields the same bits under any executor, worker count, or
+chunking.  These tests hold the runtime to that contract on the real
+fan-out loops (sampling trials, stratified trials, replays).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampling import evaluate_by_sampling
+from repro.baselines.stratified import evaluate_by_stratified_sampling
+from repro.cluster.features import FEATURE_1_CACHE, FEATURE_2_DVFS
+from repro.runtime.executor import ProcessExecutor, SerialExecutor
+from repro.stats.sampling import run_sampling_trials
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    pool = ProcessExecutor(max_workers=2)
+    yield pool
+    pool.close()
+
+
+class TestSamplingTrialDeterminism:
+    def test_serial_matches_process(self, process_pool):
+        rng = np.random.default_rng(0)
+        population = rng.normal(10.0, 3.0, size=200)
+        kwargs = dict(sample_size=12, n_trials=64, seed=99)
+        serial = run_sampling_trials(
+            population, executor=SerialExecutor(), **kwargs
+        )
+        parallel = run_sampling_trials(
+            population, executor=process_pool, **kwargs
+        )
+        np.testing.assert_array_equal(parallel.estimates, serial.estimates)
+
+    def test_independent_of_chunking(self, monkeypatch):
+        from repro.stats import sampling as sampling_mod
+
+        population = np.linspace(0.0, 50.0, 150)
+        baseline = run_sampling_trials(
+            population, sample_size=10, n_trials=40, seed=7
+        )
+        monkeypatch.setattr(sampling_mod, "TRIAL_CHUNK_SIZE", 3)
+        rechunked = run_sampling_trials(
+            population, sample_size=10, n_trials=40, seed=7
+        )
+        np.testing.assert_array_equal(rechunked.estimates, baseline.estimates)
+
+    def test_weighted_trials_deterministic(self, process_pool):
+        rng = np.random.default_rng(1)
+        population = rng.normal(5.0, 1.0, size=80)
+        weights = rng.uniform(0.5, 2.0, size=80)
+        kwargs = dict(
+            sample_size=8, n_trials=32, seed=3, weights=weights, replace=True
+        )
+        serial = run_sampling_trials(population, **kwargs)
+        parallel = run_sampling_trials(
+            population, executor=process_pool, **kwargs
+        )
+        np.testing.assert_array_equal(parallel.estimates, serial.estimates)
+
+
+class TestBaselineDeterminism:
+    def test_naive_sampling_baseline(self, small_sim, process_pool):
+        kwargs = dict(sample_size=6, n_trials=24, seed=5)
+        serial = evaluate_by_sampling(
+            small_sim.dataset, FEATURE_2_DVFS, **kwargs
+        )
+        parallel = evaluate_by_sampling(
+            small_sim.dataset, FEATURE_2_DVFS, executor=process_pool, **kwargs
+        )
+        np.testing.assert_array_equal(
+            parallel.trials.estimates, serial.trials.estimates
+        )
+
+    def test_stratified_baseline(self, small_sim, process_pool):
+        kwargs = dict(sample_size=6, n_trials=24, seed=5)
+        serial = evaluate_by_stratified_sampling(
+            small_sim.dataset, FEATURE_2_DVFS, **kwargs
+        )
+        parallel = evaluate_by_stratified_sampling(
+            small_sim.dataset, FEATURE_2_DVFS, executor=process_pool, **kwargs
+        )
+        np.testing.assert_array_equal(
+            parallel.trials.estimates, serial.trials.estimates
+        )
+
+
+class TestReplayDeterminism:
+    def test_evaluate_matches_serial(self, small_flare, process_pool):
+        serial = small_flare.evaluate(
+            FEATURE_1_CACHE, executor=SerialExecutor()
+        )
+        parallel = small_flare.evaluate(FEATURE_1_CACHE, executor=process_pool)
+        assert parallel.reduction_pct == serial.reduction_pct
+        assert [
+            (c.cluster_id, c.weight, c.reduction_pct, c.scenario_id)
+            for c in parallel.per_cluster
+        ] == [
+            (c.cluster_id, c.weight, c.reduction_pct, c.scenario_id)
+            for c in serial.per_cluster
+        ]
+
+    def test_replay_many_matches_loop(self, small_flare, process_pool):
+        replayer = small_flare.replayer
+        scenarios = small_flare.representatives.representative_scenarios()[:4]
+        looped = tuple(
+            replayer.replay(s, FEATURE_1_CACHE) for s in scenarios
+        )
+        dispatched = replayer.replay_many(
+            scenarios, FEATURE_1_CACHE, executor=process_pool
+        )
+        assert dispatched == looped

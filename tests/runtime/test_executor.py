@@ -1,0 +1,124 @@
+"""Executor contract: ordering, chunking, resolution, and stage stats."""
+
+import pytest
+
+from repro.runtime.executor import (
+    EXECUTOR_ENV_VAR,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    available_workers,
+    resolve_executor,
+)
+from repro.telemetry import RUNTIME_STATS
+
+
+def _square(x: int) -> int:
+    """Module-level so process pools can pickle it."""
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(_square, range(10)) == [
+            i * i for i in range(10)
+        ]
+
+    def test_map_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_chunking_does_not_change_results(self):
+        expected = [i * i for i in range(17)]
+        for chunk_size in (1, 2, 5, 17, 100):
+            got = SerialExecutor().map(
+                _square, range(17), chunk_size=chunk_size
+            )
+            assert got == expected
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            SerialExecutor().map(_square, [1], chunk_size=0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SerialExecutor(), Executor)
+        assert isinstance(ProcessExecutor(max_workers=1), Executor)
+
+    def test_records_stage_stats(self):
+        RUNTIME_STATS.clear()
+        SerialExecutor().map(_square, range(7), chunk_size=3, stage="unit")
+        (record,) = [r for r in RUNTIME_STATS.records() if r.stage == "unit"]
+        assert record.executor == "serial"
+        assert record.n_tasks == 7
+        assert record.n_chunks == 3
+        assert record.wall_s >= 0.0
+
+
+class TestProcessExecutor:
+    def test_map_matches_serial(self):
+        with ProcessExecutor(max_workers=2) as pool:
+            got = pool.map(_square, range(20), chunk_size=4)
+        assert got == SerialExecutor().map(_square, range(20))
+
+    def test_pool_reused_across_maps(self):
+        with ProcessExecutor(max_workers=2) as pool:
+            first = pool.map(_square, range(5))
+            inner = pool._pool
+            second = pool.map(_square, range(5))
+            assert pool._pool is inner
+        assert first == second == [i * i for i in range(5)]
+        assert pool._pool is None  # closed on exit
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+
+
+class TestResolveExecutor:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert isinstance(resolve_executor(), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_process_specs(self):
+        executor = resolve_executor("process")
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == available_workers()
+        assert resolve_executor("process:3").max_workers == 3
+
+    def test_instance_passes_through(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "process:2")
+        executor = resolve_executor()
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.max_workers == 2
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor("serial:4")
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+        with pytest.raises(ValueError):
+            resolve_executor("process:lots")
+        with pytest.raises(TypeError):
+            resolve_executor(3.5)
+
+
+class TestRuntimeStatsRegistry:
+    def test_totals_and_render(self):
+        RUNTIME_STATS.clear()
+        SerialExecutor().map(_square, range(4), stage="render-check")
+        SerialExecutor().map(_square, range(6), stage="render-check")
+        assert "render-check" in RUNTIME_STATS.stages()
+        totals = RUNTIME_STATS.totals()["render-check"]
+        assert totals["tasks"] == 10
+        assert totals["dispatches"] == 2
+        text = RUNTIME_STATS.render()
+        assert "render-check" in text
+
+    def test_clear(self):
+        SerialExecutor().map(_square, range(2), stage="to-clear")
+        RUNTIME_STATS.clear()
+        assert not RUNTIME_STATS.records()

@@ -1,0 +1,92 @@
+"""The stable ``repro.api`` surface and the legacy-path deprecation shims."""
+
+import importlib
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestApiSurface:
+    def test_imports_cleanly_without_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api = importlib.reload(importlib.import_module("repro.api"))
+        assert api.Flare is not None
+
+    def test_all_exports_resolve(self):
+        from repro import api
+
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+
+    def test_all_is_sorted_within_no_duplicates(self):
+        from repro import api
+
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_runtime_names_exported(self):
+        from repro.api import (  # noqa: F401
+            Executor,
+            ProcessExecutor,
+            RuntimeCache,
+            SerialExecutor,
+            default_cache,
+            resolve_executor,
+        )
+
+
+class TestDeprecatedTopLevelImports:
+    def test_top_level_attribute_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            flare_cls = repro.Flare
+        from repro.api import Flare
+
+        assert flare_cls is Flare
+
+    def test_every_shim_name_resolves_to_api(self):
+        from repro import api
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in repro.__all__:
+                if name == "__version__":
+                    continue
+                assert getattr(repro, name) is getattr(api, name), name
+
+    def test_submodule_access_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert repro.runtime is not None
+            assert repro.workloads is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+
+class TestKeywordOnlyKnobs:
+    def test_percentile_interval_positional_confidence_warns(self):
+        from repro.stats.sampling import percentile_interval
+
+        values = np.linspace(0.0, 1.0, 101)
+        with pytest.warns(DeprecationWarning, match="confidence"):
+            legacy = percentile_interval(values, 0.9)
+        assert legacy == percentile_interval(values, confidence=0.9)
+
+    def test_percentile_interval_rejects_extra_positionals(self):
+        from repro.stats.sampling import percentile_interval
+
+        with pytest.raises(TypeError):
+            percentile_interval([1.0, 2.0], 0.9, 0.8)
+
+    def test_stratify_by_metric_positional_n_strata_warns(self):
+        from repro.baselines.stratified import stratify_by_metric
+
+        values = np.linspace(0.0, 10.0, 60)
+        with pytest.warns(DeprecationWarning, match="n_strata"):
+            legacy = stratify_by_metric(values, 4)
+        modern = stratify_by_metric(values, n_strata=4)
+        np.testing.assert_array_equal(legacy, modern)

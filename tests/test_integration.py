@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro import (
+from repro.api import (
     FEATURE_1_CACHE,
     FEATURE_2_DVFS,
     FEATURE_3_SMT,
@@ -100,7 +100,7 @@ class TestEndToEnd:
 
 class TestReproducibility:
     def test_full_pipeline_deterministic(self, tiny_dataset):
-        from repro import Flare, FlareConfig
+        from repro.api import Flare, FlareConfig
         from repro.core.analyzer import AnalyzerConfig
 
         config = FlareConfig(

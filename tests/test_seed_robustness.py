@@ -7,7 +7,7 @@ FLARE's accuracy advantage holds for every one of them.
 
 import pytest
 
-from repro import (
+from repro.api import (
     AnalyzerConfig,
     DatacenterConfig,
     FEATURE_1_CACHE,
