@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke figures examples clean artifacts
+.PHONY: install test lint bench bench-smoke figures examples clean artifacts
 
 install:
 	pip install -e '.[dev]' || pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static checks (configured in pyproject.toml [tool.ruff]).
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,6 +9,15 @@ On multi-core machines the process pool should win clearly (the
 acceptance bar is >= 2x on >= 4 cores); on a single core it only adds
 dispatch overhead — the record keeps ``cpu_count`` alongside the
 timings so the two situations are distinguishable in the artefact.
+
+The record also carries the observability overhead budget: the serial
+run is repeated with the tracer enabled and the enabled-vs-disabled
+delta recorded as ``tracing_overhead_pct``; the traced run's per-stage
+span breakdown is folded in as ``stage_breakdown``.  The cost of the
+*disabled* path (the no-op tracer the instrumentation hits when
+``--trace`` is off) is measured directly — no-op span cost times the
+span count the traced run produced, relative to the untraced wall time
+— and recorded as ``disabled_overhead_pct``; the budget is < 2%.
 """
 
 from __future__ import annotations
@@ -84,6 +93,65 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"serial:         {serial_s:8.3f} s ({args.trials} trials)")
 
+    # Observability overhead: repeat the serial run with a live tracer.
+    # Best-of-two on both sides to damp scheduler noise in the small pct.
+    from repro import obs
+
+    serial2_s, _ = _time_run(
+        dataset, truth, SerialExecutor(), n_trials=args.trials, seed=args.seed
+    )
+    untraced_s = min(serial_s, serial2_s)
+    tracer = obs.enable()
+    try:
+        traced_a, traced_estimates = _time_run(
+            dataset,
+            truth,
+            SerialExecutor(),
+            n_trials=args.trials,
+            seed=args.seed,
+        )
+        traced_b, _ = _time_run(
+            dataset,
+            truth,
+            SerialExecutor(),
+            n_trials=args.trials,
+            seed=args.seed,
+        )
+    finally:
+        obs.disable()
+    traced_s = min(traced_a, traced_b)
+    overhead_pct = (traced_s - untraced_s) / untraced_s * 100.0
+    stage_breakdown = {
+        name: {"count": int(agg["count"]), "wall_s": round(agg["wall_s"], 4)}
+        for name, agg in tracer.totals().items()
+    }
+    traced_identical = bool(
+        np.array_equal(serial_estimates, traced_estimates)
+    )
+    print(
+        f"serial+tracer:  {traced_s:8.3f} s "
+        f"(tracing overhead {overhead_pct:+.2f}%)"
+    )
+
+    # Disabled-path cost: the instrumentation points hit the no-op
+    # tracer when tracing is off.  Time that no-op directly and scale
+    # by how many spans the traced run actually produced.
+    n_spans = sum(int(a["count"]) for a in tracer.totals().values())
+    n_probe = 200_000
+    probe_start = time.perf_counter()
+    for _ in range(n_probe):
+        with obs.span("probe"):
+            pass
+    noop_call_s = (time.perf_counter() - probe_start) / n_probe
+    disabled_overhead_pct = (
+        n_spans * noop_call_s / untraced_s * 100.0 if untraced_s else 0.0
+    )
+    print(
+        f"disabled-path cost: {n_spans} no-op spans x "
+        f"{noop_call_s * 1e9:.0f} ns = {disabled_overhead_pct:.4f}% "
+        f"of the untraced run"
+    )
+
     with ProcessExecutor(max_workers=args.workers) as pool:
         # Warm the pool so worker start-up is not billed to the trials.
         pool.map(abs, range(args.workers))
@@ -110,12 +178,18 @@ def main(argv: list[str] | None = None) -> int:
         "parallel_s": round(parallel_s, 4),
         "speedup": round(serial_s / parallel_s, 3),
         "bit_identical": identical,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "tracing_overhead_pct": round(overhead_pct, 3),
+        "disabled_overhead_pct": round(disabled_overhead_pct, 4),
+        "traced_bit_identical": traced_identical,
+        "stage_breakdown": stage_breakdown,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     with RESULTS_PATH.open("a") as fh:
         fh.write(json.dumps(record) + "\n")
     print(f"recorded -> {RESULTS_PATH}")
-    return 0 if identical else 1
+    return 0 if identical and traced_identical else 1
 
 
 if __name__ == "__main__":

@@ -89,6 +89,7 @@ _SUBMODULES = frozenset(
         "core",
         "experiments",
         "io",
+        "obs",
         "perfmodel",
         "reporting",
         "runtime",

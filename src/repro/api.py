@@ -23,6 +23,9 @@ The surface groups into:
 * **runtime** — the deterministic parallel execution engine
   (`Executor`, `SerialExecutor`, `ProcessExecutor`, `resolve_executor`)
   and the digest-keyed artefact cache (`RuntimeCache`);
+* **observability** — span tracing, the metrics registry and trace
+  export (`Tracer`, `Span`, `METRICS`, `write_trace`, `render_summary`;
+  see :mod:`repro.obs` and docs/observability.md);
 * **persistence** — dataset/model save & load round-trips.
 """
 
@@ -71,6 +74,16 @@ from .io.serialization import (
     load_model,
     save_dataset,
     save_model,
+)
+from .obs import (
+    METRICS,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    render_summary,
+    write_trace,
 )
 from .runtime import (
     Executor,
@@ -133,6 +146,15 @@ __all__ = [
     "RuntimeCache",
     "default_cache",
     "RUNTIME_STATS",
+    # observability
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "METRICS",
+    "get_tracer",
+    "get_metrics",
+    "write_trace",
+    "render_summary",
     # persistence
     "save_dataset",
     "load_dataset",

@@ -80,18 +80,26 @@ def evaluate_by_sampling(
     full-datacenter evaluation.  Trials dispatch on *executor*; results
     are independent of the executor chosen.
     """
-    resolved = truth if truth is not None else evaluate_full_datacenter(
-        dataset, feature
-    )
-    trials = run_sampling_trials(
-        resolved.reductions_pct,
+    from ..obs import span
+
+    with span(
+        "baseline.sampling",
+        feature=feature.name,
         sample_size=sample_size,
         n_trials=n_trials,
-        seed=seed,
-        weights=resolved.weights,
-        replace=True,
-        executor=executor,
-    )
+    ):
+        resolved = truth if truth is not None else evaluate_full_datacenter(
+            dataset, feature
+        )
+        trials = run_sampling_trials(
+            resolved.reductions_pct,
+            sample_size=sample_size,
+            n_trials=n_trials,
+            seed=seed,
+            weights=resolved.weights,
+            replace=True,
+            executor=executor,
+        )
     return SamplingEvaluation(
         feature=feature,
         job_name=None,
@@ -117,17 +125,26 @@ def evaluate_job_by_sampling(
     sampling sometimes looks good).  Weights combine observation time with
     the job's instance count.
     """
-    population = per_job_scenario_reductions(dataset, feature, job_name)
-    effective_size = min(sample_size, population.reductions_pct.size)
-    trials = run_sampling_trials(
-        population.reductions_pct,
-        sample_size=effective_size,
+    from ..obs import span
+
+    with span(
+        "baseline.sampling_job",
+        feature=feature.name,
+        job=job_name,
+        sample_size=sample_size,
         n_trials=n_trials,
-        seed=seed,
-        weights=population.weights,
-        replace=True,
-        executor=executor,
-    )
+    ):
+        population = per_job_scenario_reductions(dataset, feature, job_name)
+        effective_size = min(sample_size, population.reductions_pct.size)
+        trials = run_sampling_trials(
+            population.reductions_pct,
+            sample_size=effective_size,
+            n_trials=n_trials,
+            seed=seed,
+            weights=population.weights,
+            replace=True,
+            executor=executor,
+        )
     return SamplingEvaluation(
         feature=feature,
         job_name=job_name,

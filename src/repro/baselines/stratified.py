@@ -170,14 +170,25 @@ def evaluate_by_stratified_sampling(
         stratum_weight_arr,
         allocation,
     )
-    estimates = np.asarray(
-        resolve_executor(executor).map(
-            trial,
-            spawn_seed_sequences(seed, n_trials),
-            chunk_size=TRIAL_CHUNK_SIZE,
-            stage="stratified-trials",
+    from ..obs import inc, span
+
+    with span(
+        "baseline.stratified",
+        feature=feature.name,
+        sample_size=sample_size,
+        n_trials=n_trials,
+        n_strata=len(stratum_members),
+        stratify_on=stratify_on,
+    ):
+        estimates = np.asarray(
+            resolve_executor(executor).map(
+                trial,
+                spawn_seed_sequences(seed, n_trials),
+                chunk_size=TRIAL_CHUNK_SIZE,
+                stage="stratified-trials",
+            )
         )
-    )
+    inc("sampling_trials_total", n_trials)
 
     trials = SamplingTrialResult(
         estimates=estimates,

@@ -34,6 +34,32 @@ _SHAPES = {"default": DEFAULT_SHAPE, "small": SMALL_SHAPE}
 _FEATURES: dict[str, Feature] = {f.name: f for f in PAPER_FEATURES}
 _FEATURES[BASELINE.name] = BASELINE
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by fit / evaluate / diagnose / experiment."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "write a trace of this run: Chrome trace-event JSON "
+            "(open in Perfetto / chrome://tracing), or span JSONL when "
+            "PATH ends in .jsonl"
+        ),
+    )
+    parser.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help=(
+            "print a per-stage span/counter summary afterwards "
+            "(worker-side telemetry included)"
+        ),
+    )
+    parser.add_argument(
+        "--runtime-stats",
+        action="store_true",
+        help="alias for --obs-summary",
+    )
+
+
 _EXPERIMENTS = (
     "fig01",
     "fig02",
@@ -92,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--dataset", required=True, help="input dataset JSON")
     fit.add_argument("--clusters", type=int, default=18)
     fit.add_argument("--out", required=True, help="output model JSON")
+    _add_obs_flags(fit)
 
     evaluate = sub.add_parser(
         "evaluate", help="estimate a feature's impact from a fitted model"
@@ -105,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         help="execution backend: serial (default), process, process:<N>",
     )
+    _add_obs_flags(evaluate)
 
     report = sub.add_parser(
         "report", help="print a fitted model's interpretation report"
@@ -115,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnose", help="print a fitted model's representativeness report"
     )
     diagnose.add_argument("--model", required=True)
+    _add_obs_flags(diagnose)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper figure"
@@ -128,11 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         help="execution backend: serial (default), process, process:<N>",
     )
-    experiment.add_argument(
-        "--runtime-stats",
-        action="store_true",
-        help="print per-stage executor wall-clock/task stats afterwards",
-    )
+    _add_obs_flags(experiment)
 
     return parser
 
@@ -149,7 +174,34 @@ def main(argv: list[str] | None = None) -> int:
         "diagnose": _cmd_diagnose,
         "experiment": _cmd_experiment,
     }[args.command]
-    return handler(args)
+
+    trace_path = getattr(args, "trace", None)
+    want_summary = getattr(args, "obs_summary", False) or getattr(
+        args, "runtime_stats", False
+    )
+    if not trace_path and not want_summary:
+        return handler(args)
+    return _run_observed(handler, args, trace_path, want_summary)
+
+
+def _run_observed(handler, args, trace_path, want_summary: bool) -> int:
+    """Run a command under a live tracer; export/summarise afterwards."""
+    from . import obs
+
+    tracer = obs.enable()
+    try:
+        code = handler(args)
+    finally:
+        obs.disable()
+    if want_summary:
+        print()
+        print(obs.render_summary(tracer))
+    if trace_path:
+        path = obs.write_trace(
+            tracer.spans(), trace_path, metrics=obs.get_metrics()
+        )
+        print(f"\ntrace written -> {path}")
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -296,11 +348,6 @@ def _cmd_experiment(args) -> int:
             "sec56": experiments.sec56_scheduler_change,
         }[figure]
         print(module.run(context).render())
-    if args.runtime_stats:
-        from .telemetry import RUNTIME_STATS
-
-        print()
-        print(RUNTIME_STATS.render())
     return 0
 
 

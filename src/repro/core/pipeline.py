@@ -26,6 +26,7 @@ import numpy as np
 
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset, ScenarioKey
+from ..obs import span as obs_span
 from ..runtime.executor import Executor
 from ..telemetry.database import Database
 from ..telemetry.profiler import ProfiledDataset, Profiler
@@ -116,24 +117,35 @@ class Flare:
         """Run steps 1–3 on a scenario dataset; returns self."""
         if len(dataset) < 2:
             raise ValueError("FLARE needs at least 2 scenarios to fit")
-        profiler = self.config.make_profiler(database=self.database)
-        self._profiled = profiler.profile(dataset)
-        self._refined = refine(
-            self._profiled, threshold=self.config.refinement_threshold
-        )
-        self._analysis = Analyzer(self.config.analyzer).analyze(self._refined)
-        self._representatives = extract_representatives(
-            self._analysis, dataset
-        )
-        self._interpretations = interpret_components(
-            self._analysis.pca,
-            self._refined.specs,
-            n_components=self._analysis.n_components,
-            top_n=self.config.interpretation_top_n,
-        )
-        self._replayer = Replayer(
-            dataset.shape, catalogue=_catalogue_from(dataset)
-        )
+        with obs_span("flare.fit", n_scenarios=len(dataset)) as fit_span:
+            profiler = self.config.make_profiler(database=self.database)
+            with obs_span("flare.profile"):
+                self._profiled = profiler.profile(dataset)
+            with obs_span("flare.refine"):
+                self._refined = refine(
+                    self._profiled, threshold=self.config.refinement_threshold
+                )
+            with obs_span("flare.analyze"):
+                self._analysis = Analyzer(self.config.analyzer).analyze(
+                    self._refined
+                )
+            with obs_span("flare.representatives"):
+                self._representatives = extract_representatives(
+                    self._analysis, dataset
+                )
+            with obs_span("flare.interpret"):
+                self._interpretations = interpret_components(
+                    self._analysis.pca,
+                    self._refined.specs,
+                    n_components=self._analysis.n_components,
+                    top_n=self.config.interpretation_top_n,
+                )
+            self._replayer = Replayer(
+                dataset.shape, catalogue=_catalogue_from(dataset)
+            )
+            if fit_span is not None:
+                fit_span.attrs["n_clusters"] = self._analysis.n_clusters
+                fit_span.attrs["n_components"] = self._analysis.n_components
         return self
 
     # ------------------------------------------------------------------
@@ -148,9 +160,10 @@ class Flare:
         Per-representative replays dispatch on *executor* (serial when
         None); the estimate is identical for every executor.
         """
-        return estimate_all_job_impact(
-            self.representatives, self.replayer, feature, executor=executor
-        )
+        with obs_span("flare.evaluate", feature=feature.name):
+            return estimate_all_job_impact(
+                self.representatives, self.replayer, feature, executor=executor
+            )
 
     def evaluate_job(
         self,
@@ -160,13 +173,16 @@ class Flare:
         executor: "Executor | str | None" = None,
     ) -> FeatureImpactEstimate:
         """Per-job impact estimate of *feature* on *job_name*."""
-        return estimate_per_job_impact(
-            self.representatives,
-            self.replayer,
-            feature,
-            job_name,
-            executor=executor,
-        )
+        with obs_span(
+            "flare.evaluate_job", feature=feature.name, job=job_name
+        ):
+            return estimate_per_job_impact(
+                self.representatives,
+                self.replayer,
+                feature,
+                job_name,
+                executor=executor,
+            )
 
     def reweight(
         self, durations: dict[ScenarioKey, float]
@@ -179,13 +195,14 @@ class Flare:
         cluster structure are all reused; only group weights (and thus the
         impact weighting) change.  Returns a new fitted ``Flare``.
         """
-        reweighted_dataset = self.dataset.with_weights_from(durations)
-        cluster_weights = self.analysis.kmeans.cluster_weights(
-            sample_weight=reweighted_dataset.weights()
-        )
-        return self._clone_with(
-            cluster_weights=cluster_weights, dataset=reweighted_dataset
-        )
+        with obs_span("flare.reweight", n_durations=len(durations)):
+            reweighted_dataset = self.dataset.with_weights_from(durations)
+            cluster_weights = self.analysis.kmeans.cluster_weights(
+                sample_weight=reweighted_dataset.weights()
+            )
+            return self._clone_with(
+                cluster_weights=cluster_weights, dataset=reweighted_dataset
+            )
 
     def classify_dataset(self, new_dataset: ScenarioDataset) -> "np.ndarray":
         """Assign each scenario of *new_dataset* to a fitted cluster.

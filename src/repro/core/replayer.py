@@ -129,6 +129,9 @@ class Replayer:
         self, scenario: Scenario, feature: Feature
     ) -> ReplayMeasurement:
         """Measure *feature*'s impact on *scenario* on the testbed."""
+        from ..obs import inc
+
+        inc("replays_total")
         instances = self.reconstruct(scenario)
         replay_scenario = Scenario(
             scenario_id=scenario.scenario_id,
@@ -166,12 +169,19 @@ class Replayer:
         for everything in the library; pass ``executor=None`` (serial)
         for exotic closures.
         """
+        from ..obs import span
+
         task = _ReplayTask(replayer=self, feature=feature)
-        return tuple(
-            resolve_executor(executor).map(
-                task, scenarios, chunk_size=4, stage="replays"
+        with span(
+            "replayer.replay_many",
+            feature=feature.name,
+            n_scenarios=len(scenarios),
+        ):
+            return tuple(
+                resolve_executor(executor).map(
+                    task, scenarios, chunk_size=4, stage="replays"
+                )
             )
-        )
 
 
 @dataclass(frozen=True)

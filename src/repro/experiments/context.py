@@ -67,9 +67,18 @@ class ExperimentContext:
 
     def truth(self, feature: Feature) -> DatacenterTruth:
         """Full-datacenter evaluation of *feature* (memoised)."""
+        from ..obs import span
+
         key = (feature.name, id(self.dataset))
         if key not in self._truths:
-            self._truths[key] = evaluate_full_datacenter(self.dataset, feature)
+            with span(
+                "experiment.truth",
+                feature=feature.name,
+                n_scenarios=len(self.dataset),
+            ):
+                self._truths[key] = evaluate_full_datacenter(
+                    self.dataset, feature
+                )
         return self._truths[key]
 
 
@@ -83,15 +92,19 @@ def get_context(scale: str = "paper", seed: int = 2023) -> ExperimentContext:
             f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}"
         ) from None
 
-    config = DatacenterConfig(seed=seed, target_unique_scenarios=target)
-    simulation = run_simulation(config)
-    flare_config = FlareConfig(
-        analyzer=AnalyzerConfig(n_clusters=n_clusters, cluster_counts=sweep)
-    )
-    # Digest-keyed cache: repeated contexts (and other callers fitting the
-    # same config on the same dataset) share one deterministic fit, and a
-    # REPRO_CACHE_DIR-backed disk layer survives across processes.
-    flare = default_cache().get_fitted(flare_config, simulation.dataset)
+    from ..obs import span
+
+    with span("experiment.context", scale=scale, seed=seed):
+        config = DatacenterConfig(seed=seed, target_unique_scenarios=target)
+        with span("experiment.simulate", n_scenarios=target):
+            simulation = run_simulation(config)
+        flare_config = FlareConfig(
+            analyzer=AnalyzerConfig(n_clusters=n_clusters, cluster_counts=sweep)
+        )
+        # Digest-keyed cache: repeated contexts (and other callers fitting the
+        # same config on the same dataset) share one deterministic fit, and a
+        # REPRO_CACHE_DIR-backed disk layer survives across processes.
+        flare = default_cache().get_fitted(flare_config, simulation.dataset)
     return ExperimentContext(
         scale=scale, seed=seed, simulation=simulation, flare=flare
     )

@@ -1,0 +1,180 @@
+"""Trace exporters: span JSONL and Chrome trace-event format.
+
+Two on-disk forms of the same span tree:
+
+* **JSONL** (``*.jsonl``) — one JSON object per line: ``{"type":
+  "span", ...}`` records followed by one ``{"type": "metrics", ...}``
+  registry snapshot.  Lossless; :func:`load_jsonl` round-trips it.
+* **Chrome trace-event** (anything else, conventionally ``*.json``) —
+  a ``{"traceEvents": [...]}`` document of complete (``"ph": "X"``)
+  events, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Worker spans keep their own pid, so a parallel
+  run renders as one lane per worker process under the parent timeline.
+
+Executor dispatches already appear as ``dispatch:<stage>`` spans
+carrying the :class:`~repro.telemetry.runtime_stats.StageStats` fields
+as attributes, so the exported timeline subsumes ``RUNTIME_STATS`` —
+one timeline, not two.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Sequence
+
+from .metrics import MetricsRegistry, get_metrics
+from .tracing import Span
+
+__all__ = [
+    "write_trace",
+    "spans_to_jsonl",
+    "load_jsonl",
+    "spans_to_chrome_trace",
+    "chrome_trace_events",
+    "render_summary",
+]
+
+
+def spans_to_jsonl(
+    spans: Iterable[Span],
+    path,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Write spans (and a metrics snapshot) as JSON lines."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for span in spans:
+            fh.write(json.dumps({"type": "span", **span.to_dict()}) + "\n")
+        if metrics is not None:
+            fh.write(
+                json.dumps({"type": "metrics", **metrics.snapshot()}) + "\n"
+            )
+    return path
+
+
+def load_jsonl(path) -> tuple[tuple[Span, ...], MetricsRegistry | None]:
+    """Read a span JSONL file back into spans + a metrics registry."""
+    spans: list[Span] = []
+    metrics: MetricsRegistry | None = None
+    with pathlib.Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type")
+            if kind == "span":
+                spans.append(Span.from_dict(record))
+            elif kind == "metrics":
+                metrics = MetricsRegistry()
+                metrics.merge(record)
+            else:
+                raise ValueError(f"unknown trace record type {kind!r}")
+    return tuple(spans), metrics
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> list[dict]:
+    """Spans as Chrome trace-event dicts (complete events + metadata).
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the numbers stay small and the viewers start at t=0.
+    """
+    spans = list(spans)
+    t0 = min((s.start_unix for s in spans), default=0.0)
+    events: list[dict] = []
+    for pid in sorted({s.pid for s in spans}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for span in spans:
+        args = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "cpu_s": span.cpu_s,
+            "peak_rss_delta_kb": span.peak_rss_delta_kb,
+            "status": span.status,
+        }
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "cat": "repro",
+                "name": span.name,
+                "pid": span.pid,
+                "tid": 0,
+                "ts": (span.start_unix - t0) * 1e6,
+                "dur": span.wall_s * 1e6,
+                "args": args,
+            }
+        )
+    return events
+
+
+def spans_to_chrome_trace(
+    spans: Sequence[Span],
+    path,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Write spans as a Chrome trace-event JSON document."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics.snapshot()}
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(document, indent=1))
+    return path
+
+
+def write_trace(
+    spans: Sequence[Span],
+    path,
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Export *spans* to *path*, format chosen by suffix.
+
+    ``*.jsonl`` writes the lossless span-per-line form; anything else
+    writes the Chrome trace-event document.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".jsonl":
+        return spans_to_jsonl(spans, path, metrics=metrics)
+    return spans_to_chrome_trace(spans, path, metrics=metrics)
+
+
+def render_summary(
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    *,
+    include_runtime_stats: bool = True,
+) -> str:
+    """Combined per-stage span table + metrics summary.
+
+    This is what the CLI's ``--obs-summary`` (and its ``--runtime-stats``
+    alias) prints: stage wall/CPU/RSS totals from the tracer — worker
+    spans included, since the executor stitches them back — followed by
+    the counters/gauges/histograms of the active registry and the
+    legacy per-dispatch ``RUNTIME_STATS`` table.
+    """
+    from .tracing import get_tracer
+
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    sections = [tracer.render(), metrics.render()]
+    if include_runtime_stats:
+        from ..telemetry.runtime_stats import RUNTIME_STATS
+
+        if RUNTIME_STATS.records():
+            sections.append(RUNTIME_STATS.render())
+    return "\n\n".join(sections)

@@ -1,0 +1,341 @@
+"""Span-based tracing for the FLARE pipeline.
+
+A :class:`Span` records one timed region — wall-clock, CPU time,
+peak-RSS delta and free-form attributes — and spans nest through a
+``contextvars`` variable, so a ``fit`` → ``profile`` → executor dispatch
+→ worker task chain forms one tree.  The tracer is process-global and
+**disabled by default**: the installed :class:`NullTracer` turns every
+instrumentation point into a no-op context manager, so the library pays
+(almost) nothing until a caller opts in via :func:`enable` or the CLI's
+``--trace`` / ``--obs-summary`` flags.
+
+Worker-side spans recorded inside process-pool tasks are serialized as
+plain dicts (:meth:`Span.to_dict`) and stitched back under the parent
+dispatch span by :meth:`Tracer.ingest` — see
+:mod:`repro.runtime.executor` for the transport.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "span",
+    "traced",
+    "detached_context",
+]
+
+try:  # POSIX-only; the instrumentation degrades gracefully elsewhere.
+    import resource
+
+    def _peak_rss_kb() -> float:
+        """High-water resident-set size of this process, in KiB."""
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+except ImportError:  # pragma: no cover - non-POSIX fallback
+
+    def _peak_rss_kb() -> float:
+        return 0.0
+
+
+#: Span id of the innermost open span in this execution context.
+_CURRENT_SPAN: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed region of the pipeline.
+
+    Attributes
+    ----------
+    name:
+        Stage label, e.g. ``"flare.fit"`` or ``"dispatch:replays"``.
+    span_id / parent_id:
+        Tree structure; ``parent_id`` is ``None`` for roots.
+    pid:
+        Process that executed the region (workers keep their own pid,
+        which is how stitched traces separate lanes in Perfetto).
+    start_unix:
+        Wall-clock entry time (``time.time()``), seconds since epoch.
+    wall_s / cpu_s:
+        Elapsed wall-clock and process CPU time of the region.
+    peak_rss_delta_kb:
+        Growth of the process peak RSS while the region ran (KiB; 0 when
+        the high-water mark did not move).
+    attrs:
+        Free-form JSON-able attributes.
+    status:
+        ``"ok"`` or ``"error"`` (an exception escaped the region).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    pid: int = field(default_factory=os.getpid)
+    start_unix: float = 0.0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    peak_rss_delta_kb: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"
+
+    def to_dict(self) -> dict:
+        """Plain JSON-able form (the worker → parent wire format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "start_unix": self.start_unix,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "peak_rss_delta_kb": self.peak_rss_delta_kb,
+            "attrs": dict(self.attrs),
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(**payload)
+
+
+class Tracer:
+    """Collects finished spans for one process.
+
+    Spans are appended in completion order (children before parents);
+    :meth:`spans` returns them as recorded.  The tracer itself is cheap
+    but not free — install it only when a trace or summary was asked
+    for, and leave :data:`NULL_TRACER` in place otherwise.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span; yields the live :class:`Span` for attr updates."""
+        record = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=_CURRENT_SPAN.get(),
+            start_unix=time.time(),
+            attrs=attrs,
+        )
+        token = _CURRENT_SPAN.set(record.span_id)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        rss0 = _peak_rss_kb()
+        try:
+            yield record
+        except BaseException:
+            record.status = "error"
+            raise
+        finally:
+            record.wall_s = time.perf_counter() - wall0
+            record.cpu_s = time.process_time() - cpu0
+            record.peak_rss_delta_kb = max(0.0, _peak_rss_kb() - rss0)
+            _CURRENT_SPAN.reset(token)
+            self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans, completion order."""
+        return tuple(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span (None outside any span)."""
+        return _CURRENT_SPAN.get()
+
+    def ingest(
+        self, payload: list[dict], *, parent_id: int | None = None
+    ) -> None:
+        """Stitch serialized worker spans under *parent_id*.
+
+        Worker span ids are remapped into this tracer's id space (two
+        passes, since children complete — and therefore serialize —
+        before their parents); worker-root spans (``parent_id`` None)
+        are attached to *parent_id*.
+        """
+        mapping = {rec["span_id"]: next(self._ids) for rec in payload}
+        for rec in payload:
+            span = Span.from_dict(rec)
+            span.span_id = mapping[rec["span_id"]]
+            if rec["parent_id"] is None:
+                span.parent_id = parent_id
+            else:
+                span.parent_id = mapping[rec["parent_id"]]
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Per-span-name aggregate: count, wall, cpu, max RSS delta."""
+        out: dict[str, dict[str, float]] = {}
+        for span in self._spans:
+            agg = out.setdefault(
+                span.name,
+                {"count": 0, "wall_s": 0.0, "cpu_s": 0.0, "max_rss_kb": 0.0},
+            )
+            agg["count"] += 1
+            agg["wall_s"] += span.wall_s
+            agg["cpu_s"] += span.cpu_s
+            agg["max_rss_kb"] = max(agg["max_rss_kb"], span.peak_rss_delta_kb)
+        return out
+
+    def render(self) -> str:
+        """Human-readable per-stage span summary table."""
+        lines = [
+            "span                              count    wall_s     cpu_s"
+            "  rss_kb"
+        ]
+        for name, agg in sorted(
+            self.totals().items(), key=lambda kv: -kv[1]["wall_s"]
+        ):
+            lines.append(
+                f"{name:<32} {int(agg['count']):>6}  {agg['wall_s']:>8.3f}"
+                f"  {agg['cpu_s']:>8.3f}  {agg['max_rss_kb']:>6.0f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self._spans)})"
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class NullTracer:
+    """Disabled tracer: every span is a shared no-op context manager."""
+
+    enabled = False
+    _NULL = _NullSpanContext()
+
+    def span(self, name: str, **attrs):
+        return self._NULL
+
+    def spans(self) -> tuple[Span, ...]:
+        return ()
+
+    def clear(self) -> None:
+        pass
+
+    def current_span_id(self) -> None:
+        return None
+
+    def ingest(self, payload, *, parent_id=None) -> None:
+        pass
+
+    def totals(self) -> dict:
+        return {}
+
+    def render(self) -> str:
+        return "tracing disabled (no spans recorded)"
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()
+
+_TRACER: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-global tracer (the :data:`NULL_TRACER` by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Install *tracer* globally; returns the previous one (for restore)."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Turn tracing on; returns the (new or given) live tracer."""
+    live = tracer if tracer is not None else Tracer()
+    set_tracer(live)
+    return live
+
+
+def disable() -> None:
+    """Turn tracing back off (reinstalls the shared null tracer)."""
+    set_tracer(NULL_TRACER)
+
+
+def span(name: str, **attrs):
+    """Open a span on the current global tracer (no-op when disabled)."""
+    return _TRACER.span(name, **attrs)
+
+
+@contextmanager
+def detached_context():
+    """Run with no current span.
+
+    Process-pool workers forked while a span was open inherit the
+    parent's context variable; a worker-side capture runs inside this so
+    its spans are roots of the worker-local tree (and stitch cleanly
+    under the parent dispatch span on ingest).
+    """
+    token = _CURRENT_SPAN.set(None)
+    try:
+        yield
+    finally:
+        _CURRENT_SPAN.reset(token)
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator form: trace every call of the wrapped function.
+
+    Enablement is checked at call time, so decorating at import time is
+    free until tracing is switched on.
+    """
+
+    def decorate(fn):
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

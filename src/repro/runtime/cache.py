@@ -84,6 +84,25 @@ class RuntimeCache:
         self.hits = 0
         self.misses = 0
 
+    def _hit(self) -> None:
+        """Count a hit locally and in the observability registry.
+
+        The ``cache_hits_total`` counter goes through :mod:`repro.obs`
+        so hits scored inside process-pool workers travel back to the
+        parent through the executor's capture channel instead of dying
+        with the worker (the instance attributes stay worker-local).
+        """
+        from ..obs.metrics import inc
+
+        self.hits += 1
+        inc("cache_hits_total")
+
+    def _miss(self) -> None:
+        from ..obs.metrics import inc
+
+        self.misses += 1
+        inc("cache_misses_total")
+
     # ------------------------------------------------------------------
     def _remember(self, store: OrderedDict, key: str, value) -> None:
         if self.memory_slots == 0:
@@ -115,7 +134,7 @@ class RuntimeCache:
         key = f"{config_digest(config)}-{dataset_digest(dataset)}"
         cached = self._lookup(self._profiled, key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
 
         from ..cluster.features import BASELINE
@@ -133,10 +152,10 @@ class RuntimeCache:
                         matrix=matrix,
                     )
                     self._remember(self._profiled, key, profiled)
-                    self.hits += 1
+                    self._hit()
                     return profiled
 
-        self.misses += 1
+        self._miss()
         profiled = profiler.profile(dataset)
         self._remember(self._profiled, key, profiled)
         if self.disk_dir is not None:
@@ -160,7 +179,7 @@ class RuntimeCache:
         key = f"{config_digest(config)}-{dataset_digest(dataset)}"
         cached = self._lookup(self._fitted, key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
 
         if self.disk_dir is not None:
@@ -171,11 +190,11 @@ class RuntimeCache:
                 except (ValueError, KeyError):
                     path.unlink(missing_ok=True)
                 else:
-                    self.hits += 1
+                    self._hit()
                     self._remember(self._fitted, key, flare)
                     return flare
 
-        self.misses += 1
+        self._miss()
         flare = Flare(config, database=database).fit(dataset)
         self._remember(self._fitted, key, flare)
         if self.disk_dir is not None:

@@ -15,14 +15,36 @@ through an :class:`Executor`.  The contract is deliberately narrow:
 Executor choice is a pure performance knob: ``SerialExecutor`` and
 ``ProcessExecutor`` are interchangeable by construction, and the
 determinism test suite holds them to it.
+
+The executor is also the observability transport (:mod:`repro.obs`):
+
+* every ``map`` call records a :class:`StageStats` entry and — when
+  tracing is enabled — a ``dispatch:<stage>`` span carrying the same
+  fields, so the span timeline subsumes ``RUNTIME_STATS``;
+* process-pool chunks run under a worker-side capture: spans, metric
+  increments and any nested ``StageStats`` recorded inside the worker
+  are serialized back with the results and stitched under the parent
+  dispatch span / merged into the parent registries.  Serial chunks
+  need no capture — their spans nest and their counters land in the
+  parent registries directly — which is what makes serial and process
+  traces equivalent trees.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
+from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.tracing import (
+    NULL_TRACER,
+    Tracer,
+    detached_context,
+    get_tracer,
+    set_tracer,
+)
 from ..telemetry.runtime_stats import RUNTIME_STATS, StageStats
 
 __all__ = [
@@ -46,6 +68,67 @@ def available_workers() -> int:
 def _apply_chunk(fn: Callable[[Any], Any], chunk: list) -> list:
     """Worker-side kernel: apply *fn* to one batch of items."""
     return [fn(item) for item in chunk]
+
+
+def _apply_chunk_traced(
+    fn: Callable[[Any], Any], chunk: list, label: str
+) -> list:
+    """Apply one chunk under a ``chunk:<stage>`` span.
+
+    Also feeds the per-stage task-latency histogram (chunk wall divided
+    by chunk size — per-task pickling and span cost amortised the same
+    way the dispatch itself amortises them).
+    """
+    from ..obs.metrics import observe
+
+    start = time.perf_counter()
+    with get_tracer().span(f"chunk:{label}", n_items=len(chunk)):
+        results = [fn(item) for item in chunk]
+    if chunk:
+        observe(
+            f"task_latency_s:{label}",
+            (time.perf_counter() - start) / len(chunk),
+        )
+    return results
+
+
+def _apply_chunk_captured(
+    fn: Callable[[Any], Any],
+    chunk: list,
+    label: str,
+    trace_enabled: bool,
+) -> tuple[list, dict]:
+    """Process-pool kernel: apply one chunk under telemetry capture.
+
+    Runs in the worker.  A fresh tracer (when tracing is on) and a fresh
+    metrics registry are swapped in for the duration of the chunk, and
+    whatever the chunk recorded — spans, counter/gauge/histogram
+    increments, nested executor ``StageStats`` — is returned alongside
+    the results as a picklable payload for the parent to merge.  Without
+    this channel anything recorded inside a worker dies with it.
+    """
+    tracer = Tracer() if trace_enabled else NULL_TRACER
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(MetricsRegistry())
+    stats_mark = len(RUNTIME_STATS.records())
+    try:
+        with detached_context():
+            if trace_enabled:
+                results = _apply_chunk_traced(fn, chunk, label)
+            else:
+                results = _apply_chunk(fn, chunk)
+    finally:
+        captured_metrics = set_metrics(previous_metrics)
+        set_tracer(previous_tracer)
+    payload = {
+        "spans": [span.to_dict() for span in tracer.spans()],
+        "metrics": captured_metrics.snapshot(),
+        "stage_stats": [
+            dataclasses.asdict(record)
+            for record in RUNTIME_STATS.records()[stats_mark:]
+        ],
+    }
+    return results, payload
 
 
 def _chunked(items: list, chunk_size: int) -> list[list]:
@@ -95,13 +178,20 @@ class _BaseExecutor:
         materialised = list(items)
         if not materialised:
             return []
+        label = stage or getattr(fn, "__name__", "anonymous")
         start = time.perf_counter()
         chunks = _chunked(materialised, chunk_size)
-        batched = self._map_chunks(fn, chunks)
+        with get_tracer().span(
+            f"dispatch:{label}",
+            executor=self.name,
+            n_tasks=len(materialised),
+            n_chunks=len(chunks),
+        ) as dispatch:
+            batched = self._map_chunks(fn, chunks, label, dispatch)
         results = [result for batch in batched for result in batch]
         RUNTIME_STATS.record(
             StageStats(
-                stage=stage or getattr(fn, "__name__", "anonymous"),
+                stage=label,
                 executor=self.name,
                 n_tasks=len(materialised),
                 n_chunks=len(chunks),
@@ -110,7 +200,10 @@ class _BaseExecutor:
         )
         return results
 
-    def _map_chunks(self, fn, chunks: list[list]) -> list[list]:
+    def _map_chunks(
+        self, fn, chunks: list[list], label: str, dispatch
+    ) -> list[list]:
+        """Run the chunks; *dispatch* is the open dispatch span (or None)."""
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial
@@ -128,7 +221,11 @@ class SerialExecutor(_BaseExecutor):
 
     name = "serial"
 
-    def _map_chunks(self, fn, chunks: list[list]) -> list[list]:
+    def _map_chunks(
+        self, fn, chunks: list[list], label: str, dispatch
+    ) -> list[list]:
+        if get_tracer().enabled:
+            return [_apply_chunk_traced(fn, chunk, label) for chunk in chunks]
         return [_apply_chunk(fn, chunk) for chunk in chunks]
 
     def __repr__(self) -> str:
@@ -161,10 +258,36 @@ class ProcessExecutor(_BaseExecutor):
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
-    def _map_chunks(self, fn, chunks: list[list]) -> list[list]:
+    def _map_chunks(
+        self, fn, chunks: list[list], label: str, dispatch
+    ) -> list[list]:
         pool = self._ensure_pool()
-        futures = [pool.submit(_apply_chunk, fn, chunk) for chunk in chunks]
-        return [future.result() for future in futures]
+        tracer = get_tracer()
+        futures = [
+            pool.submit(
+                _apply_chunk_captured, fn, chunk, label, tracer.enabled
+            )
+            for chunk in chunks
+        ]
+        batched = []
+        for future in futures:
+            results, payload = future.result()
+            batched.append(results)
+            self._merge_payload(payload, tracer, dispatch)
+        return batched
+
+    @staticmethod
+    def _merge_payload(payload: dict, tracer, dispatch) -> None:
+        """Fold one worker chunk's telemetry into the parent's registries."""
+        if payload["spans"]:
+            tracer.ingest(
+                payload["spans"],
+                parent_id=dispatch.span_id if dispatch is not None else None,
+            )
+        if any(payload["metrics"].values()):
+            get_metrics().merge(payload["metrics"])
+        for record in payload["stage_stats"]:
+            RUNTIME_STATS.record(StageStats(**record))
 
     def close(self) -> None:
         if self._pool is not None:

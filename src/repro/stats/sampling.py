@@ -190,15 +190,21 @@ def run_sampling_trials(
     else:
         truth = float(values.mean())
 
+    from ..obs import inc, span
+
     trial = functools.partial(_sampling_trial, values, prob, sample_size, replace)
-    estimates = np.asarray(
-        resolve_executor(executor).map(
-            trial,
-            spawn_seed_sequences(seed, n_trials),
-            chunk_size=TRIAL_CHUNK_SIZE,
-            stage="sampling-trials",
+    with span(
+        "sampling.trials", n_trials=n_trials, sample_size=sample_size
+    ):
+        estimates = np.asarray(
+            resolve_executor(executor).map(
+                trial,
+                spawn_seed_sequences(seed, n_trials),
+                chunk_size=TRIAL_CHUNK_SIZE,
+                stage="sampling-trials",
+            )
         )
-    )
+    inc("sampling_trials_total", n_trials)
     return SamplingTrialResult(
         estimates=estimates, sample_size=sample_size, truth=truth
     )

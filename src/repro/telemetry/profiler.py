@@ -187,16 +187,25 @@ class Profiler:
         feature: Feature = BASELINE,
     ) -> ProfiledDataset:
         """Collect metrics for every scenario under *feature*'s machine."""
-        machine = feature(dataset.shape.perf)
-        noise = MeasurementNoise(
-            self.noise_sigma, np.random.default_rng(self.seed)
-        )
-        matrix = np.empty((len(dataset), len(self.specs)))
-        for row, scenario in enumerate(dataset.scenarios):
-            clean = self.collect(scenario, dataset, machine)
-            matrix[row] = noise.apply(clean, self.specs)
-            if self.database is not None:
-                self._persist(scenario, matrix[row])
+        from ..obs import inc, span
+
+        with span(
+            "profiler.profile",
+            n_scenarios=len(dataset),
+            n_metrics=len(self.specs),
+            feature=feature.name,
+        ):
+            machine = feature(dataset.shape.perf)
+            noise = MeasurementNoise(
+                self.noise_sigma, np.random.default_rng(self.seed)
+            )
+            matrix = np.empty((len(dataset), len(self.specs)))
+            for row, scenario in enumerate(dataset.scenarios):
+                clean = self.collect(scenario, dataset, machine)
+                matrix[row] = noise.apply(clean, self.specs)
+                if self.database is not None:
+                    self._persist(scenario, matrix[row])
+            inc("scenarios_profiled", len(dataset))
         return ProfiledDataset(
             dataset=dataset, machine=machine, specs=self.specs, matrix=matrix
         )

@@ -1,0 +1,15 @@
+"""Isolate each obs test from the process-global tracer/registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_metrics
+from repro.obs.tracing import get_tracer, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    previous_tracer = get_tracer()
+    previous_metrics = set_metrics(MetricsRegistry())
+    yield
+    set_tracer(previous_tracer)
+    set_metrics(previous_metrics)

@@ -1,0 +1,92 @@
+"""Exporters: JSONL round-trip, Chrome trace-event shape, summary."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    load_jsonl,
+    render_summary,
+    write_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", stage="unit"):
+        with tracer.span("inner", n_items=2):
+            pass
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        metrics = MetricsRegistry()
+        metrics.inc("replays_total", 3)
+        metrics.observe("latency_s", 0.25)
+        path = write_trace(
+            tracer.spans(), tmp_path / "trace.jsonl", metrics=metrics
+        )
+        spans, loaded = load_jsonl(path)
+        assert spans == tracer.spans()
+        assert loaded.counter("replays_total") == 3.0
+        assert loaded.histogram("latency_s").count == 1
+
+    def test_without_metrics(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_trace(tracer.spans(), tmp_path / "bare.jsonl")
+        spans, loaded = load_jsonl(path)
+        assert len(spans) == 2
+        assert loaded is None
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tmp_path):
+        tracer = _sample_tracer()
+        metrics = MetricsRegistry()
+        metrics.inc("replays_total")
+        path = write_trace(
+            tracer.spans(), tmp_path / "trace.json", metrics=metrics
+        )
+        document = json.loads(path.read_text())
+        assert document["otherData"]["metrics"]["counters"] == {
+            "replays_total": 1.0
+        }
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert meta and meta[0]["name"] == "process_name"
+
+    def test_events_normalised_and_linked(self):
+        tracer = _sample_tracer()
+        events = chrome_trace_events(tracer.spans())
+        complete = {e["name"]: e for e in events if e["ph"] == "X"}
+        outer, inner = complete["outer"], complete["inner"]
+        # Timestamps are relative to the earliest span start.
+        assert outer["ts"] == 0.0
+        assert inner["ts"] >= 0.0
+        assert inner["dur"] <= outer["dur"]
+        # Parent/child linkage and attrs survive in args.
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert inner["args"]["n_items"] == 2
+        assert outer["args"]["stage"] == "unit"
+
+    def test_empty_span_list(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestRenderSummary:
+    def test_combines_spans_and_metrics(self):
+        tracer = _sample_tracer()
+        metrics = MetricsRegistry()
+        metrics.inc("replays_total", 9)
+        text = render_summary(tracer, metrics, include_runtime_stats=False)
+        assert "outer" in text
+        assert "replays_total" in text
+
+    def test_defaults_to_active_globals(self):
+        text = render_summary(include_runtime_stats=False)
+        assert "tracing disabled" in text

@@ -1,0 +1,101 @@
+"""Metrics registry: counters, gauges, mergeable histograms."""
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    inc,
+    observe,
+    set_gauge,
+)
+
+
+class TestHistogram:
+    def test_observe_updates_summary(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == 2.0
+
+    def test_round_trip(self):
+        hist = Histogram()
+        for value in (0.25, 0.5, 8.0, 0.0):
+            hist.observe(value)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.total == hist.total
+        assert clone.buckets == hist.buckets
+
+    def test_merge_is_exact(self):
+        left, right, reference = Histogram(), Histogram(), Histogram()
+        for value in (0.1, 0.2, 0.4):
+            left.observe(value)
+            reference.observe(value)
+        for value in (0.4, 3.0):
+            right.observe(value)
+            reference.observe(value)
+        left.merge(right)
+        assert left.count == reference.count
+        assert left.total == reference.total
+        assert left.minimum == reference.minimum
+        assert left.maximum == reference.maximum
+        assert left.buckets == reference.buckets
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.to_dict()["min"] is None
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        assert registry.counter("hits") == 3.0
+        assert registry.counter("absent") == 0.0
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("load", 0.5)
+        registry.set_gauge("load", 0.9)
+        assert registry.gauge("load") == 0.9
+        assert registry.gauge("absent") is None
+
+    def test_snapshot_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.inc("replays_total", 5)
+        source.set_gauge("workers", 4)
+        source.observe("latency_s", 0.125)
+        target = MetricsRegistry()
+        target.inc("replays_total", 2)
+        target.merge(source.snapshot())
+        assert target.counter("replays_total") == 7.0
+        assert target.gauge("workers") == 4.0
+        assert target.histogram("latency_s").count == 1
+
+    def test_clear_and_render(self):
+        registry = MetricsRegistry()
+        assert registry.render() == "no metrics recorded"
+        registry.inc("n")
+        registry.observe("h", 1.0)
+        text = registry.render()
+        assert "counters" in text and "histograms" in text
+        registry.clear()
+        assert registry.counters == {}
+
+
+class TestModuleHelpers:
+    def test_helpers_hit_active_registry(self):
+        # The autouse fixture installed a fresh registry for this test.
+        inc("unit_counter", 2)
+        set_gauge("unit_gauge", 1.5)
+        observe("unit_hist", 0.5)
+        active = get_metrics()
+        assert active.counter("unit_counter") == 2.0
+        assert active.gauge("unit_gauge") == 1.5
+        assert active.histogram("unit_hist").count == 1

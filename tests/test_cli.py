@@ -138,6 +138,88 @@ class TestExperiment:
         assert "Figure 7" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_evaluate_with_trace_and_summary(self, model_path, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "feature1",
+                "--trace",
+                str(trace_path),
+                "--obs-summary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MIPS reduction" in out
+        assert "flare.evaluate" in out  # span table in the summary
+        assert "replays_total" in out  # worker/metric counters in the summary
+        assert f"trace written -> {trace_path}" in out
+        document = json.loads(trace_path.read_text())
+        names = {
+            e["name"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert "flare.evaluate" in names
+        assert any(n.startswith("dispatch:") for n in names)
+
+    def test_trace_jsonl_round_trips(self, model_path, tmp_path):
+        from repro.obs import load_jsonl
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "feature1",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        spans, metrics = load_jsonl(trace_path)
+        assert any(s.name == "flare.evaluate" for s in spans)
+        assert metrics is not None
+        assert metrics.counter("replays_total") > 0
+
+    def test_runtime_stats_alias(self, model_path, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "feature1",
+                "--runtime-stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flare.evaluate" in out
+
+    def test_tracer_disabled_after_observed_run(self, model_path):
+        from repro.obs import get_tracer
+
+        main(
+            [
+                "evaluate",
+                "--model",
+                str(model_path),
+                "--feature",
+                "feature1",
+                "--obs-summary",
+            ]
+        )
+        assert not get_tracer().enabled
+
+
 class TestIngestAndDiagnose:
     def test_ingest_from_trace_csv(self, tmp_path, capsys):
         from repro.cluster import TraceEvent, TraceEventType
