@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke figures examples clean artifacts
+.PHONY: install test test-fast coverage lint bench bench-smoke figures examples clean artifacts
 
 install:
 	pip install -e '.[dev]' || pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Skip the @pytest.mark.slow chaos/acceptance tests for quick iteration.
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Full suite under pytest-cov (requires the dev extras); CI enforces the
+# coverage floor and publishes the report as an artifact.
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing --cov-report=xml
 
 # Static checks (configured in pyproject.toml [tool.ruff]).
 lint:

@@ -18,6 +18,12 @@ span breakdown is folded in as ``stage_breakdown``.  The cost of the
 ``--trace`` is off) is measured directly — no-op span cost times the
 span count the traced run produced, relative to the untraced wall time
 — and recorded as ``disabled_overhead_pct``; the budget is < 2%.
+
+Finally the resilience layer is billed the same way: the serial run is
+repeated with an *enabled* ``ResilienceConfig`` (``retry_then_raise``,
+no faults injected) so every chunk goes through the retry/fault
+accounting path, and the delta is recorded as
+``resilience_overhead_pct`` — same < 2% budget.
 """
 
 from __future__ import annotations
@@ -152,6 +158,31 @@ def main(argv: list[str] | None = None) -> int:
         f"of the untraced run"
     )
 
+    # Resilience overhead: the retry/fault accounting wrapper on the
+    # chunk path, with no faults actually injected.  Best-of-two again.
+    from repro.api import ResilienceConfig
+
+    resilient = SerialExecutor(
+        resilience=ResilienceConfig(policy="retry_then_raise")
+    )
+    resilient_a, resilient_estimates = _time_run(
+        dataset, truth, resilient, n_trials=args.trials, seed=args.seed
+    )
+    resilient_b, _ = _time_run(
+        dataset, truth, resilient, n_trials=args.trials, seed=args.seed
+    )
+    resilient_s = min(resilient_a, resilient_b)
+    resilience_overhead_pct = (
+        (resilient_s - untraced_s) / untraced_s * 100.0 if untraced_s else 0.0
+    )
+    resilient_identical = bool(
+        np.array_equal(serial_estimates, resilient_estimates)
+    )
+    print(
+        f"serial+resilience: {resilient_s:5.3f} s "
+        f"(resilience overhead {resilience_overhead_pct:+.2f}%)"
+    )
+
     with ProcessExecutor(max_workers=args.workers) as pool:
         # Warm the pool so worker start-up is not billed to the trials.
         pool.map(abs, range(args.workers))
@@ -183,13 +214,16 @@ def main(argv: list[str] | None = None) -> int:
         "tracing_overhead_pct": round(overhead_pct, 3),
         "disabled_overhead_pct": round(disabled_overhead_pct, 4),
         "traced_bit_identical": traced_identical,
+        "resilient_s": round(resilient_s, 4),
+        "resilience_overhead_pct": round(resilience_overhead_pct, 3),
+        "resilient_bit_identical": resilient_identical,
         "stage_breakdown": stage_breakdown,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     with RESULTS_PATH.open("a") as fh:
         fh.write(json.dumps(record) + "\n")
     print(f"recorded -> {RESULTS_PATH}")
-    return 0 if identical and traced_identical else 1
+    return 0 if identical and traced_identical and resilient_identical else 1
 
 
 if __name__ == "__main__":

@@ -21,8 +21,11 @@ The surface groups into:
 * **baselines** — full-datacenter, random-sampling, stratified and
   load-testing comparisons;
 * **runtime** — the deterministic parallel execution engine
-  (`Executor`, `SerialExecutor`, `ProcessExecutor`, `resolve_executor`)
-  and the digest-keyed artefact cache (`RuntimeCache`);
+  (`Executor`, `SerialExecutor`, `ProcessExecutor`, `resolve_executor`),
+  the digest-keyed artefact cache (`RuntimeCache`), and the failure
+  model (`ResilienceConfig`, `FailurePolicy`, `RetryPolicy`,
+  `TaskFailure`, `partition_failures`, `FaultSpec`, `CheckpointJournal`;
+  see docs/resilience.md);
 * **observability** — span tracing, the metrics registry and trace
   export (`Tracer`, `Span`, `METRICS`, `write_trace`, `render_summary`;
   see :mod:`repro.obs` and docs/observability.md);
@@ -86,12 +89,19 @@ from .obs import (
     write_trace,
 )
 from .runtime import (
+    CheckpointJournal,
     Executor,
+    FailurePolicy,
+    FaultSpec,
     ProcessExecutor,
+    ResilienceConfig,
+    RetryPolicy,
     RuntimeCache,
     SerialExecutor,
+    TaskFailure,
     available_workers,
     default_cache,
+    partition_failures,
     resolve_executor,
 )
 from .telemetry import RUNTIME_STATS, Database, ProfiledDataset, Profiler
@@ -146,6 +156,14 @@ __all__ = [
     "RuntimeCache",
     "default_cache",
     "RUNTIME_STATS",
+    # resilience
+    "FailurePolicy",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "TaskFailure",
+    "partition_failures",
+    "FaultSpec",
+    "CheckpointJournal",
     # observability
     "Tracer",
     "Span",

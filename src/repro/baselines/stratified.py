@@ -19,6 +19,7 @@ import numpy as np
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset
 from ..runtime.executor import Executor, resolve_executor
+from ..runtime.resilience import partition_failures
 from ..runtime.seeding import spawn_seed_sequences
 from ..stats.sampling import TRIAL_CHUNK_SIZE, SamplingTrialResult
 from .full_datacenter import DatacenterTruth, evaluate_full_datacenter
@@ -180,14 +181,19 @@ def evaluate_by_stratified_sampling(
         n_strata=len(stratum_members),
         stratify_on=stratify_on,
     ):
-        estimates = np.asarray(
-            resolve_executor(executor).map(
-                trial,
-                spawn_seed_sequences(seed, n_trials),
-                chunk_size=TRIAL_CHUNK_SIZE,
-                stage="stratified-trials",
-            )
+        raw = resolve_executor(executor).map(
+            trial,
+            spawn_seed_sequences(seed, n_trials),
+            chunk_size=TRIAL_CHUNK_SIZE,
+            stage="stratified-trials",
         )
+    # Independent trials: drop any degraded to TaskFailure, keep the rest.
+    survivors, failures = partition_failures(raw)
+    if failures and not survivors:
+        raise RuntimeError(
+            f"all {n_trials} stratified trials failed: {failures[0].error}"
+        )
+    estimates = np.asarray(survivors)
     inc("sampling_trials_total", n_trials)
 
     trials = SamplingTrialResult(

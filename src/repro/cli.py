@@ -34,6 +34,53 @@ _SHAPES = {"default": DEFAULT_SHAPE, "small": SMALL_SHAPE}
 _FEATURES: dict[str, Feature] = {f.name: f for f in PAPER_FEATURES}
 _FEATURES[BASELINE.name] = BASELINE
 
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution/resilience flags shared by fit / evaluate / experiment."""
+    parser.add_argument(
+        "--executor",
+        help="execution backend: serial (default), process, process:<N>",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="retry failed tasks up to N times (seeded backoff)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "per-task wall-clock budget; hung process-pool workers are "
+            "killed and their work re-dispatched"
+        ),
+    )
+    parser.add_argument(
+        "--failure-policy",
+        choices=("fail_fast", "retry_then_skip", "retry_then_raise"),
+        help=(
+            "what exhausted retries do (default fail_fast, or "
+            "retry_then_raise when --retries/--task-timeout is given)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help=(
+            "journal completed tasks under DIR so a killed run can be "
+            "resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the --checkpoint journal of a previous "
+            "identical invocation instead of starting fresh"
+        ),
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by fit / evaluate / diagnose / experiment."""
     parser.add_argument(
@@ -118,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--dataset", required=True, help="input dataset JSON")
     fit.add_argument("--clusters", type=int, default=18)
     fit.add_argument("--out", required=True, help="output model JSON")
+    _add_runtime_flags(fit)
     _add_obs_flags(fit)
 
     evaluate = sub.add_parser(
@@ -128,10 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--feature", choices=sorted(_FEATURES), required=True
     )
     evaluate.add_argument("--job", help="per-job estimate for this HP job")
-    evaluate.add_argument(
-        "--executor",
-        help="execution backend: serial (default), process, process:<N>",
-    )
+    _add_runtime_flags(evaluate)
     _add_obs_flags(evaluate)
 
     report = sub.add_parser(
@@ -153,10 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("small", "paper"), default="small"
     )
     experiment.add_argument("--seed", type=int, default=2023)
-    experiment.add_argument(
-        "--executor",
-        help="execution backend: serial (default), process, process:<N>",
-    )
+    _add_runtime_flags(experiment)
     _add_obs_flags(experiment)
 
     return parser
@@ -205,6 +247,66 @@ def _run_observed(handler, args, trace_path, want_summary: bool) -> int:
 
 
 # ----------------------------------------------------------------------
+def _resolve_runtime(args, run_key: tuple):
+    """Executor for one command from its runtime flags (None = legacy path).
+
+    The checkpoint run id digests the command and its semantic arguments
+    (*run_key*), so ``--resume`` only ever restores chunks journaled by
+    an identical invocation — a different dataset, feature or figure
+    lands in a different journal.
+    """
+    spec = getattr(args, "executor", None)
+    wants_resilience = (
+        args.failure_policy is not None
+        or args.retries is not None
+        or args.task_timeout is not None
+    )
+    if not (spec or wants_resilience or args.checkpoint or args.resume):
+        return None
+    if args.resume and not args.checkpoint:
+        raise SystemExit("error: --resume requires --checkpoint DIR")
+
+    from .runtime.executor import resolve_executor
+    from .runtime.resilience import ResilienceConfig, RetryPolicy
+
+    resilience = None
+    if wants_resilience:
+        retry = RetryPolicy(
+            max_retries=args.retries if args.retries is not None else 3
+        )
+        resilience = ResilienceConfig(
+            policy=args.failure_policy or "retry_then_raise",
+            retry=retry,
+            timeout_s=args.task_timeout,
+        )
+    checkpoint = None
+    if args.checkpoint:
+        import hashlib
+
+        from .runtime.cache import CheckpointJournal
+
+        run_id = hashlib.sha256(repr(run_key).encode()).hexdigest()[:16]
+        checkpoint = CheckpointJournal(args.checkpoint, run_id)
+        if not args.resume:
+            checkpoint.clear()
+    return resolve_executor(
+        spec, resilience=resilience, checkpoint=checkpoint
+    )
+
+
+def _print_resume_summary(args) -> None:
+    """Report how much work ``--resume`` restored from the journal."""
+    if not getattr(args, "resume", False):
+        return
+    from .obs.metrics import get_metrics
+
+    hits = (
+        get_metrics().snapshot()["counters"].get("checkpoint_hits_total", 0)
+    )
+    print(f"resume: {int(hits)} task(s) restored from the checkpoint journal")
+
+
+# ----------------------------------------------------------------------
 def _cmd_simulate(args) -> int:
     config = DatacenterConfig(
         shape=_SHAPES[args.shape],
@@ -238,8 +340,14 @@ def _cmd_ingest(args) -> int:
 def _cmd_fit(args) -> int:
     dataset = load_dataset(args.dataset)
     config = FlareConfig(analyzer=AnalyzerConfig(n_clusters=args.clusters))
-    flare = Flare(config).fit(dataset)
+    executor = _resolve_runtime(args, ("fit", args.dataset, args.clusters))
+    try:
+        flare = Flare(config).fit(dataset, executor=executor)
+    finally:
+        if executor is not None:
+            executor.close()
     save_model(flare, args.out)
+    _print_resume_summary(args)
     print(
         f"fitted FLARE: {flare.profiled.n_metrics} raw -> "
         f"{flare.refined.n_metrics} refined metrics, "
@@ -254,13 +362,18 @@ def _cmd_evaluate(args) -> int:
 
     flare = load_model(args.model)
     feature = _FEATURES[args.feature]
-    executor = resolve_executor(args.executor)
+    executor = _resolve_runtime(
+        args, ("evaluate", args.model, args.feature, args.job)
+    )
+    if executor is None:
+        executor = resolve_executor(None)
     if args.job:
         estimate = flare.evaluate_job(feature, args.job, executor=executor)
         label = f"{feature.name} impact on {args.job}"
     else:
         estimate = flare.evaluate(feature, executor=executor)
         label = f"{feature.name} impact (all HP jobs)"
+    _print_resume_summary(args)
     print(f"{label}: {estimate.reduction_pct:.2f}% MIPS reduction")
     print(f"evaluation cost: {estimate.evaluation_cost} scenario replays")
     rows = [
@@ -313,8 +426,11 @@ def _cmd_experiment(args) -> int:
     from .experiments import get_context
 
     context = get_context(args.scale, seed=args.seed)
-    if args.executor:
-        context.use_executor(args.executor)
+    executor = _resolve_runtime(
+        args, ("experiment", args.figure, args.scale, args.seed)
+    )
+    if executor is not None:
+        context.use_executor(executor)
     figure = args.figure
     if figure == "fig03":
         print(experiments.fig03_scenario_landscape.run_occupancy(context).render())
@@ -348,6 +464,7 @@ def _cmd_experiment(args) -> int:
             "sec56": experiments.sec56_scheduler_change,
         }[figure]
         print(module.run(context).render())
+    _print_resume_summary(args)
     return 0
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from ..cluster.features import Feature
 from ..cluster.scenario import Scenario
 from ..runtime.executor import Executor
+from ..runtime.resilience import TaskFailure
 from .replayer import ReplayMeasurement, Replayer
 from .representatives import RepresentativeSet
 
@@ -80,6 +81,9 @@ def estimate_all_job_impact(
 
     Scenario selection stays serial (it is cheap); the per-representative
     replays — the measured cost of the method — fan out on *executor*.
+    Replays degraded to :class:`~repro.runtime.resilience.TaskFailure`
+    under a ``retry_then_skip`` policy are dropped and the estimate
+    renormalises over the groups that were actually measured.
     """
     selected: list[tuple[tuple[int, float], Scenario]] = []
     for group in representatives.groups:
@@ -105,6 +109,7 @@ def estimate_all_job_impact(
         for ((cluster_id, weight), scenario), measurement in zip(
             selected, measurements
         )
+        if not isinstance(measurement, TaskFailure)
     ]
     return _weighted_estimate(feature, None, contributions, len(contributions))
 
@@ -146,6 +151,7 @@ def estimate_per_job_impact(
         for ((cluster_id, weight), scenario), measurement in zip(
             selected, measurements
         )
+        if not isinstance(measurement, TaskFailure)
     ]
     if not contributions:
         raise ValueError(

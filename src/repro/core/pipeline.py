@@ -113,14 +113,25 @@ class Flare:
         self._replayer: Replayer | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: ScenarioDataset) -> "Flare":
-        """Run steps 1–3 on a scenario dataset; returns self."""
+    def fit(
+        self,
+        dataset: ScenarioDataset,
+        *,
+        executor: "Executor | str | None" = None,
+    ) -> "Flare":
+        """Run steps 1–3 on a scenario dataset; returns self.
+
+        ``executor`` parallelises the profiling fan-out (the dominant
+        cost of fitting); results are bit-identical to serial fitting
+        under any executor, including one with fault injection enabled
+        — see :mod:`repro.runtime.resilience`.
+        """
         if len(dataset) < 2:
             raise ValueError("FLARE needs at least 2 scenarios to fit")
         with obs_span("flare.fit", n_scenarios=len(dataset)) as fit_span:
             profiler = self.config.make_profiler(database=self.database)
             with obs_span("flare.profile"):
-                self._profiled = profiler.profile(dataset)
+                self._profiled = profiler.profile(dataset, executor=executor)
             with obs_span("flare.refine"):
                 self._refined = refine(
                     self._profiled, threshold=self.config.refinement_threshold

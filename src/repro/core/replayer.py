@@ -168,6 +168,12 @@ class Replayer:
         requires the catalogue and metric function to be picklable — true
         for everything in the library; pass ``executor=None`` (serial)
         for exotic closures.
+
+        Under an executor with a ``retry_then_skip`` failure policy,
+        entries may be :class:`~repro.runtime.resilience.TaskFailure`
+        stand-ins (in their scenario's position) instead of
+        measurements; the estimation layer drops them and renormalises
+        the surviving group weights.
         """
         from ..obs import span
 

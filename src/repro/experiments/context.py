@@ -52,9 +52,26 @@ class ExperimentContext:
     def __post_init__(self) -> None:
         self._truths: dict[tuple[str, int], DatacenterTruth] = {}
 
-    def use_executor(self, spec: "Executor | str | None") -> "ExperimentContext":
-        """Switch the shared executor (accepts specs like ``process:4``)."""
-        self.executor = resolve_executor(spec)
+    def use_executor(
+        self,
+        spec: "Executor | str | None",
+        *,
+        resilience=None,
+        checkpoint=None,
+    ) -> "ExperimentContext":
+        """Switch the shared executor (accepts specs like ``process:4``).
+
+        ``resilience`` attaches a
+        :class:`~repro.runtime.resilience.ResilienceConfig` (timeouts,
+        retries, failure policy) and ``checkpoint`` a
+        :class:`~repro.runtime.cache.CheckpointJournal` — the resume
+        state behind CLI ``--resume`` — to the shared executor, so every
+        experiment fan-out in this context runs under the same failure
+        model.
+        """
+        self.executor = resolve_executor(
+            spec, resilience=resilience, checkpoint=checkpoint
+        )
         return self
 
     @property

@@ -9,9 +9,17 @@ through:
 * :mod:`repro.runtime.seeding` — per-task seed derivation via
   ``numpy.random.SeedSequence.spawn`` so parallel results are
   bit-identical to serial ones;
+* :mod:`repro.runtime.resilience` — the failure model executors
+  enforce: timeouts, bounded seeded-backoff retries, pool recovery and
+  :class:`FailurePolicy`-driven degradation to typed
+  :class:`TaskFailure` results;
+* :mod:`repro.runtime.faultinject` — seeded, executor-independent fault
+  injection (crash/hang/slow/flaky-exception) for reproducible chaos
+  testing of those paths;
 * :mod:`repro.runtime.cache` — digest-keyed in-memory/on-disk caching
-  of profiled datasets and fitted models (imported lazily; it pulls in
-  the whole pipeline).
+  of profiled datasets and fitted models plus the
+  :class:`CheckpointJournal` behind CLI ``--resume`` (imported lazily;
+  it pulls in the whole pipeline).
 
 Per-dispatch wall-clock and task counts are surfaced through
 :data:`repro.telemetry.RUNTIME_STATS`.
@@ -24,6 +32,22 @@ from .executor import (
     SerialExecutor,
     available_workers,
     resolve_executor,
+)
+from .faultinject import (
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+)
+from .resilience import (
+    ExecutorBrokenError,
+    FailurePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    TaskFailure,
+    TaskRetryError,
+    TaskTimeoutError,
+    partition_failures,
 )
 from .seeding import (
     root_seed_sequence,
@@ -41,8 +65,21 @@ __all__ = [
     "root_seed_sequence",
     "spawn_seed_sequences",
     "spawn_generators",
+    "FailurePolicy",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "TaskFailure",
+    "TaskRetryError",
+    "TaskTimeoutError",
+    "ExecutorBrokenError",
+    "partition_failures",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedHang",
     # lazily re-exported from .cache (heavy import chain)
     "RuntimeCache",
+    "CheckpointJournal",
     "default_cache",
     "dataset_digest",
     "config_digest",
@@ -51,6 +88,7 @@ __all__ = [
 
 _CACHE_EXPORTS = {
     "RuntimeCache",
+    "CheckpointJournal",
     "default_cache",
     "dataset_digest",
     "config_digest",

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
+import pickle
 from collections import OrderedDict
 
 import numpy as np
@@ -34,6 +36,7 @@ __all__ = [
     "dataset_digest",
     "config_digest",
     "RuntimeCache",
+    "CheckpointJournal",
     "default_cache",
 ]
 
@@ -203,6 +206,20 @@ class RuntimeCache:
         return flare
 
     # ------------------------------------------------------------------
+    def journal(self, run_id: str) -> "CheckpointJournal":
+        """A :class:`CheckpointJournal` under this cache's disk layer.
+
+        Checkpoints are resume state and must survive the process, so
+        they require the disk layer (``disk_dir`` or
+        :data:`CACHE_DIR_ENV_VAR`).
+        """
+        if self.disk_dir is None:
+            raise ValueError(
+                "checkpointing requires the disk cache layer; pass "
+                f"disk_dir or set {CACHE_DIR_ENV_VAR}"
+            )
+        return CheckpointJournal(self.disk_dir / "checkpoints", run_id)
+
     def clear(self) -> None:
         """Drop the in-memory layer (disk entries are left in place)."""
         self._profiled.clear()
@@ -213,6 +230,110 @@ class RuntimeCache:
             f"RuntimeCache(memory_slots={self.memory_slots}, "
             f"disk_dir={str(self.disk_dir) if self.disk_dir else None!r}, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class CheckpointJournal:
+    """Digest-keyed journal of completed executor chunks for resume.
+
+    An executor with a journal attached records every completed chunk's
+    results under ``sha256(stage, task digest, chunk index, chunk
+    payload)`` — one pickle file per chunk, written atomically.  When a
+    killed run restarts with the same journal (CLI ``--resume``), every
+    ``map`` call restores its already-journaled chunks instead of
+    re-executing them (scored on the ``checkpoint_hits_total`` counter)
+    and re-runs only the rest.  Because tasks are pure functions of
+    their items, the resumed run's results are bit-identical to an
+    uninterrupted one.
+
+    Chunks containing :class:`~repro.runtime.resilience.TaskFailure`
+    entries are never journaled — a degraded chunk gets a fresh chance
+    on resume rather than its failure becoming sticky.
+    """
+
+    def __init__(self, directory, run_id: str = "default") -> None:
+        safe = "".join(
+            c if c.isalnum() or c in "-_." else "-" for c in run_id
+        )
+        if not safe:
+            raise ValueError("run_id must be non-empty")
+        self.run_id = safe
+        self.directory = pathlib.Path(directory) / safe
+
+    # ------------------------------------------------------------------
+    def chunk_keys(self, stage: str, fn, chunks: list) -> list[str]:
+        """Content keys of one ``map`` call's chunks.
+
+        Keys digest the stage label, the task callable and each chunk's
+        pickled payload (plus its index), so a changed task or input
+        set misses the journal instead of restoring stale results.
+        """
+        try:
+            fn_digest = hashlib.sha256(
+                pickle.dumps(fn, protocol=4)
+            ).hexdigest()
+        except Exception:  # closures etc. — identify by name instead
+            fn_digest = f"{getattr(fn, '__module__', '?')}." + getattr(
+                fn, "__qualname__", repr(fn)
+            )
+        keys = []
+        for index, chunk in enumerate(chunks):
+            digest = hashlib.sha256()
+            digest.update(stage.encode())
+            digest.update(fn_digest.encode())
+            digest.update(str(index).encode())
+            try:
+                digest.update(pickle.dumps(chunk, protocol=4))
+            except Exception:
+                digest.update(repr(chunk).encode())
+            keys.append(digest.hexdigest())
+        return keys
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"chunk-{key[:40]}.pkl"
+
+    def get(self, key: str):
+        """Journaled results for *key*, or ``None`` (corrupt ⇒ miss)."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, key: str, results: list) -> None:
+        """Journal one completed chunk (atomic; unpicklable ⇒ no-op)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(results, handle, protocol=4)
+        except Exception:
+            tmp.unlink(missing_ok=True)
+            return
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("chunk-*.pkl"))
+
+    def clear(self) -> None:
+        """Drop every journaled chunk (a completed run's cleanup)."""
+        if not self.directory.exists():
+            return
+        for path in self.directory.glob("chunk-*.pkl"):
+            path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointJournal(directory={str(self.directory)!r}, "
+            f"chunks={len(self)})"
         )
 
 

@@ -24,10 +24,26 @@ The executor is also the observability transport (:mod:`repro.obs`):
 * process-pool chunks run under a worker-side capture: spans, metric
   increments and any nested ``StageStats`` recorded inside the worker
   are serialized back with the results and stitched under the parent
-  dispatch span / merged into the parent registries.  Serial chunks
-  need no capture — their spans nest and their counters land in the
-  parent registries directly — which is what makes serial and process
-  traces equivalent trees.
+  dispatch span / merged into the parent registries — **including for
+  chunks that raise**, whose telemetry ships back alongside the error
+  instead of dying with it.  Serial chunks need no capture — their
+  spans nest and their counters land in the parent registries directly
+  — which is what makes serial and process traces equivalent trees.
+
+And the executor is the fault boundary (:mod:`repro.runtime.resilience`):
+
+* a :class:`~repro.runtime.resilience.ResilienceConfig` attached to an
+  executor adds per-task timeouts, bounded seeded-backoff retries,
+  ``BrokenProcessPool`` recovery (the pool is respawned and only the
+  lost chunks re-dispatched) and graceful degradation to typed
+  :class:`~repro.runtime.resilience.TaskFailure` results;
+* a :class:`~repro.runtime.cache.CheckpointJournal` attached to an
+  executor journals every completed chunk by content digest, so a
+  killed run re-executes only the chunks that never finished.
+
+Retried chunks re-run pure tasks, so results stay bit-identical to a
+fault-free serial run — resilience, like parallelism, is not a
+semantics knob.
 """
 
 from __future__ import annotations
@@ -35,9 +51,10 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
-from ..obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from ..obs.metrics import MetricsRegistry, get_metrics, inc, set_metrics
 from ..obs.tracing import (
     NULL_TRACER,
     Tracer,
@@ -46,6 +63,12 @@ from ..obs.tracing import (
     set_tracer,
 )
 from ..telemetry.runtime_stats import RUNTIME_STATS, StageStats
+from .faultinject import wrap_faults
+from .resilience import (
+    ExecutorBrokenError,
+    ResilienceConfig,
+    TaskTimeoutError,
+)
 
 __all__ = [
     "Executor",
@@ -97,7 +120,7 @@ def _apply_chunk_captured(
     chunk: list,
     label: str,
     trace_enabled: bool,
-) -> tuple[list, dict]:
+) -> tuple:
     """Process-pool kernel: apply one chunk under telemetry capture.
 
     Runs in the worker.  A fresh tracer (when tracing is on) and a fresh
@@ -106,17 +129,26 @@ def _apply_chunk_captured(
     increments, nested executor ``StageStats`` — is returned alongside
     the results as a picklable payload for the parent to merge.  Without
     this channel anything recorded inside a worker dies with it.
+
+    Returns ``(results, payload, error)``.  A raising chunk returns
+    ``(None, payload, exc)`` instead of raising, so the telemetry it
+    recorded *before* the failure still travels back — the parent merges
+    the payload and then feeds ``exc`` to the retry machinery.
     """
     tracer = Tracer() if trace_enabled else NULL_TRACER
     previous_tracer = set_tracer(tracer)
     previous_metrics = set_metrics(MetricsRegistry())
     stats_mark = len(RUNTIME_STATS.records())
+    results = None
+    error: Exception | None = None
     try:
         with detached_context():
             if trace_enabled:
                 results = _apply_chunk_traced(fn, chunk, label)
             else:
                 results = _apply_chunk(fn, chunk)
+    except Exception as exc:
+        error = exc
     finally:
         captured_metrics = set_metrics(previous_metrics)
         set_tracer(previous_tracer)
@@ -128,7 +160,15 @@ def _apply_chunk_captured(
             for record in RUNTIME_STATS.records()[stats_mark:]
         ],
     }
-    return results, payload
+    if error is not None:
+        import pickle
+
+        try:
+            pickle.dumps(error)
+        except Exception:
+            error = RuntimeError(f"{type(error).__name__}: {error}")
+        return None, payload, error
+    return results, payload, None
 
 
 def _chunked(items: list, chunk_size: int) -> list[list]:
@@ -163,9 +203,29 @@ class Executor(Protocol):
 
 
 class _BaseExecutor:
-    """Shared chunking + stage-stats bookkeeping."""
+    """Shared chunking, checkpoint and stage-stats bookkeeping.
+
+    Parameters
+    ----------
+    resilience:
+        Failure model for every ``map`` call; ``None`` means the no-op
+        default (``fail_fast``, no timeouts, no faults), which takes the
+        exact pre-resilience fast path.
+    checkpoint:
+        Optional :class:`~repro.runtime.cache.CheckpointJournal`.  When
+        attached, completed chunks are journaled under a content digest
+        of ``(stage, task, chunk)`` and already-journaled chunks are
+        restored instead of re-executed — the resume path a killed run
+        takes via CLI ``--resume``.
+    """
 
     name = "base"
+
+    def __init__(self, *, resilience=None, checkpoint=None) -> None:
+        self.resilience: ResilienceConfig = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self.checkpoint = checkpoint
 
     def map(
         self,
@@ -181,14 +241,58 @@ class _BaseExecutor:
         label = stage or getattr(fn, "__name__", "anonymous")
         start = time.perf_counter()
         chunks = _chunked(materialised, chunk_size)
+
+        journal = self.checkpoint
+        keys: list[str] | None = None
+        restored: dict[int, list] = {}
+        if journal is not None:
+            keys = journal.chunk_keys(label, fn, chunks)
+        if keys is not None:
+            for index, key in enumerate(keys):
+                hit = journal.get(key)
+                if hit is not None:
+                    restored[index] = hit
+            if restored:
+                inc(
+                    "checkpoint_hits_total",
+                    sum(len(chunks[i]) for i in restored),
+                )
+
+        pending = [i for i in range(len(chunks)) if i not in restored]
+
+        def journal_chunk(local_index: int, chunk_results: list) -> None:
+            # Journal each chunk the moment it completes, so a run
+            # killed mid-dispatch still resumes everything that
+            # finished.  Chunks degraded to TaskFailure stand-ins are
+            # never journaled — they get a fresh chance on resume.
+            if keys is None:
+                return
+            if any(_is_task_failure(r) for r in chunk_results):
+                return
+            journal.put(keys[pending[local_index]], chunk_results)
+
         with get_tracer().span(
             f"dispatch:{label}",
             executor=self.name,
             n_tasks=len(materialised),
             n_chunks=len(chunks),
+            checkpoint_chunks=len(restored),
         ) as dispatch:
-            batched = self._map_chunks(fn, chunks, label, dispatch)
-        results = [result for batch in batched for result in batch]
+            ran = self._map_chunks(
+                fn,
+                [chunks[i] for i in pending],
+                label,
+                dispatch,
+                journal_chunk,
+            )
+        for index, chunk_results in zip(pending, ran):
+            restored[index] = chunk_results
+
+        results = [
+            result
+            for index in range(len(chunks))
+            for result in restored[index]
+        ]
         RUNTIME_STATS.record(
             StageStats(
                 stage=label,
@@ -201,9 +305,13 @@ class _BaseExecutor:
         return results
 
     def _map_chunks(
-        self, fn, chunks: list[list], label: str, dispatch
+        self, fn, chunks: list[list], label: str, dispatch, on_done
     ) -> list[list]:
-        """Run the chunks; *dispatch* is the open dispatch span (or None)."""
+        """Run the chunks; *dispatch* is the open dispatch span (or None).
+
+        ``on_done(index, results)`` must be invoked as each chunk
+        completes successfully (checkpoint journaling hangs off it).
+        """
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial
@@ -216,17 +324,64 @@ class _BaseExecutor:
         self.close()
 
 
+def _is_task_failure(result) -> bool:
+    from .resilience import TaskFailure
+
+    return isinstance(result, TaskFailure)
+
+
 class SerialExecutor(_BaseExecutor):
-    """In-process execution — the reference the parallel path must match."""
+    """In-process execution — the reference the parallel path must match.
+
+    Timeouts are cooperative here: an injected hang raises immediately,
+    but genuinely stuck user code cannot be preempted without a separate
+    process — use the process backend when preemptive timeouts matter.
+    """
 
     name = "serial"
 
     def _map_chunks(
-        self, fn, chunks: list[list], label: str, dispatch
+        self, fn, chunks: list[list], label: str, dispatch, on_done
     ) -> list[list]:
-        if get_tracer().enabled:
-            return [_apply_chunk_traced(fn, chunk, label) for chunk in chunks]
-        return [_apply_chunk(fn, chunk) for chunk in chunks]
+        traced = get_tracer().enabled
+        noop = self.resilience.is_noop
+        out = []
+        for index, chunk in enumerate(chunks):
+            if noop:
+                if traced:
+                    chunk_results = _apply_chunk_traced(fn, chunk, label)
+                else:
+                    chunk_results = _apply_chunk(fn, chunk)
+            else:
+                chunk_results = self._run_chunk_resilient(
+                    fn, chunk, index, label
+                )
+            on_done(index, chunk_results)
+            out.append(chunk_results)
+        return out
+
+    def _run_chunk_resilient(
+        self, fn, chunk: list, index: int, label: str
+    ) -> list:
+        config = self.resilience
+        attempt = 0
+        while True:
+            task = wrap_faults(fn, config.faults, attempt)
+            try:
+                if get_tracer().enabled:
+                    return _apply_chunk_traced(task, chunk, label)
+                return _apply_chunk(task, chunk)
+            except Exception as exc:
+                action = config.on_chunk_failure(
+                    stage=label,
+                    chunk_index=index,
+                    chunk_len=len(chunk),
+                    attempt=attempt,
+                    exc=exc,
+                )
+                if action == "skip":
+                    return config.skipped_chunk(label, len(chunk), attempt, exc)
+                attempt += 1
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -241,11 +396,31 @@ class ProcessExecutor(_BaseExecutor):
     arguments must be picklable; chunking amortises the pickling of
     shared arguments (population arrays, replayers) over ``chunk_size``
     tasks.
+
+    Fault handling (when a :class:`ResilienceConfig` is attached):
+
+    * a chunk that exceeds ``timeout_s * len(chunk)`` has its (possibly
+      hung) pool killed and respawned; the timed-out chunk is charged a
+      retry, every other in-flight chunk is simply re-dispatched;
+    * a ``BrokenProcessPool`` (a worker died) respawns the pool and
+      re-dispatches only the lost chunks; because the dying worker
+      cannot be attributed to one chunk, every lost chunk is charged an
+      attempt — deterministic fault schedules make this harmless (a
+      chunk only misbehaves for its first ``faults_per_task``
+      executions);
+    * completed chunks are never re-executed.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        resilience=None,
+        checkpoint=None,
+    ) -> None:
+        super().__init__(resilience=resilience, checkpoint=checkpoint)
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or available_workers()
@@ -258,23 +433,130 @@ class ProcessExecutor(_BaseExecutor):
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._pool
 
+    def _kill_pool(self) -> None:
+        """Terminate the pool's workers (hung ones included) and drop it."""
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        for process in getattr(pool, "_processes", {}).values():
+            try:
+                process.terminate()
+            except Exception:  # already gone
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        inc("pool_respawns_total")
+
     def _map_chunks(
-        self, fn, chunks: list[list], label: str, dispatch
+        self, fn, chunks: list[list], label: str, dispatch, on_done
     ) -> list[list]:
-        pool = self._ensure_pool()
+        from concurrent.futures.process import BrokenProcessPool
+
+        config = self.resilience
         tracer = get_tracer()
-        futures = [
-            pool.submit(
-                _apply_chunk_captured, fn, chunk, label, tracer.enabled
+        results: dict[int, list] = {}
+        attempts = [0] * len(chunks)
+        pending = list(range(len(chunks)))
+        respawn_budget = max(8, 4 * (config.retry.max_retries + 1))
+        respawns = 0
+
+        def fail(index: int, exc: Exception) -> None:
+            """Route one chunk failure through the policy machinery."""
+            action = config.on_chunk_failure(
+                stage=label,
+                chunk_index=index,
+                chunk_len=len(chunks[index]),
+                attempt=attempts[index],
+                exc=exc,
             )
-            for chunk in chunks
-        ]
-        batched = []
-        for future in futures:
-            results, payload = future.result()
-            batched.append(results)
-            self._merge_payload(payload, tracer, dispatch)
-        return batched
+            if action == "skip":
+                results[index] = config.skipped_chunk(
+                    label, len(chunks[index]), attempts[index], exc
+                )
+            else:
+                attempts[index] += 1
+                pending.append(index)
+
+        while pending:
+            pool = self._ensure_pool()
+            round_indices, pending = pending, []
+            futures = [
+                (
+                    i,
+                    pool.submit(
+                        _apply_chunk_captured,
+                        wrap_faults(fn, config.faults, attempts[i]),
+                        chunks[i],
+                        label,
+                        tracer.enabled,
+                    ),
+                )
+                for i in round_indices
+            ]
+            broken = None  # None | "timeout" | "pool"
+            for i, future in futures:
+                if broken is not None:
+                    # The pool died earlier in this round.  Salvage any
+                    # chunk that finished before the breakage; requeue
+                    # the rest (charging an attempt only when the
+                    # breakage itself is unattributable).
+                    try:
+                        outcome = future.result(timeout=0)
+                    except BaseException:
+                        if broken == "pool":
+                            attempts[i] += 1
+                        pending.append(i)
+                        continue
+                    self._finish(
+                        outcome, i, tracer, dispatch, results, fail, on_done
+                    )
+                    continue
+                timeout = (
+                    config.timeout_s * len(chunks[i])
+                    if config.timeout_s is not None
+                    else None
+                )
+                try:
+                    outcome = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    self._kill_pool()
+                    broken = "timeout"
+                    respawns += 1
+                    fail(
+                        i,
+                        TaskTimeoutError(
+                            f"stage {label!r} chunk {i} exceeded "
+                            f"{timeout:.3g}s ({len(chunks[i])} tasks)"
+                        ),
+                    )
+                    continue
+                except BrokenProcessPool as exc:
+                    self._kill_pool()
+                    broken = "pool"
+                    respawns += 1
+                    fail(i, exc)
+                    continue
+                self._finish(
+                    outcome, i, tracer, dispatch, results, fail, on_done
+                )
+            if respawns > respawn_budget:
+                raise ExecutorBrokenError(
+                    f"stage {label!r}: process pool died {respawns} times; "
+                    "giving up on respawning it"
+                )
+        return [results[i] for i in range(len(chunks))]
+
+    def _finish(
+        self, outcome, index: int, tracer, dispatch, results, fail, on_done
+    ) -> None:
+        """Merge one completed future's telemetry, then settle the chunk."""
+        chunk_results, payload, error = outcome
+        self._merge_payload(payload, tracer, dispatch)
+        if error is not None:
+            fail(index, error)
+        else:
+            results[index] = chunk_results
+            on_done(index, chunk_results)
 
     @staticmethod
     def _merge_payload(payload: dict, tracer, dispatch) -> None:
@@ -298,7 +580,12 @@ class ProcessExecutor(_BaseExecutor):
         return f"ProcessExecutor(max_workers={self.max_workers})"
 
 
-def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
+def resolve_executor(
+    spec: "Executor | str | None" = None,
+    *,
+    resilience=None,
+    checkpoint=None,
+) -> Executor:
     """Turn an executor spec into an executor instance.
 
     Accepts an existing executor (returned unchanged), a spec string
@@ -307,12 +594,21 @@ def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
     consulted and the serial executor is the fallback.  Serial remains
     the default so library behaviour is unchanged unless parallelism is
     asked for.
+
+    ``resilience`` / ``checkpoint`` attach a failure model and a resume
+    journal to the resolved executor (an existing instance is updated in
+    place only when they are given, so passing an executor through
+    without them never clobbers its configuration).
     """
     if spec is None:
         spec = os.environ.get(EXECUTOR_ENV_VAR) or "serial"
-    if isinstance(spec, (SerialExecutor, ProcessExecutor)):
-        return spec
-    if not isinstance(spec, str) and isinstance(spec, Executor):
+    if isinstance(spec, (SerialExecutor, ProcessExecutor)) or (
+        not isinstance(spec, str) and isinstance(spec, Executor)
+    ):
+        if resilience is not None:
+            spec.resilience = resilience
+        if checkpoint is not None:
+            spec.checkpoint = checkpoint
         return spec
     if not isinstance(spec, str):
         raise TypeError(f"cannot resolve executor from {spec!r}")
@@ -322,7 +618,7 @@ def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
     if kind == "serial":
         if arg:
             raise ValueError("serial executor takes no worker count")
-        return SerialExecutor()
+        return SerialExecutor(resilience=resilience, checkpoint=checkpoint)
     if kind == "process":
         workers = None
         if arg:
@@ -332,7 +628,9 @@ def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
                 raise ValueError(
                     f"invalid worker count {arg!r} in executor spec {spec!r}"
                 ) from None
-        return ProcessExecutor(max_workers=workers)
+        return ProcessExecutor(
+            max_workers=workers, resilience=resilience, checkpoint=checkpoint
+        )
     raise ValueError(
         f"unknown executor spec {spec!r}; expected 'serial', 'process' "
         "or 'process:<workers>'"

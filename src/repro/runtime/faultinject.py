@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the execution runtime.
+
+Retry, timeout and pool-recovery paths are only trustworthy if they can
+be exercised *reproducibly*: a chaos test that crashes a random worker
+on a random run proves nothing when it goes green.  This module injects
+faults from the same seeded derivation discipline the rest of the
+runtime uses (:mod:`repro.runtime.seeding`): each task's fault fate is a
+pure function of ``(spec.seed, task payload)``, derived through a
+``numpy.random.SeedSequence`` keyed on a content digest of the task's
+item.  The schedule therefore does not depend on the executor, the
+worker count, the chunking, or which attempt ran where — which is what
+lets the chaos suite assert that serial and process backends produce
+bit-identical results under every injected-fault mode.
+
+Fault modes (mutually exclusive per task, selected by rate bands):
+
+``crash``
+    Kills the worker process (``os._exit``) mid-chunk; under the serial
+    backend — which has no separate process to kill — it raises
+    :class:`InjectedCrash` so the failure accounting is identical.
+``hang``
+    Sleeps ``hang_s`` inside a worker so the parent's preemptive
+    timeout fires and the pool is respawned; serially it raises
+    :class:`InjectedHang` (a ``TimeoutError``) at once, matching the
+    post-hoc timeout semantics the serial backend documents.
+``slow``
+    Sleeps ``slow_s`` and then runs normally — a latency fault, not a
+    failure.
+``exception``
+    Raises :class:`InjectedFault` — a plain flaky task error.
+
+A faulty task misbehaves for its first ``faults_per_task`` executions
+and then succeeds, so the recovery guarantee is testable: with
+``max_retries >= faults_per_task`` every injected run must converge to
+the fault-free result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedHang",
+    "wrap_faults",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Flaky-task exception raised by the ``exception`` fault mode."""
+
+
+class InjectedCrash(RuntimeError):
+    """Serial-backend stand-in for a worker process dying mid-chunk."""
+
+
+class InjectedHang(TimeoutError):
+    """Serial-backend stand-in for a task hanging past its timeout."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded fault-injection schedule.
+
+    Rates are per-task probabilities and must sum to at most 1; a task
+    draws one uniform variate from its spawned stream and the bands
+    ``[0, crash) [crash, crash+hang) ...`` select its (fixed) fate.
+
+    Attributes
+    ----------
+    crash_rate / hang_rate / slow_rate / exception_rate:
+        Probability of each fault mode per task.
+    faults_per_task:
+        How many executions of a faulty task misbehave before it
+        succeeds; retries beyond this always recover.
+    slow_s:
+        Added latency of the ``slow`` mode.
+    hang_s:
+        Worker-side sleep of the ``hang`` mode (set the executor
+        timeout below this to exercise pool recovery).
+    seed:
+        Root entropy of the schedule.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    exception_rate: float = 0.0
+    faults_per_task: int = 1
+    slow_s: float = 0.005
+    hang_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.crash_rate,
+            self.hang_rate,
+            self.slow_rate,
+            self.exception_rate,
+        )
+        if any(r < 0.0 for r in rates) or sum(rates) > 1.0 + 1e-12:
+            raise ValueError(
+                "fault rates must be non-negative and sum to at most 1"
+            )
+        if self.faults_per_task < 1:
+            raise ValueError("faults_per_task must be >= 1")
+
+    @property
+    def total_rate(self) -> float:
+        return (
+            self.crash_rate
+            + self.hang_rate
+            + self.slow_rate
+            + self.exception_rate
+        )
+
+    # ------------------------------------------------------------------
+    def mode_for(self, item: Any) -> str | None:
+        """The fault mode fate of *item* (``None`` = healthy).
+
+        The decision stream is spawned from ``SeedSequence([seed, key])``
+        where ``key`` digests the item's pickled payload, so it is
+        identical in the parent process, a serial run, and any worker.
+        """
+        if self.total_rate <= 0.0:
+            return None
+        seq = np.random.SeedSequence([self.seed, _item_key(item)])
+        draw = float(np.random.default_rng(seq).random())
+        for mode, rate in (
+            ("crash", self.crash_rate),
+            ("hang", self.hang_rate),
+            ("slow", self.slow_rate),
+            ("exception", self.exception_rate),
+        ):
+            if draw < rate:
+                return mode
+            draw -= rate
+        return None
+
+
+def _item_key(item: Any) -> int:
+    """Stable content key of a task item (executor-independent)."""
+    try:
+        payload = pickle.dumps(item, protocol=4)
+    except Exception:  # unpicklable items: fall back to repr
+        payload = repr(item).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class _FaultyTask:
+    """Picklable wrapper injecting faults around a task callable."""
+
+    fn: Callable[[Any], Any]
+    spec: FaultSpec
+    attempt: int
+
+    def __call__(self, item: Any) -> Any:
+        spec = self.spec
+        mode = spec.mode_for(item)
+        if mode is not None and self.attempt < spec.faults_per_task:
+            if mode == "crash":
+                if _in_worker_process():
+                    os._exit(17)
+                raise InjectedCrash(
+                    f"injected worker crash (attempt {self.attempt})"
+                )
+            if mode == "hang":
+                if _in_worker_process():
+                    # Outlive the parent's timeout so the hung worker
+                    # has to be killed, then fail in case it was not.
+                    time.sleep(spec.hang_s)
+                raise InjectedHang(
+                    f"injected hang (attempt {self.attempt})"
+                )
+            if mode == "exception":
+                raise InjectedFault(
+                    f"injected flaky exception (attempt {self.attempt})"
+                )
+            time.sleep(spec.slow_s)  # "slow": delay, then run normally
+        return self.fn(item)
+
+
+def wrap_faults(
+    fn: Callable[[Any], Any], spec: "FaultSpec | None", attempt: int
+) -> Callable[[Any], Any]:
+    """Wrap *fn* with *spec*'s schedule for one execution attempt.
+
+    With no spec (the production path) *fn* is returned untouched, so
+    fault injection costs nothing unless explicitly enabled.
+    """
+    if spec is None or spec.total_rate <= 0.0:
+        return fn
+    return _FaultyTask(fn=fn, spec=spec, attempt=attempt)

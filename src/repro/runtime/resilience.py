@@ -1,0 +1,242 @@
+"""Fault-tolerant execution policies for the runtime layer.
+
+A replay campaign that dies at scenario 800/895 because one worker
+segfaulted or hung wastes exactly the evaluation cost FLARE exists to
+save.  This module defines the failure model every executor enforces:
+
+* **timeouts** — a per-task wall-clock budget; the process backend
+  enforces it preemptively (hung workers are killed and the pool
+  respawned), the serial backend cooperatively (injected hangs raise,
+  but genuinely stuck user code cannot be preempted in-process);
+* **bounded retries** — failed chunks are re-executed up to
+  ``max_retries`` times with seeded exponential backoff + jitter, so
+  even the waiting pattern is reproducible;
+* **graceful degradation** — a :class:`FailurePolicy` decides what an
+  exhausted chunk does: poison the batch (``fail_fast``), raise a typed
+  :class:`TaskRetryError` (``retry_then_raise``), or degrade each lost
+  task into a typed :class:`TaskFailure` result holding its position in
+  the batch (``retry_then_skip``) so downstream consumers can filter
+  and renormalise instead of losing the whole run.
+
+Retries re-execute pure tasks whose randomness comes only from their
+own items (the :mod:`repro.runtime.seeding` contract), so a retried
+chunk reproduces its original results bit-for-bit — which is how the
+chaos suite can require serial ≡ process identity *under injected
+faults*, not just on the happy path.
+
+Observability: every failure event lands in :mod:`repro.obs` —
+``task_retries_total`` / ``task_timeouts_total`` / ``tasks_skipped_total``
+/ ``pool_respawns_total`` counters and a zero-duration
+``failure:<stage>`` span per event when tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .faultinject import FaultSpec
+
+__all__ = [
+    "FailurePolicy",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "TaskFailure",
+    "TaskRetryError",
+    "TaskTimeoutError",
+    "ExecutorBrokenError",
+    "partition_failures",
+]
+
+
+class FailurePolicy(str, enum.Enum):
+    """What an executor does with a chunk that keeps failing."""
+
+    FAIL_FAST = "fail_fast"
+    RETRY_THEN_SKIP = "retry_then_skip"
+    RETRY_THEN_RAISE = "retry_then_raise"
+
+    @classmethod
+    def parse(cls, value: "FailurePolicy | str") -> "FailurePolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown failure policy {value!r}; expected one of "
+                f"{[p.value for p in cls]}"
+            ) from None
+
+
+class TaskRetryError(RuntimeError):
+    """A chunk exhausted its retries under ``retry_then_raise``."""
+
+
+class TaskTimeoutError(TimeoutError):
+    """A chunk exceeded its wall-clock budget."""
+
+
+class ExecutorBrokenError(RuntimeError):
+    """The process pool kept dying faster than it could be respawned."""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Typed stand-in result for a task skipped under ``retry_then_skip``.
+
+    Skipped chunks yield one ``TaskFailure`` per task *in the task's
+    position*, so result lists keep their length and ordering and
+    downstream ``zip``-style consumers stay aligned.  Use
+    :func:`partition_failures` to separate them from real results.
+    """
+
+    stage: str
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with seeded exponential backoff + jitter.
+
+    The backoff delay before retry *n* of chunk *c* in stage *s* is
+    ``min(base * factor**n, max) * (1 + jitter * u)`` where ``u`` is a
+    uniform variate spawned from ``SeedSequence([seed, crc(s), c, n])``
+    — deterministic across runs and backends, like everything else in
+    the runtime.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    backoff_jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0.0 or self.backoff_max_s < 0.0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_jitter < 0.0:
+            raise ValueError("backoff_jitter must be non-negative")
+
+    def delay_s(self, stage: str, chunk_index: int, attempt: int) -> float:
+        """Deterministic backoff delay before retrying *attempt*."""
+        delay = min(
+            self.backoff_base_s * self.backoff_factor**attempt,
+            self.backoff_max_s,
+        )
+        if self.backoff_jitter > 0.0 and delay > 0.0:
+            seq = np.random.SeedSequence(
+                [self.seed, zlib.crc32(stage.encode()), chunk_index, attempt]
+            )
+            u = float(np.random.default_rng(seq).random())
+            delay *= 1.0 + self.backoff_jitter * u
+        return delay
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Failure model one executor enforces on every ``map`` call.
+
+    The default configuration is a no-op (``fail_fast``, no timeout, no
+    faults): executors take the exact pre-resilience fast path, so the
+    machinery costs nothing unless asked for — the ``bench_smoke``
+    ``resilience_overhead_pct`` record holds the *enabled* path to the
+    same < 2 % budget as tracing.
+    """
+
+    policy: FailurePolicy = FailurePolicy.FAIL_FAST
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout_s: float | None = None
+    faults: FaultSpec | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", FailurePolicy.parse(self.policy))
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive (or None)")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the config changes nothing about execution."""
+        return (
+            self.policy is FailurePolicy.FAIL_FAST
+            and self.timeout_s is None
+            and self.faults is None
+        )
+
+    # ------------------------------------------------------------------
+    def on_chunk_failure(
+        self,
+        *,
+        stage: str,
+        chunk_index: int,
+        chunk_len: int,
+        attempt: int,
+        exc: BaseException,
+    ) -> str:
+        """Account one chunk failure and decide what happens next.
+
+        Returns ``"retry"`` (after the backoff sleep) or ``"skip"``;
+        re-raises under ``fail_fast`` and raises :class:`TaskRetryError`
+        when ``retry_then_raise`` runs out of attempts.
+        """
+        from ..obs.metrics import inc
+        from ..obs.tracing import get_tracer
+
+        if isinstance(exc, TimeoutError):
+            inc("task_timeouts_total", chunk_len)
+        with get_tracer().span(
+            f"failure:{stage}",
+            chunk=chunk_index,
+            attempt=attempt,
+            error=repr(exc),
+        ):
+            pass
+        if self.policy is FailurePolicy.FAIL_FAST:
+            raise exc
+        if attempt >= self.retry.max_retries:
+            if self.policy is FailurePolicy.RETRY_THEN_SKIP:
+                inc("tasks_skipped_total", chunk_len)
+                return "skip"
+            raise TaskRetryError(
+                f"stage {stage!r} chunk {chunk_index} "
+                f"({chunk_len} tasks) failed after {attempt + 1} attempts: "
+                f"{exc!r}"
+            ) from exc
+        inc("task_retries_total", chunk_len)
+        delay = self.retry.delay_s(stage, chunk_index, attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+        return "retry"
+
+    def skipped_chunk(
+        self, stage: str, chunk_len: int, attempt: int, exc: BaseException
+    ) -> list:
+        """The ``retry_then_skip`` degradation of one lost chunk."""
+        failure = TaskFailure(
+            stage=stage, error=repr(exc), attempts=attempt + 1
+        )
+        return [failure] * chunk_len
+
+
+def partition_failures(results) -> tuple[list, list]:
+    """Split a result list into (real results, :class:`TaskFailure`\\ s).
+
+    The standard consumption pattern for ``retry_then_skip`` batches:
+    callers drop the failures (renormalising whatever weighting the
+    survivors carry) instead of crashing on a poisoned element.
+    """
+    ok: list = []
+    failed: list = []
+    for result in results:
+        (failed if isinstance(result, TaskFailure) else ok).append(result)
+    return ok, failed

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..runtime.executor import Executor, resolve_executor
+from ..runtime.resilience import partition_failures
 from ..runtime.seeding import spawn_seed_sequences
 from .validation import as_vector
 
@@ -196,14 +197,21 @@ def run_sampling_trials(
     with span(
         "sampling.trials", n_trials=n_trials, sample_size=sample_size
     ):
-        estimates = np.asarray(
-            resolve_executor(executor).map(
-                trial,
-                spawn_seed_sequences(seed, n_trials),
-                chunk_size=TRIAL_CHUNK_SIZE,
-                stage="sampling-trials",
-            )
+        raw = resolve_executor(executor).map(
+            trial,
+            spawn_seed_sequences(seed, n_trials),
+            chunk_size=TRIAL_CHUNK_SIZE,
+            stage="sampling-trials",
         )
+    # Trials degraded to TaskFailure under retry_then_skip are dropped:
+    # each trial is an independent estimate, so survivors remain a valid
+    # (smaller) sample of the estimator's distribution.
+    survivors, failures = partition_failures(raw)
+    if failures and not survivors:
+        raise RuntimeError(
+            f"all {n_trials} sampling trials failed: {failures[0].error}"
+        )
+    estimates = np.asarray(survivors)
     inc("sampling_trials_total", n_trials)
     return SamplingTrialResult(
         estimates=estimates, sample_size=sample_size, truth=truth

@@ -185,8 +185,19 @@ class Profiler:
         self,
         dataset: ScenarioDataset,
         feature: Feature = BASELINE,
+        *,
+        executor=None,
     ) -> ProfiledDataset:
-        """Collect metrics for every scenario under *feature*'s machine."""
+        """Collect metrics for every scenario under *feature*'s machine.
+
+        ``executor`` optionally fans the per-scenario collection out
+        through a :class:`repro.runtime.Executor` (instance or spec
+        string).  Only the noise-free :meth:`collect` step — a pure
+        function of the scenario — is parallelised; measurement noise
+        is applied in the parent in row order from the single shared
+        stream, so the result is bit-identical to the serial path under
+        any executor and worker count.
+        """
         from ..obs import inc, span
 
         with span(
@@ -200,8 +211,16 @@ class Profiler:
                 self.noise_sigma, np.random.default_rng(self.seed)
             )
             matrix = np.empty((len(dataset), len(self.specs)))
-            for row, scenario in enumerate(dataset.scenarios):
-                clean = self.collect(scenario, dataset, machine)
+            if executor is not None:
+                cleans = self._collect_all(dataset, machine, executor)
+            else:
+                cleans = (
+                    self.collect(scenario, dataset, machine)
+                    for scenario in dataset.scenarios
+                )
+            for row, (scenario, clean) in enumerate(
+                zip(dataset.scenarios, cleans)
+            ):
                 matrix[row] = noise.apply(clean, self.specs)
                 if self.database is not None:
                     self._persist(scenario, matrix[row])
@@ -209,6 +228,50 @@ class Profiler:
         return ProfiledDataset(
             dataset=dataset, machine=machine, specs=self.specs, matrix=matrix
         )
+
+    def _collect_all(
+        self,
+        dataset: ScenarioDataset,
+        machine: MachinePerf,
+        executor,
+    ) -> list:
+        """Fan :meth:`collect` out over *executor*, one task per scenario.
+
+        The dispatched profiler copy drops the database handle (it is
+        not picklable and persistence must stay in the parent anyway);
+        a scenario degraded to a ``TaskFailure`` by ``retry_then_skip``
+        is a hard error here — a profiled matrix with missing rows
+        would silently skew everything downstream.
+        """
+        import copy
+
+        from ..runtime.executor import resolve_executor
+        from ..runtime.resilience import TaskFailure
+
+        worker_profiler = copy.copy(self)
+        worker_profiler.database = None
+        task = _CollectTask(
+            profiler=worker_profiler, dataset=dataset, machine=machine
+        )
+        cleans = resolve_executor(executor).map(
+            task,
+            range(len(dataset)),
+            chunk_size=max(1, len(dataset) // 64),
+            stage="profile",
+        )
+        lost = [
+            row
+            for row, clean in enumerate(cleans)
+            if isinstance(clean, TaskFailure)
+        ]
+        if lost:
+            raise RuntimeError(
+                f"profiling lost {len(lost)} scenario(s) (rows {lost[:5]}"
+                f"{'…' if len(lost) > 5 else ''}); a partial metric matrix "
+                "would skew every downstream stage — rerun with a "
+                "non-skipping failure policy"
+            )
+        return cleans
 
     def collect(
         self,
@@ -360,6 +423,21 @@ class Profiler:
                 "value": float(value),
             }
             for spec, value in zip(self.specs, values)
+        )
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _CollectTask:
+    """Picklable per-row profiling task for executor fan-out."""
+
+    profiler: "Profiler"
+    dataset: ScenarioDataset
+    machine: MachinePerf
+
+    def __call__(self, row: int) -> np.ndarray:
+        return self.profiler.collect(
+            self.dataset.scenarios[row], self.dataset, self.machine
         )
 
 

@@ -1,0 +1,547 @@
+"""Chaos regression suite for the fault-tolerant execution runtime.
+
+The resilience guarantee under test: serial and process backends produce
+bit-identical results under every injected-fault mode, failure accounting
+is deterministic (skip positions match across backends), and a run killed
+mid-dispatch resumes from its checkpoint journal to the exact result an
+uninterrupted run produces.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, get_metrics
+from repro.obs.metrics import set_metrics
+from repro.obs.tracing import get_tracer, set_tracer
+from repro.runtime import (
+    FailurePolicy,
+    FaultSpec,
+    ProcessExecutor,
+    ResilienceConfig,
+    RetryPolicy,
+    SerialExecutor,
+    TaskFailure,
+    TaskRetryError,
+    partition_failures,
+)
+from repro.runtime.cache import CheckpointJournal
+from repro.runtime.faultinject import InjectedFault, wrap_faults
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    previous_tracer = get_tracer()
+    previous_metrics = set_metrics(MetricsRegistry())
+    yield
+    set_tracer(previous_tracer)
+    set_metrics(previous_metrics)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fast_retry(max_retries: int = 3) -> RetryPolicy:
+    """Retries without the production backoff sleeps."""
+    return RetryPolicy(
+        max_retries=max_retries, backoff_base_s=0.0, backoff_jitter=0.0
+    )
+
+
+ITEMS = list(range(48))
+EXPECTED = [x * x for x in ITEMS]
+
+
+class TestFaultSpec:
+    def test_rates_validate(self):
+        with pytest.raises(ValueError):
+            FaultSpec(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(crash_rate=0.6, exception_rate=0.6)
+        with pytest.raises(ValueError):
+            FaultSpec(faults_per_task=0)
+
+    def test_fate_is_deterministic_and_content_keyed(self):
+        spec = FaultSpec(exception_rate=0.5, seed=3)
+        fates = [spec.mode_for(x) for x in range(200)]
+        assert fates == [spec.mode_for(x) for x in range(200)]
+        hit = sum(f is not None for f in fates)
+        assert 60 <= hit <= 140  # ~rate, seeded so exact across runs
+
+    def test_fate_independent_of_seed_only_via_spec(self):
+        a = FaultSpec(exception_rate=0.5, seed=1)
+        b = FaultSpec(exception_rate=0.5, seed=2)
+        assert [a.mode_for(x) for x in range(64)] != [
+            b.mode_for(x) for x in range(64)
+        ]
+
+    def test_faulty_task_recovers_after_budget(self):
+        spec = FaultSpec(exception_rate=1.0, faults_per_task=2, seed=0)
+        task = wrap_faults(_square, spec, attempt=0)
+        with pytest.raises(InjectedFault):
+            task(3)
+        with pytest.raises(InjectedFault):
+            wrap_faults(_square, spec, attempt=1)(3)
+        assert wrap_faults(_square, spec, attempt=2)(3) == 9
+
+    def test_no_spec_returns_fn_untouched(self):
+        assert wrap_faults(_square, None, 0) is _square
+        assert wrap_faults(_square, FaultSpec(), 0) is _square
+
+
+class TestSerialFaultRecovery:
+    def test_exception_faults_converge_to_fault_free(self):
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(),
+            faults=FaultSpec(exception_rate=0.3, seed=7),
+        )
+        got = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=4, stage="chaos"
+        )
+        assert got == EXPECTED
+
+    def test_injected_crash_is_retried_serially(self):
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(),
+            faults=FaultSpec(crash_rate=0.2, seed=5),
+        )
+        got = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=4, stage="chaos"
+        )
+        assert got == EXPECTED
+
+    def test_fail_fast_propagates(self):
+        res = ResilienceConfig(
+            faults=FaultSpec(exception_rate=0.5, seed=7)
+        )
+        assert res.policy is FailurePolicy.FAIL_FAST
+        with pytest.raises(InjectedFault):
+            SerialExecutor(resilience=res).map(
+                _square, ITEMS, chunk_size=4, stage="chaos"
+            )
+
+    def test_retry_then_raise_exhaustion_is_typed(self):
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(max_retries=1),
+            faults=FaultSpec(
+                exception_rate=0.5, faults_per_task=10, seed=7
+            ),
+        )
+        with pytest.raises(TaskRetryError):
+            SerialExecutor(resilience=res).map(
+                _square, ITEMS, chunk_size=4, stage="chaos"
+            )
+
+    def test_retry_then_skip_degrades_in_position(self):
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=_fast_retry(max_retries=1),
+            faults=FaultSpec(
+                exception_rate=0.25, faults_per_task=10, seed=9
+            ),
+        )
+        got = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=4, stage="chaos"
+        )
+        assert len(got) == len(ITEMS)
+        ok, failed = partition_failures(got)
+        assert failed and all(f.stage == "chaos" for f in failed)
+        assert all(f.attempts == 2 for f in failed)
+        healthy = [
+            i for i, r in enumerate(got) if not isinstance(r, TaskFailure)
+        ]
+        assert all(got[i] == EXPECTED[i] for i in healthy)
+
+    def test_noop_config_matches_plain_executor(self):
+        plain = SerialExecutor().map(_square, ITEMS, chunk_size=4)
+        noop = SerialExecutor(resilience=ResilienceConfig()).map(
+            _square, ITEMS, chunk_size=4
+        )
+        assert plain == noop == EXPECTED
+
+
+@pytest.mark.slow
+class TestSerialProcessIdentityUnderFaults:
+    """The chaos guarantee: backend choice is invisible even under faults."""
+
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            FaultSpec(exception_rate=0.3, seed=7),
+            FaultSpec(crash_rate=0.15, seed=3),
+            FaultSpec(slow_rate=0.3, slow_s=0.002, seed=11),
+            FaultSpec(
+                crash_rate=0.08,
+                exception_rate=0.12,
+                slow_rate=0.1,
+                slow_s=0.002,
+                seed=13,
+            ),
+        ],
+        ids=["exception", "crash", "slow", "mixed"],
+    )
+    def test_every_fault_mode_bit_identical(self, faults):
+        res = ResilienceConfig(
+            policy="retry_then_raise", retry=_fast_retry(), faults=faults
+        )
+        serial = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=4, stage="chaos"
+        )
+        with ProcessExecutor(max_workers=3, resilience=res) as pool:
+            process = pool.map(_square, ITEMS, chunk_size=4, stage="chaos")
+        assert serial == process == EXPECTED
+
+    def test_hang_faults_with_timeout_bit_identical(self):
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            timeout_s=0.5,
+            retry=_fast_retry(),
+            faults=FaultSpec(hang_rate=0.1, hang_s=10.0, seed=11),
+        )
+        serial = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=4, stage="chaos"
+        )
+        set_metrics(MetricsRegistry())
+        with ProcessExecutor(max_workers=3, resilience=res) as pool:
+            process = pool.map(_square, ITEMS, chunk_size=4, stage="chaos")
+        assert serial == process == EXPECTED
+        counters = get_metrics().snapshot()["counters"]
+        assert counters.get("task_timeouts_total", 0) > 0
+        assert counters.get("pool_respawns_total", 0) > 0
+
+    def test_skip_positions_identical_across_backends(self):
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=_fast_retry(max_retries=1),
+            faults=FaultSpec(
+                exception_rate=0.25, faults_per_task=10, seed=9
+            ),
+        )
+        serial = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=4, stage="chaos"
+        )
+        with ProcessExecutor(max_workers=3, resilience=res) as pool:
+            process = pool.map(_square, ITEMS, chunk_size=4, stage="chaos")
+        assert serial == process  # TaskFailure is a frozen value type
+        assert any(isinstance(r, TaskFailure) for r in serial)
+
+    def test_worker_crash_pool_recovers_and_counts(self):
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(),
+            faults=FaultSpec(crash_rate=0.15, seed=3),
+        )
+        with ProcessExecutor(max_workers=2, resilience=res) as pool:
+            got = pool.map(_square, ITEMS, chunk_size=4, stage="chaos")
+        assert got == EXPECTED
+        counters = get_metrics().snapshot()["counters"]
+        assert counters.get("pool_respawns_total", 0) > 0
+        assert counters.get("task_retries_total", 0) > 0
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(seed=4)
+        a = policy.delay_s("stage", 3, 2)
+        assert a == RetryPolicy(seed=4).delay_s("stage", 3, 2)
+        assert a != RetryPolicy(seed=5).delay_s("stage", 3, 2)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.01,
+            backoff_factor=2.0,
+            backoff_max_s=0.05,
+            backoff_jitter=0.0,
+        )
+        delays = [policy.delay_s("s", 0, n) for n in range(5)]
+        assert delays == sorted(delays)
+        assert delays[-1] == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(policy="bogus")
+
+
+class TestFailureObservability:
+    def test_retry_and_skip_counters(self):
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=_fast_retry(max_retries=2),
+            faults=FaultSpec(
+                exception_rate=0.25, faults_per_task=10, seed=9
+            ),
+        )
+        got = SerialExecutor(resilience=res).map(
+            _square, ITEMS, chunk_size=1, stage="chaos"
+        )
+        _, failed = partition_failures(got)
+        counters = get_metrics().snapshot()["counters"]
+        assert counters["tasks_skipped_total"] == len(failed)
+        # chunk_size=1: each skipped task burned max_retries retries.
+        assert counters["task_retries_total"] == 2 * len(failed)
+
+    def test_failure_spans_recorded_when_tracing(self):
+        from repro.obs import disable, enable
+
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(),
+            faults=FaultSpec(exception_rate=0.3, seed=7),
+        )
+        tracer = enable()
+        try:
+            SerialExecutor(resilience=res).map(
+                _square, ITEMS, chunk_size=4, stage="chaos"
+            )
+        finally:
+            disable()
+        failures = [s for s in tracer.spans() if s.name == "failure:chaos"]
+        assert failures
+        assert all("error" in s.attrs for s in failures)
+
+
+class TestCheckpointJournal:
+    def test_full_resume_restores_every_chunk(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, "run")
+        first = SerialExecutor(checkpoint=journal).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        assert len(journal) == len(ITEMS) // 4
+        set_metrics(MetricsRegistry())
+        again = SerialExecutor(
+            checkpoint=CheckpointJournal(tmp_path, "run")
+        ).map(_square, ITEMS, chunk_size=4, stage="ck")
+        assert again == first == EXPECTED
+        counters = get_metrics().snapshot()["counters"]
+        assert counters["checkpoint_hits_total"] == len(ITEMS)
+
+    def test_journals_are_per_run_id(self, tmp_path):
+        SerialExecutor(checkpoint=CheckpointJournal(tmp_path, "a")).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        set_metrics(MetricsRegistry())
+        SerialExecutor(checkpoint=CheckpointJournal(tmp_path, "b")).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        counters = get_metrics().snapshot()["counters"]
+        assert counters.get("checkpoint_hits_total", 0) == 0
+
+    def test_changed_inputs_miss_the_journal(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, "run")
+        SerialExecutor(checkpoint=journal).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        set_metrics(MetricsRegistry())
+        SerialExecutor(checkpoint=journal).map(
+            _square, [x + 1 for x in ITEMS], chunk_size=4, stage="ck"
+        )
+        counters = get_metrics().snapshot()["counters"]
+        assert counters.get("checkpoint_hits_total", 0) == 0
+
+    def test_skipped_chunks_are_never_journaled(self, tmp_path):
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=_fast_retry(max_retries=0),
+            faults=FaultSpec(
+                exception_rate=0.25, faults_per_task=10, seed=9
+            ),
+        )
+        journal = CheckpointJournal(tmp_path, "run")
+        got = SerialExecutor(resilience=res, checkpoint=journal).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        failed_chunks = sum(
+            1
+            for start in range(0, len(ITEMS), 4)
+            if any(
+                isinstance(r, TaskFailure) for r in got[start : start + 4]
+            )
+        )
+        assert failed_chunks > 0
+        assert len(journal) == len(ITEMS) // 4 - failed_chunks
+
+    def test_process_backend_shares_serial_journal(self, tmp_path):
+        SerialExecutor(checkpoint=CheckpointJournal(tmp_path, "run")).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        set_metrics(MetricsRegistry())
+        with ProcessExecutor(
+            max_workers=2, checkpoint=CheckpointJournal(tmp_path, "run")
+        ) as pool:
+            got = pool.map(_square, ITEMS, chunk_size=4, stage="ck")
+        assert got == EXPECTED
+        counters = get_metrics().snapshot()["counters"]
+        assert counters["checkpoint_hits_total"] == len(ITEMS)
+
+    def test_corrupt_journal_entry_is_a_miss(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, "run")
+        SerialExecutor(checkpoint=journal).map(
+            _square, ITEMS, chunk_size=4, stage="ck"
+        )
+        victim = sorted(journal.directory.glob("chunk-*.pkl"))[0]
+        victim.write_bytes(b"not a pickle")
+        again = SerialExecutor(
+            checkpoint=CheckpointJournal(tmp_path, "run")
+        ).map(_square, ITEMS, chunk_size=4, stage="ck")
+        assert again == EXPECTED
+
+
+@pytest.mark.slow
+class TestMidRunKillResume:
+    """Acceptance: a run killed at ~50% resumes to the identical result."""
+
+    def _run(self, tmp_path, kill_at: int, out_name: str):
+        script = textwrap.dedent(
+            f"""
+            import json, os, sys
+            sys.path.insert(0, {SRC_DIR!r})
+            from repro.obs import get_metrics
+            from repro.runtime import SerialExecutor
+            from repro.runtime.cache import CheckpointJournal
+
+            kill_at = int(sys.argv[1])
+            n = [0]
+            def task(x):
+                n[0] += 1
+                if 0 <= kill_at < n[0]:
+                    os._exit(9)
+                return x * x
+
+            journal = CheckpointJournal({str(tmp_path)!r}, "kill")
+            results = SerialExecutor(checkpoint=journal).map(
+                task, range(40), chunk_size=2, stage="kill"
+            )
+            hits = get_metrics().snapshot()["counters"].get(
+                "checkpoint_hits_total", 0
+            )
+            json.dump(
+                {{"results": results, "executed": n[0], "hits": hits}},
+                open(sys.argv[2], "w"),
+            )
+            """
+        )
+        out = tmp_path / out_name
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(kill_at), str(out)],
+            capture_output=True,
+            text=True,
+        )
+        return proc, out
+
+    def test_resume_runs_only_unfinished_tasks(self, tmp_path):
+        proc, _ = self._run(tmp_path, kill_at=20, out_name="first.json")
+        assert proc.returncode == 9, proc.stderr
+        journaled = len(list((tmp_path / "kill").glob("chunk-*.pkl")))
+        assert journaled == 10  # 20 tasks of 40, 2 per chunk
+
+        proc, out = self._run(tmp_path, kill_at=-1, out_name="second.json")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["results"] == [x * x for x in range(40)]
+        # Only the unfinished half re-executed; the rest came from the
+        # journal (scored on the checkpoint-hit counter).
+        assert payload["executed"] == 20
+        assert payload["hits"] == 20
+
+        # And against an uninterrupted control run: bit-for-bit equal.
+        control, out2 = self._run(
+            tmp_path / "fresh", kill_at=-1, out_name="control.json"
+        )
+        assert control.returncode == 0, control.stderr
+        assert json.loads(out2.read_text())["results"] == payload["results"]
+
+
+@pytest.mark.slow
+class TestPipelineUnderFaults:
+    """Acceptance: fit under 10% injected worker crashes ≡ fault-free serial."""
+
+    def test_process_fit_with_crashes_matches_serial_fault_free(self):
+        from repro.cluster.simulation import DatacenterConfig, run_simulation
+        from repro.core.pipeline import Flare, FlareConfig
+
+        dataset = run_simulation(
+            DatacenterConfig(seed=19, target_unique_scenarios=60)
+        ).dataset
+        config = FlareConfig()
+
+        baseline = Flare(config).fit(dataset)
+
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(),
+            faults=FaultSpec(crash_rate=0.10, seed=23),
+        )
+        with ProcessExecutor(max_workers=3, resilience=res) as pool:
+            chaotic = Flare(config).fit(dataset, executor=pool)
+
+        np.testing.assert_array_equal(
+            baseline.profiled.matrix, chaotic.profiled.matrix
+        )
+        np.testing.assert_array_equal(
+            baseline.analysis.kmeans.labels, chaotic.analysis.kmeans.labels
+        )
+
+    def test_sampling_trials_under_faults_match_fault_free(self):
+        from repro.stats.sampling import run_sampling_trials
+
+        population = np.linspace(0.0, 10.0, 97)
+        clean = run_sampling_trials(
+            population, sample_size=12, n_trials=60, seed=5
+        )
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=_fast_retry(),
+            faults=FaultSpec(exception_rate=0.3, seed=31),
+        )
+        chaotic = run_sampling_trials(
+            population,
+            sample_size=12,
+            n_trials=60,
+            seed=5,
+            executor=SerialExecutor(resilience=res),
+        )
+        np.testing.assert_array_equal(clean.estimates, chaotic.estimates)
+
+    def test_replay_skip_degradation_renormalises(self):
+        from repro.cluster.features import FEATURE_1_CACHE
+        from repro.cluster.simulation import DatacenterConfig, run_simulation
+        from repro.core.pipeline import Flare, FlareConfig
+
+        dataset = run_simulation(
+            DatacenterConfig(seed=19, target_unique_scenarios=60)
+        ).dataset
+        flare = Flare(FlareConfig()).fit(dataset)
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=_fast_retry(max_retries=0),
+            # seed chosen so some replay chunks fail and some survive
+            faults=FaultSpec(
+                exception_rate=0.3, faults_per_task=10, seed=2
+            ),
+        )
+        estimate = flare.evaluate(
+            FEATURE_1_CACHE, executor=SerialExecutor(resilience=res)
+        )
+        clean = flare.evaluate(FEATURE_1_CACHE)
+        # Fewer groups were measured, weights renormalised over survivors.
+        assert len(estimate.per_cluster) < len(clean.per_cluster)
+        assert estimate.per_cluster  # something survived
+        total = sum(c.weight for c in estimate.per_cluster)
+        assert total == pytest.approx(1.0)

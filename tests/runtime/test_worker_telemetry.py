@@ -35,6 +35,14 @@ def _counting_square(x: int) -> int:
     return x * x
 
 
+def _inc_then_maybe_fail(x: int) -> int:
+    """Scores a counter per call, then fails on odd items."""
+    inc("unit_probe_total")
+    if x % 2:
+        raise ValueError(f"item {x} is odd")
+    return x * x
+
+
 def _nested_map(x: int) -> int:
     """Task that itself fans out through a serial executor."""
     return sum(
@@ -62,6 +70,57 @@ class TestWorkerCounters:
         with ProcessExecutor(max_workers=2) as pool:
             pool.map(_counting_square, range(5), chunk_size=2, stage="unit")
         assert get_metrics().counter("unit_probe_total") == serial_count == 5.0
+
+    def test_counters_survive_a_failing_chunk(self):
+        """The latent-bug fix: telemetry recorded before a chunk raises
+        used to die with the exception instead of shipping back."""
+        from repro.runtime.resilience import (
+            ResilienceConfig,
+            RetryPolicy,
+            TaskFailure,
+        )
+
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=RetryPolicy(
+                max_retries=0, backoff_base_s=0.0, backoff_jitter=0.0
+            ),
+        )
+        with ProcessExecutor(max_workers=2, resilience=res) as pool:
+            results = pool.map(
+                _inc_then_maybe_fail, range(8), chunk_size=1, stage="unit"
+            )
+        failed = [r for r in results if isinstance(r, TaskFailure)]
+        assert len(failed) == 4  # the odd items
+        assert [r for r in results if not isinstance(r, TaskFailure)] == [
+            x * x for x in range(8) if x % 2 == 0
+        ]
+        # Every execution scored its increment — including the four
+        # chunks that raised.
+        assert get_metrics().counter("unit_probe_total") == 8.0
+
+    def test_counters_from_failing_chunks_match_serial(self):
+        from repro.runtime.resilience import ResilienceConfig, RetryPolicy
+
+        res = ResilienceConfig(
+            policy="retry_then_skip",
+            retry=RetryPolicy(
+                max_retries=2, backoff_base_s=0.0, backoff_jitter=0.0
+            ),
+        )
+        SerialExecutor(resilience=res).map(
+            _inc_then_maybe_fail, range(6), chunk_size=1, stage="unit"
+        )
+        serial_count = get_metrics().counter("unit_probe_total")
+        set_metrics(MetricsRegistry())
+        with ProcessExecutor(max_workers=2, resilience=res) as pool:
+            pool.map(
+                _inc_then_maybe_fail, range(6), chunk_size=1, stage="unit"
+            )
+        # 3 even items once each + 3 odd items three times each = 12.
+        assert (
+            get_metrics().counter("unit_probe_total") == serial_count == 12.0
+        )
 
     def test_nested_stage_stats_ship_back(self):
         RUNTIME_STATS.clear()

@@ -1,7 +1,8 @@
 """Property-based tests (hypothesis) for the statistics substrate."""
 
 import numpy as np
-from hypothesis import given, settings
+import pytest
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -14,6 +15,7 @@ from repro.stats import (
     prune_correlated,
     whiten,
 )
+from repro.stats.silhouette import silhouette_samples, silhouette_score
 
 finite_floats = st.floats(
     min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
@@ -24,6 +26,23 @@ def matrices(min_rows=2, max_rows=30, min_cols=1, max_cols=6):
     return st.integers(min_rows, max_rows).flatmap(
         lambda n: st.integers(min_cols, max_cols).flatmap(
             lambda p: arrays(np.float64, (n, p), elements=finite_floats)
+        )
+    )
+
+
+def grid_matrices(min_rows=6, max_rows=20, min_cols=1, max_cols=4):
+    """Integer-valued float matrices.
+
+    Pairwise squared distances between integer vectors are computed
+    exactly in float64, so ratio-of-distance properties (silhouette)
+    are rounding-stable: degenerate inputs give *exactly* zero
+    distances instead of magnitude-dependent noise that would dominate
+    the ratio.
+    """
+    elements = st.integers(min_value=-1000, max_value=1000).map(float)
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.integers(min_cols, max_cols).flatmap(
+            lambda p: arrays(np.float64, (n, p), elements=elements)
         )
     )
 
@@ -107,3 +126,172 @@ def test_kmeans_invariants(data, k):
     # Every point's assigned centroid is its nearest centroid.
     dist = pairwise_sq_euclidean(data, result.centroids)
     np.testing.assert_array_equal(np.argmin(dist, axis=1), result.labels)
+
+
+# ----------------------------------------------------------------------
+# K-means edge cases and equivariances
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, max_rows=20, min_cols=1, max_cols=4))
+def test_kmeans_k1_centroid_is_the_mean(data):
+    """k=1 collapses to the (unique) global mean, every label 0."""
+    result = KMeans(1, n_init=1, seed=0).fit(data)
+    scale = max(1.0, np.abs(data).max())
+    np.testing.assert_allclose(
+        result.centroids[0], data.mean(axis=0), atol=1e-9 * scale
+    )
+    assert (result.labels == 0).all()
+    assert result.cluster_weights().sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, max_rows=20, min_cols=1, max_cols=4))
+def test_kmeans_k1_weighted_centroid_is_weighted_mean(data):
+    weight = np.random.default_rng(0).uniform(0.1, 10.0, size=data.shape[0])
+    result = KMeans(1, n_init=1, seed=0).fit(data, sample_weight=weight)
+    expected = (data * weight[:, None]).sum(axis=0) / weight.sum()
+    scale = max(1.0, np.abs(data).max())
+    np.testing.assert_allclose(result.centroids[0], expected, atol=1e-9 * scale)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    matrices(min_rows=6, max_rows=20, min_cols=1, max_cols=4),
+    st.integers(min_value=2, max_value=4),
+)
+def test_kmeans_translation_equivariance(data, k):
+    """Shifting every point shifts the fitted solution.
+
+    Compared as geometry, not label ids: translation preserves relative
+    distances in real arithmetic, but floats break exact ties
+    differently at different magnitudes (the pairwise-distance
+    expansion's rounding noise scales with ``|x|**2``), so label
+    identity is not a stable property — the centroid set and the
+    objective value are.  The assume() guards shifts that would absorb
+    the data entirely (13.25 + 1e-22 == 13.25 in float64).
+    """
+    shift = np.full(data.shape[1], 13.25)
+    assume(np.array_equal((data + shift) - shift, data))
+    base = KMeans(k, n_init=2, seed=3, max_iter=50).fit(data)
+    moved = KMeans(k, n_init=2, seed=3, max_iter=50).fit(data + shift)
+    scale = max(1.0, np.abs(data).max())
+    np.testing.assert_allclose(
+        base.inertia, moved.inertia, rtol=1e-6, atol=1e-6 * scale**2
+    )
+    # Same centroid set, shifted: symmetric nearest-neighbour match.
+    expected = base.centroids + shift
+    gap = np.sqrt(pairwise_sq_euclidean(expected, moved.centroids))
+    assert gap.min(axis=1).max() <= 1e-5 * scale
+    assert gap.min(axis=0).max() <= 1e-5 * scale
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrices(min_rows=6, max_rows=20, min_cols=1, max_cols=4))
+def test_kmeans_deterministic_under_fixed_seed(data):
+    a = KMeans(3, n_init=2, seed=7, max_iter=50).fit(data)
+    b = KMeans(3, n_init=2, seed=7, max_iter=50).fit(data)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_array_equal(a.centroids, b.centroids)
+
+
+# ----------------------------------------------------------------------
+# PCA ordering, permutation invariance and scale behaviour
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, min_cols=2))
+def test_pca_variance_descends_and_ratio_bounded(data):
+    result = PCA().fit(data).result_
+    variance = result.explained_variance
+    assert (variance[:-1] >= variance[1:] - 1e-9).all()
+    ratio = result.explained_variance_ratio
+    assert ((ratio >= -1e-12) & (ratio <= 1.0 + 1e-12)).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, min_cols=2))
+def test_pca_row_permutation_invariance(data):
+    """Variance accounting ignores sample order."""
+    perm = np.random.default_rng(1).permutation(data.shape[0])
+    a = PCA().fit(data).result_
+    b = PCA().fit(data[perm]).result_
+    scale = max(1.0, (data**2).max())
+    np.testing.assert_allclose(
+        a.explained_variance, b.explained_variance, atol=1e-8 * scale
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    matrices(min_rows=3, min_cols=2),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_pca_scaling_scales_variance_quadratically(data, scale):
+    a = PCA().fit(data).result_
+    b = PCA().fit(data * scale).result_
+    np.testing.assert_allclose(
+        a.explained_variance * scale**2,
+        b.explained_variance,
+        rtol=1e-6,
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3, min_cols=2))
+def test_pca_transform_centers_scores(data):
+    scores = PCA().fit(data).transform(data)
+    scale = max(1.0, np.abs(data).max())
+    np.testing.assert_allclose(scores.mean(axis=0), 0.0, atol=1e-8 * scale)
+
+
+# ----------------------------------------------------------------------
+# Silhouette coefficient contracts
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    matrices(min_rows=6, max_rows=20, min_cols=1, max_cols=4),
+    st.integers(min_value=2, max_value=3),
+)
+def test_silhouette_scores_bounded(data, k):
+    labels = np.arange(data.shape[0]) % k
+    scores = silhouette_samples(data, labels)
+    assert ((scores >= -1.0 - 1e-12) & (scores <= 1.0 + 1e-12)).all()
+    assert -1.0 - 1e-12 <= silhouette_score(data, labels) <= 1.0 + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(grid_matrices())
+def test_silhouette_permutation_invariance(data):
+    """Reordering samples (with their labels) reorders the scores."""
+    labels = np.arange(data.shape[0]) % 2
+    perm = np.random.default_rng(2).permutation(data.shape[0])
+    base = silhouette_samples(data, labels)
+    moved = silhouette_samples(data[perm], labels[perm])
+    np.testing.assert_allclose(base[perm], moved, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    grid_matrices(),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_silhouette_scale_invariance(data, scale):
+    """Silhouette is a ratio of distances: uniform scaling cancels."""
+    labels = np.arange(data.shape[0]) % 2
+    base = silhouette_samples(data, labels)
+    scaled = silhouette_samples(data * scale, labels)
+    np.testing.assert_allclose(base, scaled, atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrices(min_rows=4, max_rows=12, min_cols=1, max_cols=3))
+def test_silhouette_singleton_cluster_scores_zero(data):
+    labels = np.zeros(data.shape[0], dtype=int)
+    labels[0] = 1  # cluster 1 is a singleton: scores 0 by convention
+    assert silhouette_samples(data, labels)[0] == 0.0
+
+
+def test_silhouette_single_cluster_rejected():
+    data = np.random.default_rng(0).normal(size=(6, 3))
+    with pytest.raises(ValueError):
+        silhouette_samples(data, np.zeros(6, dtype=int))
