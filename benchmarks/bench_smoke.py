@@ -24,6 +24,15 @@ repeated with an *enabled* ``ResilienceConfig`` (``retry_then_raise``,
 no faults injected) so every chunk goes through the retry/fault
 accounting path, and the delta is recorded as
 ``resilience_overhead_pct`` — same < 2% budget.
+
+The sharded scenario store (repro.store) is billed too: the simulated
+dataset is written out as a store under ``benchmarks/results/smoke_store``
+(kept as a CI artifact), re-read and decoded in full, and the write/read
+throughputs recorded as ``store_write_mb_s`` / ``store_read_mb_s``.  A
+full FLARE fit is then timed through the in-memory path and through the
+out-of-core streaming path over that store; the delta is recorded as
+``streaming_fit_overhead_pct`` (budget < 10%) and the cluster
+assignments of the two paths must be identical on this smoke dataset.
 """
 
 from __future__ import annotations
@@ -50,6 +59,12 @@ from repro.api import (
 RESULTS_PATH = (
     pathlib.Path(__file__).parent / "results" / "bench_smoke.jsonl"
 )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
 
 
 def _time_run(dataset, truth, executor, *, n_trials: int, seed: int):
@@ -197,6 +212,56 @@ def main(argv: list[str] | None = None) -> int:
     identical = bool(np.array_equal(serial_estimates, parallel_estimates))
     print(f"bit-identical estimates: {identical}")
 
+    # Scenario-store throughput + streaming-fit overhead.
+    from repro.api import Flare, FlareConfig, write_store
+
+    store_path = RESULTS_PATH.parent / "smoke_store"
+    write_start = time.perf_counter()
+    store = write_store(
+        dataset, store_path, shard_size=64, overwrite=True
+    )
+    write_s = time.perf_counter() - write_start
+    store_mb = store.bytes_total / (1024.0 * 1024.0)
+
+    read_start = time.perf_counter()
+    decoded_rows = sum(len(batch) for batch in store.iter_batches())
+    read_s = time.perf_counter() - read_start
+    assert decoded_rows == len(dataset)
+    store_write_mb_s = store_mb / write_s if write_s else 0.0
+    store_read_mb_s = store_mb / read_s if read_s else 0.0
+    print(
+        f"store: {store_mb:.2f} MiB in {store.n_shards} shards; "
+        f"write {store_write_mb_s:.1f} MiB/s, "
+        f"read {store_read_mb_s:.1f} MiB/s"
+    )
+
+    fit_config = FlareConfig()
+    memory_fit_s = min(
+        _timed(lambda: Flare(fit_config).fit(dataset))[0]
+        for _ in range(2)
+    )
+    stream_times = [_timed(lambda: Flare(fit_config).fit(store)) for _ in range(2)]
+    streaming_fit_s = min(t for t, _ in stream_times)
+    streaming_flare = stream_times[0][1]
+    memory_flare = Flare(fit_config).fit(dataset)
+    streaming_fit_overhead_pct = (
+        (streaming_fit_s - memory_fit_s) / memory_fit_s * 100.0
+        if memory_fit_s
+        else 0.0
+    )
+    assignments_identical = bool(
+        np.array_equal(
+            memory_flare.analysis.kmeans.labels,
+            streaming_flare.analysis.kmeans.labels,
+        )
+    )
+    print(
+        f"fit: in-memory {memory_fit_s:.3f} s, "
+        f"streaming {streaming_fit_s:.3f} s "
+        f"(overhead {streaming_fit_overhead_pct:+.2f}%, budget < 10%); "
+        f"assignments identical: {assignments_identical}"
+    )
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -218,12 +283,26 @@ def main(argv: list[str] | None = None) -> int:
         "resilience_overhead_pct": round(resilience_overhead_pct, 3),
         "resilient_bit_identical": resilient_identical,
         "stage_breakdown": stage_breakdown,
+        "store_mb": round(store_mb, 3),
+        "store_n_shards": store.n_shards,
+        "store_write_mb_s": round(store_write_mb_s, 2),
+        "store_read_mb_s": round(store_read_mb_s, 2),
+        "memory_fit_s": round(memory_fit_s, 4),
+        "streaming_fit_s": round(streaming_fit_s, 4),
+        "streaming_fit_overhead_pct": round(streaming_fit_overhead_pct, 3),
+        "streaming_assignments_identical": assignments_identical,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     with RESULTS_PATH.open("a") as fh:
         fh.write(json.dumps(record) + "\n")
     print(f"recorded -> {RESULTS_PATH}")
-    return 0 if identical and traced_identical and resilient_identical else 1
+    ok = (
+        identical
+        and traced_identical
+        and resilient_identical
+        and assignments_identical
+    )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -29,7 +29,10 @@ The surface groups into:
 * **observability** — span tracing, the metrics registry and trace
   export (`Tracer`, `Span`, `METRICS`, `write_trace`, `render_summary`;
   see :mod:`repro.obs` and docs/observability.md);
-* **persistence** — dataset/model save & load round-trips.
+* **persistence** — dataset/model save & load round-trips, plus the
+  sharded columnar scenario store for out-of-core pipelines
+  (`ScenarioSource`, `ShardedScenarioStore`, `StoreWriter`,
+  `open_store`, `write_store`, `compact_store`; see docs/store.md).
 """
 
 from __future__ import annotations
@@ -59,8 +62,10 @@ from .cluster import (
     Feature,
     MachineShape,
     ScenarioDataset,
+    ScenarioSource,
     SimulationResult,
     SubmissionConfig,
+    ensure_dataset,
     run_simulation,
 )
 from .core import (
@@ -77,6 +82,16 @@ from .io.serialization import (
     load_model,
     save_dataset,
     save_model,
+)
+from .store import (
+    DEFAULT_SHARD_SIZE,
+    ShardedScenarioStore,
+    StoreCorruptionError,
+    StoreError,
+    StoreWriter,
+    compact_store,
+    open_store,
+    write_store,
 )
 from .obs import (
     METRICS,
@@ -178,6 +193,17 @@ __all__ = [
     "load_dataset",
     "save_model",
     "load_model",
+    # scenario store
+    "ScenarioSource",
+    "ensure_dataset",
+    "ShardedScenarioStore",
+    "StoreWriter",
+    "StoreError",
+    "StoreCorruptionError",
+    "DEFAULT_SHARD_SIZE",
+    "open_store",
+    "write_store",
+    "compact_store",
     # workloads
     "HP_JOBS",
     "HP_JOB_NAMES",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster.features import BASELINE, Feature
-from ..cluster.scenario import ScenarioDataset
+from ..cluster.source import ScenarioSource
 from ..core.performance import mips_reduction_pct, scenario_performance
 
 __all__ = [
@@ -60,9 +60,14 @@ class DatacenterTruth:
 
 
 def evaluate_full_datacenter(
-    dataset: ScenarioDataset, feature: Feature
+    dataset: ScenarioSource, feature: Feature
 ) -> DatacenterTruth:
-    """Evaluate *feature* on every scenario of *dataset*."""
+    """Evaluate *feature* on every scenario of *dataset*.
+
+    Accepts any :class:`~repro.cluster.ScenarioSource` and walks it
+    batch-by-batch, so computing the truth over a sharded store keeps
+    peak memory at shard size.
+    """
     baseline_machine = BASELINE(dataset.shape.perf)
     feature_machine = feature(dataset.shape.perf)
     all_weights = dataset.weights()
@@ -72,7 +77,7 @@ def evaluate_full_datacenter(
     weights: list[float] = []
     job_acc: dict[str, list[tuple[float, float]]] = {}
 
-    for index, scenario in enumerate(dataset.scenarios):
+    for index, scenario in _iter_with_index(dataset):
         if not scenario.hp_instances:
             continue
         base = scenario_performance(baseline_machine, scenario)
@@ -112,6 +117,15 @@ def evaluate_full_datacenter(
         per_job=per_job,
         evaluation_cost=len(ids),
     )
+
+
+def _iter_with_index(source: ScenarioSource):
+    """(global index, scenario) pairs, one batch resident at a time."""
+    index = 0
+    for batch in source.iter_batches():
+        for scenario in batch.scenarios:
+            yield index, scenario
+            index += 1
 
 
 @dataclass(frozen=True)
@@ -154,9 +168,13 @@ class JobScenarioReductions:
 
 
 def per_job_scenario_reductions(
-    dataset: ScenarioDataset, feature: Feature, job_name: str
+    dataset: ScenarioSource, feature: Feature, job_name: str
 ) -> JobScenarioReductions:
-    """Evaluate *feature*'s impact on *job_name* in every hosting scenario."""
+    """Evaluate *feature*'s impact on *job_name* in every hosting scenario.
+
+    Like :func:`evaluate_full_datacenter`, accepts any scenario source
+    and streams it batch-by-batch.
+    """
     baseline_machine = BASELINE(dataset.shape.perf)
     feature_machine = feature(dataset.shape.perf)
     all_weights = dataset.weights()
@@ -164,7 +182,7 @@ def per_job_scenario_reductions(
     ids: list[int] = []
     reductions: list[float] = []
     weights: list[float] = []
-    for index, scenario in enumerate(dataset.scenarios):
+    for index, scenario in _iter_with_index(dataset):
         count = scenario.count_of(job_name)
         if count == 0:
             continue

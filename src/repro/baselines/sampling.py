@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster.features import Feature
-from ..cluster.scenario import ScenarioDataset
+from ..cluster.source import ScenarioSource
 from ..runtime.executor import Executor
 from ..stats.sampling import (
     SamplingTrialResult,
@@ -63,7 +63,7 @@ class SamplingEvaluation:
 
 
 def evaluate_by_sampling(
-    dataset: ScenarioDataset,
+    dataset: ScenarioSource,
     feature: Feature,
     *,
     sample_size: int,
@@ -109,7 +109,7 @@ def evaluate_by_sampling(
 
 
 def evaluate_job_by_sampling(
-    dataset: ScenarioDataset,
+    dataset: ScenarioSource,
     feature: Feature,
     job_name: str,
     *,

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster.features import Feature
-from ..cluster.scenario import ScenarioDataset
+from ..cluster.source import ScenarioSource, ensure_dataset
 from ..runtime.executor import Executor, resolve_executor
 from ..runtime.resilience import partition_failures
 from ..runtime.seeding import spawn_seed_sequences
@@ -81,7 +81,7 @@ def _stratified_trial(
 
 
 def evaluate_by_stratified_sampling(
-    dataset: ScenarioDataset,
+    dataset: ScenarioSource,
     feature: Feature,
     *,
     sample_size: int,
@@ -108,6 +108,10 @@ def evaluate_by_stratified_sampling(
     """
     if sample_size < n_strata:
         raise ValueError("sample_size must be >= n_strata")
+    # Stratification needs random access to the hosting scenarios, so a
+    # non-resident source is materialised here; the truth computation
+    # above it streams either way.
+    dataset = ensure_dataset(dataset)
     resolved = truth if truth is not None else evaluate_full_datacenter(
         dataset, feature
     )

@@ -3,13 +3,18 @@
 ::
 
     repro simulate  --seed 7 --scenarios 300 --out dataset.json
+    repro simulate  --seed 7 --scenarios 100000 --store store/ --shard-size 4096
     repro ingest    --trace events.csv --shape default --out dataset.json
     repro fit       --dataset dataset.json --clusters 18 --out model.json
     repro evaluate  --model model.json --feature feature1 [--job WSC]
     repro report    --model model.json
     repro diagnose  --model model.json
+    repro store inspect --store store/ [--verify]
+    repro store compact --store store/ --out compact/ --shard-size 8192
     repro experiment --figure fig12 --scale small
 
+``fit --dataset`` accepts either a dataset JSON file or a sharded store
+directory; store-backed fits run out-of-core (see docs/store.md).
 Also runnable as ``python -m repro …``.
 """
 
@@ -27,6 +32,7 @@ from .core.pipeline import Flare, FlareConfig
 from .io.serialization import load_dataset, load_model, save_dataset, save_model
 from .reporting.radar import render_radar_report
 from .reporting.tables import render_table
+from .store import DEFAULT_SHARD_SIZE, StoreWriter, compact_store, open_store
 
 __all__ = ["main", "build_parser"]
 
@@ -145,7 +151,23 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--shape", choices=sorted(_SHAPES), default="default"
     )
-    simulate.add_argument("--out", required=True, help="output dataset JSON")
+    simulate_out = simulate.add_mutually_exclusive_group(required=True)
+    simulate_out.add_argument("--out", help="output dataset JSON")
+    simulate_out.add_argument(
+        "--store",
+        metavar="DIR",
+        help=(
+            "stream scenarios into a sharded columnar store at DIR "
+            "instead of an in-memory JSON dataset"
+        ),
+    )
+    simulate.add_argument(
+        "--shard-size",
+        type=int,
+        default=DEFAULT_SHARD_SIZE,
+        metavar="N",
+        help=f"scenarios per store shard (default {DEFAULT_SHARD_SIZE})",
+    )
 
     ingest = sub.add_parser(
         "ingest", help="build a dataset from a container-lifecycle trace CSV"
@@ -162,7 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--out", required=True, help="output dataset JSON")
 
     fit = sub.add_parser("fit", help="fit FLARE on a collected dataset")
-    fit.add_argument("--dataset", required=True, help="input dataset JSON")
+    fit.add_argument(
+        "--dataset",
+        required=True,
+        help="input dataset JSON, or a sharded store directory",
+    )
     fit.add_argument("--clusters", type=int, default=18)
     fit.add_argument("--out", required=True, help="output model JSON")
     _add_runtime_flags(fit)
@@ -190,6 +216,31 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--model", required=True)
     _add_obs_flags(diagnose)
 
+    store = sub.add_parser(
+        "store", help="inspect or compact a sharded scenario store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_sub.add_parser(
+        "inspect", help="print a store's manifest summary"
+    )
+    inspect.add_argument("--store", required=True, metavar="DIR")
+    inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read every shard and check all content digests",
+    )
+    compact = store_sub.add_parser(
+        "compact", help="rewrite a store with a new shard size"
+    )
+    compact.add_argument("--store", required=True, metavar="DIR")
+    compact.add_argument("--out", required=True, metavar="DIR")
+    compact.add_argument(
+        "--shard-size",
+        type=int,
+        metavar="N",
+        help="scenarios per shard in the rewritten store (default: keep)",
+    )
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper figure"
     )
@@ -214,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "report": _cmd_report,
         "diagnose": _cmd_diagnose,
+        "store": _cmd_store,
         "experiment": _cmd_experiment,
     }[args.command]
 
@@ -313,12 +365,23 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
         target_unique_scenarios=args.scenarios,
     )
-    result = run_simulation(config)
-    save_dataset(result.dataset, args.out)
+    if args.store is not None:
+        with StoreWriter(
+            args.store,
+            config.shape,
+            shard_size=args.shard_size,
+            overwrite=True,
+        ) as writer:
+            result = run_simulation(config, sink=writer)
+        destination = f"{args.store} ({writer.store.n_shards} shards)"
+    else:
+        result = run_simulation(config)
+        save_dataset(result.dataset, args.out)
+        destination = args.out
     print(
         f"collected {result.n_unique_scenarios} scenarios "
         f"({result.stats.n_placed} placements, "
-        f"{result.stats.denial_rate:.1%} denials) -> {args.out}"
+        f"{result.stats.denial_rate:.1%} denials) -> {destination}"
     )
     return 0
 
@@ -348,9 +411,10 @@ def _cmd_fit(args) -> int:
             executor.close()
     save_model(flare, args.out)
     _print_resume_summary(args)
+    report = flare.prune_report
     print(
-        f"fitted FLARE: {flare.profiled.n_metrics} raw -> "
-        f"{flare.refined.n_metrics} refined metrics, "
+        f"fitted FLARE: {report.n_kept + report.n_dropped} raw -> "
+        f"{report.n_kept} refined metrics, "
         f"{flare.analysis.n_components} PCs, "
         f"{flare.analysis.n_clusters} groups -> {args.out}"
     )
@@ -419,6 +483,46 @@ def _cmd_diagnose(args) -> int:
         f"{report.mean_centrality():.2f} (lower = more central)"
     )
     return 0
+
+
+def _cmd_store(args) -> int:
+    if args.store_command == "inspect":
+        store = open_store(args.store)
+        mib = store.bytes_total / (1024.0 * 1024.0)
+        rows = [
+            [
+                entry["name"],
+                entry["rows"],
+                entry["scenarios_bytes"] + entry["instances_bytes"],
+            ]
+            for entry in store.shard_entries
+        ]
+        print(
+            f"store {store.path}: {len(store)} scenarios in "
+            f"{store.n_shards} shard(s) of <= {store.shard_size}, "
+            f"{mib:.2f} MiB"
+        )
+        print(f"content digest: {store.digest()}")
+        print(render_table(["shard", "rows", "bytes"], rows))
+        if args.verify:
+            summary = store.verify()
+            print(
+                f"verified: {summary['rows']} rows across "
+                f"{summary['n_shards']} shard(s), digests OK"
+            )
+        return 0
+    if args.store_command == "compact":
+        store = open_store(args.store)
+        compacted = compact_store(
+            store, args.out, shard_size=args.shard_size, overwrite=True
+        )
+        print(
+            f"compacted {store.n_shards} shard(s) of <= {store.shard_size} "
+            f"-> {compacted.n_shards} shard(s) of <= "
+            f"{compacted.shard_size} at {args.out}"
+        )
+        return 0
+    raise AssertionError(f"unknown store command {args.store_command!r}")
 
 
 def _cmd_experiment(args) -> int:

@@ -18,6 +18,12 @@ from .features import (
 from .job import JobInstance, JobRequest
 from .machine import DEFAULT_SHAPE, SMALL_SHAPE, Machine, MachineShape
 from .scenario import Scenario, ScenarioDataset, ScenarioKey, ScenarioRecorder
+from .source import (
+    ScenarioContentHasher,
+    ScenarioSource,
+    ensure_dataset,
+    scenario_schema,
+)
 from .scheduler import (
     BestFitPackingScheduler,
     LeastUtilizedScheduler,
@@ -52,6 +58,10 @@ __all__ = [
     "ScenarioDataset",
     "ScenarioKey",
     "ScenarioRecorder",
+    "ScenarioSource",
+    "ScenarioContentHasher",
+    "ensure_dataset",
+    "scenario_schema",
     "Scheduler",
     "LeastUtilizedScheduler",
     "BestFitPackingScheduler",

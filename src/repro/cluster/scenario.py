@@ -15,11 +15,16 @@ co-location later.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
 from ..perfmodel.contention import RunningInstance
 from .machine import Machine, MachineShape
+from .source import ScenarioContentHasher, scenario_schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perfmodel.signatures import JobSignature
 
 __all__ = ["ScenarioKey", "Scenario", "ScenarioRecorder", "ScenarioDataset"]
 
@@ -134,6 +139,19 @@ class ScenarioRecorder:
         ordered = sorted(self._scenarios.values(), key=lambda s: s.scenario_id)
         return ScenarioDataset(shape=self.shape, scenarios=tuple(ordered))
 
+    def drain_to(self, sink) -> int:
+        """Append every recorded scenario to *sink* in id order.
+
+        *sink* is anything with an ``append(scenario)`` method — in
+        practice a :class:`repro.store.StoreWriter`, which flushes full
+        shards to disk as they fill, so draining never builds a second
+        in-memory copy of the dataset.  Returns the number drained.
+        """
+        ordered = sorted(self._scenarios.values(), key=lambda s: s.scenario_id)
+        for scenario in ordered:
+            sink.append(scenario)
+        return len(ordered)
+
     # ------------------------------------------------------------------
     def _register(self, key: ScenarioKey, machine: Machine) -> None:
         if key in self._scenarios:
@@ -163,9 +181,35 @@ class ScenarioRecorder:
         scenario.total_duration_s += duration
 
 
+def normalized_weights(durations: np.ndarray) -> np.ndarray:
+    """Observation-time weights, normalised to sum to 1.
+
+    Scenarios that were only glimpsed in zero-length transition states
+    (possible when the simulation is finalised mid-change) get a small
+    uniform epsilon so no scenario is silently unrepresentable.  Shared
+    by the in-memory dataset and the sharded store so both backings
+    weigh identical durations identically.
+    """
+    raw = np.asarray(durations, dtype=np.float64)
+    if raw.size == 0:
+        return raw
+    if raw.sum() <= 0.0:
+        return np.full(raw.size, 1.0 / raw.size)
+    floor = raw[raw > 0].min() * 1e-3
+    raw = np.maximum(raw, floor)
+    return raw / raw.sum()
+
+
 @dataclass(frozen=True)
 class ScenarioDataset:
-    """All distinct scenarios observed in one datacenter, with weights."""
+    """All distinct scenarios observed in one datacenter, with weights.
+
+    Satisfies the :class:`~repro.cluster.source.ScenarioSource`
+    protocol; derived quantities (weights, signatures, the content
+    digest) are computed once and cached — profiling and clustering
+    call them per scenario group, which used to rebuild the weight
+    vector from scratch each time.
+    """
 
     shape: MachineShape
     scenarios: tuple[Scenario, ...]
@@ -177,20 +221,62 @@ class ScenarioDataset:
         return self.scenarios[index]
 
     def weights(self) -> np.ndarray:
-        """Observation-time weights, normalised to sum to 1.
+        """Normalised observation-time weights (cached; do not mutate)."""
+        cached = getattr(self, "_weights_cache", None)
+        if cached is None:
+            cached = normalized_weights(
+                np.array([s.total_duration_s for s in self.scenarios])
+            )
+            object.__setattr__(self, "_weights_cache", cached)
+        return cached
 
-        Scenarios that were only glimpsed in zero-length transition states
-        (possible when the simulation is finalised mid-change) get a small
-        uniform epsilon so no scenario is silently unrepresentable.
+    def iter_batches(
+        self, batch_size: int | None = None
+    ) -> Iterator["ScenarioDataset"]:
+        """Yield the scenarios as in-memory slices of *batch_size*.
+
+        ``None`` means the natural granularity of the backing — here,
+        the whole dataset in one batch (no copy).
         """
-        raw = np.array([s.total_duration_s for s in self.scenarios])
-        if raw.size == 0:
-            return raw
-        if raw.sum() <= 0.0:
-            return np.full(raw.size, 1.0 / raw.size)
-        floor = raw[raw > 0].min() * 1e-3
-        raw = np.maximum(raw, floor)
-        return raw / raw.sum()
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 or None")
+        if batch_size is None or batch_size >= len(self.scenarios):
+            yield self
+            return
+        for start in range(0, len(self.scenarios), batch_size):
+            yield ScenarioDataset(
+                shape=self.shape,
+                scenarios=self.scenarios[start : start + batch_size],
+            )
+
+    def schema(self) -> dict[str, Any]:
+        """Logical record layout (ScenarioSource protocol)."""
+        return scenario_schema()
+
+    def digest(self) -> str:
+        """Logical content digest (cached; see ScenarioContentHasher)."""
+        cached = getattr(self, "_digest_cache", None)
+        if cached is None:
+            hasher = ScenarioContentHasher(self.shape)
+            for scenario in self.scenarios:
+                hasher.update(scenario)
+            cached = hasher.hexdigest()
+            object.__setattr__(self, "_digest_cache", cached)
+        return cached
+
+    @property
+    def signatures(self) -> dict[str, "JobSignature"]:
+        """Job name -> signature, in first-appearance order (cached)."""
+        cached = getattr(self, "_signatures_cache", None)
+        if cached is None:
+            cached = {}
+            for scenario in self.scenarios:
+                for instance in scenario.instances:
+                    cached.setdefault(
+                        instance.signature.name, instance.signature
+                    )
+            object.__setattr__(self, "_signatures_cache", cached)
+        return cached
 
     def with_weights_from(
         self, durations: dict[ScenarioKey, float]

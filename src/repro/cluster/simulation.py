@@ -84,15 +84,24 @@ class SimulationStats:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Output of :func:`run_simulation`."""
+    """Output of :func:`run_simulation`.
+
+    When the run streamed its scenarios to a ``sink`` the in-memory
+    ``dataset`` is ``None`` — the sink (typically a
+    ``repro.store.StoreWriter``) owns the data — and ``n_streamed``
+    records how many scenarios were drained to it.
+    """
 
     config: DatacenterConfig
-    dataset: ScenarioDataset
+    dataset: ScenarioDataset | None
     stats: SimulationStats
+    n_streamed: int = 0
 
     @property
     def n_unique_scenarios(self) -> int:
-        return len(self.dataset)
+        if self.dataset is not None:
+            return len(self.dataset)
+        return self.n_streamed
 
 
 def run_simulation(
@@ -100,6 +109,7 @@ def run_simulation(
     *,
     scheduler: Scheduler | None = None,
     submission_system: SubmissionSystem | None = None,
+    sink=None,
 ) -> SimulationResult:
     """Simulate the datacenter and return its scenario dataset.
 
@@ -116,6 +126,13 @@ def run_simulation(
         catalogue (see ``SubmissionSystem``'s ``hp_catalogue`` /
         ``lp_catalogue``).  Defaults to ``config.submission`` over the
         Table 3 catalogue, seeded from ``config.seed``.
+    sink:
+        Optional scenario sink with an ``append(scenario)`` method,
+        typically a ``repro.store.StoreWriter``.  When given, recorded
+        scenarios are drained to it in id order and the result carries
+        ``dataset=None`` — the out-of-core path for runs whose scenario
+        population should never be resident at once.  The recorder
+        itself is O(unique scenarios), which is what a store shards.
     """
     rng = np.random.default_rng(config.seed)
     queue = EventQueue()
@@ -177,6 +194,11 @@ def run_simulation(
 
     recorder.finalize(queue.now)
     stats.sim_time_s = queue.now
+    if sink is not None:
+        n_streamed = recorder.drain_to(sink)
+        return SimulationResult(
+            config=config, dataset=None, stats=stats, n_streamed=n_streamed
+        )
     return SimulationResult(
         config=config, dataset=recorder.dataset(), stats=stats
     )

@@ -1,0 +1,179 @@
+"""The ScenarioSource protocol: one dataset abstraction, many backings.
+
+FLARE's consumers — ``Profiler.profile``, ``Flare.fit``, the baselines —
+historically took a concrete in-memory :class:`ScenarioDataset`.  The
+sharded scenario store (``repro.store``) adds a second backing that does
+not fit that type, so the pipeline now programs against this protocol
+instead: anything that can report its machine shape, count and weigh its
+scenarios, hand out batches, and identify its content satisfies it.
+Both :class:`~repro.cluster.ScenarioDataset` and
+:class:`~repro.store.ShardedScenarioStore` do.
+
+The content digest is *logical*: it covers the scenarios, the job
+signatures and the machine shape, not the bytes of any particular
+encoding — so a dataset and the store written from it report the same
+digest, which is how ``load_model`` verifies a store-backed model and
+how cache keys stay stable across representations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+from typing import TYPE_CHECKING, Any, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from .machine import MachineShape
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scenario import Scenario, ScenarioDataset
+
+__all__ = [
+    "ScenarioSource",
+    "ScenarioContentHasher",
+    "scenario_schema",
+    "ensure_dataset",
+    "resolve_source_argument",
+]
+
+#: Version of the logical scenario record layout described by
+#: :func:`scenario_schema` and hashed by :class:`ScenarioContentHasher`.
+SCHEMA_VERSION = 1
+
+
+def scenario_schema() -> dict[str, Any]:
+    """The logical record layout every :class:`ScenarioSource` serves."""
+    return {
+        "version": SCHEMA_VERSION,
+        "record": "scenario",
+        "fields": [
+            {"name": "scenario_id", "type": "int64"},
+            {"name": "n_occurrences", "type": "int64"},
+            {"name": "total_duration_s", "type": "float64"},
+            {"name": "instances", "type": "list[{job: str, load: float64}]"},
+        ],
+    }
+
+
+@runtime_checkable
+class ScenarioSource(Protocol):
+    """Anything that can feed scenarios to the FLARE pipeline.
+
+    ``iter_batches`` yields in-memory :class:`ScenarioDataset` slices in
+    scenario order; with ``batch_size=None`` the backing chooses its
+    natural granularity (the whole dataset in memory, one shard from a
+    store).  ``digest`` identifies the logical content independent of
+    the backing (see module docstring).
+    """
+
+    @property
+    def shape(self) -> MachineShape: ...
+
+    def __len__(self) -> int: ...
+
+    def __getitem__(self, index: int) -> "Scenario": ...
+
+    def iter_batches(
+        self, batch_size: int | None = None
+    ) -> Iterator["ScenarioDataset"]: ...
+
+    def weights(self) -> np.ndarray: ...
+
+    def schema(self) -> dict[str, Any]: ...
+
+    def digest(self) -> str: ...
+
+
+class ScenarioContentHasher:
+    """Incremental logical digest over a scenario stream.
+
+    Scenario records are folded in arrival order; job signatures are
+    collected as they appear and folded *sorted by name* at the end, so
+    the digest does not depend on discovery order.  Floats are hashed
+    via ``float.hex()`` — exact, so any representation that round-trips
+    float64 values (JSON, npy shards, live objects) hashes identically.
+    """
+
+    def __init__(self, shape: MachineShape) -> None:
+        self._shape = shape
+        self._scenario_hash = hashlib.sha256()
+        self._signatures: dict[str, str] = {}
+        self.n_scenarios = 0
+
+    def update(self, scenario: "Scenario") -> None:
+        parts = [
+            str(scenario.scenario_id),
+            str(scenario.n_occurrences),
+            float(scenario.total_duration_s).hex(),
+        ]
+        for instance in scenario.instances:
+            signature = instance.signature
+            encoded = repr(signature)
+            known = self._signatures.setdefault(signature.name, encoded)
+            if known != encoded:
+                raise ValueError(
+                    f"conflicting signatures for job {signature.name!r}"
+                )
+            parts.append(signature.name)
+            parts.append(float(instance.load).hex())
+        self._scenario_hash.update("|".join(parts).encode())
+        self._scenario_hash.update(b"\n")
+        self.n_scenarios += 1
+
+    def hexdigest(self) -> str:
+        signature_hash = hashlib.sha256()
+        for name in sorted(self._signatures):
+            signature_hash.update(name.encode())
+            signature_hash.update(self._signatures[name].encode())
+        final = hashlib.sha256()
+        final.update(f"scenario-source-v{SCHEMA_VERSION}".encode())
+        final.update(repr(self._shape).encode())
+        final.update(signature_hash.digest())
+        final.update(self._scenario_hash.digest())
+        return final.hexdigest()
+
+
+def ensure_dataset(source: ScenarioSource) -> "ScenarioDataset":
+    """Materialise *source* as an in-memory :class:`ScenarioDataset`.
+
+    The identity path is free; a sharded store is decoded in full, so
+    only use this where the consumer genuinely needs every scenario
+    resident (e.g. the full-datacenter ground-truth baselines).
+    """
+    from .scenario import ScenarioDataset
+
+    if isinstance(source, ScenarioDataset):
+        return source
+    to_dataset = getattr(source, "to_dataset", None)
+    if to_dataset is not None:
+        return to_dataset()
+    scenarios: list["Scenario"] = []
+    for batch in source.iter_batches():
+        scenarios.extend(batch.scenarios)
+    return ScenarioDataset(shape=source.shape, scenarios=tuple(scenarios))
+
+
+def resolve_source_argument(
+    source, dataset, *, owner: str
+) -> ScenarioSource:
+    """Support the renamed ``dataset=`` -> ``source=`` keyword.
+
+    The positional/``source=`` spelling is canonical; passing the legacy
+    ``dataset=`` keyword still works but warns.
+    """
+    if dataset is not None:
+        if source is not None:
+            raise TypeError(
+                f"{owner} got both 'source' and legacy 'dataset' arguments"
+            )
+        warnings.warn(
+            f"the 'dataset' keyword of {owner} is deprecated; pass the "
+            "scenario source positionally or as 'source='",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return dataset
+    if source is None:
+        raise TypeError(f"{owner} missing required argument: 'source'")
+    return source

@@ -77,7 +77,8 @@ class AnalysisResult:
     Attributes
     ----------
     refined:
-        The input dataset (for provenance).
+        The input dataset (for provenance).  ``None`` for out-of-core
+        fits, which never materialise the full refined matrix.
     scaler:
         Fitted standardiser (raw metric space).
     pca:
@@ -86,7 +87,9 @@ class AnalysisResult:
         PCs retained as high-level metrics.
     scores:
         Whitened PC scores, shape ``(n_scenarios, n_components)`` — the
-        space clustering happens in.
+        space clustering happens in.  ``None`` for out-of-core fits;
+        representative extraction then works from the per-point
+        assignments instead.
     sweep:
         Cluster-quality sweep data (None when k was fixed by config).
     kmeans:
@@ -96,11 +99,11 @@ class AnalysisResult:
         per-group weights used for impact averaging.
     """
 
-    refined: RefinedDataset
+    refined: RefinedDataset | None
     scaler: StandardScaler
     pca: PCAResult
     n_components: int
-    scores: np.ndarray
+    scores: np.ndarray | None
     score_mean: np.ndarray
     score_std: np.ndarray
     sweep: ClusterQualitySweep | None

@@ -99,6 +99,12 @@ def diagnose(flare: Flare) -> RepresentativenessReport:
     """Build the representativeness report for a fitted model."""
     analysis = flare.analysis
     scores = analysis.scores
+    if scores is None:
+        raise ValueError(
+            "representativeness diagnostics need the full score matrix, "
+            "which an out-of-core fit does not retain; refit in memory "
+            "(e.g. Flare().fit(store.to_dataset())) to diagnose"
+        )
     silhouettes = (
         silhouette_samples(scores, analysis.labels)
         if np.unique(analysis.labels).size >= 2

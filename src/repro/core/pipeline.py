@@ -26,8 +26,10 @@ import numpy as np
 
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset, ScenarioKey
+from ..cluster.source import ScenarioSource, resolve_source_argument
 from ..obs import span as obs_span
 from ..runtime.executor import Executor
+from ..stats.correlation import PruneReport
 from ..telemetry.database import Database
 from ..telemetry.profiler import ProfiledDataset, Profiler
 from .analyzer import AnalysisResult, Analyzer, AnalyzerConfig
@@ -111,23 +113,40 @@ class Flare:
         self._representatives: RepresentativeSet | None = None
         self._interpretations: tuple[ComponentInterpretation, ...] | None = None
         self._replayer: Replayer | None = None
+        #: Pruning provenance for out-of-core fits, where no
+        #: RefinedDataset exists to carry it.
+        self._prune_report: PruneReport | None = None
+        self._streaming = False
 
     # ------------------------------------------------------------------
     def fit(
         self,
-        dataset: ScenarioDataset,
+        source: "ScenarioSource | None" = None,
         *,
         executor: "Executor | str | None" = None,
+        dataset: ScenarioDataset | None = None,
     ) -> "Flare":
-        """Run steps 1–3 on a scenario dataset; returns self.
+        """Run steps 1–3 on a scenario source; returns self.
+
+        Accepts any :class:`~repro.cluster.ScenarioSource`.  An
+        in-memory :class:`ScenarioDataset` takes the classic path
+        (full matrices resident); any other source — a sharded
+        :class:`~repro.store.ShardedScenarioStore` in particular — is
+        fitted out-of-core via :func:`~repro.core.streaming_fit`,
+        with peak memory bounded by the shard size.  The legacy
+        ``dataset=`` keyword still works with a ``DeprecationWarning``.
 
         ``executor`` parallelises the profiling fan-out (the dominant
         cost of fitting); results are bit-identical to serial fitting
         under any executor, including one with fault injection enabled
         — see :mod:`repro.runtime.resilience`.
         """
-        if len(dataset) < 2:
+        source = resolve_source_argument(source, dataset, owner="Flare.fit")
+        if len(source) < 2:
             raise ValueError("FLARE needs at least 2 scenarios to fit")
+        if not isinstance(source, ScenarioDataset):
+            return self._fit_streaming(source, executor=executor)
+        dataset = source
         with obs_span("flare.fit", n_scenarios=len(dataset)) as fit_span:
             profiler = self.config.make_profiler(database=self.database)
             with obs_span("flare.profile"):
@@ -153,6 +172,43 @@ class Flare:
                 )
             self._replayer = Replayer(
                 dataset.shape, catalogue=_catalogue_from(dataset)
+            )
+            if fit_span is not None:
+                fit_span.attrs["n_clusters"] = self._analysis.n_clusters
+                fit_span.attrs["n_components"] = self._analysis.n_components
+        return self
+
+    def _fit_streaming(
+        self,
+        source: "ScenarioSource",
+        *,
+        executor: "Executor | str | None" = None,
+    ) -> "Flare":
+        """Out-of-core fit over a non-resident source (sharded store)."""
+        from .streaming_fit import streaming_fit
+
+        with obs_span(
+            "flare.fit", n_scenarios=len(source), streaming=True
+        ) as fit_span:
+            result = streaming_fit(
+                source,
+                self.config,
+                database=self.database,
+                executor=executor,
+            )
+            self._streaming = True
+            self._analysis = result.analysis
+            self._prune_report = result.report
+            self._representatives = result.representatives
+            with obs_span("flare.interpret"):
+                self._interpretations = interpret_components(
+                    result.analysis.pca,
+                    result.specs,
+                    n_components=result.analysis.n_components,
+                    top_n=self.config.interpretation_top_n,
+                )
+            self._replayer = Replayer(
+                source.shape, catalogue=_catalogue_from(source)
             )
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters
@@ -235,7 +291,7 @@ class Flare:
                 "set per machine shape (paper §5.5)"
             )
         profiled = self.config.make_profiler().profile(new_dataset)
-        refined_matrix = profiled.matrix[:, list(self.refined.report.kept)]
+        refined_matrix = profiled.matrix[:, list(self.prune_report.kept)]
         return self.analysis.classify(refined_matrix)
 
     def reweight_by_classification(
@@ -276,21 +332,29 @@ class Flare:
         new = Flare(self.config, database=self.database)
         new._profiled = self._profiled
         new._refined = self._refined
+        new._prune_report = self._prune_report
+        new._streaming = self._streaming
         new._interpretations = self._interpretations
         new._replayer = self._replayer
         new._analysis = replace(self.analysis, cluster_weights=cluster_weights)
-        new._representatives = extract_representatives(
-            new._analysis, dataset if dataset is not None else self.dataset
+        # Membership and centroid distances are invariant under a weight
+        # change, so the ranked groups are carried over rather than
+        # re-derived from the score matrix (which out-of-core fits never
+        # materialise, and which costs O(n·k) to re-rank for nothing).
+        new._representatives = self.representatives.with_cluster_weights(
+            cluster_weights,
+            dataset if dataset is not None else self.dataset,
         )
         return new
 
     # ------------------------------------------------------------------
     @property
-    def dataset(self) -> ScenarioDataset:
-        """The scenario dataset the model currently represents.
+    def dataset(self) -> "ScenarioSource":
+        """The scenario source the model currently represents.
 
         After :meth:`reweight` this reflects the new observation times,
         while :attr:`profiled` keeps the original collection provenance.
+        For out-of-core fits this is the sharded store itself.
         """
         return self.representatives.dataset
 
@@ -301,6 +365,15 @@ class Flare:
     @property
     def refined(self) -> RefinedDataset:
         return self._require("_refined")
+
+    @property
+    def prune_report(self) -> PruneReport:
+        """Which raw metrics survived refinement, on either fit path."""
+        if self._refined is not None:
+            return self._refined.report
+        if self._prune_report is not None:
+            return self._prune_report
+        raise RuntimeError("Flare.fit() must be called first")
 
     @property
     def analysis(self) -> AnalysisResult:
@@ -321,18 +394,33 @@ class Flare:
     def _require(self, attr: str):
         value = getattr(self, attr)
         if value is None:
+            if self._streaming and attr in ("_profiled", "_refined"):
+                raise RuntimeError(
+                    f"this Flare was fitted out-of-core and the full "
+                    f"{attr.lstrip('_')} matrix was never materialised; "
+                    "refit in memory (e.g. Flare().fit(store.to_dataset())) "
+                    "to access it"
+                )
             raise RuntimeError("Flare.fit() must be called first")
         return value
 
 
-def _catalogue_from(dataset: ScenarioDataset) -> dict:
-    """Job name -> signature map built from the dataset's own instances.
+def _catalogue_from(source: "ScenarioSource") -> dict:
+    """Job name -> signature map built from the source's own instances.
 
     Lets the Replayer reconstruct scenarios that include jobs outside the
-    built-in Table 3 catalogue (custom workloads).
+    built-in Table 3 catalogue (custom workloads).  Both the in-memory
+    dataset and the sharded store expose their signature map directly;
+    anything else is walked batch-by-batch.
     """
+    signatures = getattr(source, "signatures", None)
+    if signatures is not None:
+        return dict(signatures)
     catalogue = {}
-    for scenario in dataset.scenarios:
-        for instance in scenario.instances:
-            catalogue.setdefault(instance.signature.name, instance.signature)
+    for batch in source.iter_batches():
+        for scenario in batch.scenarios:
+            for instance in scenario.instances:
+                catalogue.setdefault(
+                    instance.signature.name, instance.signature
+                )
     return catalogue

@@ -8,15 +8,21 @@ representative does not contain the job of interest (§5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
 from ..cluster.scenario import Scenario, ScenarioDataset
+from ..cluster.source import ScenarioSource
 from .analyzer import AnalysisResult
 
-__all__ = ["ClusterGroup", "RepresentativeSet", "extract_representatives"]
+__all__ = [
+    "ClusterGroup",
+    "RepresentativeSet",
+    "extract_representatives",
+    "representatives_from_assignments",
+]
 
 
 @dataclass(frozen=True)
@@ -51,7 +57,7 @@ class ClusterGroup:
 
     def first_member_where(
         self,
-        dataset: ScenarioDataset,
+        dataset: ScenarioSource,
         predicate: Callable[[Scenario], bool],
     ) -> Scenario | None:
         """Nearest-to-centroid member satisfying *predicate* (or None).
@@ -68,9 +74,15 @@ class ClusterGroup:
 
 @dataclass(frozen=True)
 class RepresentativeSet:
-    """All cluster groups of one analysis, plus convenience accessors."""
+    """All cluster groups of one analysis, plus convenience accessors.
 
-    dataset: ScenarioDataset
+    ``dataset`` is any :class:`~repro.cluster.ScenarioSource` — the
+    in-memory dataset for classic fits, the sharded store itself for
+    out-of-core fits, so holding a representative set never forces the
+    full population into memory.
+    """
+
+    dataset: ScenarioSource
     groups: tuple[ClusterGroup, ...]
 
     def __len__(self) -> int:
@@ -87,10 +99,20 @@ class RepresentativeSet:
 
     def group_of_scenario(self, scenario_index: int) -> ClusterGroup:
         """The group containing dataset scenario *scenario_index*."""
-        for group in self.groups:
-            if scenario_index in group.ranked_members:
-                return group
-        raise KeyError(f"scenario {scenario_index} not in any group")
+        index = getattr(self, "_group_index_cache", None)
+        if index is None:
+            index = {
+                member: group
+                for group in self.groups
+                for member in group.ranked_members
+            }
+            object.__setattr__(self, "_group_index_cache", index)
+        try:
+            return index[scenario_index]
+        except KeyError:
+            raise KeyError(
+                f"scenario {scenario_index} not in any group"
+            ) from None
 
     def job_instance_weight(self, group: ClusterGroup, job_name: str) -> float:
         """Observation-weighted instance count of *job_name* in *group*.
@@ -106,11 +128,52 @@ class RepresentativeSet:
             )
         )
 
+    def with_cluster_weights(
+        self,
+        cluster_weights: np.ndarray,
+        dataset: ScenarioSource | None = None,
+    ) -> "RepresentativeSet":
+        """Same groups and member rankings under new group weights.
+
+        Reweighting flows (§5.6) change only observation-time shares —
+        cluster membership and centroid distances are untouched — so the
+        ranked members are carried over instead of being re-derived from
+        the score matrix (which an out-of-core fit never materialises).
+        """
+        groups = tuple(
+            replace(group, weight=float(cluster_weights[group.cluster_id]))
+            for group in self.groups
+        )
+        return RepresentativeSet(
+            dataset=dataset if dataset is not None else self.dataset,
+            groups=groups,
+        )
+
+
+def _rank_quantise(distances: np.ndarray) -> np.ndarray:
+    """Round centroid distances for ranking (9 decimals).
+
+    Member ranking must agree between the in-memory and out-of-core
+    fits, whose whitened scores differ by the streamed-statistics
+    tolerance (~1e-12 relative).  Two members of a 2-point cluster are
+    equidistant from their centroid up to rounding, and raw float
+    comparison breaks such ties differently on each path; quantising
+    far below any behavioural difference but far above the noise makes
+    the tie explicit, so the stable sort breaks it by scenario index on
+    both paths.
+    """
+    return np.round(distances, 9)
+
 
 def extract_representatives(
     analysis: AnalysisResult, dataset: ScenarioDataset
 ) -> RepresentativeSet:
     """Build the representative set from a completed analysis."""
+    if analysis.scores is None:
+        raise ValueError(
+            "analysis carries no score matrix (out-of-core fit); use "
+            "representatives_from_assignments instead"
+        )
     if analysis.scores.shape[0] != len(dataset):
         raise ValueError(
             f"analysis covers {analysis.scores.shape[0]} scenarios but "
@@ -128,12 +191,52 @@ def extract_representatives(
         distances = np.linalg.norm(
             analysis.scores[members] - centroid, axis=1
         )
-        order = np.argsort(distances, kind="stable")
+        order = np.argsort(_rank_quantise(distances), kind="stable")
         groups.append(
             ClusterGroup(
                 cluster_id=cluster_id,
                 weight=float(analysis.cluster_weights[cluster_id]),
                 centroid=centroid.copy(),
+                ranked_members=tuple(int(members[i]) for i in order),
+            )
+        )
+    return RepresentativeSet(dataset=dataset, groups=tuple(groups))
+
+
+def representatives_from_assignments(
+    *,
+    labels: np.ndarray,
+    sq_distances: np.ndarray,
+    centroids: np.ndarray,
+    cluster_weights: np.ndarray,
+    dataset: ScenarioSource,
+) -> RepresentativeSet:
+    """Representative set from per-point assignments alone.
+
+    The out-of-core companion to :func:`extract_representatives`: the
+    streaming fit never holds the full whitened score matrix, but its
+    final labelling pass yields each row's cluster and squared distance
+    to its centroid — exactly the information member ranking needs.
+    Ranking by squared distance is ranking by distance (monotone), with
+    the same stable index tie-break as the in-memory path.
+    """
+    if labels.shape[0] != len(dataset):
+        raise ValueError(
+            f"assignments cover {labels.shape[0]} scenarios but dataset "
+            f"has {len(dataset)}"
+        )
+    groups = []
+    for cluster_id in range(centroids.shape[0]):
+        members = np.flatnonzero(labels == cluster_id)
+        if members.size == 0:
+            continue
+        distances = np.sqrt(sq_distances[members])
+        order = np.argsort(_rank_quantise(distances), kind="stable")
+        groups.append(
+            ClusterGroup(
+                cluster_id=cluster_id,
+                weight=float(cluster_weights[cluster_id]),
+                centroid=centroids[cluster_id].copy(),
                 ranked_members=tuple(int(members[i]) for i in order),
             )
         )

@@ -201,14 +201,56 @@ def dataset_from_dict(data: dict[str, Any]) -> ScenarioDataset:
     return ScenarioDataset(shape=shape, scenarios=tuple(scenarios))
 
 
-def save_dataset(dataset: ScenarioDataset, path) -> None:
-    """Write *dataset* to *path* as JSON."""
-    pathlib.Path(path).write_text(json.dumps(dataset_to_dict(dataset)))
+def save_dataset(source, path, *, shard_size: int | None = None):
+    """Write a scenario source to *path*.
+
+    Two on-disk representations share this entry point:
+
+    * **Legacy JSON** (the default): one self-contained file.  Any
+      :class:`~repro.cluster.ScenarioSource` is accepted; a non-resident
+      source is materialised first.
+    * **Sharded store**: chosen when *shard_size* is given or *path* is
+      an existing directory.  Streams the source into a
+      :class:`~repro.store.ShardedScenarioStore` at *path* (replacing
+      any store already there, as the JSON path replaces its file) and
+      returns it.
+
+    Both representations carry the same logical content digest, so
+    ``load_dataset(path).digest()`` is identical either way.
+    """
+    path = pathlib.Path(path)
+    if shard_size is not None or path.is_dir():
+        from ..store import DEFAULT_SHARD_SIZE, write_store
+
+        return write_store(
+            source,
+            path,
+            shard_size=shard_size or DEFAULT_SHARD_SIZE,
+            overwrite=True,
+        )
+    from ..cluster.source import ensure_dataset
+
+    path.write_text(json.dumps(dataset_to_dict(ensure_dataset(source))))
+    return None
 
 
-def load_dataset(path) -> ScenarioDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
-    return dataset_from_dict(json.loads(pathlib.Path(path).read_text()))
+def load_dataset(path):
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Auto-detects the representation: a directory is opened as a sharded
+    scenario store (returning the memory-mapped
+    :class:`~repro.store.ShardedScenarioStore`), anything else is
+    parsed as the legacy JSON file (returning an in-memory
+    :class:`ScenarioDataset`).  Both satisfy
+    :class:`~repro.cluster.ScenarioSource`, so downstream code needs no
+    branch.
+    """
+    path = pathlib.Path(path)
+    if path.is_dir():
+        from ..store import open_store
+
+        return open_store(path)
+    return dataset_from_dict(json.loads(path.read_text()))
 
 
 # ----------------------------------------------------------------------
@@ -282,13 +324,38 @@ def fitted_digest(flare: Flare) -> str:
 
 
 def save_model(flare: Flare, path) -> None:
-    """Persist a fitted model as (config, dataset, digest)."""
+    """Persist a fitted model as (config, dataset, digest).
+
+    An in-memory fit embeds the full dataset.  An out-of-core fit would
+    defeat its own memory bound by inlining the population, so the
+    payload stores a *reference* to the sharded store (path + content
+    digest) instead; :func:`load_model` re-opens the store and verifies
+    the digest before re-fitting.
+    """
     payload = {
         "format_version": _FORMAT_VERSION,
         "config": config_to_dict(flare.config),
-        "dataset": dataset_to_dict(flare.profiled.dataset),
         "fitted_digest": fitted_digest(flare),
     }
+    if isinstance(flare.dataset, ScenarioDataset):
+        payload["dataset"] = dataset_to_dict(
+            flare._profiled.dataset
+            if flare._profiled is not None
+            else flare.dataset
+        )
+    else:
+        source = flare.dataset
+        store_path = getattr(source, "path", None)
+        if store_path is None:
+            raise ValueError(
+                "cannot persist a model fitted on a non-resident source "
+                "without an on-disk store; write the source with "
+                "save_dataset(source, dir, shard_size=...) and refit"
+            )
+        payload["dataset_store"] = {
+            "path": str(pathlib.Path(store_path).resolve()),
+            "content_digest": source.digest(),
+        }
     pathlib.Path(path).write_text(json.dumps(payload))
 
 
@@ -310,8 +377,20 @@ def load_model(path, *, verify: bool = True) -> Flare:
             f"(expected {_FORMAT_VERSION})"
         )
     config = config_from_dict(payload["config"])
-    dataset = dataset_from_dict(payload["dataset"])
-    flare = Flare(config).fit(dataset)
+    if "dataset_store" in payload:
+        from ..store import open_store
+
+        reference = payload["dataset_store"]
+        source = open_store(reference["path"])
+        if source.digest() != reference["content_digest"]:
+            raise ValueError(
+                f"scenario store at {reference['path']} has changed "
+                "since the model was saved "
+                f"(stored digest {reference['content_digest'][:12]}…)"
+            )
+    else:
+        source = dataset_from_dict(payload["dataset"])
+    flare = Flare(config).fit(source)
     if verify:
         digest = fitted_digest(flare)
         if digest != payload["fitted_digest"]:

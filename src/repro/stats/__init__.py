@@ -7,12 +7,18 @@ the random-sampling trial machinery used by the baseline comparisons.
 """
 
 from .comparison import GapResult, adjusted_rand_index, gap_statistic
-from .correlation import PruneReport, correlation_matrix, prune_correlated
+from .correlation import (
+    PruneReport,
+    correlation_matrix,
+    prune_correlated,
+    prune_from_correlation,
+)
 from .distance import nearest_indices, pairwise_euclidean, pairwise_sq_euclidean
 from .hierarchy import AgglomerativeClustering, AgglomerativeResult
-from .kmeans import KMeans, KMeansResult, kmeans_plus_plus_init
-from .pca import PCA, PCAResult, components_for_variance
+from .kmeans import KMeans, KMeansResult, StreamingKMeans, kmeans_plus_plus_init
+from .pca import PCA, PCAResult, IncrementalPCA, components_for_variance
 from .preprocessing import StandardScaler, whiten
+from .streaming import ReservoirSampler, RunningMoments
 from .sampling import (
     DistributionSummary,
     SamplingTrialResult,
@@ -34,6 +40,7 @@ from .validation import check_random_state
 __all__ = [
     "PCA",
     "PCAResult",
+    "IncrementalPCA",
     "components_for_variance",
     "StandardScaler",
     "whiten",
@@ -41,7 +48,10 @@ __all__ = [
     "AgglomerativeResult",
     "KMeans",
     "KMeansResult",
+    "StreamingKMeans",
     "kmeans_plus_plus_init",
+    "RunningMoments",
+    "ReservoirSampler",
     "ClusterQualitySweep",
     "knee_point",
     "silhouette_samples",
@@ -53,6 +63,7 @@ __all__ = [
     "gap_statistic",
     "GapResult",
     "prune_correlated",
+    "prune_from_correlation",
     "PruneReport",
     "pairwise_euclidean",
     "pairwise_sq_euclidean",

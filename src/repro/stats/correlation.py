@@ -13,7 +13,12 @@ import numpy as np
 
 from .validation import as_matrix
 
-__all__ = ["correlation_matrix", "prune_correlated", "PruneReport"]
+__all__ = [
+    "correlation_matrix",
+    "prune_correlated",
+    "prune_from_correlation",
+    "PruneReport",
+]
 
 
 def correlation_matrix(data) -> np.ndarray:
@@ -83,12 +88,32 @@ def prune_correlated(data, *, threshold: float = 0.95) -> PruneReport:
     survives and its derived bandwidth duplicate is dropped.
     """
     matrix = as_matrix(data, name="data", min_rows=2)
+    return prune_from_correlation(
+        correlation_matrix(matrix), threshold=threshold
+    )
+
+
+def prune_from_correlation(
+    correlation, *, threshold: float = 0.95
+) -> PruneReport:
+    """:func:`prune_correlated` on a precomputed correlation matrix.
+
+    The out-of-core fit accumulates the correlation matrix from shard
+    batches (``RunningMoments.correlation``) and prunes from it with the
+    same centrality-greedy scan, so streaming and in-memory refinement
+    select the same surviving metric set.
+    """
     if not 0.0 < threshold <= 1.0:
         raise ValueError("threshold must be in (0, 1]")
-    corr = np.abs(correlation_matrix(matrix))
-    n = corr.shape[0]
+    corr = np.abs(np.asarray(correlation, dtype=np.float64))
+    if corr.ndim != 2 or corr.shape[0] != corr.shape[1]:
+        raise ValueError("correlation must be a square matrix")
 
-    centrality = corr.sum(axis=1)
+    # Quantise centrality before ranking: exactly-duplicate metric
+    # families tie here, and the ~1e-12 float noise between the exact
+    # and the streamed correlation computation must not decide which
+    # family member survives.  Ties fall back to column order.
+    centrality = np.round(corr.sum(axis=1), 6)
     order = np.argsort(-centrality, kind="stable")
 
     kept: list[int] = []

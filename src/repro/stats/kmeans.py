@@ -19,7 +19,12 @@ import numpy as np
 from .distance import pairwise_sq_euclidean
 from .validation import as_matrix, check_random_state
 
-__all__ = ["KMeans", "KMeansResult", "kmeans_plus_plus_init"]
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "StreamingKMeans",
+    "kmeans_plus_plus_init",
+]
 
 
 @dataclass(frozen=True)
@@ -219,6 +224,176 @@ class KMeans:
             n_iter=n_iter,
             converged=converged,
         )
+
+
+class StreamingKMeans:
+    """Lloyd's k-means over streamed row batches (out-of-core fit).
+
+    Exact-equivalence contract: while the whole dataset fits in the
+    initialisation *sample* (``len(sample) == n_total``), fitting
+    delegates to the in-memory :class:`KMeans` on that sample, so the
+    result is bit-identical to the in-memory path.  Beyond that, the
+    centroids are seeded by an in-memory k-means++ fit on the uniform
+    sample and refined with full-data Lloyd passes over the batch
+    stream — the documented out-of-core approximation.  Empty clusters
+    are repaired the same way as in-memory: re-seeded on the points
+    currently farthest from their assigned centroid.
+
+    ``batches`` is a zero-argument callable returning a fresh iterator
+    of ``(rows, n_features)`` arrays; it is consumed once per Lloyd
+    pass plus once for the final labelling pass.  Results depend only
+    on the row stream, not on how it is batched.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-8,
+        seed=None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.result_: KMeansResult | None = None
+        #: Squared distance from each row to its assigned centroid, in
+        #: stream order — kept so representative extraction does not
+        #: need the full score matrix in memory.
+        self.point_sq_distances_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        batches,
+        *,
+        n_total: int,
+        sample,
+        sample_weight=None,
+    ) -> KMeansResult:
+        sample = as_matrix(sample, name="sample")
+        if self.n_clusters > n_total:
+            raise ValueError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n_total}"
+            )
+        if sample.shape[0] >= n_total:
+            return self._fit_exact(sample, sample_weight)
+        if sample_weight is not None:
+            raise ValueError(
+                "sample_weight requires the full dataset inside the "
+                "initialisation sample; raise the sample capacity or use "
+                "the in-memory fit"
+            )
+        return self._fit_streaming(batches, n_total, sample)
+
+    # ------------------------------------------------------------------
+    def _fit_exact(self, sample, sample_weight) -> KMeansResult:
+        base = KMeans(
+            self.n_clusters,
+            n_init=self.n_init,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            seed=self.seed,
+        ).fit(sample, sample_weight)
+        self.point_sq_distances_ = _assigned_sq_distances(
+            sample, base.centroids, base.labels
+        )
+        self.result_ = base
+        return base
+
+    def _fit_streaming(self, batches, n_total, sample) -> KMeansResult:
+        seed_fit = KMeans(
+            self.n_clusters,
+            n_init=self.n_init,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            seed=self.seed,
+        ).fit(sample)
+        centroids = seed_fit.centroids.copy()
+        k = self.n_clusters
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            sums = np.zeros_like(centroids)
+            counts = np.zeros(k, dtype=np.float64)
+            far_vals = np.full(k, -np.inf)
+            far_rows = np.zeros_like(centroids)
+            for batch in batches():
+                matrix = as_matrix(batch, name="batch")
+                dist = pairwise_sq_euclidean(matrix, centroids)
+                labels = np.argmin(dist, axis=1)
+                point_sq = dist[np.arange(matrix.shape[0]), labels]
+                counts += np.bincount(labels, minlength=k)
+                np.add.at(sums, labels, matrix)
+                # Track the k globally farthest points for empty-cluster
+                # repair without a second pass.
+                top = np.argsort(point_sq, kind="stable")[::-1][:k]
+                merged_vals = np.concatenate([far_vals, point_sq[top]])
+                merged_rows = np.concatenate([far_rows, matrix[top]])
+                keep = np.argsort(merged_vals, kind="stable")[::-1][:k]
+                far_vals = merged_vals[keep]
+                far_rows = merged_rows[keep]
+            new_centroids = centroids.copy()
+            live = counts > 0
+            new_centroids[live] = sums[live] / counts[live, None]
+            empty = np.flatnonzero(~live)
+            for slot, cluster in enumerate(empty):
+                if np.isfinite(far_vals[slot % k]):
+                    new_centroids[cluster] = far_rows[slot % k]
+            shift = float(((new_centroids - centroids) ** 2).sum())
+            centroids = new_centroids
+            if shift <= self.tol:
+                converged = True
+                break
+
+        labels = np.empty(n_total, dtype=np.intp)
+        point_sq = np.empty(n_total, dtype=np.float64)
+        position = 0
+        for batch in batches():
+            matrix = as_matrix(batch, name="batch")
+            dist = pairwise_sq_euclidean(matrix, centroids)
+            batch_labels = np.argmin(dist, axis=1)
+            rows = matrix.shape[0]
+            labels[position : position + rows] = batch_labels
+            point_sq[position : position + rows] = _assigned_sq_distances(
+                matrix, centroids, batch_labels
+            )
+            position += rows
+        if position != n_total:
+            raise ValueError(
+                f"batch stream yielded {position} rows, expected {n_total}"
+            )
+        result = KMeansResult(
+            centroids=centroids,
+            labels=labels,
+            inertia=float(point_sq.sum()),
+            n_iter=n_iter,
+            converged=converged,
+        )
+        self.point_sq_distances_ = point_sq
+        self.result_ = result
+        return result
+
+
+def _assigned_sq_distances(
+    data: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Squared distance of each row to its assigned centroid.
+
+    Computed by direct differencing, not the expanded
+    ``||x||² - 2x·c + ||c||²`` form of :func:`pairwise_sq_euclidean`:
+    the direct form preserves exact distance ties (e.g. the two members
+    of a 2-point cluster are *exactly* equidistant from their mean), so
+    representative ranking breaks those ties by index — identically to
+    the in-memory path, which ranks by ``np.linalg.norm`` differences.
+    """
+    diff = data - centroids[labels]
+    return np.einsum("ij,ij->i", diff, diff)
 
 
 def _update_centroids(

@@ -39,17 +39,39 @@ class StandardScaler:
     def fit(self, data) -> "StandardScaler":
         """Learn per-column mean and standard deviation."""
         matrix = as_matrix(data, name="data")
-        self.mean_ = matrix.mean(axis=0)
-        std = matrix.std(axis=0, ddof=0)
+        return self._set_statistics(
+            matrix.mean(axis=0), matrix.std(axis=0, ddof=0), matrix.shape[0]
+        )
+
+    @classmethod
+    def from_moments(
+        cls, mean: np.ndarray, std: np.ndarray, n_samples: int
+    ) -> "StandardScaler":
+        """Scaler from externally accumulated statistics.
+
+        The out-of-core fit derives mean/std from streamed
+        :class:`~repro.stats.streaming.RunningMoments` rather than a
+        resident matrix; this applies the same constant-column guard as
+        :meth:`fit` so both paths share one tolerance rule.
+        """
+        return cls()._set_statistics(
+            np.asarray(mean, dtype=np.float64),
+            np.asarray(std, dtype=np.float64),
+            n_samples,
+        )
+
+    def _set_statistics(
+        self, mean: np.ndarray, std: np.ndarray, n_samples: int
+    ) -> "StandardScaler":
+        self.mean_ = mean
         # Constant columns carry no information; dividing by 1 keeps them
         # at ~zero after centring instead of producing NaN.  The threshold
         # is relative to the column magnitude: a column of identical large
         # values has a tiny but non-zero float std that must not be used
         # as a divisor.
-        tolerance = 1e-12 * np.maximum(1.0, np.abs(self.mean_))
-        std = np.where(std > tolerance, std, 1.0)
-        self.scale_ = std
-        self.n_samples_ = matrix.shape[0]
+        tolerance = 1e-12 * np.maximum(1.0, np.abs(mean))
+        self.scale_ = np.where(std > tolerance, std, 1.0)
+        self.n_samples_ = n_samples
         return self
 
     def transform(self, data) -> np.ndarray:

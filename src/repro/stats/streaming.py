@@ -1,0 +1,201 @@
+"""Mergeable streaming statistics for out-of-core fitting.
+
+The sharded scenario store (``repro.store``) lets FLARE profile and fit
+datasets far larger than RAM, which requires every global statistic the
+in-memory pipeline computes in one shot — per-metric mean/variance for
+standardisation, the metric correlation matrix for pruning, the
+covariance matrix behind PCA — to be accumulated batch-by-batch instead.
+
+:class:`RunningMoments` does that with the pairwise/batched update of
+Chan, Golub & LeVeque: each batch contributes its own exact moments,
+merged into the running total with the cross-term correction, so the
+result is independent of how rows were split into batches (up to float
+rounding ~1e-12 relative, the documented tolerance of the out-of-core
+fit).  :class:`ReservoirSampler` provides the deterministic uniform row
+sample used to seed streaming k-means; below its capacity it retains
+*every* row in order, which is what makes the small-dataset streaming
+fit collapse to the exact in-memory computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .validation import as_matrix, check_random_state
+
+__all__ = ["RunningMoments", "ReservoirSampler"]
+
+
+class RunningMoments:
+    """Streaming mean / covariance over row batches (Chan et al. merge).
+
+    Accumulates ``n``, the per-column mean, and the comoment matrix
+    ``M = sum_i (x_i - mean)(x_i - mean)^T``; variance, covariance and
+    Pearson correlation are derived from those on demand.  Batches may
+    arrive in any sizes; the totals depend only on the multiset of rows.
+    """
+
+    def __init__(self, n_features: int | None = None) -> None:
+        self.n = 0
+        self.mean: np.ndarray | None = None
+        self.comoment: np.ndarray | None = None
+        if n_features is not None:
+            self.mean = np.zeros(n_features, dtype=np.float64)
+            self.comoment = np.zeros(
+                (n_features, n_features), dtype=np.float64
+            )
+
+    @property
+    def n_features(self) -> int:
+        if self.mean is None:
+            raise RuntimeError("RunningMoments has seen no data")
+        return self.mean.shape[0]
+
+    # ------------------------------------------------------------------
+    def update(self, batch) -> "RunningMoments":
+        """Fold a ``(rows, n_features)`` batch into the running totals."""
+        matrix = as_matrix(batch, name="batch")
+        b_n = matrix.shape[0]
+        if b_n == 0:
+            return self
+        b_mean = matrix.mean(axis=0)
+        centered = matrix - b_mean
+        b_comoment = centered.T @ centered
+        return self._merge_raw(b_n, b_mean, b_comoment)
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Fold another accumulator into this one (associative)."""
+        if other.n == 0 or other.mean is None or other.comoment is None:
+            return self
+        return self._merge_raw(other.n, other.mean, other.comoment)
+
+    def _merge_raw(
+        self, b_n: int, b_mean: np.ndarray, b_comoment: np.ndarray
+    ) -> "RunningMoments":
+        if self.mean is None or self.comoment is None:
+            self.mean = np.zeros(b_mean.shape[0], dtype=np.float64)
+            self.comoment = np.zeros(
+                (b_mean.shape[0], b_mean.shape[0]), dtype=np.float64
+            )
+        if b_mean.shape[0] != self.mean.shape[0]:
+            raise ValueError(
+                f"batch has {b_mean.shape[0]} features, accumulator "
+                f"has {self.mean.shape[0]}"
+            )
+        total = self.n + b_n
+        delta = b_mean - self.mean
+        # Cross-term correction: between-group variance of the two means.
+        self.comoment += b_comoment + np.outer(delta, delta) * (
+            self.n * b_n / total
+        )
+        self.mean = self.mean + delta * (b_n / total)
+        self.n = total
+        return self
+
+    # ------------------------------------------------------------------
+    def variance(self, ddof: int = 0) -> np.ndarray:
+        """Per-column variance with *ddof* degrees-of-freedom correction."""
+        self._require_data(min_n=ddof + 1)
+        return np.diag(self.comoment) / (self.n - ddof)
+
+    def std(self, ddof: int = 0) -> np.ndarray:
+        return np.sqrt(np.maximum(self.variance(ddof=ddof), 0.0))
+
+    def covariance(self, ddof: int = 1) -> np.ndarray:
+        """Covariance matrix with *ddof* correction (default sample cov)."""
+        self._require_data(min_n=ddof + 1)
+        return self.comoment / (self.n - ddof)
+
+    def correlation(self) -> np.ndarray:
+        """Pearson correlation, matching :func:`correlation_matrix`.
+
+        Constant columns get correlation 0 with everything (including
+        themselves), and values are clipped to ``[-1, 1]``.  Unlike the
+        exact in-memory computation — where a constant column centres to
+        exactly zero — streamed accumulation leaves float noise of order
+        ``eps * |mean|`` on dead columns, so liveness uses the same
+        relative tolerance as ``StandardScaler``.
+        """
+        self._require_data(min_n=2)
+        std = self.std(ddof=0)
+        live = std > 1e-12 * np.maximum(1.0, np.abs(self.mean))
+        denom = np.where(live, std, 1.0)
+        corr = self.comoment / (self.n * np.outer(denom, denom))
+        corr[~live, :] = 0.0
+        corr[:, ~live] = 0.0
+        np.clip(corr, -1.0, 1.0, out=corr)
+        return corr
+
+    def _require_data(self, *, min_n: int) -> None:
+        if self.mean is None or self.comoment is None or self.n < min_n:
+            raise RuntimeError(
+                f"RunningMoments needs at least {min_n} rows, has {self.n}"
+            )
+
+
+class ReservoirSampler:
+    """Deterministic uniform sample of streamed rows (Algorithm R).
+
+    While the stream fits within *capacity* the sampler simply retains
+    every row **in arrival order** — the exact-equivalence hook the
+    streaming fit relies on.  Past capacity, each new row ``i`` (0-based)
+    replaces a uniformly chosen slot with probability ``capacity/(i+1)``,
+    giving a uniform sample of all rows seen.  Fully seeded: the same
+    stream and seed always yield the same sample.
+    """
+
+    def __init__(self, capacity: int, *, seed=None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = check_random_state(seed)
+        self._rows: np.ndarray | None = None
+        self._filled = 0
+        self.n_seen = 0
+
+    @property
+    def saturated(self) -> bool:
+        """True once more rows were seen than the reservoir holds."""
+        return self.n_seen > self.capacity
+
+    # ------------------------------------------------------------------
+    def update(self, batch) -> "ReservoirSampler":
+        matrix = as_matrix(batch, name="batch")
+        if self._rows is None:
+            self._rows = np.empty(
+                (self.capacity, matrix.shape[1]), dtype=np.float64
+            )
+        if matrix.shape[1] != self._rows.shape[1]:
+            raise ValueError(
+                f"batch has {matrix.shape[1]} features, sampler "
+                f"has {self._rows.shape[1]}"
+            )
+        start = 0
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, matrix.shape[0])
+            self._rows[self._filled : self._filled + take] = matrix[:take]
+            self._filled += take
+            self.n_seen += take
+            start = take
+        remainder = matrix.shape[0] - start
+        if remainder > 0:
+            # Vectorised replacement draws: row with global index i keeps
+            # slot floor(u * (i+1)), a uniform draw over 0..i; it lands in
+            # the reservoir iff that slot is < capacity.
+            indices = np.arange(
+                self.n_seen, self.n_seen + remainder, dtype=np.int64
+            )
+            slots = np.floor(
+                self._rng.random(remainder) * (indices + 1)
+            ).astype(np.int64)
+            hits = np.flatnonzero(slots < self.capacity)
+            for offset in hits:
+                self._rows[slots[offset]] = matrix[start + offset]
+            self.n_seen += remainder
+        return self
+
+    def sample(self) -> np.ndarray:
+        """The retained rows (arrival order until saturation)."""
+        if self._rows is None:
+            raise RuntimeError("ReservoirSampler has seen no data")
+        return self._rows[: self._filled].copy()

@@ -1,0 +1,45 @@
+"""Sharded columnar scenario store: FLARE's out-of-core dataset backing.
+
+``repro.store`` persists a scenario population as a directory of
+fixed-size shards — numpy structured arrays on disk, memory-mapped on
+read — described by a JSON manifest carrying the schema version,
+per-shard row counts and content digests.  A
+:class:`ShardedScenarioStore` satisfies the same
+:class:`~repro.cluster.ScenarioSource` protocol as the in-memory
+:class:`~repro.cluster.ScenarioDataset`, so simulation
+(``run_simulation(..., sink=StoreWriter(...))``), profiling
+(``Profiler.profile(store)``) and fitting (``Flare.fit(store)``) stream
+shard-by-shard with peak memory bounded by the shard size, not the
+dataset size.  See ``docs/store.md`` for the on-disk format.
+"""
+
+from .format import (
+    DEFAULT_SHARD_SIZE,
+    STORE_FORMAT,
+    STORE_FORMAT_VERSION,
+    StoreCorruptionError,
+    StoreError,
+)
+from .metrics_store import MetricStore, MetricStoreWriter
+from .store import (
+    ShardedScenarioStore,
+    StoreWriter,
+    compact_store,
+    open_store,
+    write_store,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "StoreError",
+    "StoreCorruptionError",
+    "ShardedScenarioStore",
+    "StoreWriter",
+    "MetricStore",
+    "MetricStoreWriter",
+    "open_store",
+    "write_store",
+    "compact_store",
+]

@@ -1,0 +1,212 @@
+"""On-disk shard codec for the scenario store.
+
+Each shard is a pair of uncompressed ``.npy`` files holding numpy
+structured arrays — the columnar split of the scenario records:
+
+* ``<name>.scenarios.npy`` — one row per scenario: id, occurrence
+  count, observed duration, and the (offset, count) slice of its
+  instances in the companion file;
+* ``<name>.instances.npy`` — one row per running instance: an interned
+  job index (into the manifest's ``job_names`` list) and the load.
+
+Uncompressed ``.npy`` is the point, not a shortcut: ``numpy.load``
+memory-maps it directly, so readers touch only the pages they use and
+the OS owns eviction — which is what keeps profiling and fitting at
+shard-bounded memory.  Writes go to a temp file in the same directory
+followed by ``os.replace``, so a crash mid-write can leave garbage temp
+files but never a half-written shard under a live name; the manifest is
+written last, making store creation atomic as a whole (no manifest, no
+store).  Every array's sha256 is recorded in the manifest and checked
+on read, so truncation and corruption are detected rather than decoded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+
+import numpy as np
+
+from ..cluster.machine import MachineShape
+from ..cluster.scenario import Scenario, ScenarioDataset
+from ..perfmodel.contention import RunningInstance
+from ..perfmodel.signatures import JobSignature
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "SCENARIO_DTYPE",
+    "INSTANCE_DTYPE",
+    "StoreError",
+    "StoreCorruptionError",
+    "array_digest",
+    "write_array_atomic",
+    "read_shard_array",
+    "encode_shard",
+    "decode_shard",
+]
+
+STORE_FORMAT = "repro-scenario-store"
+STORE_FORMAT_VERSION = 1
+DEFAULT_SHARD_SIZE = 1024
+
+#: Columnar scenario record; ``inst_offset``/``inst_count`` index the
+#: shard's instance table.  Explicit little-endian so shards are
+#: byte-identical across platforms.
+SCENARIO_DTYPE = np.dtype(
+    [
+        ("scenario_id", "<i8"),
+        ("n_occurrences", "<i8"),
+        ("total_duration_s", "<f8"),
+        ("inst_offset", "<i8"),
+        ("inst_count", "<i4"),
+    ]
+)
+
+#: One running instance: interned job index + load.
+INSTANCE_DTYPE = np.dtype([("job", "<i4"), ("load", "<f8")])
+
+
+class StoreError(Exception):
+    """A scenario-store operation failed."""
+
+
+class StoreCorruptionError(StoreError):
+    """On-disk bytes do not match what the manifest promises."""
+
+
+def array_digest(array: np.ndarray) -> str:
+    """sha256 of the array's C-order bytes."""
+    return hashlib.sha256(
+        np.ascontiguousarray(array).tobytes()
+    ).hexdigest()
+
+
+def write_array_atomic(path: pathlib.Path, array: np.ndarray) -> int:
+    """Write *array* as ``.npy`` via temp-file + rename; returns bytes."""
+    path = pathlib.Path(path)
+    temporary = path.with_name(f".tmp-{path.name}")
+    try:
+        with temporary.open("wb") as handle:
+            np.save(handle, array)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
+    return path.stat().st_size
+
+
+def read_shard_array(
+    path: pathlib.Path,
+    *,
+    mmap: bool = True,
+    expected_rows: int | None = None,
+    expected_digest: str | None = None,
+) -> np.ndarray:
+    """Load one shard array, verifying it against the manifest entry.
+
+    With ``mmap=True`` (the default) the data stays on disk and pages in
+    on access.  Digest verification necessarily touches every page of
+    the shard — a shard-sized cost, which is the unit the whole store is
+    designed to bound memory and latency by.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise StoreCorruptionError(f"missing shard file: {path}")
+    try:
+        array = np.load(
+            path, mmap_mode="r" if mmap else None, allow_pickle=False
+        )
+    except Exception as error:
+        raise StoreCorruptionError(
+            f"unreadable shard file {path}: {error}"
+        ) from error
+    if expected_rows is not None and array.shape[0] != expected_rows:
+        raise StoreCorruptionError(
+            f"shard {path.name} has {array.shape[0]} rows, manifest "
+            f"says {expected_rows}"
+        )
+    if expected_digest is not None:
+        actual = array_digest(array)
+        if actual != expected_digest:
+            raise StoreCorruptionError(
+                f"shard {path.name} content digest mismatch "
+                f"(manifest {expected_digest[:12]}…, file {actual[:12]}…)"
+            )
+    return array
+
+
+# ----------------------------------------------------------------------
+def encode_shard(
+    scenarios: tuple[Scenario, ...] | list[Scenario],
+    job_index: dict[str, int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Columnarise *scenarios* into (scenario table, instance table).
+
+    *job_index* interns job names; unseen names are assigned the next
+    index in place, so the caller's ``job_names`` list (ordered by
+    index) stays in sync across shards.
+    """
+    scenario_table = np.empty(len(scenarios), dtype=SCENARIO_DTYPE)
+    n_instances = sum(len(s.instances) for s in scenarios)
+    instance_table = np.empty(n_instances, dtype=INSTANCE_DTYPE)
+    offset = 0
+    for row, scenario in enumerate(scenarios):
+        scenario_table[row] = (
+            scenario.scenario_id,
+            scenario.n_occurrences,
+            scenario.total_duration_s,
+            offset,
+            len(scenario.instances),
+        )
+        for instance in scenario.instances:
+            name = instance.signature.name
+            index = job_index.setdefault(name, len(job_index))
+            instance_table[offset] = (index, instance.load)
+            offset += 1
+    return scenario_table, instance_table
+
+
+def decode_shard(
+    scenario_table: np.ndarray,
+    instance_table: np.ndarray,
+    job_names: list[str],
+    signatures: dict[str, JobSignature],
+    shape: MachineShape,
+) -> ScenarioDataset:
+    """Rebuild the in-memory scenarios of one shard.
+
+    The scenario key is recomputed from the instance job counts, the
+    same reconstruction ``dataset_from_dict`` performs for the legacy
+    JSON format — so a store round trip is indistinguishable from a
+    JSON round trip.
+    """
+    scenarios = []
+    jobs = instance_table["job"]
+    loads = instance_table["load"]
+    for row in scenario_table:
+        start = int(row["inst_offset"])
+        stop = start + int(row["inst_count"])
+        counts: dict[str, int] = {}
+        instances = []
+        for position in range(start, stop):
+            name = job_names[jobs[position]]
+            counts[name] = counts.get(name, 0) + 1
+            instances.append(
+                RunningInstance(
+                    signature=signatures[name], load=float(loads[position])
+                )
+            )
+        scenarios.append(
+            Scenario(
+                scenario_id=int(row["scenario_id"]),
+                key=tuple(sorted(counts.items())),
+                instances=tuple(instances),
+                n_occurrences=int(row["n_occurrences"]),
+                total_duration_s=float(row["total_duration_s"]),
+            )
+        )
+    return ScenarioDataset(shape=shape, scenarios=tuple(scenarios))

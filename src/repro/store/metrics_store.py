@@ -1,0 +1,155 @@
+"""Sharded spill store for profiled metric matrices.
+
+The out-of-core fit profiles scenarios shard-by-shard but needs several
+passes over the resulting metric rows (pruning statistics, PCA, score
+projection, k-means).  Rather than retaining the full ``n x ~100``
+float64 matrix in memory, each profiled batch is appended here as a
+plain 2-D ``.npy`` shard and re-read memory-mapped on every pass — the
+same atomic-write / digest-verified discipline as the scenario store,
+without the scenario codec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Iterator
+
+import numpy as np
+
+from .format import (
+    StoreCorruptionError,
+    StoreError,
+    array_digest,
+    read_shard_array,
+    write_array_atomic,
+)
+
+__all__ = ["MetricStore", "MetricStoreWriter"]
+
+METRICS_FORMAT = "repro-metric-store"
+METRICS_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class MetricStoreWriter:
+    """Append profiled metric batches as shards; finalize to read."""
+
+    def __init__(
+        self, path, metric_names: tuple[str, ...], *, overwrite: bool = False
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.metric_names = tuple(metric_names)
+        self.path.mkdir(parents=True, exist_ok=True)
+        if (self.path / MANIFEST_NAME).exists() and not overwrite:
+            raise StoreError(
+                f"{self.path} already contains a metric store "
+                "(pass overwrite=True to replace it)"
+            )
+        self._shards: list[dict[str, Any]] = []
+        self._total_rows = 0
+        self._finalized = False
+
+    def append(self, matrix: np.ndarray) -> None:
+        """Write one ``(rows, n_metrics)`` float64 batch as a shard."""
+        if self._finalized:
+            raise StoreError("MetricStoreWriter is already finalized")
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.metric_names):
+            raise ValueError(
+                f"expected (rows, {len(self.metric_names)}) matrix, "
+                f"got {matrix.shape}"
+            )
+        name = f"metrics-{len(self._shards):05d}"
+        nbytes = write_array_atomic(self.path / f"{name}.npy", matrix)
+        self._shards.append(
+            {
+                "name": name,
+                "rows": int(matrix.shape[0]),
+                "digest": array_digest(matrix),
+                "bytes": nbytes,
+            }
+        )
+        self._total_rows += int(matrix.shape[0])
+
+    def finalize(self) -> "MetricStore":
+        if not self._finalized:
+            manifest = {
+                "format": METRICS_FORMAT,
+                "format_version": METRICS_FORMAT_VERSION,
+                "metric_names": list(self.metric_names),
+                "total_rows": self._total_rows,
+                "shards": self._shards,
+            }
+            manifest_path = self.path / MANIFEST_NAME
+            temporary = manifest_path.with_name(f".tmp-{MANIFEST_NAME}")
+            try:
+                with temporary.open("w") as handle:
+                    json.dump(manifest, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temporary, manifest_path)
+            finally:
+                temporary.unlink(missing_ok=True)
+            self._finalized = True
+        return MetricStore.open(self.path)
+
+
+class MetricStore:
+    """Reader over metric shards; every pass re-maps from disk."""
+
+    def __init__(self, path, manifest: dict[str, Any]) -> None:
+        if manifest.get("format") != METRICS_FORMAT:
+            raise StoreError(
+                f"not a metric store (format {manifest.get('format')!r})"
+            )
+        if manifest.get("format_version") != METRICS_FORMAT_VERSION:
+            raise StoreError(
+                "unsupported metric-store format version "
+                f"{manifest.get('format_version')!r}"
+            )
+        self.path = pathlib.Path(path)
+        self.manifest = manifest
+        self.metric_names = tuple(manifest["metric_names"])
+        self._shards = list(manifest["shards"])
+        declared = sum(entry["rows"] for entry in self._shards)
+        if declared != manifest["total_rows"]:
+            raise StoreCorruptionError(
+                f"metric manifest total_rows={manifest['total_rows']} "
+                f"but shards sum to {declared}"
+            )
+
+    @classmethod
+    def open(cls, path) -> "MetricStore":
+        path = pathlib.Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"no metric-store manifest at {manifest_path}")
+        return cls(path, json.loads(manifest_path.read_text()))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.manifest["total_rows"])
+
+    def iter_matrices(
+        self, *, mmap: bool = True, verify: bool = False
+    ) -> Iterator[np.ndarray]:
+        """Yield the metric shards in row order.
+
+        Verification is off by default: the fit makes several passes
+        over shards it wrote moments earlier in the same process, and
+        digesting every pass would triple the read cost for no new
+        information.  ``verify=True`` is for reopening cold data.
+        """
+        for entry in self._shards:
+            yield read_shard_array(
+                self.path / f"{entry['name']}.npy",
+                mmap=mmap,
+                expected_rows=entry["rows"],
+                expected_digest=entry["digest"] if verify else None,
+            )

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..cluster.features import BASELINE, Feature
 from ..cluster.scenario import Scenario, ScenarioDataset
+from ..cluster.source import ScenarioSource, resolve_source_argument
 from ..perfmodel.contention import (
     ColocationPerformance,
     InstancePerformance,
@@ -34,7 +35,13 @@ from .metrics import (
 )
 from .noise import MeasurementNoise
 
-__all__ = ["ProfiledDataset", "Profiler", "format_command", "parse_command"]
+__all__ = [
+    "ProfiledBatch",
+    "ProfiledDataset",
+    "Profiler",
+    "format_command",
+    "parse_command",
+]
 
 
 def format_command(instance: RunningInstance) -> str:
@@ -64,12 +71,13 @@ def parse_command(command: str) -> tuple[str, float]:
 
 @dataclass(frozen=True)
 class ProfiledDataset:
-    """Scenario dataset + its collected raw-metric matrix.
+    """Scenario source + its collected raw-metric matrix.
 
     Attributes
     ----------
     dataset:
-        The scenarios (identity, recorded instances, weights).
+        The scenarios (identity, recorded instances, weights) — any
+        :class:`~repro.cluster.ScenarioSource`, in-memory or sharded.
     machine:
         The machine configuration the metrics were collected under.
     specs:
@@ -78,7 +86,7 @@ class ProfiledDataset:
         ``(n_scenarios, n_metrics)`` raw counter values.
     """
 
-    dataset: ScenarioDataset
+    dataset: ScenarioSource
     machine: MachinePerf
     specs: tuple[MetricSpec, ...]
     matrix: np.ndarray
@@ -102,6 +110,25 @@ class ProfiledDataset:
         except ValueError:
             raise KeyError(f"unknown metric {metric!r}") from None
         return self.matrix[:, idx].copy()
+
+
+@dataclass(frozen=True)
+class ProfiledBatch:
+    """One profiled slice of a streaming source (``Profiler.iter_profile``).
+
+    Attributes
+    ----------
+    start_row:
+        Global row index of the batch's first scenario.
+    dataset:
+        The decoded scenarios of this batch only.
+    matrix:
+        ``(len(dataset), n_metrics)`` raw counter values, noise applied.
+    """
+
+    start_row: int
+    dataset: ScenarioDataset
+    matrix: np.ndarray
 
 
 class Profiler:
@@ -183,23 +210,38 @@ class Profiler:
     # ------------------------------------------------------------------
     def profile(
         self,
-        dataset: ScenarioDataset,
+        source: ScenarioSource | None = None,
         feature: Feature = BASELINE,
         *,
         executor=None,
+        dataset: ScenarioDataset | None = None,
     ) -> ProfiledDataset:
         """Collect metrics for every scenario under *feature*'s machine.
+
+        Accepts any :class:`~repro.cluster.ScenarioSource`: an
+        in-memory dataset is profiled in one piece (the historical
+        path, unchanged), while a sharded store is profiled
+        batch-by-batch through :meth:`iter_profile` and the rows
+        assembled into one matrix.  The noise stream is consumed in
+        global row order either way, so the matrix is bit-identical
+        across backings, executors and batch sizes.
 
         ``executor`` optionally fans the per-scenario collection out
         through a :class:`repro.runtime.Executor` (instance or spec
         string).  Only the noise-free :meth:`collect` step — a pure
         function of the scenario — is parallelised; measurement noise
         is applied in the parent in row order from the single shared
-        stream, so the result is bit-identical to the serial path under
-        any executor and worker count.
+        stream.  The legacy ``dataset=`` keyword still works with a
+        :class:`DeprecationWarning`.
         """
         from ..obs import inc, span
 
+        source = resolve_source_argument(
+            source, dataset, owner="Profiler.profile"
+        )
+        if not isinstance(source, ScenarioDataset):
+            return self._profile_streaming(source, feature, executor)
+        dataset = source
         with span(
             "profiler.profile",
             n_scenarios=len(dataset),
@@ -228,6 +270,146 @@ class Profiler:
         return ProfiledDataset(
             dataset=dataset, machine=machine, specs=self.specs, matrix=matrix
         )
+
+    def _profile_streaming(
+        self, source: ScenarioSource, feature: Feature, executor
+    ) -> ProfiledDataset:
+        """profile() over a non-resident source, via iter_profile."""
+        from ..obs import span
+
+        with span(
+            "profiler.profile",
+            n_scenarios=len(source),
+            n_metrics=len(self.specs),
+            feature=feature.name,
+            streaming=True,
+        ):
+            machine = feature(source.shape.perf)
+            matrix = np.empty((len(source), len(self.specs)))
+            for batch in self.iter_profile(
+                source, feature, executor=executor
+            ):
+                stop = batch.start_row + batch.matrix.shape[0]
+                matrix[batch.start_row : stop] = batch.matrix
+        return ProfiledDataset(
+            dataset=source, machine=machine, specs=self.specs, matrix=matrix
+        )
+
+    def iter_profile(
+        self,
+        source: ScenarioSource | None = None,
+        feature: Feature = BASELINE,
+        *,
+        executor=None,
+        window: int | None = None,
+        dataset: ScenarioDataset | None = None,
+    ):
+        """Profile a source batch-by-batch, yielding :class:`ProfiledBatch`.
+
+        This is the streaming producer behind the out-of-core fit: at
+        most a *window* of batches (shards, for a store) is resident at
+        once, so peak memory is bounded by shard size rather than
+        dataset size.  With an executor, each window is dispatched as
+        one ``map`` call with one batch per chunk — so chunks align
+        with shards, and a :class:`~repro.runtime.CheckpointJournal`
+        resumes at shard granularity.  Chunk journal keys cover the
+        batch *content*, not the window grouping, so a resumed run may
+        use a different executor or window and still hit.
+
+        Measurement noise is applied in the parent, in global row
+        order, from the single seeded stream — yielded matrices are
+        bit-identical to the in-memory path's rows under any executor,
+        worker count or batch size.
+        """
+        from ..obs import inc, span
+
+        source = resolve_source_argument(
+            source, dataset, owner="Profiler.iter_profile"
+        )
+        machine = feature(source.shape.perf)
+        noise = MeasurementNoise(
+            self.noise_sigma, np.random.default_rng(self.seed)
+        )
+        start_row = 0
+        if executor is None:
+            for batch in source.iter_batches():
+                with span(
+                    "profiler.profile_batch",
+                    n_scenarios=len(batch),
+                    start_row=start_row,
+                    feature=feature.name,
+                ):
+                    clean = np.empty((len(batch), len(self.specs)))
+                    for row, scenario in enumerate(batch.scenarios):
+                        clean[row] = self.collect(scenario, batch, machine)
+                    matrix = self._finish_batch(batch, clean, noise)
+                inc("scenarios_profiled", len(batch))
+                yield ProfiledBatch(
+                    start_row=start_row, dataset=batch, matrix=matrix
+                )
+                start_row += len(batch)
+            return
+
+        import copy
+
+        from ..runtime.executor import resolve_executor
+        from ..runtime.resilience import TaskFailure
+
+        resolved = resolve_executor(executor)
+        if window is None:
+            window = 2 * getattr(resolved, "max_workers", 2)
+        worker_profiler = copy.copy(self)
+        worker_profiler.database = None
+        task = _CollectBatchTask(profiler=worker_profiler, machine=machine)
+        pending: list[ScenarioDataset] = []
+
+        def drain():
+            nonlocal start_row
+            cleans = resolved.map(
+                task, list(pending), chunk_size=1, stage="profile"
+            )
+            for batch, clean in zip(pending, cleans):
+                if isinstance(clean, TaskFailure):
+                    raise RuntimeError(
+                        f"profiling lost the batch at row {start_row} "
+                        f"({clean.error_type}: {clean.message}); a partial "
+                        "metric matrix would skew every downstream stage — "
+                        "rerun with a non-skipping failure policy"
+                    )
+                with span(
+                    "profiler.profile_batch",
+                    n_scenarios=len(batch),
+                    start_row=start_row,
+                    feature=feature.name,
+                ):
+                    matrix = self._finish_batch(batch, clean, noise)
+                inc("scenarios_profiled", len(batch))
+                yield ProfiledBatch(
+                    start_row=start_row, dataset=batch, matrix=matrix
+                )
+                start_row += len(batch)
+            pending.clear()
+
+        for batch in source.iter_batches():
+            pending.append(batch)
+            if len(pending) >= window:
+                yield from drain()
+        if pending:
+            yield from drain()
+
+    def _finish_batch(
+        self,
+        batch: ScenarioDataset,
+        clean: np.ndarray,
+        noise: MeasurementNoise,
+    ) -> np.ndarray:
+        """Apply noise in row order and persist: the parent-only steps."""
+        matrix = np.empty_like(clean)
+        for row, scenario in enumerate(batch.scenarios):
+            matrix[row] = noise.apply(clean[row], self.specs)
+            if self.database is not None:
+                self._persist(scenario, matrix[row])
+        return matrix
 
     def _collect_all(
         self,
@@ -439,6 +621,25 @@ class _CollectTask:
         return self.profiler.collect(
             self.dataset.scenarios[row], self.dataset, self.machine
         )
+
+
+@dataclass(frozen=True)
+class _CollectBatchTask:
+    """Picklable per-batch profiling task for streaming fan-out.
+
+    The item *is* the batch dataset, so a checkpoint journal keys each
+    chunk by batch content — independent of how batches were grouped
+    into dispatch windows.
+    """
+
+    profiler: "Profiler"
+    machine: MachinePerf
+
+    def __call__(self, batch: ScenarioDataset) -> np.ndarray:
+        clean = np.empty((len(batch), len(self.profiler.specs)))
+        for row, scenario in enumerate(batch.scenarios):
+            clean[row] = self.profiler.collect(scenario, batch, self.machine)
+        return clean
 
 
 # ----------------------------------------------------------------------

@@ -92,6 +92,109 @@ class TestDatasetRoundTrip:
         assert sig.base_cpi == 0.33
 
 
+class TestUnifiedDatasetPersistence:
+    """save_dataset/load_dataset dispatch between JSON and store formats."""
+
+    def test_shard_size_selects_store_format(self, tiny_dataset, tmp_path):
+        from repro.store import ShardedScenarioStore
+
+        target = tmp_path / "store"
+        written = save_dataset(tiny_dataset, target, shard_size=2)
+        assert isinstance(written, ShardedScenarioStore)
+        assert (target / "manifest.json").exists()
+
+    def test_load_auto_detects_store_directory(self, tiny_dataset, tmp_path):
+        from repro.store import ShardedScenarioStore
+
+        target = tmp_path / "store"
+        save_dataset(tiny_dataset, target, shard_size=2)
+        loaded = load_dataset(target)
+        assert isinstance(loaded, ShardedScenarioStore)
+        assert loaded.digest() == tiny_dataset.digest()
+
+    def test_store_round_trip_preserves_scenarios(
+        self, tiny_dataset, tmp_path
+    ):
+        save_dataset(tiny_dataset, tmp_path / "store", shard_size=2)
+        back = load_dataset(tmp_path / "store").to_dataset()
+        for a, b in zip(tiny_dataset.scenarios, back.scenarios):
+            assert a.key == b.key
+            assert a.total_duration_s == b.total_duration_s
+            for ia, ib in zip(a.instances, b.instances):
+                assert ia.signature == ib.signature
+                assert ia.load == ib.load
+
+    def test_json_path_still_selects_json(self, tiny_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        assert save_dataset(tiny_dataset, path) is None
+        assert json.loads(path.read_text())
+        from repro.cluster import ScenarioDataset
+
+        assert isinstance(load_dataset(path), ScenarioDataset)
+
+    def test_existing_directory_selects_store(self, tiny_dataset, tmp_path):
+        target = tmp_path / "dir"
+        target.mkdir()
+        save_dataset(tiny_dataset, target)
+        assert (target / "manifest.json").exists()
+
+
+class TestStoreBackedModelPersistence:
+    """save_model/load_model for fits over a sharded store."""
+
+    @pytest.fixture(scope="class")
+    def store(self, tiny_dataset, tmp_path_factory):
+        from repro.store import write_store
+
+        path = tmp_path_factory.mktemp("model-store") / "store"
+        return write_store(tiny_dataset, path, shard_size=2)
+
+    @pytest.fixture(scope="class")
+    def store_fitted(self, store):
+        config = FlareConfig(
+            analyzer=AnalyzerConfig(n_clusters=2, kmeans_restarts=2, seed=1)
+        )
+        return Flare(config).fit(store)
+
+    def test_model_references_store_not_rows(
+        self, store_fitted, store, tmp_path
+    ):
+        path = tmp_path / "model.json"
+        save_model(store_fitted, path)
+        payload = json.loads(path.read_text())
+        assert "dataset" not in payload
+        assert payload["dataset_store"]["content_digest"] == store.digest()
+
+    def test_reload_reproduces_estimates(self, store_fitted, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(store_fitted, path)
+        reloaded = load_model(path)
+        assert reloaded.evaluate(FEATURE_1_CACHE).reduction_pct == (
+            store_fitted.evaluate(FEATURE_1_CACHE).reduction_pct
+        )
+
+    def test_reload_detects_changed_store(
+        self, store_fitted, tiny_dataset, tmp_path
+    ):
+        from repro.store import write_store
+
+        from repro.cluster import ScenarioDataset
+
+        path = tmp_path / "model.json"
+        save_model(store_fitted, path)
+        payload = json.loads(path.read_text())
+        # Re-point the model at a store with different content.
+        truncated = ScenarioDataset(
+            shape=tiny_dataset.shape,
+            scenarios=tiny_dataset.scenarios[:3],
+        )
+        other = write_store(truncated, tmp_path / "other", shard_size=2)
+        payload["dataset_store"]["path"] = str(other.path)
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="digest"):
+            load_model(path)
+
+
 class TestConfigRoundTrip:
     def test_default_config(self):
         config = FlareConfig()

@@ -1,0 +1,28 @@
+"""Fixtures for the sharded scenario store test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import DatacenterConfig, run_simulation
+from repro.store import write_store
+
+
+@pytest.fixture(scope="session")
+def store_sim():
+    """A small simulated datacenter shared by the store tests."""
+    return run_simulation(
+        DatacenterConfig(seed=7, target_unique_scenarios=60)
+    )
+
+
+@pytest.fixture(scope="session")
+def store_dataset(store_sim):
+    return store_sim.dataset
+
+
+@pytest.fixture(scope="session")
+def shared_store(store_dataset, tmp_path_factory):
+    """The same scenarios written out as a 4-shard store (read-only)."""
+    path = tmp_path_factory.mktemp("scenario-store") / "store"
+    return write_store(store_dataset, path, shard_size=16)

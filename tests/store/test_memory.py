@@ -1,0 +1,102 @@
+"""Acceptance: out-of-core fitting keeps peak memory shard-bounded.
+
+Fits the same pipeline over a store and over one 10x its size, with the
+shard size and clustering reservoir held fixed.  If the streaming path
+ever materialised a full metric/score matrix, the larger fit's traced
+peak would grow by megabytes; instead the growth must stay a small
+fraction of what the resident matrix would cost.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import SMALL_SHAPE
+from repro.cluster.scenario import Scenario
+from repro.core import FlareConfig
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.streaming_fit import streaming_fit
+from repro.perfmodel import RunningInstance
+from repro.store import StoreWriter
+from repro.workloads import HP_JOBS, LP_JOBS
+
+SHARD_SIZE = 64
+SAMPLE_CAPACITY = 256
+CONFIG = FlareConfig(
+    analyzer=AnalyzerConfig(
+        n_clusters=6, kmeans_restarts=2, kmeans_max_iter=25
+    )
+)
+
+
+def synthesise_store(n_scenarios: int, path):
+    """Stream n cheap synthetic scenarios into a store at *path*."""
+    catalogue = {**HP_JOBS, **LP_JOBS}
+    names = sorted(catalogue)
+    rng = np.random.default_rng(99)
+    with StoreWriter(
+        path, SMALL_SHAPE, shard_size=SHARD_SIZE, overwrite=True
+    ) as writer:
+        for i in range(n_scenarios):
+            picks = rng.choice(
+                len(names), size=int(rng.integers(1, 4)), replace=True
+            )
+            jobs = sorted(
+                (names[j], round(float(rng.uniform(0.5, 1.0)), 2))
+                for j in picks
+            )
+            counts: dict[str, int] = {}
+            for name, _ in jobs:
+                counts[name] = counts.get(name, 0) + 1
+            writer.append(
+                Scenario(
+                    scenario_id=i,
+                    key=tuple(sorted(counts.items())),
+                    instances=tuple(
+                        RunningInstance(
+                            signature=catalogue[name], load=load
+                        )
+                        for name, load in jobs
+                    ),
+                    n_occurrences=1,
+                    total_duration_s=float(rng.uniform(600.0, 7200.0)),
+                )
+            )
+    return writer.store
+
+
+def traced_fit_peak(store) -> int:
+    tracemalloc.start()
+    try:
+        streaming_fit(store, CONFIG, sample_capacity=SAMPLE_CAPACITY)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+@pytest.mark.slow
+class TestPeakMemoryFlatAt10x:
+    def test_peak_delta_flat_under_10x_growth(self, tmp_path):
+        n_small, n_large = 200, 2000
+        small = synthesise_store(n_small, tmp_path / "small")
+        large = synthesise_store(n_large, tmp_path / "large")
+        assert large.n_shards == n_large // SHARD_SIZE + 1
+
+        # Warm caches/imports outside the measured window.
+        streaming_fit(small, CONFIG, sample_capacity=SAMPLE_CAPACITY)
+
+        peak_small = traced_fit_peak(small)
+        peak_large = traced_fit_peak(large)
+
+        n_metrics = 102
+        resident_matrix_bytes = n_large * n_metrics * 8
+        # A resident pipeline would add >= one full matrix when the source
+        # grows 10x; the streaming path must add a small fraction of it
+        # (O(rows) label/weight vectors only).
+        assert peak_large - peak_small < resident_matrix_bytes / 4
+        # And in absolute terms the big fit stays below one full matrix.
+        assert peak_large < resident_matrix_bytes

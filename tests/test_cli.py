@@ -220,6 +220,92 @@ class TestObservabilityFlags:
         assert not get_tracer().enabled
 
 
+class TestStoreCommands:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-store") / "store"
+        code = main(
+            [
+                "simulate",
+                "--seed",
+                "4",
+                "--scenarios",
+                "60",
+                "--store",
+                str(path),
+                "--shard-size",
+                "16",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_simulate_rejects_both_outputs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "simulate",
+                    "--out",
+                    str(tmp_path / "d.json"),
+                    "--store",
+                    str(tmp_path / "s"),
+                ]
+            )
+
+    def test_simulate_into_store(self, store_dir, dataset_path):
+        from repro.io import load_dataset
+        from repro.store import ShardedScenarioStore
+
+        store = load_dataset(store_dir)
+        assert isinstance(store, ShardedScenarioStore)
+        assert store.n_shards == 4
+        # Same seed/size as the JSON fixture: identical content.
+        assert store.digest() == load_dataset(dataset_path).digest()
+
+    def test_inspect_prints_shards(self, store_dir, capsys):
+        code = main(
+            ["store", "inspect", "--store", str(store_dir), "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "60 scenarios in 4 shard(s)" in out
+        assert "shard-00003" in out
+        assert "digests OK" in out
+
+    def test_compact_rewrites_layout(self, store_dir, tmp_path, capsys):
+        code = main(
+            [
+                "store",
+                "compact",
+                "--store",
+                str(store_dir),
+                "--out",
+                str(tmp_path / "compact"),
+                "--shard-size",
+                "32",
+            ]
+        )
+        assert code == 0
+        assert "4 shard(s) of <= 16 -> 2 shard(s) of <= 32" in (
+            capsys.readouterr().out
+        )
+
+    def test_fit_accepts_store_directory(self, store_dir, tmp_path, capsys):
+        code = main(
+            [
+                "fit",
+                "--dataset",
+                str(store_dir),
+                "--clusters",
+                "5",
+                "--out",
+                str(tmp_path / "model.json"),
+            ]
+        )
+        assert code == 0
+        assert "5 groups" in capsys.readouterr().out
+
+
 class TestIngestAndDiagnose:
     def test_ingest_from_trace_csv(self, tmp_path, capsys):
         from repro.cluster import TraceEvent, TraceEventType
