@@ -25,6 +25,12 @@ no faults injected) so every chunk goes through the retry/fault
 accounting path, and the delta is recorded as
 ``resilience_overhead_pct`` — same < 2% budget.
 
+The batched contention solver is benchmarked head-to-head against the
+scalar reference: every simulated scenario is solved through both paths
+(best-of-two each), the solutions must be bit-identical, and the ratio
+is recorded as ``batch_solver_speedup_x`` (acceptance bar >= 5x)
+alongside per-batch-size throughput in ``batch_throughput_scn_s``.
+
 The sharded scenario store (repro.store) is billed too: the simulated
 dataset is written out as a store under ``benchmarks/results/smoke_store``
 (kept as a CI artifact), re-read and decoded in full, and the write/read
@@ -212,6 +218,58 @@ def main(argv: list[str] | None = None) -> int:
     identical = bool(np.array_equal(serial_estimates, parallel_estimates))
     print(f"bit-identical estimates: {identical}")
 
+    # Batched contention solver vs the scalar reference: solve every
+    # simulated scenario on the baseline machine through both paths,
+    # best-of-two, and verify the solutions are bit-identical (frozen
+    # dataclasses compare field-by-field).  The acceptance bar for the
+    # vectorised path is >= 5x on this population.
+    from repro.api import BASELINE, solve_colocation, solve_colocation_batch
+
+    solver_machine = BASELINE(dataset.shape.perf)
+    population = [list(s.instances) for s in dataset.scenarios]
+
+    def _solve_scalar():
+        return [solve_colocation(solver_machine, inst) for inst in population]
+
+    scalar_runs = [_timed(_solve_scalar) for _ in range(2)]
+    scalar_solver_s = min(t for t, _ in scalar_runs)
+    batched_runs = [
+        _timed(lambda: solve_colocation_batch(solver_machine, population))
+        for _ in range(2)
+    ]
+    batched_solver_s = min(t for t, _ in batched_runs)
+    batch_identical = scalar_runs[0][1] == batched_runs[0][1]
+    batch_solver_speedup_x = (
+        scalar_solver_s / batched_solver_s if batched_solver_s else 0.0
+    )
+    print(
+        f"solver: scalar {scalar_solver_s:.3f} s, "
+        f"batched {batched_solver_s:.3f} s "
+        f"(speedup {batch_solver_speedup_x:.1f}x); "
+        f"bit-identical solutions: {batch_identical}"
+    )
+
+    # Throughput at several batch sizes, so regressions in the batch
+    # layout (padding waste, per-row Python overhead) are visible even
+    # when the headline speedup holds.
+    batch_throughput_scn_s = {}
+    for size in sorted({8, 32, 128, len(population)}):
+        if size > len(population):
+            continue
+
+        def _solve_chunked(chunk=size):
+            for start in range(0, len(population), chunk):
+                solve_colocation_batch(
+                    solver_machine, population[start : start + chunk]
+                )
+
+        chunked_s = min(_timed(_solve_chunked)[0] for _ in range(2))
+        batch_throughput_scn_s[str(size)] = round(
+            len(population) / chunked_s if chunked_s else 0.0, 1
+        )
+    print(f"solver throughput (scenarios/s by batch size): "
+          f"{batch_throughput_scn_s}")
+
     # Scenario-store throughput + streaming-fit overhead.
     from repro.api import Flare, FlareConfig, write_store
 
@@ -291,6 +349,11 @@ def main(argv: list[str] | None = None) -> int:
         "streaming_fit_s": round(streaming_fit_s, 4),
         "streaming_fit_overhead_pct": round(streaming_fit_overhead_pct, 3),
         "streaming_assignments_identical": assignments_identical,
+        "scalar_solver_s": round(scalar_solver_s, 4),
+        "batched_solver_s": round(batched_solver_s, 4),
+        "batch_solver_speedup_x": round(batch_solver_speedup_x, 2),
+        "batch_identical": batch_identical,
+        "batch_throughput_scn_s": batch_throughput_scn_s,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     with RESULTS_PATH.open("a") as fh:
@@ -301,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
         and traced_identical
         and resilient_identical
         and assignments_identical
+        and batch_identical
     )
     return 0 if ok else 1
 

@@ -32,7 +32,10 @@ The surface groups into:
 * **persistence** — dataset/model save & load round-trips, plus the
   sharded columnar scenario store for out-of-core pipelines
   (`ScenarioSource`, `ShardedScenarioStore`, `StoreWriter`,
-  `open_store`, `write_store`, `compact_store`; see docs/store.md).
+  `open_store`, `write_store`, `compact_store`; see docs/store.md);
+* **perfmodel** — the contention solver's batched path
+  (`ScenarioBatch`, `solve_colocation`, `solve_colocation_batch`,
+  `solve_colocation_many`, `SOLVER_MODES`; see docs/perfmodel.md).
 """
 
 from __future__ import annotations
@@ -119,6 +122,16 @@ from .runtime import (
     partition_failures,
     resolve_executor,
 )
+from .perfmodel import (
+    SOLVER_MODES,
+    ColocationPerformance,
+    MachinePerf,
+    RunningInstance,
+    ScenarioBatch,
+    solve_colocation,
+    solve_colocation_batch,
+    solve_colocation_many,
+)
 from .telemetry import RUNTIME_STATS, Database, ProfiledDataset, Profiler
 from .workloads import HP_JOB_NAMES, HP_JOBS, LP_JOB_NAMES, LP_JOBS, get_job
 
@@ -204,6 +217,15 @@ __all__ = [
     "open_store",
     "write_store",
     "compact_store",
+    # perfmodel / batched solver
+    "MachinePerf",
+    "RunningInstance",
+    "ColocationPerformance",
+    "ScenarioBatch",
+    "SOLVER_MODES",
+    "solve_colocation",
+    "solve_colocation_batch",
+    "solve_colocation_many",
     # workloads
     "HP_JOBS",
     "HP_JOB_NAMES",

@@ -14,7 +14,10 @@ import numpy as np
 
 from ..cluster.features import BASELINE, Feature
 from ..cluster.source import ScenarioSource
-from ..core.performance import mips_reduction_pct, scenario_performance
+from ..core.performance import (
+    mips_reduction_pct,
+    scenario_performance_many,
+)
 
 __all__ = [
     "DatacenterTruth",
@@ -60,13 +63,15 @@ class DatacenterTruth:
 
 
 def evaluate_full_datacenter(
-    dataset: ScenarioSource, feature: Feature
+    dataset: ScenarioSource, feature: Feature, *, solver: str = "auto"
 ) -> DatacenterTruth:
     """Evaluate *feature* on every scenario of *dataset*.
 
     Accepts any :class:`~repro.cluster.ScenarioSource` and walks it
     batch-by-batch, so computing the truth over a sharded store keeps
-    peak memory at shard size.
+    peak memory at shard size.  Each source batch's HP scenarios are
+    solved as one contention batch under both machine configurations;
+    *solver* selects the fixed-point path (bit-identical either way).
     """
     baseline_machine = BASELINE(dataset.shape.perf)
     feature_machine = feature(dataset.shape.perf)
@@ -77,24 +82,38 @@ def evaluate_full_datacenter(
     weights: list[float] = []
     job_acc: dict[str, list[tuple[float, float]]] = {}
 
-    for index, scenario in _iter_with_index(dataset):
-        if not scenario.hp_instances:
+    for batch_pairs in _iter_batch_pairs(dataset):
+        eligible = [
+            (index, scenario)
+            for index, scenario in batch_pairs
+            if scenario.hp_instances
+        ]
+        if not eligible:
             continue
-        base = scenario_performance(baseline_machine, scenario)
-        enabled = scenario_performance(
-            feature_machine, scenario, normalize_machine=baseline_machine
+        scenarios = [scenario for _, scenario in eligible]
+        bases = scenario_performance_many(
+            baseline_machine, scenarios, solver=solver
         )
-        reduction = mips_reduction_pct(base.overall, enabled.overall)
-        ids.append(scenario.scenario_id)
-        reductions.append(reduction)
-        weights.append(float(all_weights[index]))
+        enableds = scenario_performance_many(
+            feature_machine,
+            scenarios,
+            normalize_machine=baseline_machine,
+            solver=solver,
+        )
+        for (index, scenario), base, enabled in zip(eligible, bases, enableds):
+            reduction = mips_reduction_pct(base.overall, enabled.overall)
+            ids.append(scenario.scenario_id)
+            reductions.append(reduction)
+            weights.append(float(all_weights[index]))
 
-        for job_name, base_perf in base.per_job.items():
-            job_red = mips_reduction_pct(
-                base_perf, enabled.per_job[job_name]
-            )
-            job_weight = float(all_weights[index]) * scenario.count_of(job_name)
-            job_acc.setdefault(job_name, []).append((job_weight, job_red))
+            for job_name, base_perf in base.per_job.items():
+                job_red = mips_reduction_pct(
+                    base_perf, enabled.per_job[job_name]
+                )
+                job_weight = (
+                    float(all_weights[index]) * scenario.count_of(job_name)
+                )
+                job_acc.setdefault(job_name, []).append((job_weight, job_red))
 
     if not ids:
         raise ValueError("dataset contains no scenario with HP jobs")
@@ -119,13 +138,15 @@ def evaluate_full_datacenter(
     )
 
 
-def _iter_with_index(source: ScenarioSource):
-    """(global index, scenario) pairs, one batch resident at a time."""
+def _iter_batch_pairs(source: ScenarioSource):
+    """Batches of (global index, scenario) pairs, one batch resident at a time."""
     index = 0
     for batch in source.iter_batches():
+        pairs = []
         for scenario in batch.scenarios:
-            yield index, scenario
+            pairs.append((index, scenario))
             index += 1
+        yield pairs
 
 
 @dataclass(frozen=True)
@@ -168,12 +189,17 @@ class JobScenarioReductions:
 
 
 def per_job_scenario_reductions(
-    dataset: ScenarioSource, feature: Feature, job_name: str
+    dataset: ScenarioSource,
+    feature: Feature,
+    job_name: str,
+    *,
+    solver: str = "auto",
 ) -> JobScenarioReductions:
     """Evaluate *feature*'s impact on *job_name* in every hosting scenario.
 
-    Like :func:`evaluate_full_datacenter`, accepts any scenario source
-    and streams it batch-by-batch.
+    Like :func:`evaluate_full_datacenter`, accepts any scenario source,
+    streams it batch-by-batch, and solves each batch's hosting
+    scenarios as one contention batch per machine configuration.
     """
     baseline_machine = BASELINE(dataset.shape.perf)
     feature_machine = feature(dataset.shape.perf)
@@ -182,19 +208,34 @@ def per_job_scenario_reductions(
     ids: list[int] = []
     reductions: list[float] = []
     weights: list[float] = []
-    for index, scenario in _iter_with_index(dataset):
-        count = scenario.count_of(job_name)
-        if count == 0:
+    for batch_pairs in _iter_batch_pairs(dataset):
+        eligible = [
+            (index, scenario, scenario.count_of(job_name))
+            for index, scenario in batch_pairs
+            if scenario.count_of(job_name) > 0
+        ]
+        if not eligible:
             continue
-        base = scenario_performance(baseline_machine, scenario)
-        enabled = scenario_performance(
-            feature_machine, scenario, normalize_machine=baseline_machine
+        scenarios = [scenario for _, scenario, _ in eligible]
+        bases = scenario_performance_many(
+            baseline_machine, scenarios, solver=solver
         )
-        ids.append(scenario.scenario_id)
-        reductions.append(
-            mips_reduction_pct(base.per_job[job_name], enabled.per_job[job_name])
+        enableds = scenario_performance_many(
+            feature_machine,
+            scenarios,
+            normalize_machine=baseline_machine,
+            solver=solver,
         )
-        weights.append(float(all_weights[index]) * count)
+        for (index, scenario, count), base, enabled in zip(
+            eligible, bases, enableds
+        ):
+            ids.append(scenario.scenario_id)
+            reductions.append(
+                mips_reduction_pct(
+                    base.per_job[job_name], enabled.per_job[job_name]
+                )
+            )
+            weights.append(float(all_weights[index]) * count)
 
     if not ids:
         raise ValueError(f"no scenario hosts job {job_name!r}")

@@ -190,6 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="input dataset JSON, or a sharded store directory",
     )
     fit.add_argument("--clusters", type=int, default=18)
+    fit.add_argument(
+        "--solver",
+        choices=("scalar", "batched", "auto"),
+        default="auto",
+        help="contention-solver path (bit-identical; scalar is the "
+        "reference, batched vectorises scenario batches)",
+    )
     fit.add_argument("--out", required=True, help="output model JSON")
     _add_runtime_flags(fit)
     _add_obs_flags(fit)
@@ -202,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--feature", choices=sorted(_FEATURES), required=True
     )
     evaluate.add_argument("--job", help="per-job estimate for this HP job")
+    evaluate.add_argument(
+        "--solver",
+        choices=("scalar", "batched", "auto"),
+        default=None,
+        help="override the model's contention-solver path for replays",
+    )
     _add_runtime_flags(evaluate)
     _add_obs_flags(evaluate)
 
@@ -402,7 +415,10 @@ def _cmd_ingest(args) -> int:
 
 def _cmd_fit(args) -> int:
     dataset = load_dataset(args.dataset)
-    config = FlareConfig(analyzer=AnalyzerConfig(n_clusters=args.clusters))
+    config = FlareConfig(
+        analyzer=AnalyzerConfig(n_clusters=args.clusters),
+        solver=args.solver,
+    )
     executor = _resolve_runtime(args, ("fit", args.dataset, args.clusters))
     try:
         flare = Flare(config).fit(dataset, executor=executor)
@@ -425,6 +441,8 @@ def _cmd_evaluate(args) -> int:
     from .runtime.executor import resolve_executor
 
     flare = load_model(args.model)
+    if args.solver is not None:
+        flare.replayer.solver = args.solver
     feature = _FEATURES[args.feature]
     executor = _resolve_runtime(
         args, ("evaluate", args.model, args.feature, args.job)

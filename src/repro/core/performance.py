@@ -16,8 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from collections.abc import Sequence
+
 from ..cluster.scenario import Scenario
-from ..perfmodel.contention import RunningInstance, solve_colocation_cached
+from ..perfmodel.batch import solve_colocation_many
+from ..perfmodel.contention import (
+    ColocationPerformance,
+    RunningInstance,
+    solve_colocation_cached,
+)
 from ..perfmodel.machine import MachinePerf
 from ..perfmodel.signatures import JobSignature
 
@@ -25,6 +32,7 @@ __all__ = [
     "inherent_mips",
     "ScenarioPerformance",
     "scenario_performance",
+    "scenario_performance_many",
     "mips_reduction_pct",
 ]
 
@@ -87,7 +95,46 @@ def scenario_performance(
     """
     norm_machine = normalize_machine if normalize_machine is not None else machine
     solution = solve_colocation_cached(machine, scenario.instances)
+    return _performance_from_solution(solution, scenario, norm_machine)
 
+
+def scenario_performance_many(
+    machine: MachinePerf,
+    scenarios: Sequence[Scenario],
+    *,
+    normalize_machine: MachinePerf | None = None,
+    solver: str = "auto",
+) -> tuple[ScenarioPerformance, ...]:
+    """Normalised HP performance of many scenarios on one machine.
+
+    The batched equivalent of calling :func:`scenario_performance` per
+    scenario, and bit-identical to doing so: the contention fixed point
+    runs through :func:`repro.perfmodel.batch.solve_colocation_many`
+    (respecting the shared solve memo — hits are reused, misses solved
+    as one batch), and the inherent-MIPS normalisers go through the
+    same per-signature cache as the scalar path.  *solver* selects the
+    fixed-point implementation (``"scalar"``, ``"batched"``, or
+    ``"auto"``).
+    """
+    norm_machine = normalize_machine if normalize_machine is not None else machine
+    solutions = solve_colocation_many(
+        machine,
+        [scenario.instances for scenario in scenarios],
+        solver=solver,
+        cached=True,
+    )
+    return tuple(
+        _performance_from_solution(solution, scenario, norm_machine)
+        for solution, scenario in zip(solutions, scenarios)
+    )
+
+
+def _performance_from_solution(
+    solution: ColocationPerformance,
+    scenario: Scenario,
+    norm_machine: MachinePerf,
+) -> ScenarioPerformance:
+    """Normalise a solved co-location into a :class:`ScenarioPerformance`."""
     per_instance: list[float] = []
     per_job_acc: dict[str, list[float]] = {}
     for running, perf in zip(scenario.instances, solution.instances):

@@ -66,6 +66,12 @@ class FlareConfig:
     per_job_metrics:
         Jobs to add per-job presence metrics for (§5.3's accuracy-vs-
         dimensionality trade-off; off by default as the paper recommends).
+    solver:
+        Contention-solver path for the Profiler and Replayer:
+        ``"scalar"`` (per-scenario reference), ``"batched"``
+        (vectorised over scenario batches), or ``"auto"`` (batched
+        whenever more than one scenario is solved together).  The
+        paths are bit-identical — see ``docs/perfmodel.md``.
     """
 
     refinement_threshold: float = 0.98
@@ -76,6 +82,12 @@ class FlareConfig:
     temporal_samples: int = 0
     temporal_jitter: float = 0.15
     per_job_metrics: tuple[str, ...] = ()
+    solver: str = "auto"
+
+    def __post_init__(self) -> None:
+        from ..perfmodel.batch import resolve_solver_mode
+
+        resolve_solver_mode(self.solver, 0)  # validate eagerly
 
     def make_profiler(self, *, database: Database | None = None) -> Profiler:
         """Build the Profiler this configuration describes.
@@ -92,6 +104,7 @@ class FlareConfig:
             temporal_samples=self.temporal_samples,
             temporal_jitter=self.temporal_jitter,
             per_job_metrics=self.per_job_metrics,
+            solver=self.solver,
         )
 
 
@@ -171,7 +184,9 @@ class Flare:
                     top_n=self.config.interpretation_top_n,
                 )
             self._replayer = Replayer(
-                dataset.shape, catalogue=_catalogue_from(dataset)
+                dataset.shape,
+                catalogue=_catalogue_from(dataset),
+                solver=self.config.solver,
             )
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters
@@ -208,7 +223,9 @@ class Flare:
                     top_n=self.config.interpretation_top_n,
                 )
             self._replayer = Replayer(
-                source.shape, catalogue=_catalogue_from(source)
+                source.shape,
+                catalogue=_catalogue_from(source),
+                solver=self.config.solver,
             )
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters

@@ -15,15 +15,18 @@ from dataclasses import dataclass
 from ..cluster.features import BASELINE, Feature
 from ..cluster.machine import MachineShape
 from ..cluster.scenario import Scenario
+from ..perfmodel.batch import resolve_solver_mode
 from ..perfmodel.contention import RunningInstance
 from ..perfmodel.signatures import JobSignature
 from ..runtime.executor import Executor, resolve_executor
+from ..runtime.resilience import TaskFailure
 from ..telemetry.profiler import format_command, parse_command
 from ..workloads import get_job
 from .performance import (
     ScenarioPerformance,
     mips_reduction_pct,
     scenario_performance,
+    scenario_performance_many,
 )
 
 __all__ = ["ReplayMeasurement", "Replayer"]
@@ -89,6 +92,11 @@ class Replayer:
         to evaluate features on normalised tail latency instead of
         normalised MIPS — the paper's "many alternatives can be
         utilized" hook.
+    solver:
+        Contention-solver path for batched replays: ``"scalar"``,
+        ``"batched"``, or ``"auto"`` (batched whenever more than one
+        scenario is replayed together).  Only the default MIPS metric
+        batches; a custom *metric* always evaluates per scenario.
     """
 
     def __init__(
@@ -97,10 +105,13 @@ class Replayer:
         *,
         catalogue: dict[str, "JobSignature"] | None = None,
         metric=None,
+        solver: str = "auto",
     ) -> None:
         self.shape = shape
         self._catalogue = catalogue
         self._metric = metric if metric is not None else scenario_performance
+        resolve_solver_mode(solver, 0)  # validate eagerly
+        self.solver = solver
 
     def _resolve_job(self, name: str):
         if self._catalogue is not None and name in self._catalogue:
@@ -125,6 +136,15 @@ class Replayer:
             )
         return tuple(rebuilt)
 
+    def _reconstructed_scenario(self, scenario: Scenario) -> Scenario:
+        return Scenario(
+            scenario_id=scenario.scenario_id,
+            key=scenario.key,
+            instances=self.reconstruct(scenario),
+            n_occurrences=scenario.n_occurrences,
+            total_duration_s=scenario.total_duration_s,
+        )
+
     def replay(
         self, scenario: Scenario, feature: Feature
     ) -> ReplayMeasurement:
@@ -132,14 +152,7 @@ class Replayer:
         from ..obs import inc
 
         inc("replays_total")
-        instances = self.reconstruct(scenario)
-        replay_scenario = Scenario(
-            scenario_id=scenario.scenario_id,
-            key=scenario.key,
-            instances=instances,
-            n_occurrences=scenario.n_occurrences,
-            total_duration_s=scenario.total_duration_s,
-        )
+        replay_scenario = self._reconstructed_scenario(scenario)
         baseline_machine = BASELINE(self.shape.perf)
         feature_machine = feature(self.shape.perf)
         baseline = self._metric(baseline_machine, replay_scenario)
@@ -151,6 +164,50 @@ class Replayer:
             feature=feature,
             baseline=baseline,
             enabled=enabled,
+        )
+
+    def replay_batch(
+        self, scenarios: tuple[Scenario, ...], feature: Feature
+    ) -> tuple[ReplayMeasurement, ...]:
+        """Replay several scenarios as one contention-solver batch.
+
+        Bit-identical to :meth:`replay` per scenario (the batched solver
+        mirrors the scalar fixed point exactly), but the baseline and
+        feature machines each solve the whole list in one vectorised
+        pass.  Custom metrics fall back to per-scenario evaluation —
+        only the default MIPS metric understands batches.
+        """
+        if self._metric is not scenario_performance:
+            return tuple(
+                self.replay(scenario, feature) for scenario in scenarios
+            )
+        from ..obs import inc
+
+        inc("replays_total", len(scenarios))
+        replay_scenarios = [
+            self._reconstructed_scenario(scenario) for scenario in scenarios
+        ]
+        baseline_machine = BASELINE(self.shape.perf)
+        feature_machine = feature(self.shape.perf)
+        baselines = scenario_performance_many(
+            baseline_machine, replay_scenarios, solver=self.solver
+        )
+        enabled = scenario_performance_many(
+            feature_machine,
+            replay_scenarios,
+            normalize_machine=baseline_machine,
+            solver=self.solver,
+        )
+        return tuple(
+            ReplayMeasurement(
+                scenario=replay_scenario,
+                feature=feature,
+                baseline=base,
+                enabled=enab,
+            )
+            for replay_scenario, base, enab in zip(
+                replay_scenarios, baselines, enabled
+            )
         )
 
     def replay_many(
@@ -174,8 +231,38 @@ class Replayer:
         stand-ins (in their scenario's position) instead of
         measurements; the estimation layer drops them and renormalises
         the surviving group weights.
+
+        With the batched solver the executor dispatches whole scenario
+        *groups* per task (same group size as the scalar path's chunk
+        size), each group solved as one vectorised batch in the worker;
+        a skipped group expands back into one ``TaskFailure`` per
+        scenario so result positions are unchanged.
         """
         from ..obs import span
+
+        mode = resolve_solver_mode(self.solver, len(scenarios))
+        if mode == "batched" and self._metric is scenario_performance:
+            groups = [
+                scenarios[start : start + _REPLAY_GROUP_SIZE]
+                for start in range(0, len(scenarios), _REPLAY_GROUP_SIZE)
+            ]
+            task = _ReplayBatchTask(replayer=self, feature=feature)
+            with span(
+                "replayer.replay_many",
+                feature=feature.name,
+                n_scenarios=len(scenarios),
+                solver="batched",
+            ):
+                grouped = resolve_executor(executor).map(
+                    task, groups, chunk_size=1, stage="replays"
+                )
+            flat: list[ReplayMeasurement | TaskFailure] = []
+            for group, result in zip(groups, grouped):
+                if isinstance(result, TaskFailure):
+                    flat.extend([result] * len(group))
+                else:
+                    flat.extend(result)
+            return tuple(flat)
 
         task = _ReplayTask(replayer=self, feature=feature)
         with span(
@@ -190,6 +277,11 @@ class Replayer:
             )
 
 
+# Scenarios per batched replay task — matches the scalar dispatch path's
+# chunk size so worker granularity (and telemetry cadence) is unchanged.
+_REPLAY_GROUP_SIZE = 4
+
+
 @dataclass(frozen=True)
 class _ReplayTask:
     """Picklable single-scenario replay closure for executor dispatch."""
@@ -199,3 +291,16 @@ class _ReplayTask:
 
     def __call__(self, scenario: Scenario) -> ReplayMeasurement:
         return self.replayer.replay(scenario, self.feature)
+
+
+@dataclass(frozen=True)
+class _ReplayBatchTask:
+    """Picklable scenario-group replay closure for batched dispatch."""
+
+    replayer: Replayer
+    feature: Feature
+
+    def __call__(
+        self, scenarios: tuple[Scenario, ...]
+    ) -> tuple[ReplayMeasurement, ...]:
+        return self.replayer.replay_batch(scenarios, self.feature)

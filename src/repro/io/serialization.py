@@ -266,6 +266,7 @@ def config_to_dict(config: FlareConfig) -> dict[str, Any]:
         "temporal_samples": config.temporal_samples,
         "temporal_jitter": config.temporal_jitter,
         "per_job_metrics": list(config.per_job_metrics),
+        "solver": config.solver,
         "analyzer": {
             "variance_target": analyzer.variance_target,
             "n_components": analyzer.n_components,
@@ -301,6 +302,7 @@ def config_from_dict(data: dict[str, Any]) -> FlareConfig:
         temporal_samples=data.get("temporal_samples", 0),
         temporal_jitter=data.get("temporal_jitter", 0.15),
         per_job_metrics=tuple(data.get("per_job_metrics", ())),
+        solver=data.get("solver", "auto"),
     )
 
 

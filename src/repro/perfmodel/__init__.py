@@ -6,6 +6,13 @@ contention solver that turns "these containers share this machine" into
 per-job MIPS, CPI stacks and resource counters.
 """
 
+from .batch import (
+    SOLVER_MODES,
+    ScenarioBatch,
+    resolve_solver_mode,
+    solve_colocation_batch,
+    solve_colocation_many,
+)
 from .contention import (
     ColocationPerformance,
     InstancePerformance,
@@ -34,6 +41,11 @@ __all__ = [
     "solve_colocation",
     "solve_colocation_cached",
     "inherent_performance",
+    "ScenarioBatch",
+    "SOLVER_MODES",
+    "resolve_solver_mode",
+    "solve_colocation_batch",
+    "solve_colocation_many",
     "LatencyEstimate",
     "instance_latency",
     "DEFAULT_SERVICE_TIME_MS",

@@ -23,13 +23,16 @@ its outputs.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
+from typing import NamedTuple
 
 import numpy as np
 
 from .cpistack import CPIStack
 from .machine import MachinePerf
+from .mrc import hyperbolic_miss_ratio
 from .signatures import JobSignature, Priority
 
 __all__ = [
@@ -153,6 +156,14 @@ def solve_colocation(
 
     sigs = [inst.signature for inst in instances]
     llc_apki = np.array([s.llc_apki for s in sigs])
+    write_fraction = np.array([s.write_fraction for s in sigs])
+    # MRC parameters as arrays so the miss ratio is evaluated through the
+    # shared vectorised helper — the batched solver evaluates the exact
+    # same expression on the exact same dtype, keeping the paths
+    # bit-identical (numpy array ``**`` != Python scalar ``**``).
+    mrc_half = np.array([s.mrc.half_capacity_mb for s in sigs])
+    mrc_shape = np.array([s.mrc.shape for s in sigs])
+    mrc_floor = np.array([s.mrc.floor for s in sigs])
 
     # Initial guess: equal cache shares, unloaded memory latency.
     inst_rate = np.full(n, 1e9)
@@ -171,17 +182,12 @@ def solve_colocation(
             target_shares = np.full(n, machine.llc_mb / n)
         shares = _DAMPING * shares + (1.0 - _DAMPING) * target_shares
 
-        miss_ratio = np.array(
-            [s.mrc.miss_ratio(share) for s, share in zip(sigs, shares)]
-        )
+        miss_ratio = hyperbolic_miss_ratio(shares, mrc_half, mrc_shape, mrc_floor)
         mpki = llc_apki * miss_ratio
 
         # --- DRAM bandwidth congestion ----------------------------------
         bytes_per_instr = (
-            mpki
-            / 1000.0
-            * _CACHE_LINE_BYTES
-            * (1.0 + np.array([s.write_fraction for s in sigs]))
+            mpki / 1000.0 * _CACHE_LINE_BYTES * (1.0 + write_fraction)
         )
         traffic_gbps = inst_rate * bytes_per_instr / 1e9
         util = min(float(traffic_gbps.sum()) / machine.mem_bw_gbps, _BW_UTIL_CAP)
@@ -208,15 +214,10 @@ def solve_colocation(
     total_access = access_rate.sum()
     if total_access > 0.0:
         shares = machine.llc_mb * access_rate / total_access
-    miss_ratio = np.array(
-        [s.mrc.miss_ratio(share) for s, share in zip(sigs, shares)]
-    )
+    miss_ratio = hyperbolic_miss_ratio(shares, mrc_half, mrc_shape, mrc_floor)
     mpki = llc_apki * miss_ratio
     bytes_per_instr = (
-        mpki
-        / 1000.0
-        * _CACHE_LINE_BYTES
-        * (1.0 + np.array([s.write_fraction for s in sigs]))
+        mpki / 1000.0 * _CACHE_LINE_BYTES * (1.0 + write_fraction)
     )
     traffic_gbps = inst_rate * bytes_per_instr / 1e9
     raw_util = float(traffic_gbps.sum()) / machine.mem_bw_gbps
@@ -260,7 +261,72 @@ def solve_colocation(
     )
 
 
-@lru_cache(maxsize=65536)
+class _CacheInfo(NamedTuple):
+    """``functools.lru_cache``-compatible statistics tuple."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class _SolveCache:
+    """Explicit LRU memo for ``(machine, instances) -> ColocationPerformance``.
+
+    The key expands *every* field of the machine config by name —
+    ``max_freq_ghz`` (DVFS), ``smt_enabled`` (SMT), ``llc_mb`` (cache
+    sizing), governor, bandwidth, latencies — so replayed feature
+    variants that share a scenario can never alias onto a stale solve:
+    two machines are the same cache entry only if every configuration
+    field is equal.  Relying on the dataclass's derived ``__hash__``
+    alone would couple cache correctness to ``MachinePerf``'s equality
+    semantics; the explicit field expansion keeps the key honest even
+    if those are customised later.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, ColocationPerformance] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def make_key(
+        machine: MachinePerf, instances: tuple[RunningInstance, ...]
+    ) -> tuple:
+        machine_key = tuple(
+            (field.name, getattr(machine, field.name))
+            for field in dataclasses.fields(machine)
+        )
+        return (machine_key, instances)
+
+    def lookup(self, key: tuple) -> ColocationPerformance | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, value: ColocationPerformance) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> _CacheInfo:
+        return _CacheInfo(self.hits, self.misses, self.maxsize, len(self._entries))
+
+
+_SOLVE_CACHE = _SolveCache(maxsize=65536)
+
+
 def solve_colocation_cached(
     machine: MachinePerf,
     instances: tuple[RunningInstance, ...],
@@ -269,9 +335,22 @@ def solve_colocation_cached(
 
     FLARE, the baselines and the Profiler all solve the same (machine,
     scenario) pairs; every argument is a frozen dataclass, so caching on
-    identity-by-value is safe.  Pass instances as a tuple.
+    identity-by-value is safe.  Pass instances as a tuple.  The memo is
+    a :class:`_SolveCache` keyed on the full machine configuration so
+    feature variants (DVFS frequency, SMT flag, cache size, ...) of the
+    same scenario always occupy distinct entries.
     """
-    return solve_colocation(machine, instances)
+    key = _SolveCache.make_key(machine, instances)
+    cached = _SOLVE_CACHE.lookup(key)
+    if cached is None:
+        cached = solve_colocation(machine, instances)
+        _SOLVE_CACHE.store(key, cached)
+    return cached
+
+
+# functools.lru_cache-compatible management surface.
+solve_colocation_cached.cache_clear = _SOLVE_CACHE.clear  # type: ignore[attr-defined]
+solve_colocation_cached.cache_info = _SOLVE_CACHE.info  # type: ignore[attr-defined]
 
 
 def inherent_performance(

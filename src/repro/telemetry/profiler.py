@@ -17,6 +17,7 @@ import numpy as np
 from ..cluster.features import BASELINE, Feature
 from ..cluster.scenario import Scenario, ScenarioDataset
 from ..cluster.source import ScenarioSource, resolve_source_argument
+from ..perfmodel.batch import resolve_solver_mode, solve_colocation_many
 from ..perfmodel.contention import (
     ColocationPerformance,
     InstancePerformance,
@@ -157,6 +158,12 @@ class Profiler:
         notes per-job metrics "would greatly improve the estimation
         accuracy for the job" but inflate the feature space, so they are
         recommended "only when necessary" (§5.3) — hence opt-in.
+    solver:
+        Contention-solver path for multi-scenario collection:
+        ``"scalar"``, ``"batched"``, or ``"auto"`` (batched whenever a
+        call holds more than one scenario).  The paths are
+        bit-identical; the knob exists to keep the scalar reference
+        selectable.
     """
 
     def __init__(
@@ -168,9 +175,11 @@ class Profiler:
         temporal_samples: int = 0,
         temporal_jitter: float = 0.15,
         per_job_metrics: tuple[str, ...] = (),
+        solver: str = "auto",
     ) -> None:
         if temporal_samples < 0:
             raise ValueError("temporal_samples must be non-negative")
+        resolve_solver_mode(solver, 0)  # validate eagerly
         if not 0.0 <= temporal_jitter < 1.0:
             raise ValueError("temporal_jitter must be in [0, 1)")
         if len(set(per_job_metrics)) != len(per_job_metrics):
@@ -203,6 +212,7 @@ class Profiler:
         self.specs = tuple(specs)
         self.noise_sigma = noise_sigma
         self.seed = seed
+        self.solver = solver
         self.database = database
         if database is not None:
             self._ensure_tables(database)
@@ -255,6 +265,10 @@ class Profiler:
             matrix = np.empty((len(dataset), len(self.specs)))
             if executor is not None:
                 cleans = self._collect_all(dataset, machine, executor)
+            elif resolve_solver_mode(self.solver, len(dataset)) == "batched":
+                cleans = self.collect_many(
+                    dataset.scenarios, dataset, machine
+                )
             else:
                 cleans = (
                     self.collect(scenario, dataset, machine)
@@ -340,8 +354,11 @@ class Profiler:
                     feature=feature.name,
                 ):
                     clean = np.empty((len(batch), len(self.specs)))
-                    for row, scenario in enumerate(batch.scenarios):
-                        clean[row] = self.collect(scenario, batch, machine)
+                    vectors = self.collect_many(
+                        batch.scenarios, batch, machine
+                    )
+                    for row, vector in enumerate(vectors):
+                        clean[row] = vector
                     matrix = self._finish_batch(batch, clean, noise)
                 inc("scenarios_profiled", len(batch))
                 yield ProfiledBatch(
@@ -417,13 +434,18 @@ class Profiler:
         machine: MachinePerf,
         executor,
     ) -> list:
-        """Fan :meth:`collect` out over *executor*, one task per scenario.
+        """Fan collection out over *executor*.
 
-        The dispatched profiler copy drops the database handle (it is
-        not picklable and persistence must stay in the parent anyway);
-        a scenario degraded to a ``TaskFailure`` by ``retry_then_skip``
-        is a hard error here — a profiled matrix with missing rows
-        would silently skew everything downstream.
+        The scalar solver dispatches one task per scenario (the
+        historical layout); the batched solver dispatches one
+        contiguous row *range* per task — same row blocking as the
+        scalar path's chunking, but each worker solves its block as a
+        single vectorised batch.  The dispatched profiler copy drops
+        the database handle (it is not picklable and persistence must
+        stay in the parent anyway); a scenario degraded to a
+        ``TaskFailure`` by ``retry_then_skip`` is a hard error here — a
+        profiled matrix with missing rows would silently skew
+        everything downstream.
         """
         import copy
 
@@ -432,13 +454,42 @@ class Profiler:
 
         worker_profiler = copy.copy(self)
         worker_profiler.database = None
+        block = max(1, len(dataset) // 64)
+        if resolve_solver_mode(self.solver, len(dataset)) == "batched":
+            ranges = [
+                (start, min(start + block, len(dataset)))
+                for start in range(0, len(dataset), block)
+            ]
+            range_task = _CollectRangeTask(
+                profiler=worker_profiler, dataset=dataset, machine=machine
+            )
+            blocks = resolve_executor(executor).map(
+                range_task, ranges, chunk_size=1, stage="profile"
+            )
+            cleans: list = []
+            lost_ranges = []
+            for (start, stop), block_rows in zip(ranges, blocks):
+                if isinstance(block_rows, TaskFailure):
+                    lost_ranges.append((start, stop))
+                    cleans.extend([block_rows] * (stop - start))
+                else:
+                    cleans.extend(block_rows)
+            if lost_ranges:
+                raise RuntimeError(
+                    f"profiling lost {len(lost_ranges)} row range(s) "
+                    f"({lost_ranges[:5]}{'…' if len(lost_ranges) > 5 else ''}); "
+                    "a partial metric matrix would skew every downstream "
+                    "stage — rerun with a non-skipping failure policy"
+                )
+            return cleans
+
         task = _CollectTask(
             profiler=worker_profiler, dataset=dataset, machine=machine
         )
         cleans = resolve_executor(executor).map(
             task,
             range(len(dataset)),
-            chunk_size=max(1, len(dataset) // 64),
+            chunk_size=block,
             stage="profile",
         )
         lost = [
@@ -463,6 +514,45 @@ class Profiler:
     ) -> np.ndarray:
         """Noise-free metric vector for one scenario (registry order)."""
         solution = solve_colocation(machine, list(scenario.instances))
+        return self._vector_from_solution(scenario, dataset, machine, solution)
+
+    def collect_many(
+        self,
+        scenarios,
+        dataset: ScenarioDataset,
+        machine: MachinePerf,
+        *,
+        block_rows: int = 4096,
+    ) -> list[np.ndarray]:
+        """Noise-free metric vectors for many scenarios, batch-solved.
+
+        Bit-identical to calling :meth:`collect` per scenario; the
+        contention fixed point runs through the solver path selected by
+        ``self.solver`` and large populations are processed in blocks
+        of *block_rows* so the batch working set stays bounded.
+        """
+        vectors: list[np.ndarray] = []
+        for start in range(0, len(scenarios), block_rows):
+            block = scenarios[start : start + block_rows]
+            solutions = solve_colocation_many(
+                machine,
+                [list(scenario.instances) for scenario in block],
+                solver=self.solver,
+            )
+            vectors.extend(
+                self._vector_from_solution(scenario, dataset, machine, solution)
+                for scenario, solution in zip(block, solutions)
+            )
+        return vectors
+
+    def _vector_from_solution(
+        self,
+        scenario: Scenario,
+        dataset: ScenarioDataset,
+        machine: MachinePerf,
+        solution: ColocationPerformance,
+    ) -> np.ndarray:
+        """Derive the registry-ordered metric vector from a solved scenario."""
         shape = dataset.shape
         values: dict[str, float] = {}
 
@@ -511,6 +601,10 @@ class Profiler:
                 name = f"{base}-{level.value}"
                 samples[name] = [base_values[name]]
 
+        # Draw every sample's jittered loads first (same rng order as the
+        # historical per-sample loop), then solve all samples as one
+        # batch through the selected solver path.
+        jittered_samples: list[list[RunningInstance]] = []
         for _ in range(self.temporal_samples):
             jittered = []
             for inst in scenario.instances:
@@ -521,7 +615,11 @@ class Profiler:
                 jittered.append(
                     RunningInstance(signature=inst.signature, load=load)
                 )
-            solution = solve_colocation(machine, jittered)
+            jittered_samples.append(jittered)
+        solutions = solve_colocation_many(
+            machine, jittered_samples, solver=self.solver
+        )
+        for jittered, solution in zip(jittered_samples, solutions):
             pairs = list(zip(jittered, solution.instances))
             for level, selector in (
                 (MetricLevel.MACHINE, lambda _: True),
@@ -624,12 +722,34 @@ class _CollectTask:
 
 
 @dataclass(frozen=True)
+class _CollectRangeTask:
+    """Picklable row-range profiling task for batched executor fan-out.
+
+    The item is a ``(start, stop)`` row range; the worker solves the
+    whole block as one contention batch and returns its metric vectors
+    in row order.
+    """
+
+    profiler: "Profiler"
+    dataset: ScenarioDataset
+    machine: MachinePerf
+
+    def __call__(self, row_range: tuple[int, int]) -> list[np.ndarray]:
+        start, stop = row_range
+        return self.profiler.collect_many(
+            self.dataset.scenarios[start:stop], self.dataset, self.machine
+        )
+
+
+@dataclass(frozen=True)
 class _CollectBatchTask:
     """Picklable per-batch profiling task for streaming fan-out.
 
     The item *is* the batch dataset, so a checkpoint journal keys each
     chunk by batch content — independent of how batches were grouped
-    into dispatch windows.
+    into dispatch windows.  Each shard is solved as one contention
+    batch through the profiler's solver knob (``collect_many`` falls
+    back to per-scenario scalar solves when so configured).
     """
 
     profiler: "Profiler"
@@ -637,8 +757,11 @@ class _CollectBatchTask:
 
     def __call__(self, batch: ScenarioDataset) -> np.ndarray:
         clean = np.empty((len(batch), len(self.profiler.specs)))
-        for row, scenario in enumerate(batch.scenarios):
-            clean[row] = self.profiler.collect(scenario, batch, self.machine)
+        vectors = self.profiler.collect_many(
+            batch.scenarios, batch, self.machine
+        )
+        for row, vector in enumerate(vectors):
+            clean[row] = vector
         return clean
 
 
