@@ -31,6 +31,14 @@ scalar reference: every simulated scenario is solved through both paths
 is recorded as ``batch_solver_speedup_x`` (acceptance bar >= 5x)
 alongside per-batch-size throughput in ``batch_throughput_scn_s``.
 
+The zero-copy dispatch layer is gated per worker count: the scenario
+store is profiled serially and through process pools of 1, 2 and 4
+workers under shard-ref dispatch (pools warmed before timing), each
+``profile_speedup[w]`` must reach ``0.8 * min(w, cpu_count)``, every
+dispatch transport (shardref / shm / pickle / serial) must produce the
+bit-identical metric matrix, and ``shm_leaked_segments`` must be zero
+after the shared-memory runs.
+
 The sharded scenario store (repro.store) is billed too: the simulated
 dataset is written out as a store under ``benchmarks/results/smoke_store``
 (kept as a CI artifact), re-read and decoded in full, and the write/read
@@ -293,6 +301,105 @@ def main(argv: list[str] | None = None) -> int:
         f"read {store_read_mb_s:.1f} MiB/s"
     )
 
+    # Zero-copy dispatch: profile a store through the serial path and
+    # through process pools of 1/2/4 workers using shard-ref dispatch
+    # (workers mmap the store; no scenario pickling anywhere).  Pools
+    # are warmed before timing, best-of-two each.  The local gate scales
+    # with the cores actually present: speedup[w] >= 0.8 * min(w, cores)
+    # — on a single core the process backend may not lose more than 20%
+    # to dispatch overhead; with real cores it must win.  Dispatch cost
+    # is per-window, so the gate is measured at >= 800 scenarios where
+    # solver work dominates and the ratio is stable run-to-run.
+    from repro.api import Profiler, RuntimeConfig, active_shared_segments
+
+    dispatch_n = max(args.scenarios, 800)
+    if dispatch_n == len(dataset):
+        dispatch_dataset, dispatch_store = dataset, store
+    else:
+        dispatch_dataset = run_simulation(
+            DatacenterConfig(
+                seed=args.seed, target_unique_scenarios=dispatch_n
+            )
+        ).dataset
+        dispatch_store = write_store(
+            dispatch_dataset,
+            RESULTS_PATH.parent / "smoke_dispatch_store",
+            shard_size=64,
+            overwrite=True,
+        )
+
+    profile_serial_s, serial_profiled = min(
+        (
+            _timed(lambda: Profiler().profile(dispatch_store))
+            for _ in range(2)
+        ),
+        key=lambda pair: pair[0],
+    )
+    print(
+        f"profile serial:    {profile_serial_s:7.3f} s "
+        f"({len(dispatch_dataset)} scenarios)"
+    )
+
+    cpu_count = available_workers()
+    profile_parallel_s: dict[str, float] = {}
+    profile_speedup: dict[str, float] = {}
+    shardref_matrices = {}
+    for n_workers in (1, 2, 4):
+        with ProcessExecutor(max_workers=n_workers) as pool:
+            pool.map(abs, range(n_workers))  # warm the workers
+            wall, profiled = min(
+                (
+                    _timed(
+                        lambda: Profiler().profile(
+                            dispatch_store, runtime=pool
+                        )
+                    )
+                    for _ in range(2)
+                ),
+                key=lambda pair: pair[0],
+            )
+        profile_parallel_s[str(n_workers)] = round(wall, 4)
+        profile_speedup[str(n_workers)] = round(
+            profile_serial_s / wall if wall else 0.0, 3
+        )
+        shardref_matrices[n_workers] = profiled.matrix
+        print(
+            f"profile process:{n_workers}  {wall:7.3f} s "
+            f"(speedup {profile_speedup[str(n_workers)]:.2f}x, "
+            f"gate >= {0.8 * min(n_workers, cpu_count):.2f}x)"
+        )
+
+    # Every dispatch transport must produce the bit-identical matrix:
+    # shard refs (above), shared-memory tables and pickled chunks.
+    shm_profiled = Profiler().profile(
+        dispatch_dataset,
+        runtime=RuntimeConfig(executor="process:2", dispatch="shm"),
+    )
+    pickle_profiled = Profiler().profile(
+        dispatch_dataset,
+        runtime=RuntimeConfig(executor="process:2", dispatch="pickle"),
+    )
+    inline_profiled = Profiler().profile(dispatch_dataset)
+    dispatch_identical = bool(
+        all(
+            np.array_equal(serial_profiled.matrix, matrix)
+            for matrix in shardref_matrices.values()
+        )
+        and np.array_equal(serial_profiled.matrix, inline_profiled.matrix)
+        and np.array_equal(inline_profiled.matrix, shm_profiled.matrix)
+        and np.array_equal(inline_profiled.matrix, pickle_profiled.matrix)
+    )
+    shm_leaked_segments = len(active_shared_segments())
+    runtime_speedup_ok = all(
+        profile_speedup[str(w)] >= 0.8 * min(w, cpu_count)
+        for w in (1, 2, 4)
+    )
+    print(
+        f"dispatch modes bit-identical: {dispatch_identical}; "
+        f"leaked shm segments: {shm_leaked_segments}; "
+        f"speedup gate: {'ok' if runtime_speedup_ok else 'FAILED'}"
+    )
+
     fit_config = FlareConfig()
     memory_fit_s = min(
         _timed(lambda: Flare(fit_config).fit(dataset))[0]
@@ -349,6 +456,13 @@ def main(argv: list[str] | None = None) -> int:
         "streaming_fit_s": round(streaming_fit_s, 4),
         "streaming_fit_overhead_pct": round(streaming_fit_overhead_pct, 3),
         "streaming_assignments_identical": assignments_identical,
+        "dispatch_n_scenarios": len(dispatch_dataset),
+        "profile_serial_s": round(profile_serial_s, 4),
+        "profile_parallel_s": profile_parallel_s,
+        "profile_speedup": profile_speedup,
+        "runtime_speedup_ok": runtime_speedup_ok,
+        "dispatch_identical": dispatch_identical,
+        "shm_leaked_segments": shm_leaked_segments,
         "scalar_solver_s": round(scalar_solver_s, 4),
         "batched_solver_s": round(batched_solver_s, 4),
         "batch_solver_speedup_x": round(batch_solver_speedup_x, 2),
@@ -365,6 +479,9 @@ def main(argv: list[str] | None = None) -> int:
         and resilient_identical
         and assignments_identical
         and batch_identical
+        and dispatch_identical
+        and runtime_speedup_ok
+        and shm_leaked_segments == 0
     )
     return 0 if ok else 1
 

@@ -18,67 +18,18 @@ Quickstart::
     estimate = flare.evaluate(FEATURE_1_CACHE)
     print(f"estimated MIPS reduction: {estimate.reduction_pct:.1f}%")
 
-:mod:`repro.api` is the supported entry-point surface.  The historical
-top-level re-exports (``from repro import Flare``) keep working through
-lazy shims but emit a ``DeprecationWarning``; new code should import
-from ``repro.api``.
+:mod:`repro.api` is the single supported entry-point surface.  The
+historical top-level re-exports (``from repro import Flare``) were
+deprecated in 1.1 and removed in 1.2; importing a class from ``repro``
+directly now raises :class:`AttributeError` naming the ``repro.api``
+replacement.
 """
 
 from __future__ import annotations
 
 import importlib
-import warnings
 
-__version__ = "1.1.0"
-
-#: Names served (with a DeprecationWarning) from :mod:`repro.api`.
-_API_SHIMS = frozenset(
-    {
-        # simulation
-        "DatacenterConfig",
-        "SubmissionConfig",
-        "SimulationResult",
-        "run_simulation",
-        "MachineShape",
-        "DEFAULT_SHAPE",
-        "SMALL_SHAPE",
-        "ScenarioDataset",
-        # features
-        "Feature",
-        "BASELINE",
-        "FEATURE_1_CACHE",
-        "FEATURE_2_DVFS",
-        "FEATURE_3_SMT",
-        "PAPER_FEATURES",
-        # FLARE
-        "Flare",
-        "FlareConfig",
-        "AnalyzerConfig",
-        "FeatureImpactEstimate",
-        "Replayer",
-        "FleetEvaluator",
-        "FleetSegment",
-        "Profiler",
-        "ProfiledDataset",
-        "Database",
-        # baselines
-        "DatacenterTruth",
-        "evaluate_full_datacenter",
-        "SamplingEvaluation",
-        "evaluate_by_sampling",
-        "evaluate_job_by_sampling",
-        "sampling_cost_curve",
-        "LoadTestResult",
-        "load_test_job",
-        "load_test_all_jobs",
-        # workloads
-        "HP_JOBS",
-        "HP_JOB_NAMES",
-        "LP_JOBS",
-        "LP_JOB_NAMES",
-        "get_job",
-    }
-)
+__version__ = "1.2.0"
 
 _SUBMODULES = frozenset(
     {
@@ -99,22 +50,19 @@ _SUBMODULES = frozenset(
     }
 )
 
-__all__ = ["__version__", *sorted(_API_SHIMS)]
+__all__ = ["__version__"]
 
 
 def __getattr__(name: str):
-    if name in _API_SHIMS:
-        warnings.warn(
-            f"importing {name!r} from the top-level 'repro' package is "
-            f"deprecated; use 'from repro.api import {name}'",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import api
-
-        return getattr(api, name)
     if name in _SUBMODULES:
         return importlib.import_module(f".{name}", __name__)
+    from . import api
+
+    if name in getattr(api, "__all__", ()):
+        raise AttributeError(
+            f"'repro.{name}' was removed in 1.2; import it from the "
+            f"stable facade instead: 'from repro.api import {name}'"
+        )
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

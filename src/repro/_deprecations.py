@@ -1,0 +1,117 @@
+"""Shared deprecation shims: one warning format for every legacy spelling.
+
+Each public API rename in this package goes through the same lifecycle:
+the old spelling keeps working for a few releases while emitting a
+``DeprecationWarning`` that names the replacement and the planned
+removal version, then disappears.  Before this module the shim logic was
+copy-pasted per call site, which let the warning texts drift; these
+helpers are now the single source of that format.
+
+Two shapes cover every shim in the codebase:
+
+* :func:`resolve_renamed_kwarg` — a keyword was renamed
+  (``dataset=`` → ``source=``, ``executor=`` → ``runtime=``);
+* :func:`resolve_positional_kwarg` — a parameter became keyword-only
+  (``percentile_interval(values, 0.9)`` → ``confidence=0.9``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+__all__ = [
+    "DEPRECATION_REMOVAL_VERSION",
+    "warn_deprecated",
+    "resolve_renamed_kwarg",
+    "resolve_positional_kwarg",
+]
+
+#: The release in which every shim routed through this module is
+#: scheduled to be removed; mentioned in each warning so callers can
+#: plan migrations.
+DEPRECATION_REMOVAL_VERSION = "2.0"
+
+_SENTINEL = object()
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 2) -> None:
+    """Emit one uniformly-formatted :class:`DeprecationWarning`.
+
+    *message* states what is deprecated and what replaces it; the
+    planned removal version is appended here so no call site forgets it.
+    """
+    warnings.warn(
+        f"{message} (will be removed in "
+        f"{DEPRECATION_REMOVAL_VERSION})",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )
+
+
+def resolve_renamed_kwarg(
+    new_value: Any,
+    old_value: Any,
+    *,
+    owner: str,
+    old_name: str,
+    new_name: str,
+    required: bool = True,
+    stacklevel: int = 2,
+) -> Any:
+    """Support a renamed keyword argument during its deprecation window.
+
+    The *new_name* spelling is canonical; passing the legacy *old_name*
+    keyword still works but warns.  Passing both is an error, as is
+    passing neither when *required*.  ``None`` means "not passed" for
+    both spellings — the pattern every shimmed signature here uses.
+    """
+    if old_value is not None:
+        if new_value is not None:
+            raise TypeError(
+                f"{owner} got both {new_name!r} and legacy "
+                f"{old_name!r} arguments"
+            )
+        warn_deprecated(
+            f"the {old_name!r} keyword of {owner} is deprecated; "
+            f"use {new_name!r}",
+            stacklevel=stacklevel + 1,
+        )
+        return old_value
+    if new_value is None and required:
+        raise TypeError(
+            f"{owner} missing required argument: {new_name!r}"
+        )
+    return new_value
+
+
+def resolve_positional_kwarg(
+    args: tuple,
+    default: Any,
+    *,
+    owner: str,
+    name: str,
+    max_positional: int = 1,
+    stacklevel: int = 2,
+) -> Any:
+    """Support a parameter that became keyword-only.
+
+    *args* is the function's ``*args`` overflow tuple; one trailing
+    positional is accepted (with a warning) as the legacy spelling of
+    the now keyword-only *name*, more than one is a ``TypeError``
+    matching the pre-shim signature.
+    """
+    if not args:
+        return default
+    if len(args) > 1:
+        raise TypeError(
+            f"{owner}() takes {max_positional} positional argument"
+            f"{'s' if max_positional != 1 else ''} "
+            f"({max_positional + len(args)} given)"
+        )
+    warn_deprecated(
+        f"passing {name} positionally to {owner}() is deprecated; "
+        f"use {name}=...",
+        stacklevel=stacklevel + 1,
+    )
+    return args[0]

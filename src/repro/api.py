@@ -8,8 +8,8 @@ Prefer::
     from repro.api import Flare, FlareConfig, run_simulation, FEATURE_1_CACHE
 
 over reaching into submodules.  The legacy top-level re-exports
-(``from repro import Flare``) still work but emit a
-``DeprecationWarning`` pointing here.
+(``from repro import Flare``), deprecated in 1.1, were removed in 1.2;
+accessing one raises an ``AttributeError`` pointing here.
 
 The surface groups into:
 
@@ -20,11 +20,14 @@ The surface groups into:
 * **features** — the Table 4 features and the `Feature` type;
 * **baselines** — full-datacenter, random-sampling, stratified and
   load-testing comparisons;
-* **runtime** — the deterministic parallel execution engine
-  (`Executor`, `SerialExecutor`, `ProcessExecutor`, `resolve_executor`),
-  the digest-keyed artefact cache (`RuntimeCache`), and the failure
-  model (`ResilienceConfig`, `FailurePolicy`, `RetryPolicy`,
-  `TaskFailure`, `partition_failures`, `FaultSpec`, `CheckpointJournal`;
+* **runtime** — the unified execution configuration (`RuntimeConfig`,
+  `resolve_runtime`) over the deterministic parallel engine
+  (`Executor`, `SerialExecutor`, `ProcessExecutor`, `resolve_executor`)
+  with zero-copy scenario dispatch (`ShardRef`, `DispatchError`,
+  `active_shared_segments`; see docs/runtime.md), the digest-keyed
+  artefact cache (`RuntimeCache`), and the failure model
+  (`ResilienceConfig`, `FailurePolicy`, `RetryPolicy`, `TaskFailure`,
+  `partition_failures`, `FaultSpec`, `CheckpointJournal`;
   see docs/resilience.md);
 * **observability** — span tracing, the metrics registry and trace
   export (`Tracer`, `Span`, `METRICS`, `write_trace`, `render_summary`;
@@ -108,19 +111,25 @@ from .obs import (
 )
 from .runtime import (
     CheckpointJournal,
+    DispatchError,
     Executor,
     FailurePolicy,
     FaultSpec,
     ProcessExecutor,
     ResilienceConfig,
+    ResolvedRuntime,
     RetryPolicy,
     RuntimeCache,
+    RuntimeConfig,
     SerialExecutor,
+    ShardRef,
     TaskFailure,
+    active_shared_segments,
     available_workers,
     default_cache,
     partition_failures,
     resolve_executor,
+    resolve_runtime,
 )
 from .perfmodel import (
     SOLVER_MODES,
@@ -176,6 +185,12 @@ __all__ = [
     "load_test_job",
     "load_test_all_jobs",
     # runtime
+    "RuntimeConfig",
+    "ResolvedRuntime",
+    "resolve_runtime",
+    "DispatchError",
+    "ShardRef",
+    "active_shared_segments",
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",

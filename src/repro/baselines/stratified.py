@@ -11,11 +11,11 @@ makes that testable.
 from __future__ import annotations
 
 import functools
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from .._deprecations import resolve_positional_kwarg
 from ..cluster.features import Feature
 from ..cluster.source import ScenarioSource, ensure_dataset
 from ..runtime.executor import Executor, resolve_executor
@@ -35,19 +35,9 @@ def stratify_by_metric(
 
     ``n_strata`` is keyword-only; passing it positionally is deprecated.
     """
-    if args:
-        if len(args) > 1:
-            raise TypeError(
-                "stratify_by_metric() takes one positional argument "
-                f"({1 + len(args)} given)"
-            )
-        warnings.warn(
-            "passing n_strata positionally to stratify_by_metric() is "
-            "deprecated; use n_strata=...",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        n_strata = args[0]
+    n_strata = resolve_positional_kwarg(
+        args, n_strata, owner="stratify_by_metric", name="n_strata"
+    )
     if n_strata < 1:
         raise ValueError("n_strata must be >= 1")
     arr = np.asarray(values, dtype=np.float64)

@@ -32,6 +32,7 @@ from .core.pipeline import Flare, FlareConfig
 from .io.serialization import load_dataset, load_model, save_dataset, save_model
 from .reporting.radar import render_radar_report
 from .reporting.tables import render_table
+from .runtime.config import DISPATCH_MODES, ResolvedRuntime, RuntimeConfig
 from .store import DEFAULT_SHARD_SIZE, StoreWriter, compact_store, open_store
 
 __all__ = ["main", "build_parser"]
@@ -45,6 +46,24 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
         help="execution backend: serial (default), process, process:<N>",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=DISPATCH_MODES,
+        default="auto",
+        help=(
+            "how scenario payloads reach process workers: auto "
+            "(default), pickle, shardref (store-backed sources), shm"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        metavar="N",
+        help=(
+            "scenarios per dispatched block (default: cost-aware "
+            "auto-sizing from observed per-scenario cost)"
+        ),
     )
     parser.add_argument(
         "--retries",
@@ -312,51 +331,41 @@ def _run_observed(handler, args, trace_path, want_summary: bool) -> int:
 
 
 # ----------------------------------------------------------------------
-def _resolve_runtime(args, run_key: tuple):
-    """Executor for one command from its runtime flags (None = legacy path).
+def _resolve_runtime(args, run_key: tuple) -> ResolvedRuntime | None:
+    """Resolved runtime for one command's flags (None = legacy path).
 
-    The checkpoint run id digests the command and its semantic arguments
-    (*run_key*), so ``--resume`` only ever restores chunks journaled by
-    an identical invocation — a different dataset, feature or figure
-    lands in a different journal.
+    The flags map one-to-one onto :class:`RuntimeConfig` fields (see its
+    docstring table); the checkpoint run id digests the command and its
+    semantic arguments (*run_key*), so ``--resume`` only ever restores
+    chunks journaled by an identical invocation — a different dataset,
+    feature or figure lands in a different journal.
     """
     spec = getattr(args, "executor", None)
-    wants_resilience = (
-        args.failure_policy is not None
+    non_default = (
+        spec
+        or args.dispatch != "auto"
+        or args.chunk_size is not None
         or args.retries is not None
         or args.task_timeout is not None
+        or args.failure_policy is not None
+        or args.checkpoint
+        or args.resume
     )
-    if not (spec or wants_resilience or args.checkpoint or args.resume):
+    if not non_default:
         return None
     if args.resume and not args.checkpoint:
         raise SystemExit("error: --resume requires --checkpoint DIR")
-
-    from .runtime.executor import resolve_executor
-    from .runtime.resilience import ResilienceConfig, RetryPolicy
-
-    resilience = None
-    if wants_resilience:
-        retry = RetryPolicy(
-            max_retries=args.retries if args.retries is not None else 3
-        )
-        resilience = ResilienceConfig(
-            policy=args.failure_policy or "retry_then_raise",
-            retry=retry,
-            timeout_s=args.task_timeout,
-        )
-    checkpoint = None
-    if args.checkpoint:
-        import hashlib
-
-        from .runtime.cache import CheckpointJournal
-
-        run_id = hashlib.sha256(repr(run_key).encode()).hexdigest()[:16]
-        checkpoint = CheckpointJournal(args.checkpoint, run_id)
-        if not args.resume:
-            checkpoint.clear()
-    return resolve_executor(
-        spec, resilience=resilience, checkpoint=checkpoint
+    config = RuntimeConfig(
+        executor=spec,
+        dispatch=args.dispatch,
+        chunk_size=args.chunk_size if args.chunk_size is not None else "auto",
+        retries=args.retries,
+        task_timeout_s=args.task_timeout,
+        failure_policy=args.failure_policy,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
     )
+    return ResolvedRuntime(config.resolve(run_key), config, owned=True)
 
 
 def _print_resume_summary(args) -> None:
@@ -419,12 +428,12 @@ def _cmd_fit(args) -> int:
         analyzer=AnalyzerConfig(n_clusters=args.clusters),
         solver=args.solver,
     )
-    executor = _resolve_runtime(args, ("fit", args.dataset, args.clusters))
+    runtime = _resolve_runtime(args, ("fit", args.dataset, args.clusters))
     try:
-        flare = Flare(config).fit(dataset, executor=executor)
+        flare = Flare(config).fit(dataset, runtime=runtime)
     finally:
-        if executor is not None:
-            executor.close()
+        if runtime is not None:
+            runtime.close()
     save_model(flare, args.out)
     _print_resume_summary(args)
     report = flare.prune_report
@@ -438,23 +447,23 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    from .runtime.executor import resolve_executor
-
     flare = load_model(args.model)
     if args.solver is not None:
         flare.replayer.solver = args.solver
     feature = _FEATURES[args.feature]
-    executor = _resolve_runtime(
+    runtime = _resolve_runtime(
         args, ("evaluate", args.model, args.feature, args.job)
     )
-    if executor is None:
-        executor = resolve_executor(None)
-    if args.job:
-        estimate = flare.evaluate_job(feature, args.job, executor=executor)
-        label = f"{feature.name} impact on {args.job}"
-    else:
-        estimate = flare.evaluate(feature, executor=executor)
-        label = f"{feature.name} impact (all HP jobs)"
+    try:
+        if args.job:
+            estimate = flare.evaluate_job(feature, args.job, runtime=runtime)
+            label = f"{feature.name} impact on {args.job}"
+        else:
+            estimate = flare.evaluate(feature, runtime=runtime)
+            label = f"{feature.name} impact (all HP jobs)"
+    finally:
+        if runtime is not None:
+            runtime.close()
     _print_resume_summary(args)
     print(f"{label}: {estimate.reduction_pct:.2f}% MIPS reduction")
     print(f"evaluation cost: {estimate.evaluation_cost} scenario replays")
@@ -548,11 +557,11 @@ def _cmd_experiment(args) -> int:
     from .experiments import get_context
 
     context = get_context(args.scale, seed=args.seed)
-    executor = _resolve_runtime(
+    runtime = _resolve_runtime(
         args, ("experiment", args.figure, args.scale, args.seed)
     )
-    if executor is not None:
-        context.use_executor(executor)
+    if runtime is not None:
+        context.use_executor(runtime.executor)
     figure = args.figure
     if figure == "fig03":
         print(experiments.fig03_scenario_landscape.run_occupancy(context).render())

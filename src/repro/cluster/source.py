@@ -19,11 +19,11 @@ how cache keys stay stable across representations.
 from __future__ import annotations
 
 import hashlib
-import warnings
 from typing import TYPE_CHECKING, Any, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
+from .._deprecations import resolve_renamed_kwarg
 from .machine import MachineShape
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -160,20 +160,14 @@ def resolve_source_argument(
     """Support the renamed ``dataset=`` -> ``source=`` keyword.
 
     The positional/``source=`` spelling is canonical; passing the legacy
-    ``dataset=`` keyword still works but warns.
+    ``dataset=`` keyword still works but warns (via the shared shim in
+    :mod:`repro._deprecations`).
     """
-    if dataset is not None:
-        if source is not None:
-            raise TypeError(
-                f"{owner} got both 'source' and legacy 'dataset' arguments"
-            )
-        warnings.warn(
-            f"the 'dataset' keyword of {owner} is deprecated; pass the "
-            "scenario source positionally or as 'source='",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return dataset
-    if source is None:
-        raise TypeError(f"{owner} missing required argument: 'source'")
-    return source
+    return resolve_renamed_kwarg(
+        source,
+        dataset,
+        owner=owner,
+        old_name="dataset",
+        new_name="source",
+        stacklevel=3,
+    )

@@ -24,10 +24,12 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .._deprecations import resolve_renamed_kwarg
 from ..cluster.features import Feature
 from ..cluster.scenario import ScenarioDataset, ScenarioKey
 from ..cluster.source import ScenarioSource, resolve_source_argument
 from ..obs import span as obs_span
+from ..runtime.config import RuntimeConfig, resolve_runtime
 from ..runtime.executor import Executor
 from ..stats.correlation import PruneReport
 from ..telemetry.database import Database
@@ -72,6 +74,14 @@ class FlareConfig:
         (vectorised over scenario batches), or ``"auto"`` (batched
         whenever more than one scenario is solved together).  The
         paths are bit-identical — see ``docs/perfmodel.md``.
+    runtime:
+        Default :class:`~repro.runtime.RuntimeConfig` for this model's
+        fan-out stages (fitting, evaluation).  ``None`` keeps every
+        call serial-inline unless a ``runtime=`` argument is passed
+        explicitly; a per-call ``runtime=`` always wins over this
+        default.  Persisted with saved models (like ``solver=``), and
+        — like every runtime knob — unable to change results, only
+        speed and failure behaviour.
     """
 
     refinement_threshold: float = 0.98
@@ -83,11 +93,19 @@ class FlareConfig:
     temporal_jitter: float = 0.15
     per_job_metrics: tuple[str, ...] = ()
     solver: str = "auto"
+    runtime: RuntimeConfig | None = None
 
     def __post_init__(self) -> None:
         from ..perfmodel.batch import resolve_solver_mode
 
         resolve_solver_mode(self.solver, 0)  # validate eagerly
+        if self.runtime is not None and not isinstance(
+            self.runtime, RuntimeConfig
+        ):
+            raise TypeError(
+                "FlareConfig.runtime must be a RuntimeConfig or None, "
+                f"got {self.runtime!r}"
+            )
 
     def make_profiler(self, *, database: Database | None = None) -> Profiler:
         """Build the Profiler this configuration describes.
@@ -136,6 +154,7 @@ class Flare:
         self,
         source: "ScenarioSource | None" = None,
         *,
+        runtime: "RuntimeConfig | Executor | str | None" = None,
         executor: "Executor | str | None" = None,
         dataset: ScenarioDataset | None = None,
     ) -> "Flare":
@@ -146,24 +165,39 @@ class Flare:
         (full matrices resident); any other source — a sharded
         :class:`~repro.store.ShardedScenarioStore` in particular — is
         fitted out-of-core via :func:`~repro.core.streaming_fit`,
-        with peak memory bounded by the shard size.  The legacy
-        ``dataset=`` keyword still works with a ``DeprecationWarning``.
+        with peak memory bounded by the shard size.
 
-        ``executor`` parallelises the profiling fan-out (the dominant
-        cost of fitting); results are bit-identical to serial fitting
-        under any executor, including one with fault injection enabled
-        — see :mod:`repro.runtime.resilience`.
+        ``runtime`` parallelises the profiling fan-out (the dominant
+        cost of fitting): a :class:`~repro.runtime.RuntimeConfig`, an
+        executor instance, or a spec string like ``"process:4"``.
+        When omitted, ``config.runtime`` applies (serial-inline when
+        that is ``None`` too).  Results are bit-identical to serial
+        fitting under any runtime, dispatch mode or worker count,
+        including with fault injection enabled — see
+        :mod:`repro.runtime.resilience`.  The legacy ``executor=`` and
+        ``dataset=`` keywords still work with a
+        ``DeprecationWarning``.
         """
+        runtime = resolve_renamed_kwarg(
+            runtime,
+            executor,
+            owner="Flare.fit",
+            old_name="executor",
+            new_name="runtime",
+            required=False,
+        )
+        if runtime is None:
+            runtime = self.config.runtime
         source = resolve_source_argument(source, dataset, owner="Flare.fit")
         if len(source) < 2:
             raise ValueError("FLARE needs at least 2 scenarios to fit")
         if not isinstance(source, ScenarioDataset):
-            return self._fit_streaming(source, executor=executor)
+            return self._fit_streaming(source, runtime=runtime)
         dataset = source
         with obs_span("flare.fit", n_scenarios=len(dataset)) as fit_span:
             profiler = self.config.make_profiler(database=self.database)
             with obs_span("flare.profile"):
-                self._profiled = profiler.profile(dataset, executor=executor)
+                self._profiled = profiler.profile(dataset, runtime=runtime)
             with obs_span("flare.refine"):
                 self._refined = refine(
                     self._profiled, threshold=self.config.refinement_threshold
@@ -197,7 +231,7 @@ class Flare:
         self,
         source: "ScenarioSource",
         *,
-        executor: "Executor | str | None" = None,
+        runtime: "RuntimeConfig | Executor | str | None" = None,
     ) -> "Flare":
         """Out-of-core fit over a non-resident source (sharded store)."""
         from .streaming_fit import streaming_fit
@@ -209,7 +243,7 @@ class Flare:
                 source,
                 self.config,
                 database=self.database,
-                executor=executor,
+                runtime=runtime,
             )
             self._streaming = True
             self._analysis = result.analysis
@@ -237,16 +271,24 @@ class Flare:
         self,
         feature: Feature,
         *,
+        runtime: "RuntimeConfig | Executor | str | None" = None,
         executor: "Executor | str | None" = None,
     ) -> FeatureImpactEstimate:
         """All-job impact estimate of *feature* (step 4).
 
-        Per-representative replays dispatch on *executor* (serial when
-        None); the estimate is identical for every executor.
+        Per-representative replays dispatch on *runtime*
+        (``config.runtime`` when omitted, serial when that is ``None``
+        too); the estimate is identical for every runtime.  The legacy
+        ``executor=`` keyword still works with a
+        ``DeprecationWarning``.
         """
+        runtime = self._evaluation_runtime(runtime, executor, "Flare.evaluate")
         with obs_span("flare.evaluate", feature=feature.name):
-            return estimate_all_job_impact(
-                self.representatives, self.replayer, feature, executor=executor
+            return self._with_runtime_executor(
+                runtime,
+                lambda pool: estimate_all_job_impact(
+                    self.representatives, self.replayer, feature, executor=pool
+                ),
             )
 
     def evaluate_job(
@@ -254,19 +296,54 @@ class Flare:
         feature: Feature,
         job_name: str,
         *,
+        runtime: "RuntimeConfig | Executor | str | None" = None,
         executor: "Executor | str | None" = None,
     ) -> FeatureImpactEstimate:
         """Per-job impact estimate of *feature* on *job_name*."""
+        runtime = self._evaluation_runtime(
+            runtime, executor, "Flare.evaluate_job"
+        )
         with obs_span(
             "flare.evaluate_job", feature=feature.name, job=job_name
         ):
-            return estimate_per_job_impact(
-                self.representatives,
-                self.replayer,
-                feature,
-                job_name,
-                executor=executor,
+            return self._with_runtime_executor(
+                runtime,
+                lambda pool: estimate_per_job_impact(
+                    self.representatives,
+                    self.replayer,
+                    feature,
+                    job_name,
+                    executor=pool,
+                ),
             )
+
+    def _evaluation_runtime(self, runtime, executor, owner: str):
+        """Merge the new/legacy/config spellings of the runtime argument."""
+        runtime = resolve_renamed_kwarg(
+            runtime,
+            executor,
+            owner=owner,
+            old_name="executor",
+            new_name="runtime",
+            required=False,
+        )
+        return runtime if runtime is not None else self.config.runtime
+
+    @staticmethod
+    def _with_runtime_executor(runtime, call):
+        """Run *call* with the runtime's executor, closing it if owned.
+
+        ``runtime=None`` preserves the historical contract: the callee
+        resolves its own executor (environment fallback included).
+        """
+        if runtime is None:
+            return call(None)
+        resolved = resolve_runtime(runtime)
+        try:
+            return call(resolved.executor)
+        finally:
+            if resolved is not runtime:
+                resolved.close()
 
     def reweight(
         self, durations: dict[ScenarioKey, float]

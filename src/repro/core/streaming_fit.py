@@ -89,6 +89,7 @@ def streaming_fit(
     config,
     *,
     database: Database | None = None,
+    runtime=None,
     executor=None,
     spill_dir=None,
     sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
@@ -100,6 +101,11 @@ def streaming_fit(
     config:
         The :class:`~repro.core.pipeline.FlareConfig` to fit under —
         the same knobs drive both fitting paths.
+    runtime:
+        Optional :class:`~repro.runtime.RuntimeConfig` (or executor /
+        spec string) fanning the profiling pass out; the legacy
+        ``executor=`` keyword still works with a
+        ``DeprecationWarning``.
     spill_dir:
         Directory for the intermediate metric store.  ``None`` (the
         default) uses a temporary directory removed when fitting ends;
@@ -108,8 +114,17 @@ def streaming_fit(
         Reservoir size for clustering initialisation; see
         :data:`DEFAULT_SAMPLE_CAPACITY`.
     """
+    from .._deprecations import resolve_renamed_kwarg
     from ..store.metrics_store import MetricStoreWriter
 
+    runtime = resolve_renamed_kwarg(
+        runtime,
+        executor,
+        owner="streaming_fit",
+        old_name="executor",
+        new_name="runtime",
+        required=False,
+    )
     cfg = config.analyzer
     if cfg.weight_samples and len(source) > sample_capacity:
         raise ValueError(
@@ -123,12 +138,12 @@ def streaming_fit(
         with tempfile.TemporaryDirectory(prefix="repro-metrics-") as tmp:
             return _streaming_fit(
                 source, config, pathlib.Path(tmp), MetricStoreWriter,
-                database=database, executor=executor,
+                database=database, runtime=runtime,
                 sample_capacity=sample_capacity,
             )
     return _streaming_fit(
         source, config, pathlib.Path(spill_dir), MetricStoreWriter,
-        database=database, executor=executor,
+        database=database, runtime=runtime,
         sample_capacity=sample_capacity,
     )
 
@@ -140,7 +155,7 @@ def _streaming_fit(
     writer_cls,
     *,
     database,
-    executor,
+    runtime,
     sample_capacity: int,
 ) -> StreamingFit:
     cfg = config.analyzer
@@ -155,7 +170,7 @@ def _streaming_fit(
             overwrite=True,
         )
         moments = RunningMoments()
-        for batch in profiler.iter_profile(source, executor=executor):
+        for batch in profiler.iter_profile(source, runtime=runtime):
             writer.append(batch.matrix)
             moments.update(batch.matrix)
         metric_store = writer.finalize()

@@ -25,6 +25,7 @@ from ..perfmodel.contention import RunningInstance
 from ..perfmodel.machine import MachinePerf
 from ..perfmodel.mrc import MissRatioCurve
 from ..perfmodel.signatures import JobSignature, Priority
+from ..runtime.config import RuntimeConfig
 
 __all__ = [
     "dataset_to_dict",
@@ -267,6 +268,9 @@ def config_to_dict(config: FlareConfig) -> dict[str, Any]:
         "temporal_jitter": config.temporal_jitter,
         "per_job_metrics": list(config.per_job_metrics),
         "solver": config.solver,
+        "runtime": (
+            None if config.runtime is None else config.runtime.to_dict()
+        ),
         "analyzer": {
             "variance_target": analyzer.variance_target,
             "n_components": analyzer.n_components,
@@ -303,6 +307,11 @@ def config_from_dict(data: dict[str, Any]) -> FlareConfig:
         temporal_jitter=data.get("temporal_jitter", 0.15),
         per_job_metrics=tuple(data.get("per_job_metrics", ())),
         solver=data.get("solver", "auto"),
+        runtime=(
+            None
+            if data.get("runtime") is None
+            else RuntimeConfig.from_dict(data["runtime"])
+        ),
     )
 
 

@@ -10,11 +10,11 @@ helpers for the cost/accuracy curve.
 from __future__ import annotations
 
 import functools
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
+from .._deprecations import resolve_positional_kwarg
 from ..runtime.executor import Executor, resolve_executor
 from ..runtime.resilience import partition_failures
 from ..runtime.seeding import spawn_seed_sequences
@@ -225,19 +225,9 @@ def percentile_interval(
 
     ``confidence`` is keyword-only; passing it positionally is deprecated.
     """
-    if args:
-        if len(args) > 1:
-            raise TypeError(
-                "percentile_interval() takes one positional argument "
-                f"({1 + len(args)} given)"
-            )
-        warnings.warn(
-            "passing confidence positionally to percentile_interval() is "
-            "deprecated; use confidence=...",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        confidence = args[0]
+    confidence = resolve_positional_kwarg(
+        args, confidence, owner="percentile_interval", name="confidence"
+    )
     arr = as_vector(values, name="values")
     if arr.size == 0:
         raise ValueError("values must be non-empty")

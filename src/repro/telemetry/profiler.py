@@ -113,7 +113,6 @@ class ProfiledDataset:
         return self.matrix[:, idx].copy()
 
 
-@dataclass(frozen=True)
 class ProfiledBatch:
     """One profiled slice of a streaming source (``Profiler.iter_profile``).
 
@@ -122,14 +121,32 @@ class ProfiledBatch:
     start_row:
         Global row index of the batch's first scenario.
     dataset:
-        The decoded scenarios of this batch only.
+        The decoded scenarios of this batch only.  Under shard-ref
+        dispatch the workers never ship scenarios back, so this decodes
+        lazily from the memory-mapped shard on first access — consumers
+        that only need the matrix never pay for it.
     matrix:
         ``(len(dataset), n_metrics)`` raw counter values, noise applied.
     """
 
-    start_row: int
-    dataset: ScenarioDataset
-    matrix: np.ndarray
+    __slots__ = ("start_row", "matrix", "_dataset")
+
+    def __init__(
+        self,
+        *,
+        start_row: int,
+        dataset,
+        matrix: np.ndarray,
+    ) -> None:
+        self.start_row = start_row
+        self.matrix = matrix
+        self._dataset = dataset
+
+    @property
+    def dataset(self) -> ScenarioDataset:
+        if callable(self._dataset):
+            self._dataset = self._dataset()
+        return self._dataset
 
 
 class Profiler:
@@ -223,6 +240,7 @@ class Profiler:
         source: ScenarioSource | None = None,
         feature: Feature = BASELINE,
         *,
+        runtime=None,
         executor=None,
         dataset: ScenarioDataset | None = None,
     ) -> ProfiledDataset:
@@ -234,23 +252,34 @@ class Profiler:
         batch-by-batch through :meth:`iter_profile` and the rows
         assembled into one matrix.  The noise stream is consumed in
         global row order either way, so the matrix is bit-identical
-        across backings, executors and batch sizes.
+        across backings, runtimes, dispatch modes and batch sizes.
 
-        ``executor`` optionally fans the per-scenario collection out
-        through a :class:`repro.runtime.Executor` (instance or spec
-        string).  Only the noise-free :meth:`collect` step — a pure
-        function of the scenario — is parallelised; measurement noise
-        is applied in the parent in row order from the single shared
-        stream.  The legacy ``dataset=`` keyword still works with a
+        ``runtime`` optionally fans the noise-free collection out: it
+        accepts a :class:`repro.runtime.RuntimeConfig`, an executor
+        instance, a spec string (``"process:4"``), or an
+        already-resolved runtime.  ``None`` keeps the historical inline
+        path (no executor machinery, no environment lookup).
+        Measurement noise is applied in the parent in row order from
+        the single shared stream.  The legacy ``executor=`` and
+        ``dataset=`` keywords still work with a
         :class:`DeprecationWarning`.
         """
         from ..obs import inc, span
+        from .._deprecations import resolve_renamed_kwarg
 
+        runtime = resolve_renamed_kwarg(
+            runtime,
+            executor,
+            owner="Profiler.profile",
+            old_name="executor",
+            new_name="runtime",
+            required=False,
+        )
         source = resolve_source_argument(
             source, dataset, owner="Profiler.profile"
         )
         if not isinstance(source, ScenarioDataset):
-            return self._profile_streaming(source, feature, executor)
+            return self._profile_streaming(source, feature, runtime)
         dataset = source
         with span(
             "profiler.profile",
@@ -263,8 +292,15 @@ class Profiler:
                 self.noise_sigma, np.random.default_rng(self.seed)
             )
             matrix = np.empty((len(dataset), len(self.specs)))
-            if executor is not None:
-                cleans = self._collect_all(dataset, machine, executor)
+            if runtime is not None:
+                from ..runtime.config import resolve_runtime
+
+                resolved = resolve_runtime(runtime)
+                try:
+                    cleans = self._collect_all(dataset, machine, resolved)
+                finally:
+                    if resolved is not runtime:
+                        resolved.close()
             elif resolve_solver_mode(self.solver, len(dataset)) == "batched":
                 cleans = self.collect_many(
                     dataset.scenarios, dataset, machine
@@ -286,7 +322,7 @@ class Profiler:
         )
 
     def _profile_streaming(
-        self, source: ScenarioSource, feature: Feature, executor
+        self, source: ScenarioSource, feature: Feature, runtime
     ) -> ProfiledDataset:
         """profile() over a non-resident source, via iter_profile."""
         from ..obs import span
@@ -301,7 +337,7 @@ class Profiler:
             machine = feature(source.shape.perf)
             matrix = np.empty((len(source), len(self.specs)))
             for batch in self.iter_profile(
-                source, feature, executor=executor
+                source, feature, runtime=runtime
             ):
                 stop = batch.start_row + batch.matrix.shape[0]
                 matrix[batch.start_row : stop] = batch.matrix
@@ -314,6 +350,7 @@ class Profiler:
         source: ScenarioSource | None = None,
         feature: Feature = BASELINE,
         *,
+        runtime=None,
         executor=None,
         window: int | None = None,
         dataset: ScenarioDataset | None = None,
@@ -321,22 +358,37 @@ class Profiler:
         """Profile a source batch-by-batch, yielding :class:`ProfiledBatch`.
 
         This is the streaming producer behind the out-of-core fit: at
-        most a *window* of batches (shards, for a store) is resident at
-        once, so peak memory is bounded by shard size rather than
-        dataset size.  With an executor, each window is dispatched as
-        one ``map`` call with one batch per chunk — so chunks align
-        with shards, and a :class:`~repro.runtime.CheckpointJournal`
-        resumes at shard granularity.  Chunk journal keys cover the
-        batch *content*, not the window grouping, so a resumed run may
-        use a different executor or window and still hit.
+        most a *window* of batches is resident at once, so peak memory
+        is bounded by batch size rather than dataset size.  With a
+        parallel *runtime* over a shard-backed store, dispatch goes
+        zero-copy: workers receive :class:`~repro.runtime.ShardRef`
+        row-range descriptors and memory-map the store themselves, so
+        no scenario payload crosses the process boundary in either
+        direction.  Other sources (or ``dispatch="pickle"``) ship each
+        batch as one pickled chunk — chunks align with shards, and a
+        :class:`~repro.runtime.CheckpointJournal` resumes at that
+        granularity.  Both item kinds are pure content, so a resumed
+        run may use a different executor or window and still hit its
+        journal.
 
         Measurement noise is applied in the parent, in global row
         order, from the single seeded stream — yielded matrices are
-        bit-identical to the in-memory path's rows under any executor,
-        worker count or batch size.
+        bit-identical to the in-memory path's rows under any runtime,
+        worker count, dispatch mode or batch size.  The legacy
+        ``executor=`` and ``dataset=`` keywords still work with a
+        :class:`DeprecationWarning`.
         """
+        from .._deprecations import resolve_renamed_kwarg
         from ..obs import inc, span
 
+        runtime = resolve_renamed_kwarg(
+            runtime,
+            executor,
+            owner="Profiler.iter_profile",
+            old_name="executor",
+            new_name="runtime",
+            required=False,
+        )
         source = resolve_source_argument(
             source, dataset, owner="Profiler.iter_profile"
         )
@@ -345,7 +397,7 @@ class Profiler:
             self.noise_sigma, np.random.default_rng(self.seed)
         )
         start_row = 0
-        if executor is None:
+        if runtime is None:
             for batch in source.iter_batches():
                 with span(
                     "profiler.profile_batch",
@@ -368,51 +420,197 @@ class Profiler:
             return
 
         import copy
+        import time
 
-        from ..runtime.executor import resolve_executor
+        from ..runtime.config import record_stage_cost, resolve_runtime
+        from ..runtime.dispatch import DispatchError, choose_dispatch
+        from ..runtime.executor import ProcessExecutor
         from ..runtime.resilience import TaskFailure
 
-        resolved = resolve_executor(executor)
-        if window is None:
-            window = 2 * getattr(resolved, "max_workers", 2)
+        resolved = resolve_runtime(runtime)
+        try:
+            pool = resolved.executor
+            config = resolved.config
+            mode = choose_dispatch(
+                config.dispatch,
+                store_backed=hasattr(source, "shard_refs"),
+                parallel=isinstance(pool, ProcessExecutor),
+                journaled=getattr(pool, "checkpoint", None) is not None,
+            )
+            if mode == "shm":
+                if config.dispatch == "shm":
+                    raise DispatchError(
+                        "dispatch='shm' does not apply to streaming "
+                        "profiling; use 'shardref' (for stores) or "
+                        "'pickle'"
+                    )
+                mode = "pickle"  # auto: streaming stays on batch chunks
+            if window is None:
+                window = 2 * getattr(pool, "max_workers", 2)
+
+            if mode == "shardref":
+                yield from self._iter_profile_shardref(
+                    source, feature, machine, noise, pool, config, window
+                )
+                return
+
+            worker_profiler = copy.copy(self)
+            worker_profiler.database = None
+            task = _CollectBatchTask(
+                profiler=worker_profiler, machine=machine
+            )
+            pending: list[ScenarioDataset] = []
+
+            def drain():
+                nonlocal start_row
+                begin = time.perf_counter()
+                cleans = pool.map(
+                    task, list(pending), chunk_size=1, stage="profile"
+                )
+                record_stage_cost(
+                    "profile",
+                    time.perf_counter() - begin,
+                    sum(len(batch) for batch in pending),
+                )
+                for batch, clean in zip(pending, cleans):
+                    if isinstance(clean, TaskFailure):
+                        raise RuntimeError(
+                            f"profiling lost the batch at row {start_row} "
+                            f"({clean.error}); a partial metric matrix "
+                            "would skew every downstream stage — rerun "
+                            "with a non-skipping failure policy"
+                        )
+                    with span(
+                        "profiler.profile_batch",
+                        n_scenarios=len(batch),
+                        start_row=start_row,
+                        feature=feature.name,
+                    ):
+                        matrix = self._finish_batch(batch, clean, noise)
+                    inc("scenarios_profiled", len(batch))
+                    yield ProfiledBatch(
+                        start_row=start_row, dataset=batch, matrix=matrix
+                    )
+                    start_row += len(batch)
+                pending.clear()
+
+            for batch in source.iter_batches():
+                pending.append(batch)
+                if len(pending) >= window:
+                    yield from drain()
+            if pending:
+                yield from drain()
+        finally:
+            if resolved is not runtime:
+                resolved.close()
+
+    def _iter_profile_shardref(
+        self, source, feature, machine, noise, pool, config, window
+    ):
+        """Zero-copy streaming dispatch over a shard-backed source.
+
+        Refs are iterated in global row order (the noise stream
+        requires it) and dispatched *window* refs at a time with one
+        ref per chunk; refs are cost-sized, so several may cover one
+        shard.  Worker matrices are reassembled into *shard-aligned*
+        batches before yielding — consumers accumulate per batch, so
+        batch boundaries must match the serial path's (one batch per
+        shard) for the whole fit to stay bit-identical.  Workers
+        return only metric matrices; the yielded batch's scenarios
+        decode lazily from the parent's own shard mapping, and only
+        when a consumer actually touches them (or eagerly when
+        persistence needs them).
+        """
+        import copy
+        import dataclasses
+        import time
+
+        from ..obs import inc, span
+        from ..runtime.config import cost_aware_block, record_stage_cost
+        from ..runtime.resilience import TaskFailure
+
+        workers = getattr(pool, "max_workers", 1)
+        if isinstance(config.chunk_size, int):
+            rows_per_ref = config.chunk_size
+        else:
+            rows_per_ref = cost_aware_block(len(source), workers, "profile")
+        refs = source.shard_refs(rows_per_ref=rows_per_ref)
         worker_profiler = copy.copy(self)
         worker_profiler.database = None
-        task = _CollectBatchTask(profiler=worker_profiler, machine=machine)
-        pending: list[ScenarioDataset] = []
+        task = _CollectShardRefTask(
+            profiler=worker_profiler,
+            machine=machine,
+            job_names=tuple(source.job_names),
+            signatures=dict(source.signatures),
+            shape=source.shape,
+        )
+        start_row = 0
+        shard_cleans: list[np.ndarray] = []
+        shard_ref = None  # first ref of the shard being assembled
 
-        def drain():
-            nonlocal start_row
-            cleans = resolved.map(
-                task, list(pending), chunk_size=1, stage="profile"
+        def flush_shard():
+            nonlocal start_row, shard_cleans, shard_ref
+            clean = (
+                np.concatenate(shard_cleans, axis=0)
+                if len(shard_cleans) > 1
+                else shard_cleans[0]
             )
-            for batch, clean in zip(pending, cleans):
+            whole = dataclasses.replace(
+                shard_ref,
+                row_start=0,
+                row_stop=shard_ref.shard_rows,
+                global_row=shard_ref.global_row - shard_ref.row_start,
+            )
+            with span(
+                "profiler.profile_batch",
+                n_scenarios=clean.shape[0],
+                start_row=start_row,
+                feature=feature.name,
+            ):
+                if self.database is not None:
+                    batch = _decode_ref(task, whole)
+                    matrix = self._finish_batch(batch, clean, noise)
+                    dataset_value = batch
+                else:
+                    matrix = np.empty_like(clean)
+                    for row in range(clean.shape[0]):
+                        matrix[row] = noise.apply(clean[row], self.specs)
+                    dataset_value = lambda t=task, r=whole: _decode_ref(t, r)
+            inc("scenarios_profiled", clean.shape[0])
+            yield ProfiledBatch(
+                start_row=start_row, dataset=dataset_value, matrix=matrix
+            )
+            start_row += clean.shape[0]
+            shard_cleans = []
+            shard_ref = None
+
+        for group_start in range(0, len(refs), window):
+            group = refs[group_start : group_start + window]
+            begin = time.perf_counter()
+            cleans = pool.map(task, group, chunk_size=1, stage="profile")
+            record_stage_cost(
+                "profile",
+                time.perf_counter() - begin,
+                sum(ref.rows for ref in group),
+            )
+            for ref, clean in zip(group, cleans):
                 if isinstance(clean, TaskFailure):
                     raise RuntimeError(
-                        f"profiling lost the batch at row {start_row} "
-                        f"({clean.error_type}: {clean.message}); a partial "
-                        "metric matrix would skew every downstream stage — "
-                        "rerun with a non-skipping failure policy"
+                        "profiling lost the shard ref at global row "
+                        f"{ref.global_row} ({clean.error}); a partial "
+                        "metric matrix would skew every downstream stage "
+                        "— rerun with a non-skipping failure policy"
                     )
-                with span(
-                    "profiler.profile_batch",
-                    n_scenarios=len(batch),
-                    start_row=start_row,
-                    feature=feature.name,
+                if (
+                    shard_ref is not None
+                    and ref.shard_index != shard_ref.shard_index
                 ):
-                    matrix = self._finish_batch(batch, clean, noise)
-                inc("scenarios_profiled", len(batch))
-                yield ProfiledBatch(
-                    start_row=start_row, dataset=batch, matrix=matrix
-                )
-                start_row += len(batch)
-            pending.clear()
-
-        for batch in source.iter_batches():
-            pending.append(batch)
-            if len(pending) >= window:
-                yield from drain()
-        if pending:
-            yield from drain()
+                    yield from flush_shard()
+                if shard_ref is None:
+                    shard_ref = ref
+                shard_cleans.append(clean)
+        if shard_cleans:
+            yield from flush_shard()
 
     def _finish_batch(
         self,
@@ -432,65 +630,121 @@ class Profiler:
         self,
         dataset: ScenarioDataset,
         machine: MachinePerf,
-        executor,
+        resolved,
     ) -> list:
-        """Fan collection out over *executor*.
+        """Fan collection out over a resolved runtime.
 
-        The scalar solver dispatches one task per scenario (the
-        historical layout); the batched solver dispatches one
-        contiguous row *range* per task — same row blocking as the
-        scalar path's chunking, but each worker solves its block as a
-        single vectorised batch.  The dispatched profiler copy drops
-        the database handle (it is not picklable and persistence must
-        stay in the parent anyway); a scenario degraded to a
-        ``TaskFailure`` by ``retry_then_skip`` is a hard error here — a
-        profiled matrix with missing rows would silently skew
-        everything downstream.
+        The dispatch mode decides what crosses the process boundary.
+        Under ``shm`` the dataset is columnarised once in the parent
+        (the store codec's tables), published through shared memory,
+        and workers receive bare ``(start, stop)`` row ranges — the
+        batched analogue of the historical range layout with the
+        per-chunk scenario pickling removed.  ``pickle`` keeps the
+        historical layouts: one row range per task for the batched
+        solver, one row per task for the scalar reference.  Either way
+        the row blocking is identical, so results are bit-identical
+        across modes.
+
+        The dispatched profiler copy drops the database handle (it is
+        not picklable and persistence must stay in the parent anyway);
+        a scenario degraded to a ``TaskFailure`` by ``retry_then_skip``
+        is a hard error here — a profiled matrix with missing rows
+        would silently skew everything downstream.
         """
         import copy
+        import time
 
-        from ..runtime.executor import resolve_executor
+        from ..runtime.config import cost_aware_block, record_stage_cost
+        from ..runtime.dispatch import choose_dispatch
+        from ..runtime.executor import ProcessExecutor
         from ..runtime.resilience import TaskFailure
 
+        pool = resolved.executor
+        config = resolved.config
+        batched = resolve_solver_mode(self.solver, len(dataset)) == "batched"
+        mode = choose_dispatch(
+            config.dispatch,
+            store_backed=False,
+            parallel=isinstance(pool, ProcessExecutor),
+            journaled=getattr(pool, "checkpoint", None) is not None,
+        )
+        if mode == "shm" and not batched:
+            mode = "pickle"  # the scalar reference keeps per-row tasks
+        signatures = None
+        if mode == "shm":
+            signatures = _signature_catalogue(dataset)
+            if signatures is None:
+                # Conflicting signatures under one job name cannot be
+                # interned into the columnar tables; ship scenarios.
+                mode = "pickle"
+
+        workers = getattr(pool, "max_workers", 1)
+        if isinstance(config.chunk_size, int):
+            block = config.chunk_size
+        else:
+            block = cost_aware_block(len(dataset), workers, "profile")
         worker_profiler = copy.copy(self)
         worker_profiler.database = None
-        block = max(1, len(dataset) // 64)
-        if resolve_solver_mode(self.solver, len(dataset)) == "batched":
-            ranges = [
-                (start, min(start + block, len(dataset)))
-                for start in range(0, len(dataset), block)
-            ]
+        ranges = [
+            (start, min(start + block, len(dataset)))
+            for start in range(0, len(dataset), block)
+        ]
+
+        if mode == "shm":
+            from ..runtime.dispatch import SharedTables
+            from ..store.format import encode_shard
+
+            job_index: dict[str, int] = {}
+            scenario_table, instance_table = encode_shard(
+                dataset.scenarios, job_index
+            )
+            job_names = tuple(sorted(job_index, key=job_index.__getitem__))
+            tables = SharedTables(scenario_table, instance_table)
+            shared_task = _CollectSharedTask(
+                profiler=worker_profiler,
+                machine=machine,
+                tables=tables.ref,
+                job_names=job_names,
+                signatures=signatures,
+                shape=dataset.shape,
+            )
+            begin = time.perf_counter()
+            try:
+                blocks = pool.map(
+                    shared_task, ranges, chunk_size=1, stage="profile"
+                )
+            finally:
+                tables.release()
+            record_stage_cost(
+                "profile", time.perf_counter() - begin, len(dataset)
+            )
+            return _reassemble_blocks(ranges, blocks)
+
+        if batched:
             range_task = _CollectRangeTask(
                 profiler=worker_profiler, dataset=dataset, machine=machine
             )
-            blocks = resolve_executor(executor).map(
+            begin = time.perf_counter()
+            blocks = pool.map(
                 range_task, ranges, chunk_size=1, stage="profile"
             )
-            cleans: list = []
-            lost_ranges = []
-            for (start, stop), block_rows in zip(ranges, blocks):
-                if isinstance(block_rows, TaskFailure):
-                    lost_ranges.append((start, stop))
-                    cleans.extend([block_rows] * (stop - start))
-                else:
-                    cleans.extend(block_rows)
-            if lost_ranges:
-                raise RuntimeError(
-                    f"profiling lost {len(lost_ranges)} row range(s) "
-                    f"({lost_ranges[:5]}{'…' if len(lost_ranges) > 5 else ''}); "
-                    "a partial metric matrix would skew every downstream "
-                    "stage — rerun with a non-skipping failure policy"
-                )
-            return cleans
+            record_stage_cost(
+                "profile", time.perf_counter() - begin, len(dataset)
+            )
+            return _reassemble_blocks(ranges, blocks)
 
         task = _CollectTask(
             profiler=worker_profiler, dataset=dataset, machine=machine
         )
-        cleans = resolve_executor(executor).map(
+        begin = time.perf_counter()
+        cleans = pool.map(
             task,
             range(len(dataset)),
             chunk_size=block,
             stage="profile",
+        )
+        record_stage_cost(
+            "profile", time.perf_counter() - begin, len(dataset)
         )
         lost = [
             row
@@ -544,6 +798,59 @@ class Profiler:
                 for scenario, solution in zip(block, solutions)
             )
         return vectors
+
+    def collect_tables(
+        self,
+        scenario_table: np.ndarray,
+        instance_table: np.ndarray,
+        *,
+        job_names,
+        signatures: dict,
+        shape,
+        machine: MachinePerf,
+    ) -> np.ndarray:
+        """Noise-free metric matrix for a columnar scenario-table slice.
+
+        This is the worker-side entry point of the zero-copy dispatch
+        modes: the tables arrive memory-mapped (shard refs) or
+        shared-memory backed, and the batched solver packs its arrays
+        straight from them via :meth:`ScenarioBatch.from_tables` — no
+        scenario pickling anywhere.  Metric derivation still needs the
+        decoded instances, so the slice is rebuilt locally; the result
+        is bit-identical to :meth:`collect_many` over that decode
+        (same 4096-row solve blocking, same float64 loads).
+        """
+        from ..perfmodel.batch import ScenarioBatch, solve_colocation_batch
+        from ..store.format import decode_shard
+
+        names = list(job_names)
+        dataset = decode_shard(
+            scenario_table, instance_table, names, signatures, shape
+        )
+        if resolve_solver_mode(self.solver, len(dataset)) != "batched":
+            vectors = self.collect_many(dataset.scenarios, dataset, machine)
+        else:
+            vectors = []
+            for start in range(0, len(scenario_table), 4096):
+                block = ScenarioBatch.from_tables(
+                    scenario_table[start : start + 4096],
+                    instance_table,
+                    names,
+                    signatures,
+                )
+                solutions = solve_colocation_batch(machine, block)
+                vectors.extend(
+                    self._vector_from_solution(
+                        scenario, dataset, machine, solution
+                    )
+                    for scenario, solution in zip(
+                        dataset.scenarios[start : start + 4096], solutions
+                    )
+                )
+        clean = np.empty((len(dataset), len(self.specs)))
+        for row, vector in enumerate(vectors):
+            clean[row] = vector
+        return clean
 
     def _vector_from_solution(
         self,
@@ -739,6 +1046,120 @@ class _CollectRangeTask:
         return self.profiler.collect_many(
             self.dataset.scenarios[start:stop], self.dataset, self.machine
         )
+
+
+@dataclass(frozen=True)
+class _CollectShardRefTask:
+    """Picklable shard-ref profiling task: the worker reads the store.
+
+    The item is a :class:`~repro.runtime.ShardRef`; the worker
+    memory-maps (and caches) the referenced shard, slices its row
+    range, and profiles it through :meth:`Profiler.collect_tables`.
+    Refs are pure content, so checkpoint-journal keys and injected
+    fault fates survive re-runs unchanged.
+    """
+
+    profiler: "Profiler"
+    machine: MachinePerf
+    job_names: tuple
+    signatures: dict
+    shape: object
+
+    def __call__(self, ref) -> np.ndarray:
+        from ..runtime.dispatch import shard_tables
+
+        scenario_table, instance_table = shard_tables(ref)
+        return self.profiler.collect_tables(
+            scenario_table[ref.row_start : ref.row_stop],
+            instance_table,
+            job_names=self.job_names,
+            signatures=self.signatures,
+            shape=self.shape,
+            machine=self.machine,
+        )
+
+
+@dataclass(frozen=True)
+class _CollectSharedTask:
+    """Picklable shared-memory profiling task for in-memory datasets.
+
+    The dataset's columnar tables live in the parent's shared-memory
+    segments (``tables`` names them); the item is a bare
+    ``(start, stop)`` row range, so the per-chunk payload is a few
+    hundred bytes regardless of scenario count.
+    """
+
+    profiler: "Profiler"
+    machine: MachinePerf
+    tables: object
+    job_names: tuple
+    signatures: dict
+    shape: object
+
+    def __call__(self, row_range: tuple[int, int]) -> np.ndarray:
+        from ..runtime.dispatch import attach_shared_tables
+
+        start, stop = row_range
+        scenario_table, instance_table = attach_shared_tables(self.tables)
+        return self.profiler.collect_tables(
+            scenario_table[start:stop],
+            instance_table,
+            job_names=self.job_names,
+            signatures=self.signatures,
+            shape=self.shape,
+            machine=self.machine,
+        )
+
+
+def _decode_ref(task: _CollectShardRefTask, ref) -> ScenarioDataset:
+    """Decode one ref's scenarios from the parent's own shard mapping."""
+    from ..runtime.dispatch import shard_tables
+    from ..store.format import decode_shard
+
+    scenario_table, instance_table = shard_tables(ref)
+    return decode_shard(
+        scenario_table[ref.row_start : ref.row_stop],
+        instance_table,
+        list(task.job_names),
+        task.signatures,
+        task.shape,
+    )
+
+
+def _signature_catalogue(dataset: ScenarioDataset) -> dict | None:
+    """Job-name → signature map, or ``None`` if any name is ambiguous."""
+    signatures: dict = {}
+    for scenario in dataset.scenarios:
+        for instance in scenario.instances:
+            name = instance.signature.name
+            existing = signatures.get(name)
+            if existing is None:
+                signatures[name] = instance.signature
+            elif existing != instance.signature:
+                return None
+    return signatures
+
+
+def _reassemble_blocks(ranges, blocks) -> list:
+    """Flatten per-range worker matrices back to per-row vectors."""
+    from ..runtime.resilience import TaskFailure
+
+    cleans: list = []
+    lost_ranges = []
+    for (start, stop), block_rows in zip(ranges, blocks):
+        if isinstance(block_rows, TaskFailure):
+            lost_ranges.append((start, stop))
+            cleans.extend([block_rows] * (stop - start))
+        else:
+            cleans.extend(block_rows)
+    if lost_ranges:
+        raise RuntimeError(
+            f"profiling lost {len(lost_ranges)} row range(s) "
+            f"({lost_ranges[:5]}{'…' if len(lost_ranges) > 5 else ''}); "
+            "a partial metric matrix would skew every downstream "
+            "stage — rerun with a non-skipping failure policy"
+        )
+    return cleans
 
 
 @dataclass(frozen=True)

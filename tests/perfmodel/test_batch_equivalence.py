@@ -304,7 +304,7 @@ class TestEndToEndEquivalence:
         serial = Profiler(seed=11, solver="batched").profile(tiny_dataset)
         with ProcessExecutor(max_workers=2) as pool:
             parallel = Profiler(seed=11, solver="batched").profile(
-                tiny_dataset, executor=pool
+                tiny_dataset, runtime=pool
             )
         assert (serial.matrix == parallel.matrix).all()
 

@@ -93,9 +93,9 @@ class TestBaselineDeterminism:
 class TestReplayDeterminism:
     def test_evaluate_matches_serial(self, small_flare, process_pool):
         serial = small_flare.evaluate(
-            FEATURE_1_CACHE, executor=SerialExecutor()
+            FEATURE_1_CACHE, runtime=SerialExecutor()
         )
-        parallel = small_flare.evaluate(FEATURE_1_CACHE, executor=process_pool)
+        parallel = small_flare.evaluate(FEATURE_1_CACHE, runtime=process_pool)
         assert parallel.reduction_pct == serial.reduction_pct
         assert [
             (c.cluster_id, c.weight, c.reduction_pct, c.scenario_id)

@@ -489,7 +489,7 @@ class TestPipelineUnderFaults:
             faults=FaultSpec(crash_rate=0.10, seed=23),
         )
         with ProcessExecutor(max_workers=3, resilience=res) as pool:
-            chaotic = Flare(config).fit(dataset, executor=pool)
+            chaotic = Flare(config).fit(dataset, runtime=pool)
 
         np.testing.assert_array_equal(
             baseline.profiled.matrix, chaotic.profiled.matrix
@@ -537,7 +537,7 @@ class TestPipelineUnderFaults:
             ),
         )
         estimate = flare.evaluate(
-            FEATURE_1_CACHE, executor=SerialExecutor(resilience=res)
+            FEATURE_1_CACHE, runtime=SerialExecutor(resilience=res)
         )
         clean = flare.evaluate(FEATURE_1_CACHE)
         # Fewer groups were measured, weights renormalised over survivors.

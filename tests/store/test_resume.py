@@ -47,7 +47,7 @@ class TestKillDuringStreamingProfile:
             journal = CheckpointJournal({str(journal_root)!r}, "profile")
             executor = SerialExecutor(checkpoint=journal)
             profiled = profiler_mod.Profiler().profile(
-                store, executor=executor
+                store, runtime=executor
             )
             hits = get_metrics().snapshot()["counters"].get(
                 "checkpoint_hits_total", 0

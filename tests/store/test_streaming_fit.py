@@ -45,7 +45,7 @@ class TestProfilerStreaming:
         profiler = Profiler()
         serial = profiler.profile(shared_store).matrix
         with ProcessExecutor(max_workers=2) as pool:
-            parallel = profiler.profile(shared_store, executor=pool).matrix
+            parallel = profiler.profile(shared_store, runtime=pool).matrix
         np.testing.assert_array_equal(serial, parallel)
 
     def test_iter_profile_covers_source_in_order(self, shared_store):
@@ -125,7 +125,7 @@ class TestStreamingDeterminism:
     def test_serial_process_fits_bit_identical(self, shared_store, config):
         serial = Flare(config).fit(shared_store)
         with ProcessExecutor(max_workers=2) as pool:
-            parallel = Flare(config).fit(shared_store, executor=pool)
+            parallel = Flare(config).fit(shared_store, runtime=pool)
         np.testing.assert_array_equal(
             serial.analysis.kmeans.centroids,
             parallel.analysis.kmeans.centroids,

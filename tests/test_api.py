@@ -29,32 +29,28 @@ class TestApiSurface:
 
     def test_runtime_names_exported(self):
         from repro.api import (  # noqa: F401
+            DispatchError,
             Executor,
             ProcessExecutor,
+            ResolvedRuntime,
             RuntimeCache,
+            RuntimeConfig,
             SerialExecutor,
+            ShardRef,
+            active_shared_segments,
             default_cache,
             resolve_executor,
+            resolve_runtime,
         )
 
 
-class TestDeprecatedTopLevelImports:
-    def test_top_level_attribute_warns(self):
-        with pytest.warns(DeprecationWarning, match="repro.api"):
-            flare_cls = repro.Flare
-        from repro.api import Flare
+class TestRetiredTopLevelImports:
+    def test_api_name_raises_with_migration_hint(self):
+        with pytest.raises(AttributeError, match="from repro.api import Flare"):
+            repro.Flare
 
-        assert flare_cls is Flare
-
-    def test_every_shim_name_resolves_to_api(self):
-        from repro import api
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            for name in repro.__all__:
-                if name == "__version__":
-                    continue
-                assert getattr(repro, name) is getattr(api, name), name
+    def test_all_lists_only_version(self):
+        assert repro.__all__ == ["__version__"]
 
     def test_submodule_access_does_not_warn(self):
         with warnings.catch_warnings():
