@@ -13,11 +13,34 @@ timings so the two situations are distinguishable in the artefact.
 The record also carries the observability overhead budget: the serial
 run is repeated with the tracer enabled and the enabled-vs-disabled
 delta recorded as ``tracing_overhead_pct``; the traced run's per-stage
-span breakdown is folded in as ``stage_breakdown``.  The cost of the
-*disabled* path (the no-op tracer the instrumentation hits when
-``--trace`` is off) is measured directly — no-op span cost times the
-span count the traced run produced, relative to the untraced wall time
-— and recorded as ``disabled_overhead_pct``; the budget is < 2%.
+span breakdown is folded into the record's ``stages``.  The < 2%
+budget is *enforced* (fails ``ok``) only when the untraced section ran
+at least ``MIN_GATE_WALL_S`` — on shorter sections the percentage is
+dominated by fixed span setup and scheduler noise rather than by
+per-span cost (historical records show 15–19% "overhead" on 2–40 ms
+sections), so it is recorded for trend analysis but not gated.  The
+cost of the *disabled* path (the no-op tracer the instrumentation hits
+when ``--trace`` is off) is measured directly — no-op span cost times
+the span count the traced run produced, relative to the untraced wall
+time — and recorded as ``disabled_overhead_pct``; the budget is < 2%.
+
+The fleet-health observatory is billed the same way: the drift monitor
+rides the profiling pass, so its own cost — the per-batch drift
+scoring — is probe-timed over cached profiled batches and billed
+against the profiling wall it rides on (``monitor_overhead_pct``); the
+run ledger's cost is the probe-timed fsync'd append of one record,
+relative to the fit that emits it (``ledger_overhead_pct``).  Both
+share the < 2% budget and the same minimum-wall enforcement rule; the
+monitor's drift report is written to
+``benchmarks/results/drift_report.json`` for CI upload.
+
+Records append through the run-ledger API (``repro.obs.ledger``) as
+schema-versioned ``RunRecord`` lines — config knobs under ``config``,
+numeric results under ``metrics`` (nested values dotted, e.g.
+``profile_speedup.2``), gate booleans under ``labels`` — so bench and
+production runs share one schema and ``repro ledger check`` can gate
+the trajectory.  Pre-observatory flat records in the same file remain
+readable; the reader coerces them on load.
 
 Finally the resilience layer is billed the same way: the serial run is
 repeated with an *enabled* ``ResilienceConfig`` (``retry_then_raise``,
@@ -54,7 +77,6 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import time
 
 import numpy as np
@@ -73,6 +95,14 @@ from repro.api import (
 RESULTS_PATH = (
     pathlib.Path(__file__).parent / "results" / "bench_smoke.jsonl"
 )
+
+#: Observability overhead budget (tracing / monitor / ledger), percent.
+OVERHEAD_BUDGET_PCT = 2.0
+
+#: Overhead percentages are only enforced when the base section ran at
+#: least this long — below it, fixed setup costs and scheduler noise
+#: dwarf the per-operation cost the budget is about.
+MIN_GATE_WALL_S = 0.5
 
 
 def _timed(fn):
@@ -107,6 +137,15 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=available_workers(),
         help="process-pool size for the parallel run",
+    )
+    parser.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "run-ledger JSONL to append the record to "
+            f"(default: {RESULTS_PATH})"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -163,9 +202,20 @@ def main(argv: list[str] | None = None) -> int:
     traced_identical = bool(
         np.array_equal(serial_estimates, traced_estimates)
     )
+    tracing_gate_enforced = untraced_s >= MIN_GATE_WALL_S
+    tracing_overhead_ok = (
+        overhead_pct < OVERHEAD_BUDGET_PCT or not tracing_gate_enforced
+    )
     print(
         f"serial+tracer:  {traced_s:8.3f} s "
-        f"(tracing overhead {overhead_pct:+.2f}%)"
+        f"(tracing overhead {overhead_pct:+.2f}%, "
+        f"budget < {OVERHEAD_BUDGET_PCT:.0f}% "
+        + (
+            "enforced"
+            if tracing_gate_enforced
+            else f"recorded only: untraced < {MIN_GATE_WALL_S}s"
+        )
+        + ")"
     )
 
     # Disabled-path cost: the instrumentation points hit the no-op
@@ -427,52 +477,93 @@ def main(argv: list[str] | None = None) -> int:
         f"assignments identical: {assignments_identical}"
     )
 
-    record = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "python": platform.python_version(),
-        "cpu_count": available_workers(),
-        "workers": args.workers,
-        "n_trials": args.trials,
-        "n_scenarios": len(dataset),
-        "seed": args.seed,
-        "serial_s": round(serial_s, 4),
-        "parallel_s": round(parallel_s, 4),
-        "speedup": round(serial_s / parallel_s, 3),
-        "bit_identical": identical,
-        "untraced_s": round(untraced_s, 4),
-        "traced_s": round(traced_s, 4),
-        "tracing_overhead_pct": round(overhead_pct, 3),
-        "disabled_overhead_pct": round(disabled_overhead_pct, 4),
-        "traced_bit_identical": traced_identical,
-        "resilient_s": round(resilient_s, 4),
-        "resilience_overhead_pct": round(resilience_overhead_pct, 3),
-        "resilient_bit_identical": resilient_identical,
-        "stage_breakdown": stage_breakdown,
-        "store_mb": round(store_mb, 3),
-        "store_n_shards": store.n_shards,
-        "store_write_mb_s": round(store_write_mb_s, 2),
-        "store_read_mb_s": round(store_read_mb_s, 2),
-        "memory_fit_s": round(memory_fit_s, 4),
-        "streaming_fit_s": round(streaming_fit_s, 4),
-        "streaming_fit_overhead_pct": round(streaming_fit_overhead_pct, 3),
-        "streaming_assignments_identical": assignments_identical,
-        "dispatch_n_scenarios": len(dispatch_dataset),
-        "profile_serial_s": round(profile_serial_s, 4),
-        "profile_parallel_s": profile_parallel_s,
-        "profile_speedup": profile_speedup,
-        "runtime_speedup_ok": runtime_speedup_ok,
-        "dispatch_identical": dispatch_identical,
-        "shm_leaked_segments": shm_leaked_segments,
-        "scalar_solver_s": round(scalar_solver_s, 4),
-        "batched_solver_s": round(batched_solver_s, 4),
-        "batch_solver_speedup_x": round(batch_solver_speedup_x, 2),
-        "batch_identical": batch_identical,
-        "batch_throughput_scn_s": batch_throughput_scn_s,
-    }
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    with RESULTS_PATH.open("a") as fh:
-        fh.write(json.dumps(record) + "\n")
-    print(f"recorded -> {RESULTS_PATH}")
+    # Fleet-health observatory overhead.  The drift monitor rides the
+    # profiling pass, so its own cost is the per-batch scoring math —
+    # probe that directly (like the disabled-tracer path): profile the
+    # store once into cached batches, time the scoring loop over them,
+    # and bill it against the profiling wall it rides on.  A wall-clock
+    # delta of two ~0.5 s passes cannot resolve a 2% budget; the probe
+    # can.
+    from repro.api import DriftMonitor, DriftState, RunLedger, record_run
+
+    monitor = DriftMonitor(memory_flare)
+    fit_profiler = fit_config.make_profiler()
+    dispatch_durations = dispatch_store.durations()
+
+    def _profile_batches():
+        return [
+            (
+                batch.matrix,
+                dispatch_durations[
+                    batch.start_row : batch.start_row + batch.matrix.shape[0]
+                ],
+            )
+            for batch in fit_profiler.iter_profile(dispatch_store)
+        ]
+
+    profile_runs = [_timed(_profile_batches) for _ in range(2)]
+    monitor_profile_s = min(t for t, _ in profile_runs)
+    profiled_batches = profile_runs[0][1]
+
+    def _score_batches():
+        state = DriftState(n_clusters=monitor.baseline.n_clusters)
+        for matrix, durations in profiled_batches:
+            state = state.merge(monitor.batch_state(matrix, durations))
+        return state
+
+    score_runs = [_timed(_score_batches) for _ in range(2)]
+    monitor_score_s = min(t for t, _ in score_runs)
+    monitor_overhead_pct = (
+        monitor_score_s / monitor_profile_s * 100.0
+        if monitor_profile_s
+        else 0.0
+    )
+    monitor_gate_enforced = monitor_profile_s >= MIN_GATE_WALL_S
+    monitor_overhead_ok = (
+        monitor_overhead_pct < OVERHEAD_BUDGET_PCT
+        or not monitor_gate_enforced
+    )
+    drift_report = monitor.report(score_runs[0][1])
+    drift_report_path = RESULTS_PATH.parent / "drift_report.json"
+    drift_report_path.write_text(
+        json.dumps(drift_report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"monitor: scoring {monitor_score_s * 1e3:.1f} ms on a "
+        f"{monitor_profile_s:.3f} s profiling pass "
+        f"(overhead {monitor_overhead_pct:.3f}%, "
+        f"status {drift_report.status}); report -> {drift_report_path}"
+    )
+
+    # Ledger overhead: one fsync'd append per instrumented run, probed
+    # directly (like the disabled-tracer path) and billed against the
+    # fit that emits it.
+    probe_path = RESULTS_PATH.parent / "ledger_probe.jsonl"
+    probe_path.unlink(missing_ok=True)
+    probe_ledger = RunLedger(probe_path)
+    n_appends = 64
+    probe_start = time.perf_counter()
+    for i in range(n_appends):
+        record_run(
+            "probe", metrics={"i": float(i)}, ledger=probe_ledger
+        )
+    ledger_append_s = (time.perf_counter() - probe_start) / n_appends
+    probe_path.unlink(missing_ok=True)
+    ledger_overhead_pct = (
+        ledger_append_s / memory_fit_s * 100.0 if memory_fit_s else 0.0
+    )
+    ledger_gate_enforced = memory_fit_s >= MIN_GATE_WALL_S
+    ledger_overhead_ok = (
+        ledger_overhead_pct < OVERHEAD_BUDGET_PCT
+        or not ledger_gate_enforced
+    )
+    obs_overhead_ok = monitor_overhead_ok and ledger_overhead_ok
+    print(
+        f"ledger: {ledger_append_s * 1e3:.2f} ms/append = "
+        f"{ledger_overhead_pct:.3f}% of a fit; "
+        f"observatory gate: {'ok' if obs_overhead_ok else 'FAILED'}"
+    )
+
     ok = (
         identical
         and traced_identical
@@ -482,7 +573,80 @@ def main(argv: list[str] | None = None) -> int:
         and dispatch_identical
         and runtime_speedup_ok
         and shm_leaked_segments == 0
+        and tracing_overhead_ok
+        and obs_overhead_ok
     )
+
+    # One schema-versioned RunRecord through the run-ledger API: config
+    # knobs, flat numeric metrics (nested values dotted, matching what
+    # the legacy-record reader produces), gate booleans as labels, and
+    # the traced section's span breakdown as explicit stages.  This is
+    # the history `repro ledger check` gates.
+    metrics = {
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "tracing_overhead_pct": round(overhead_pct, 3),
+        "disabled_overhead_pct": round(disabled_overhead_pct, 4),
+        "resilient_s": round(resilient_s, 4),
+        "resilience_overhead_pct": round(resilience_overhead_pct, 3),
+        "store_mb": round(store_mb, 3),
+        "store_n_shards": store.n_shards,
+        "store_write_mb_s": round(store_write_mb_s, 2),
+        "store_read_mb_s": round(store_read_mb_s, 2),
+        "memory_fit_s": round(memory_fit_s, 4),
+        "streaming_fit_s": round(streaming_fit_s, 4),
+        "streaming_fit_overhead_pct": round(streaming_fit_overhead_pct, 3),
+        "profile_serial_s": round(profile_serial_s, 4),
+        "shm_leaked_segments": shm_leaked_segments,
+        "scalar_solver_s": round(scalar_solver_s, 4),
+        "batched_solver_s": round(batched_solver_s, 4),
+        "batch_solver_speedup_x": round(batch_solver_speedup_x, 2),
+        "monitor_score_s": round(monitor_score_s, 6),
+        "monitor_profile_s": round(monitor_profile_s, 4),
+        "monitor_overhead_pct": round(monitor_overhead_pct, 3),
+        "monitor_psi_total": round(drift_report.psi_total, 6),
+        "monitor_novelty_rate": round(drift_report.novelty_rate, 4),
+        "ledger_append_s": round(ledger_append_s, 6),
+        "ledger_overhead_pct": round(ledger_overhead_pct, 4),
+    }
+    for n_workers, wall in profile_parallel_s.items():
+        metrics[f"profile_parallel_s.{n_workers}"] = wall
+    for n_workers, ratio in profile_speedup.items():
+        metrics[f"profile_speedup.{n_workers}"] = ratio
+    for size, throughput in batch_throughput_scn_s.items():
+        metrics[f"batch_throughput_scn_s.{size}"] = throughput
+    ledger = RunLedger(args.ledger if args.ledger else RESULTS_PATH)
+    record = record_run(
+        "bench",
+        config={
+            "workers": args.workers,
+            "n_trials": args.trials,
+            "n_scenarios": len(dataset),
+            "dispatch_n_scenarios": len(dispatch_dataset),
+            "seed": args.seed,
+        },
+        metrics=metrics,
+        labels={
+            "bit_identical": identical,
+            "traced_bit_identical": traced_identical,
+            "resilient_bit_identical": resilient_identical,
+            "streaming_assignments_identical": assignments_identical,
+            "runtime_speedup_ok": runtime_speedup_ok,
+            "dispatch_identical": dispatch_identical,
+            "batch_identical": batch_identical,
+            "tracing_overhead_ok": tracing_overhead_ok,
+            "tracing_gate_enforced": tracing_gate_enforced,
+            "monitor_status": drift_report.status,
+            "obs_overhead_ok": obs_overhead_ok,
+            "ok": ok,
+        },
+        stages=stage_breakdown,
+        ledger=ledger,
+    )
+    print(f"recorded {record.run_id} -> {ledger.path}")
     return 0 if ok else 1
 
 

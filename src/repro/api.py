@@ -30,8 +30,12 @@ The surface groups into:
   `partition_failures`, `FaultSpec`, `CheckpointJournal`;
   see docs/resilience.md);
 * **observability** — span tracing, the metrics registry and trace
-  export (`Tracer`, `Span`, `METRICS`, `write_trace`, `render_summary`;
-  see :mod:`repro.obs` and docs/observability.md);
+  export (`Tracer`, `Span`, `METRICS`, `write_trace`, `render_summary`,
+  `prometheus_text`), plus the fleet-health observatory: model drift
+  monitoring (`DriftMonitor`, `Flare.health`) and the append-only run
+  ledger with statistical regression gates (`RunLedger`, `record_run`,
+  `RegressionDetector`, `DEFAULT_BENCH_RULES`; see :mod:`repro.obs`
+  and docs/observability.md);
 * **persistence** — dataset/model save & load round-trips, plus the
   sharded columnar scenario store for out-of-core pipelines
   (`ScenarioSource`, `ShardedScenarioStore`, `StoreWriter`,
@@ -100,12 +104,26 @@ from .store import (
     write_store,
 )
 from .obs import (
+    DEFAULT_BENCH_RULES,
     METRICS,
+    DriftMonitor,
+    DriftReport,
+    DriftState,
+    DriftThresholds,
+    MetricRule,
     MetricsRegistry,
+    RegressionDetector,
+    RegressionReport,
+    RunLedger,
+    RunRecord,
     Span,
     Tracer,
+    enable_ledger,
+    get_ledger,
     get_metrics,
     get_tracer,
+    prometheus_text,
+    record_run,
     render_summary,
     write_trace,
 )
@@ -216,6 +234,21 @@ __all__ = [
     "get_metrics",
     "write_trace",
     "render_summary",
+    "prometheus_text",
+    # fleet health (drift monitor + run ledger)
+    "DriftMonitor",
+    "DriftReport",
+    "DriftState",
+    "DriftThresholds",
+    "RunLedger",
+    "RunRecord",
+    "record_run",
+    "enable_ledger",
+    "get_ledger",
+    "MetricRule",
+    "RegressionDetector",
+    "RegressionReport",
+    "DEFAULT_BENCH_RULES",
     # persistence
     "save_dataset",
     "load_dataset",

@@ -9,6 +9,9 @@
     repro evaluate  --model model.json --feature feature1 [--job WSC]
     repro report    --model model.json
     repro diagnose  --model model.json
+    repro monitor   --model model.json --source live.json [--json]
+    repro ledger check --ledger runs.jsonl [--kind bench]
+    repro ledger show  --ledger runs.jsonl [--last 5]
     repro store inspect --store store/ [--verify]
     repro store compact --store store/ --out compact/ --shard-size 8192
     repro experiment --figure fig12 --scale small
@@ -102,6 +105,19 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         help=(
             "resume from the --checkpoint journal of a previous "
             "identical invocation instead of starting fresh"
+        ),
+    )
+
+
+def _add_ledger_flag(parser: argparse.ArgumentParser) -> None:
+    """The run-ledger flag shared by fit / evaluate / monitor."""
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help=(
+            "append a structured run record (config digest, env "
+            "fingerprint, stage timings, key metrics) to this JSONL "
+            "ledger; check the trajectory with `repro ledger check`"
         ),
     )
 
@@ -219,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--out", required=True, help="output model JSON")
     _add_runtime_flags(fit)
     _add_obs_flags(fit)
+    _add_ledger_flag(fit)
 
     evaluate = sub.add_parser(
         "evaluate", help="estimate a feature's impact from a fitted model"
@@ -236,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_flags(evaluate)
     _add_obs_flags(evaluate)
+    _add_ledger_flag(evaluate)
 
     report = sub.add_parser(
         "report", help="print a fitted model's interpretation report"
@@ -247,6 +265,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diagnose.add_argument("--model", required=True)
     _add_obs_flags(diagnose)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="score a scenario stream's drift against a fitted model",
+    )
+    monitor.add_argument("--model", required=True, help="fitted model JSON")
+    monitor.add_argument(
+        "--source",
+        help=(
+            "scenario source to score: dataset JSON or sharded store "
+            "directory (default: the model's own dataset — a self-check "
+            "that should report healthy)"
+        ),
+    )
+    monitor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full drift report as JSON instead of text",
+    )
+    monitor.add_argument(
+        "--fail-on",
+        choices=("warn", "alert", "never"),
+        default="alert",
+        help=(
+            "lowest drift status that exits non-zero (exit 1 = warn, "
+            "2 = alert; default: alert)"
+        ),
+    )
+    _add_runtime_flags(monitor)
+    _add_obs_flags(monitor)
+    _add_ledger_flag(monitor)
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect or gate on the run ledger"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_check = ledger_sub.add_parser(
+        "check",
+        help=(
+            "compare the newest record against the rolling history "
+            "(median ± k·MAD per metric); non-zero exit on regression"
+        ),
+    )
+    ledger_check.add_argument("--ledger", required=True, metavar="PATH")
+    ledger_check.add_argument(
+        "--kind",
+        default="bench",
+        help="record kind to gate on (default bench; 'any' disables)",
+    )
+    ledger_check.add_argument(
+        "--metric",
+        action="append",
+        metavar="NAME[:lower|:higher]",
+        help=(
+            "metric rule: NAME:lower flags increases (default), "
+            "NAME:higher flags decreases; repeatable; default is the "
+            "built-in smoke-bench rule set"
+        ),
+    )
+    ledger_check.add_argument(
+        "--k", type=float, default=None, help="MAD multiplier (default 3)"
+    )
+    ledger_check.add_argument(
+        "--rel-floor",
+        type=float,
+        default=None,
+        help="minimum slack as a fraction of |median| (default 0.1)",
+    )
+    ledger_check.add_argument(
+        "--min-samples",
+        type=int,
+        default=None,
+        help="history size below which a rule is skipped (default 4)",
+    )
+    ledger_check.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only judge against the most recent N prior records",
+    )
+    ledger_check.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    ledger_show = ledger_sub.add_parser(
+        "show", help="print the most recent ledger records"
+    )
+    ledger_show.add_argument("--ledger", required=True, metavar="PATH")
+    ledger_show.add_argument(
+        "--last", type=int, default=10, metavar="N", help="records to show"
+    )
 
     store = sub.add_parser(
         "store", help="inspect or compact a sharded scenario store"
@@ -297,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "report": _cmd_report,
         "diagnose": _cmd_diagnose,
+        "monitor": _cmd_monitor,
+        "ledger": _cmd_ledger,
         "store": _cmd_store,
         "experiment": _cmd_experiment,
     }[args.command]
@@ -305,9 +416,22 @@ def main(argv: list[str] | None = None) -> int:
     want_summary = getattr(args, "obs_summary", False) or getattr(
         args, "runtime_stats", False
     )
-    if not trace_path and not want_summary:
-        return handler(args)
-    return _run_observed(handler, args, trace_path, want_summary)
+    # `repro ledger …` reads a ledger; every other command's --ledger
+    # flag *writes* one — install it for the duration of the run.
+    ledger_path = (
+        getattr(args, "ledger", None) if args.command != "ledger" else None
+    )
+    if ledger_path:
+        from .obs.ledger import disable_ledger, enable_ledger
+
+        enable_ledger(ledger_path)
+    try:
+        if not trace_path and not want_summary:
+            return handler(args)
+        return _run_observed(handler, args, trace_path, want_summary)
+    finally:
+        if ledger_path:
+            disable_ledger()
 
 
 def _run_observed(handler, args, trace_path, want_summary: bool) -> int:
@@ -512,17 +636,104 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    import json as _json
+
+    flare = load_model(args.model)
+    source = load_dataset(args.source) if args.source else None
+    runtime = _resolve_runtime(
+        args, ("monitor", args.model, args.source or "")
+    )
+    try:
+        report = flare.health(source, runtime=runtime)
+    finally:
+        if runtime is not None:
+            runtime.close()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    fail_floor = {"warn": 1, "alert": 2, "never": 99}[args.fail_on]
+    return report.exit_code if report.exit_code >= fail_floor else 0
+
+
+def _cmd_ledger(args) -> int:
+    import json as _json
+
+    from .obs.ledger import (
+        DEFAULT_BENCH_RULES,
+        MetricRule,
+        RegressionDetector,
+        RunLedger,
+    )
+
+    ledger = RunLedger(args.ledger)
+    if args.ledger_command == "show":
+        records = ledger.tail(args.last)
+        if not records:
+            print(f"ledger {args.ledger}: empty")
+            return 0
+        print(f"ledger {args.ledger}: last {len(records)} record(s)")
+        for record in records:
+            metrics = ", ".join(
+                f"{k}={v:.6g}"
+                for k, v in sorted(record.metrics.items())[:4]
+            )
+            print(
+                f"  {record.timestamp or '-':<26} {record.kind:<10} "
+                f"{metrics}"
+            )
+        return 0
+    if args.ledger_command == "check":
+        if args.metric:
+            rules = []
+            for spec in args.metric:
+                name, _, direction = spec.partition(":")
+                if direction not in ("", "lower", "higher"):
+                    raise SystemExit(
+                        f"error: bad metric direction {direction!r} "
+                        "(use :lower or :higher)"
+                    )
+                rules.append(
+                    MetricRule(
+                        name, lower_is_better=(direction != "higher")
+                    )
+                )
+        else:
+            rules = list(DEFAULT_BENCH_RULES)
+        detector = RegressionDetector(rules).with_overrides(
+            k=args.k,
+            rel_floor=args.rel_floor,
+            min_samples=args.min_samples,
+        )
+        records = ledger.read()
+        if not records:
+            raise SystemExit(f"error: ledger {args.ledger} holds no records")
+        kind = None if args.kind == "any" else args.kind
+        try:
+            report = detector.check(records, kind=kind, window=args.window)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
+    raise AssertionError(f"unknown ledger command {args.ledger_command!r}")
+
+
 def _cmd_store(args) -> int:
     if args.store_command == "inspect":
         store = open_store(args.store)
         mib = store.bytes_total / (1024.0 * 1024.0)
         rows = [
             [
-                entry["name"],
-                entry["rows"],
-                entry["scenarios_bytes"] + entry["instances_bytes"],
+                stat["shard"],
+                stat["rows"],
+                stat["bytes"],
+                stat["duration_mass_s"],
             ]
-            for entry in store.shard_entries
+            for stat in store.shard_stats()
         ]
         print(
             f"store {store.path}: {len(store)} scenarios in "
@@ -530,7 +741,7 @@ def _cmd_store(args) -> int:
             f"{mib:.2f} MiB"
         )
         print(f"content digest: {store.digest()}")
-        print(render_table(["shard", "rows", "bytes"], rows))
+        print(render_table(["shard", "rows", "bytes", "duration s"], rows))
         if args.verify:
             summary = store.verify()
             print(

@@ -224,11 +224,21 @@ class ScenarioDataset:
         """Normalised observation-time weights (cached; do not mutate)."""
         cached = getattr(self, "_weights_cache", None)
         if cached is None:
-            cached = normalized_weights(
-                np.array([s.total_duration_s for s in self.scenarios])
-            )
+            cached = normalized_weights(self.durations())
             object.__setattr__(self, "_weights_cache", cached)
         return cached
+
+    def durations(self) -> np.ndarray:
+        """Raw per-scenario observed durations, in scenario order.
+
+        The un-normalised companion of :meth:`weights`, matching the
+        sharded store's column of the same name — consumers that
+        accumulate mass across batches (the drift monitor) need raw
+        seconds, since per-batch normalised weights do not add.
+        """
+        return np.array(
+            [s.total_duration_s for s in self.scenarios], dtype=np.float64
+        )
 
     def iter_batches(
         self, batch_size: int | None = None

@@ -225,6 +225,18 @@ class Flare:
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters
                 fit_span.attrs["n_components"] = self._analysis.n_components
+        self._ledger_record(
+            "fit",
+            runtime=runtime,
+            metrics={
+                "n_scenarios": float(len(dataset)),
+                "n_clusters": float(self._analysis.n_clusters),
+                "n_components": float(self._analysis.n_components),
+                "sse_per_scenario": (
+                    self.representatives.baseline.sse_per_scenario
+                ),
+            },
+        )
         return self
 
     def _fit_streaming(
@@ -264,6 +276,19 @@ class Flare:
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters
                 fit_span.attrs["n_components"] = self._analysis.n_components
+        self._ledger_record(
+            "fit",
+            runtime=runtime,
+            metrics={
+                "n_scenarios": float(len(source)),
+                "n_clusters": float(self._analysis.n_clusters),
+                "n_components": float(self._analysis.n_components),
+                "sse_per_scenario": (
+                    self.representatives.baseline.sse_per_scenario
+                ),
+            },
+            labels={"streaming": True},
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -284,12 +309,19 @@ class Flare:
         """
         runtime = self._evaluation_runtime(runtime, executor, "Flare.evaluate")
         with obs_span("flare.evaluate", feature=feature.name):
-            return self._with_runtime_executor(
+            estimate = self._with_runtime_executor(
                 runtime,
                 lambda pool: estimate_all_job_impact(
                     self.representatives, self.replayer, feature, executor=pool
                 ),
             )
+        self._ledger_record(
+            "evaluate",
+            runtime=runtime,
+            metrics={"reduction_pct": float(estimate.reduction_pct)},
+            labels={"feature": feature.name},
+        )
+        return estimate
 
     def evaluate_job(
         self,
@@ -306,7 +338,7 @@ class Flare:
         with obs_span(
             "flare.evaluate_job", feature=feature.name, job=job_name
         ):
-            return self._with_runtime_executor(
+            estimate = self._with_runtime_executor(
                 runtime,
                 lambda pool: estimate_per_job_impact(
                     self.representatives,
@@ -316,6 +348,75 @@ class Flare:
                     executor=pool,
                 ),
             )
+        self._ledger_record(
+            "evaluate",
+            runtime=runtime,
+            metrics={"reduction_pct": float(estimate.reduction_pct)},
+            labels={"feature": feature.name, "job": job_name},
+        )
+        return estimate
+
+    def _ledger_record(
+        self,
+        kind: str,
+        *,
+        runtime=None,
+        metrics: dict | None = None,
+        labels: dict | None = None,
+    ) -> None:
+        """Append a run record when a ledger is active (no-op otherwise).
+
+        The guard keeps the un-observed hot path free of record
+        assembly: without an active ledger this is one global read.
+        """
+        from ..obs.ledger import get_ledger, record_run
+
+        if get_ledger() is None:
+            return
+        config: dict = {"solver": self.config.solver}
+        runtime_config = getattr(runtime, "config", runtime)
+        if isinstance(runtime_config, RuntimeConfig):
+            config["runtime"] = runtime_config.to_dict()
+        elif runtime_config is not None:
+            config["runtime"] = str(runtime_config)
+        elif self.config.runtime is not None:
+            config["runtime"] = self.config.runtime.to_dict()
+        record_run(kind, config=config, metrics=metrics, labels=labels)
+
+    def health(
+        self,
+        source: "ScenarioSource | None" = None,
+        *,
+        runtime: "RuntimeConfig | Executor | str | None" = None,
+        thresholds=None,
+    ) -> "object":
+        """Drift report of *source* against this model's fit baseline.
+
+        The fleet-health entry point (ROADMAP item 3's monitoring
+        half): streams *source* — or, by default, the model's own
+        dataset as a self-check — through the fitted pipeline and
+        scores cluster-occupancy shift (PSI), SSE deltas and novelty
+        rate against the :class:`~repro.core.representatives.FitBaseline`
+        recorded at fit time.  See :class:`repro.obs.DriftMonitor`.
+        """
+        from ..obs.monitor import DriftMonitor
+
+        monitor = DriftMonitor(self, thresholds)
+        if source is None:
+            source = self.dataset
+        report = monitor.observe(source, runtime=runtime)
+        self._ledger_record(
+            "monitor",
+            runtime=runtime,
+            metrics={
+                "psi_total": report.psi_total,
+                "novelty_rate": report.novelty_rate,
+                "sse_ratio": report.sse_ratio,
+                "n_scenarios": float(report.n_scenarios),
+            },
+            labels={"status": report.status},
+        )
+        return report
 
     def _evaluation_runtime(self, runtime, executor, owner: str):
         """Merge the new/legacy/config spellings of the runtime argument."""

@@ -19,10 +19,136 @@ from .analyzer import AnalysisResult
 
 __all__ = [
     "ClusterGroup",
+    "FitBaseline",
     "RepresentativeSet",
     "extract_representatives",
+    "fit_baseline_from_assignments",
     "representatives_from_assignments",
 ]
+
+#: Distance quantile beyond which an observed scenario counts as novel
+#: (the drift monitor's calibrated novelty threshold).
+NOVELTY_QUANTILE = 0.99
+
+
+@dataclass(frozen=True)
+class FitBaseline:
+    """Fit-time health statistics of one clustering.
+
+    Recorded when a model is fitted and persisted with it, so the drift
+    monitor (:mod:`repro.obs.monitor`) can score any later scenario
+    stream against *what the model looked like when it was trusted*:
+    cluster occupancy for population-stability scoring, assignment
+    distances and SSE for tightness deltas, and a calibrated distance
+    quantile as the novelty threshold.
+
+    Attributes
+    ----------
+    n_scenarios:
+        Population size at fit time.
+    occupancy:
+        Observation-time share of each cluster (sums to 1) — the same
+        quantity as the analysis' ``cluster_weights`` at fit time.
+    count_share:
+        Unweighted membership share of each cluster (sums to 1).
+    mean_distance:
+        Per-cluster mean member distance to the assigned centroid, in
+        whitened PC space.
+    sse:
+        Total squared assignment distance (the clustering inertia).
+    distance_quantiles:
+        ``{"p50": ..., "p90": ..., "p99": ...}`` of the assignment
+        distance distribution.
+    novelty_threshold:
+        Assignment distance beyond which a scenario counts as novel
+        (the :data:`NOVELTY_QUANTILE` quantile of fit-time distances).
+    """
+
+    n_scenarios: int
+    occupancy: np.ndarray
+    count_share: np.ndarray
+    mean_distance: np.ndarray
+    sse: float
+    distance_quantiles: dict[str, float]
+    novelty_threshold: float
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.occupancy.shape[0])
+
+    @property
+    def sse_per_scenario(self) -> float:
+        return self.sse / self.n_scenarios if self.n_scenarios else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_scenarios": self.n_scenarios,
+            "occupancy": [float(v) for v in self.occupancy],
+            "count_share": [float(v) for v in self.count_share],
+            "mean_distance": [float(v) for v in self.mean_distance],
+            "sse": self.sse,
+            "distance_quantiles": dict(self.distance_quantiles),
+            "novelty_threshold": self.novelty_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FitBaseline":
+        return cls(
+            n_scenarios=int(payload["n_scenarios"]),
+            occupancy=np.asarray(payload["occupancy"], dtype=np.float64),
+            count_share=np.asarray(payload["count_share"], dtype=np.float64),
+            mean_distance=np.asarray(
+                payload["mean_distance"], dtype=np.float64
+            ),
+            sse=float(payload["sse"]),
+            distance_quantiles={
+                k: float(v)
+                for k, v in payload["distance_quantiles"].items()
+            },
+            novelty_threshold=float(payload["novelty_threshold"]),
+        )
+
+
+def fit_baseline_from_assignments(
+    *,
+    labels: np.ndarray,
+    sq_distances: np.ndarray,
+    weights: np.ndarray,
+    n_clusters: int,
+) -> FitBaseline:
+    """Derive the fit-time baseline from per-point assignments.
+
+    Works from exactly the information both fit paths share — the
+    labelling and the squared assignment distances — so the in-memory
+    and out-of-core fits record matching baselines wherever their
+    assignments match.
+    """
+    labels = np.asarray(labels)
+    sq = np.asarray(sq_distances, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    n = int(labels.shape[0])
+    distances = np.sqrt(sq)
+    counts = np.bincount(labels, minlength=n_clusters).astype(np.float64)
+    mass = np.bincount(labels, weights=weights, minlength=n_clusters)
+    distance_sums = np.bincount(
+        labels, weights=distances, minlength=n_clusters
+    )
+    quantiles = np.quantile(distances, [0.5, 0.9, 0.99])
+    return FitBaseline(
+        n_scenarios=n,
+        occupancy=mass / mass.sum(),
+        count_share=counts / max(n, 1),
+        mean_distance=distance_sums / np.maximum(counts, 1.0),
+        sse=float(sq.sum()),
+        distance_quantiles={
+            "p50": float(quantiles[0]),
+            "p90": float(quantiles[1]),
+            "p99": float(quantiles[2]),
+        },
+        novelty_threshold=float(
+            np.quantile(distances, NOVELTY_QUANTILE)
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -84,6 +210,10 @@ class RepresentativeSet:
 
     dataset: ScenarioSource
     groups: tuple[ClusterGroup, ...]
+    #: Fit-time health statistics (occupancy, distances, novelty
+    #: threshold) the drift monitor scores against; ``None`` only for
+    #: representative sets built by legacy callers.
+    baseline: "FitBaseline | None" = None
 
     def __len__(self) -> int:
         return len(self.groups)
@@ -144,9 +274,12 @@ class RepresentativeSet:
             replace(group, weight=float(cluster_weights[group.cluster_id]))
             for group in self.groups
         )
+        # The baseline intentionally keeps its fit-time values: drift is
+        # always scored against the state the model was trusted in.
         return RepresentativeSet(
             dataset=dataset if dataset is not None else self.dataset,
             groups=groups,
+            baseline=self.baseline,
         )
 
 
@@ -200,7 +333,19 @@ def extract_representatives(
                 ranked_members=tuple(int(members[i]) for i in order),
             )
         )
-    return RepresentativeSet(dataset=dataset, groups=tuple(groups))
+    from ..stats.kmeans import assigned_sq_distances
+
+    baseline = fit_baseline_from_assignments(
+        labels=analysis.kmeans.labels,
+        sq_distances=assigned_sq_distances(
+            analysis.scores, analysis.kmeans.centroids, analysis.kmeans.labels
+        ),
+        weights=dataset.weights(),
+        n_clusters=analysis.n_clusters,
+    )
+    return RepresentativeSet(
+        dataset=dataset, groups=tuple(groups), baseline=baseline
+    )
 
 
 def representatives_from_assignments(
@@ -240,4 +385,12 @@ def representatives_from_assignments(
                 ranked_members=tuple(int(members[i]) for i in order),
             )
         )
-    return RepresentativeSet(dataset=dataset, groups=tuple(groups))
+    baseline = fit_baseline_from_assignments(
+        labels=labels,
+        sq_distances=sq_distances,
+        weights=dataset.weights(),
+        n_clusters=int(centroids.shape[0]),
+    )
+    return RepresentativeSet(
+        dataset=dataset, groups=tuple(groups), baseline=baseline
+    )

@@ -348,6 +348,12 @@ def save_model(flare: Flare, path) -> None:
         "config": config_to_dict(flare.config),
         "fitted_digest": fitted_digest(flare),
     }
+    # Fit-time health statistics ride along so the artefact documents
+    # what the model looked like when it was trusted; the drift monitor
+    # scores later scenario streams against exactly these numbers.
+    baseline = flare.representatives.baseline
+    if baseline is not None:
+        payload["fit_baseline"] = baseline.to_dict()
     if isinstance(flare.dataset, ScenarioDataset):
         payload["dataset"] = dataset_to_dict(
             flare._profiled.dataset
@@ -410,4 +416,15 @@ def load_model(path, *, verify: bool = True) -> Flare:
                 f"(stored {payload['fitted_digest'][:12]}…, "
                 f"got {digest[:12]}…)"
             )
+        stored_baseline = payload.get("fit_baseline")
+        if stored_baseline is not None:
+            from ..core.representatives import FitBaseline
+
+            stored = FitBaseline.from_dict(stored_baseline)
+            refit = flare.representatives.baseline
+            if refit is None or stored.n_clusters != refit.n_clusters:
+                raise ValueError(
+                    "re-fitted model's health baseline does not match "
+                    "the saved one"
+                )
     return flare

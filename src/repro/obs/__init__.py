@@ -27,10 +27,27 @@ Quick start::
 from .export import (
     chrome_trace_events,
     load_jsonl,
+    prometheus_text,
     render_summary,
     spans_to_chrome_trace,
     spans_to_jsonl,
     write_trace,
+)
+from .ledger import (
+    DEFAULT_BENCH_RULES,
+    LEDGER_SCHEMA_VERSION,
+    MetricRule,
+    RegressionDetector,
+    RegressionFinding,
+    RegressionReport,
+    RunLedger,
+    RunRecord,
+    disable_ledger,
+    enable_ledger,
+    env_fingerprint,
+    get_ledger,
+    record_run,
+    set_ledger,
 )
 from .metrics import (
     METRICS,
@@ -41,6 +58,13 @@ from .metrics import (
     observe,
     set_gauge,
     set_metrics,
+)
+from .monitor import (
+    ClusterDrift,
+    DriftMonitor,
+    DriftReport,
+    DriftState,
+    DriftThresholds,
 )
 from .tracing import (
     NULL_TRACER,
@@ -82,5 +106,27 @@ __all__ = [
     "load_jsonl",
     "spans_to_chrome_trace",
     "chrome_trace_events",
+    "prometheus_text",
     "render_summary",
+    # monitor
+    "ClusterDrift",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftState",
+    "DriftThresholds",
+    # ledger
+    "DEFAULT_BENCH_RULES",
+    "LEDGER_SCHEMA_VERSION",
+    "MetricRule",
+    "RegressionDetector",
+    "RegressionFinding",
+    "RegressionReport",
+    "RunLedger",
+    "RunRecord",
+    "enable_ledger",
+    "disable_ledger",
+    "env_fingerprint",
+    "get_ledger",
+    "set_ledger",
+    "record_run",
 ]

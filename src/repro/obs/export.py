@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from typing import Iterable, Sequence
 
 from .metrics import MetricsRegistry, get_metrics
@@ -32,6 +33,7 @@ __all__ = [
     "load_jsonl",
     "spans_to_chrome_trace",
     "chrome_trace_events",
+    "prometheus_text",
     "render_summary",
 ]
 
@@ -153,6 +155,63 @@ def write_trace(
     return spans_to_chrome_trace(spans, path, metrics=metrics)
 
 
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name to the Prometheus charset."""
+    name = _PROM_NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(metrics: MetricsRegistry | None = None) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters and gauges map directly; each power-of-two
+    :class:`~repro.obs.metrics.Histogram` bucket (frexp exponent *e*
+    covering values < 2^e) becomes a cumulative ``le="2^e"`` bucket,
+    with the conventional ``_sum`` / ``_count`` series.  This is the
+    scrape surface for service mode: mount it on ``/metrics`` and any
+    Prometheus-compatible collector ingests the registry as-is.
+    """
+    metrics = metrics if metrics is not None else get_metrics()
+    lines: list[str] = []
+    for name in sorted(metrics.counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(metrics.counter(name))}")
+    for name in sorted(metrics.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(metrics.gauges[name])}")
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for exponent in sorted(hist.buckets):
+            cumulative += hist.buckets[exponent]
+            lines.append(
+                f'{prom}_bucket{{le="{2.0 ** exponent!r}"}} {cumulative}'
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_sum {_prom_value(hist.total)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def render_summary(
     tracer=None,
     metrics: MetricsRegistry | None = None,
@@ -164,8 +223,10 @@ def render_summary(
     This is what the CLI's ``--obs-summary`` (and its ``--runtime-stats``
     alias) prints: stage wall/CPU/RSS totals from the tracer — worker
     spans included, since the executor stitches them back — followed by
-    the counters/gauges/histograms of the active registry and the
-    legacy per-dispatch ``RUNTIME_STATS`` table.
+    the counters/gauges/histograms of the active registry, the legacy
+    per-dispatch ``RUNTIME_STATS`` table, the latest drift-monitor
+    scores (when a monitoring pass ran), and the tail of the active run
+    ledger (when one is installed).
     """
     from .tracing import get_tracer
 
@@ -177,4 +238,28 @@ def render_summary(
 
         if RUNTIME_STATS.records():
             sections.append(RUNTIME_STATS.render())
+    if metrics.gauge("monitor_psi_total") is not None:
+        sections.append(
+            "drift monitor\n"
+            f"  psi_total     {metrics.gauge('monitor_psi_total'):.6f}\n"
+            f"  novelty_rate  "
+            f"{metrics.gauge('monitor_novelty_rate') or 0.0:.4f}\n"
+            f"  sse_ratio     "
+            f"{metrics.gauge('monitor_sse_ratio') or 0.0:.3f}\n"
+            f"  scenarios     {metrics.counter('monitor_scenarios'):g}"
+        )
+    from .ledger import get_ledger
+
+    ledger = get_ledger()
+    if ledger is not None:
+        tail = ledger.tail(3)
+        if tail:
+            lines = [f"run ledger ({ledger.path}, last {len(tail)})"]
+            for record in tail:
+                lines.append(
+                    f"  {record.timestamp or '-':<26} {record.kind:<10} "
+                    f"{len(record.metrics)} metrics, "
+                    f"{len(record.stages)} stages"
+                )
+            sections.append("\n".join(lines))
     return "\n\n".join(sections)

@@ -90,6 +90,28 @@ class Histogram:
         for exponent, n in other.buckets.items():
             self.buckets[exponent] = self.buckets.get(exponent, 0) + n
 
+    def bucket_rows(self) -> list[tuple[str, int]]:
+        """Renderable ``(range label, count)`` rows, in bucket order.
+
+        Merged worker histograms can carry zero-count entries at the
+        extremes (a worker observed a range the merged stream never
+        filled); the rows clamp to the first/last *non-zero* bucket so
+        empty edge ranges are never printed, while interior zero-count
+        buckets still show as gaps.
+        """
+        nonzero = sorted(e for e, n in self.buckets.items() if n > 0)
+        if not nonzero:
+            return []
+        rows = []
+        for exponent in range(nonzero[0], nonzero[-1] + 1):
+            if exponent == 0:
+                # frexp exponent 0 doubles as the <=0 catch-all bucket.
+                label = "(-inf, 1)"
+            else:
+                label = f"[{2.0 ** (exponent - 1):g}, {2.0 ** exponent:g})"
+            rows.append((label, self.buckets.get(exponent, 0)))
+        return rows
+
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, mean={self.mean:.6g})"
 
@@ -194,6 +216,8 @@ class MetricsRegistry:
                     f"  {name:<34} n={hist.count} mean={hist.mean:.6g} "
                     f"min={hist.minimum:.6g} max={hist.maximum:.6g}"
                 )
+                for label, count in hist.bucket_rows():
+                    lines.append(f"    {label:<20} {count:>8}")
         return "\n".join(lines) if lines else "no metrics recorded"
 
     def __repr__(self) -> str:

@@ -15,7 +15,13 @@ from .correlation import (
 )
 from .distance import nearest_indices, pairwise_euclidean, pairwise_sq_euclidean
 from .hierarchy import AgglomerativeClustering, AgglomerativeResult
-from .kmeans import KMeans, KMeansResult, StreamingKMeans, kmeans_plus_plus_init
+from .kmeans import (
+    KMeans,
+    KMeansResult,
+    StreamingKMeans,
+    assigned_sq_distances,
+    kmeans_plus_plus_init,
+)
 from .pca import PCA, PCAResult, IncrementalPCA, components_for_variance
 from .preprocessing import StandardScaler, whiten
 from .streaming import ReservoirSampler, RunningMoments
@@ -49,6 +55,7 @@ __all__ = [
     "KMeans",
     "KMeansResult",
     "StreamingKMeans",
+    "assigned_sq_distances",
     "kmeans_plus_plus_init",
     "RunningMoments",
     "ReservoirSampler",

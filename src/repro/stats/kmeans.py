@@ -23,6 +23,7 @@ __all__ = [
     "KMeans",
     "KMeansResult",
     "StreamingKMeans",
+    "assigned_sq_distances",
     "kmeans_plus_plus_init",
 ]
 
@@ -394,6 +395,19 @@ def _assigned_sq_distances(
     """
     diff = data - centroids[labels]
     return np.einsum("ij,ij->i", diff, diff)
+
+
+def assigned_sq_distances(
+    data: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Squared distance of each row to its assigned centroid.
+
+    Public form of the direct-differencing kernel both fit paths use,
+    so fit-time drift baselines and the drift monitor
+    (:mod:`repro.obs.monitor`) score distances with bit-identical
+    association order to clustering itself.
+    """
+    return _assigned_sq_distances(data, centroids, labels)
 
 
 def _update_centroids(

@@ -446,6 +446,39 @@ class ShardedScenarioStore:
         ]
         return np.concatenate(columns)
 
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard summary statistics, streamed shard-by-shard.
+
+        Reads only the columnar scenario tables (memory-mapped, one
+        shard resident at a time) — scenarios are never decoded — so
+        the pass stays cheap enough for the drift monitor and the
+        ``repro store`` CLI to run it routinely against live stores.
+        """
+        stats: list[dict[str, Any]] = []
+        for index, entry in enumerate(self._shards):
+            table = self.load_shard_arrays(index)[0]
+            durations = np.asarray(
+                table["total_duration_s"], dtype=np.float64
+            )
+            stats.append(
+                {
+                    "shard": entry["name"],
+                    "rows": int(entry["rows"]),
+                    "instances": int(entry["instances"]),
+                    "bytes": int(
+                        entry["scenarios_bytes"] + entry["instances_bytes"]
+                    ),
+                    "duration_mass_s": float(durations.sum()),
+                    "duration_min_s": (
+                        float(durations.min()) if durations.size else 0.0
+                    ),
+                    "duration_max_s": (
+                        float(durations.max()) if durations.size else 0.0
+                    ),
+                }
+            )
+        return stats
+
     def schema(self) -> dict[str, Any]:
         return scenario_schema()
 

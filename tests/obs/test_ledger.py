@@ -1,0 +1,263 @@
+"""Run ledger: record round-trips, legacy coercion, regression rules.
+
+The MAD-rule properties are hypothesis-driven: a constant history must
+never flag (no false positives from zero-variance baselines), and an
+injected 2x step against a constant history must always flag, in both
+directions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BENCH_RULES,
+    MetricRule,
+    RegressionDetector,
+    RunLedger,
+    RunRecord,
+    disable_ledger,
+    get_ledger,
+    record_run,
+    set_ledger,
+)
+from repro.obs.ledger import LEDGER_SCHEMA_VERSION
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger():
+    previous = get_ledger()
+    disable_ledger()
+    yield
+    set_ledger(previous)
+
+
+def _bench(value: float, metric: str = "m") -> RunRecord:
+    return RunRecord(kind="bench", metrics={metric: value})
+
+
+# A legacy (pre-observatory) bench_smoke.jsonl line, abbreviated from a
+# real record: flat dict, no schema_version, nested numeric dicts.
+LEGACY_LINE = {
+    "timestamp": "2026-08-06T21:03:10+0000",
+    "python": "3.11.7",
+    "cpu_count": 1,
+    "workers": 1,
+    "n_trials": 1000,
+    "serial_s": 0.0388,
+    "speedup": 0.592,
+    "bit_identical": True,
+    "stage_breakdown": {
+        "sampling.trials": {"count": 2, "wall_s": 0.0951},
+    },
+    "profile_speedup": {"1": 1.169, "2": 0.962},
+}
+
+
+class TestRunRecord:
+    def test_round_trip_through_jsonl(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        record = record_run(
+            "fit",
+            config={"n_clusters": 8},
+            metrics={"sse": 1.25, "n_scenarios": 120},
+            labels={"streaming": False},
+            ledger=ledger,
+        )
+        (loaded,) = ledger.read()
+        assert loaded.to_dict() == record.to_dict()
+        assert loaded.schema_version == LEDGER_SCHEMA_VERSION
+        assert loaded.kind == "fit"
+        assert loaded.metrics["sse"] == 1.25
+        assert loaded.env["python"]
+
+    def test_explicit_stages_override_autofolded(self, tmp_path):
+        stages = {"sampling.trials": {"count": 2, "wall_s": 0.095}}
+        record = record_run("bench", stages=stages)
+        assert record.stages["sampling.trials"] == stages["sampling.trials"]
+
+    def test_legacy_line_is_coerced(self):
+        record = RunRecord.from_dict(json.loads(json.dumps(LEGACY_LINE)))
+        assert record.kind == "bench"
+        assert record.schema_version == 0
+        assert record.timestamp == "2026-08-06T21:03:10+0000"
+        assert record.env == {"python": "3.11.7", "cpu_count": 1}
+        # Numbers (nested ones dotted) land in metrics, bools in labels.
+        assert record.metrics["serial_s"] == 0.0388
+        assert record.metrics["profile_speedup.2"] == 0.962
+        assert record.labels["bit_identical"] is True
+        assert "timestamp" not in record.labels
+        assert record.stages["sampling.trials"]["wall_s"] == 0.0951
+
+    def test_mixed_file_reads_both_schemas(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        ledger = RunLedger(path)
+        with open(path, "w") as fh:
+            fh.write(json.dumps(LEGACY_LINE) + "\n\n")
+        record_run("bench", metrics={"serial_s": 0.04}, ledger=ledger)
+        old, new = ledger.read()
+        assert (old.schema_version, new.schema_version) == (
+            0,
+            LEDGER_SCHEMA_VERSION,
+        )
+        # Shared metric names: the detector sees one trajectory.
+        assert "serial_s" in old.metrics and "serial_s" in new.metrics
+
+    def test_active_ledger_plumbing(self, tmp_path):
+        from repro.obs import enable_ledger
+
+        ledger = enable_ledger(tmp_path / "active.jsonl")
+        assert get_ledger() is ledger
+        record_run("evaluate", metrics={"reduction_pct": 99.0})
+        disable_ledger()
+        record_run("evaluate", metrics={"reduction_pct": 98.0})
+        assert len(ledger.read()) == 1  # second record went nowhere
+
+    def test_tail(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        for i in range(5):
+            record_run("bench", metrics={"i": float(i)}, ledger=ledger)
+        tail = ledger.tail(2)
+        assert [r.metrics["i"] for r in tail] == [3.0, 4.0]
+
+
+class TestMetricRuleValidation:
+    def test_rejects_negative_slack_parameters(self):
+        with pytest.raises(ValueError):
+            MetricRule("m", k=-1.0)
+        with pytest.raises(ValueError):
+            MetricRule("m", min_samples=0)
+
+    def test_detector_needs_rules(self):
+        with pytest.raises(ValueError):
+            RegressionDetector(())
+
+
+class TestRegressionRules:
+    @given(
+        value=st.floats(
+            min_value=1e-3,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        n=st.integers(min_value=4, max_value=20),
+        lower_is_better=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_constant_history_never_flags(self, value, n, lower_is_better):
+        rule = MetricRule("m", lower_is_better=lower_is_better)
+        finding = RegressionDetector.check_rule(
+            rule, _bench(value), [_bench(value) for _ in range(n)]
+        )
+        assert finding.status == "ok"
+        assert not finding.breached
+
+    @given(
+        value=st.floats(
+            min_value=1e-3,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        n=st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_detects_2x_step(self, value, n):
+        history = [_bench(value) for _ in range(n)]
+        slower = RegressionDetector.check_rule(
+            MetricRule("m", lower_is_better=True), _bench(2 * value), history
+        )
+        assert slower.status == "regressed"
+        collapsed = RegressionDetector.check_rule(
+            MetricRule("m", lower_is_better=False), _bench(value / 2), history
+        )
+        assert collapsed.status == "regressed"
+
+    @given(
+        value=st.floats(
+            min_value=1e-3,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        n=st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_improvements_never_flag(self, value, n):
+        history = [_bench(value) for _ in range(n)]
+        faster = RegressionDetector.check_rule(
+            MetricRule("m", lower_is_better=True), _bench(value / 2), history
+        )
+        sped_up = RegressionDetector.check_rule(
+            MetricRule("m", lower_is_better=False), _bench(2 * value), history
+        )
+        assert faster.status == "ok"
+        assert sped_up.status == "ok"
+
+    def test_min_samples_defers_verdict(self):
+        finding = RegressionDetector.check_rule(
+            MetricRule("m"), _bench(99.0), [_bench(1.0)] * 3
+        )
+        assert finding.status == "insufficient-history"
+        assert not finding.breached
+
+    def test_missing_metric_reported(self):
+        finding = RegressionDetector.check_rule(
+            MetricRule("absent"), _bench(1.0), [_bench(1.0)] * 5
+        )
+        assert finding.status == "missing"
+
+    def test_mad_slack_tolerates_natural_noise(self):
+        # History alternates 1.0/1.4 (MAD 0.2); a 1.5 latest is inside
+        # median + 3 * 1.4826 * MAD and must not flag.
+        history = [_bench(1.0 + 0.4 * (i % 2)) for i in range(8)]
+        finding = RegressionDetector.check_rule(
+            MetricRule("m"), _bench(1.5), history
+        )
+        assert finding.status == "ok"
+
+
+class TestRegressionDetector:
+    def test_check_filters_kind_and_window(self, tmp_path):
+        records = [RunRecord(kind="fit", metrics={"m": 1.0})]
+        records += [_bench(1.0) for _ in range(6)]
+        records += [_bench(50.0)]
+        detector = RegressionDetector([MetricRule("m")])
+        report = detector.check(records, kind="bench")
+        assert not report.ok
+        assert report.breaches[0].metric == "m"
+        # A window smaller than min_samples defers instead of flagging.
+        windowed = detector.check(records, kind="bench", window=2)
+        assert windowed.findings[0].status == "insufficient-history"
+
+    def test_check_rejects_empty(self):
+        detector = RegressionDetector([MetricRule("m")])
+        with pytest.raises(ValueError):
+            detector.check([], kind="bench")
+
+    def test_default_bench_rules_cover_headline_metrics(self):
+        names = {rule.metric for rule in DEFAULT_BENCH_RULES}
+        assert {"serial_s", "speedup", "memory_fit_s"} <= names
+
+    def test_with_overrides(self):
+        detector = RegressionDetector(DEFAULT_BENCH_RULES)
+        tuned = detector.with_overrides(k=5.0, min_samples=10)
+        assert all(r.k == 5.0 and r.min_samples == 10 for r in tuned.rules)
+        # original untouched; no-op override returns self
+        assert all(r.k == 3.0 for r in detector.rules)
+        assert detector.with_overrides() is detector
+
+    def test_report_render_and_dict(self):
+        detector = RegressionDetector([MetricRule("m")])
+        history = [_bench(1.0) for _ in range(5)]
+        ok_report = detector.check(history + [_bench(1.0)])
+        bad_report = detector.check(history + [_bench(9.0)])
+        assert "PASS" in ok_report.render()
+        assert "FAIL" in bad_report.render()
+        assert "REGRESSED" in bad_report.render()
+        assert bad_report.to_dict()["ok"] is False

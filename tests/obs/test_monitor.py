@@ -1,0 +1,215 @@
+"""Drift monitor: mergeable-state math, bit-identity, drift detection.
+
+The monitor's core claim is that serial and process-parallel passes
+score *bit-identically* because :class:`DriftState` keeps per-batch
+partials and finalises them with exactly-rounded ``math.fsum`` — so the
+tests compare full report dicts with ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DriftMonitor,
+    DriftThresholds,
+    FaultSpec,
+    ProcessExecutor,
+    ResilienceConfig,
+    RetryPolicy,
+    RuntimeConfig,
+    SMALL_SHAPE,
+)
+from repro.cluster import ScenarioDataset
+from repro.obs import DriftState
+
+
+@pytest.fixture(scope="module")
+def monitor(small_flare) -> DriftMonitor:
+    return DriftMonitor(small_flare)
+
+
+def _profiled_batches(monitor, dataset, chunk=40):
+    """(matrix, durations) slices of one profiled pass.
+
+    Profiled rows are bit-identical under any batching (noise is drawn
+    in global row order), so slicing one full-pass matrix reproduces
+    exactly what per-shard parallel batches would have carried.
+    """
+    profiler = monitor.flare.config.make_profiler()
+    matrix = profiler.profile(dataset).matrix
+    durations = dataset.durations()
+    return [
+        (matrix[start : start + chunk], durations[start : start + chunk])
+        for start in range(0, matrix.shape[0], chunk)
+    ]
+
+
+class TestDriftStateMerge:
+    def test_merge_is_associative_bit_for_bit(self, monitor, small_sim):
+        batches = _profiled_batches(monitor, small_sim.dataset)
+        assert len(batches) >= 3
+        a, b, c = (
+            monitor.batch_state(m, d) for m, d in batches[:3]
+        )
+        left = a.merge(b).merge(c).finalize()
+        right = a.merge(b.merge(c)).finalize()
+        for key in ("counts", "mass", "dist_sum", "sq_sum"):
+            assert np.array_equal(left[key], right[key])
+        assert left["novel"] == right["novel"]
+        # And the scored reports agree exactly too.
+        assert (
+            monitor.report(a.merge(b).merge(c)).to_dict()
+            == monitor.report(a.merge(b.merge(c))).to_dict()
+        )
+
+    def test_merge_rejects_cluster_mismatch(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            DriftState(n_clusters=3).merge(DriftState(n_clusters=4))
+
+    def test_state_json_round_trip_is_exact(self, monitor, small_sim):
+        batches = _profiled_batches(monitor, small_sim.dataset)
+        state = monitor.batch_state(*batches[0]).merge(
+            monitor.batch_state(*batches[1])
+        )
+        restored = DriftState.from_dict(
+            json.loads(json.dumps(state.to_dict()))
+        )
+        assert (
+            monitor.report(state).to_dict()
+            == monitor.report(restored).to_dict()
+        )
+
+    def test_empty_state_rejected_by_report(self, monitor):
+        with pytest.raises(ValueError, match="no scenarios"):
+            monitor.report(DriftState(n_clusters=monitor.baseline.n_clusters))
+
+
+class TestSerialParallelIdentity:
+    def test_serial_equals_process(self, monitor, small_sim):
+        serial = monitor.observe(small_sim.dataset)
+        parallel = monitor.observe(
+            small_sim.dataset,
+            runtime=RuntimeConfig(executor="process:2"),
+        )
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_serial_equals_process_under_fault_injection(
+        self, monitor, small_sim
+    ):
+        serial = monitor.observe(small_sim.dataset)
+        res = ResilienceConfig(
+            policy="retry_then_raise",
+            retry=RetryPolicy(
+                max_retries=5, backoff_base_s=0.0, backoff_jitter=0.0
+            ),
+            faults=FaultSpec(exception_rate=0.25, seed=13),
+        )
+        with ProcessExecutor(max_workers=2, resilience=res) as pool:
+            chaotic = monitor.observe(small_sim.dataset, runtime=pool)
+        assert serial.to_dict() == chaotic.to_dict()
+
+    def test_rechunking_changes_scores_only_at_rounding_noise(
+        self, monitor, small_sim
+    ):
+        # Bit-identity is guaranteed for any *grouping of the same
+        # batches* (what serial vs parallel actually varies — see the
+        # associativity test).  Re-chunking the stream itself changes
+        # the intra-batch bincount sums, so scores may move in the last
+        # ulp — but no further.
+        reports = []
+        for chunk in (17, 64):
+            batches = _profiled_batches(monitor, small_sim.dataset, chunk)
+            state = DriftState(n_clusters=monitor.baseline.n_clusters)
+            for matrix, durations in batches:
+                state = state.merge(monitor.batch_state(matrix, durations))
+            reports.append(monitor.report(state))
+        a, b = reports
+        assert a.status == b.status
+        assert [c.n_observed for c in a.clusters] == [
+            c.n_observed for c in b.clusters
+        ]
+        assert a.psi_total == pytest.approx(b.psi_total, rel=1e-9, abs=1e-18)
+        assert a.sse_per_scenario == pytest.approx(
+            b.sse_per_scenario, rel=1e-12
+        )
+
+
+class TestDriftScoring:
+    def test_self_monitoring_is_healthy(self, monitor, small_sim):
+        report = monitor.observe(small_sim.dataset)
+        assert report.status == "healthy"
+        assert report.n_scenarios == len(small_sim.dataset)
+        # Scoring the fit population itself reproduces the fit-time
+        # distances exactly, so SSE matches and PSI is numerically zero.
+        assert report.psi_total < 1e-9
+        assert report.sse_ratio == pytest.approx(1.0, abs=1e-12)
+        # Novelty is calibrated at the fit-time distance quantile.
+        assert report.novelty_rate <= 0.02
+
+    def test_flare_health_facade(self, small_flare):
+        report = small_flare.health()
+        assert report.status == "healthy"
+        assert report.exit_code == 0
+
+    def test_shifted_mix_is_flagged(self, monitor, small_sim):
+        # Reweight the observed mix: all observation time moves onto
+        # the members of one cluster (paper §5.6 scheduler-change flow).
+        dataset = small_sim.dataset
+        labels = monitor.flare.analysis.kmeans.labels
+        target = int(labels[0])
+        durations = {
+            s.key: 10_000.0 if labels[i] == target else 0.01
+            for i, s in enumerate(dataset.scenarios)
+        }
+        shifted = dataset.with_weights_from(durations)
+        report = monitor.observe(shifted)
+        assert report.status == "alert"
+        assert report.exit_code == 2
+        assert target in report.flagged_clusters
+        assert report.psi_total > monitor.thresholds.psi_alert
+
+    def test_shape_mismatch_rejected(self, monitor, tiny_dataset):
+        alien = ScenarioDataset(
+            shape=SMALL_SHAPE, scenarios=tiny_dataset.scenarios
+        )
+        with pytest.raises(ValueError, match="cannot monitor"):
+            monitor.observe(alien)
+
+    def test_custom_thresholds_change_status(self, small_flare, small_sim):
+        paranoid = DriftMonitor(
+            small_flare,
+            thresholds=DriftThresholds(novelty_warn=0.0, novelty_alert=2.0),
+        )
+        report = paranoid.observe(small_sim.dataset)
+        # novelty_rate >= 0.0 always trips the zero warn threshold.
+        assert report.status == "warn"
+        assert report.exit_code == 1
+
+    def test_missing_baseline_rejected(self, small_flare):
+        from dataclasses import replace
+        from types import SimpleNamespace
+
+        stripped = SimpleNamespace(
+            representatives=replace(
+                small_flare.representatives, baseline=None
+            )
+        )
+        with pytest.raises(ValueError, match="no fit-time baseline"):
+            DriftMonitor(stripped)
+
+    def test_zero_duration_stream_falls_back_to_counts(
+        self, monitor, small_sim
+    ):
+        batches = _profiled_batches(monitor, small_sim.dataset)
+        state = DriftState(n_clusters=monitor.baseline.n_clusters)
+        for matrix, durations in batches:
+            state = state.merge(
+                monitor.batch_state(matrix, np.zeros_like(durations))
+            )
+        report = monitor.report(state)
+        shares = [c.observed_share for c in report.clusters]
+        assert sum(shares) == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Prometheus text-format exporter over the metrics registry."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import MetricsRegistry, prometheus_text
+
+
+def test_empty_registry_renders_empty():
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_counters_and_gauges():
+    metrics = MetricsRegistry()
+    metrics.inc("replays_total", 3)
+    metrics.set_gauge("monitor_psi_total", 0.125)
+    text = prometheus_text(metrics)
+    assert "# TYPE replays_total counter\nreplays_total 3.0\n" in text
+    assert (
+        "# TYPE monitor_psi_total gauge\nmonitor_psi_total 0.125\n" in text
+    )
+    assert text.endswith("\n")
+
+
+def test_name_sanitization():
+    metrics = MetricsRegistry()
+    metrics.inc("chunk:sampling-trials.wall")
+    metrics.inc("2fast")
+    text = prometheus_text(metrics)
+    assert "chunk:sampling_trials_wall 1.0" in text
+    assert "_2fast 1.0" in text
+
+
+def test_non_finite_values():
+    metrics = MetricsRegistry()
+    metrics.set_gauge("ratio", math.inf)
+    metrics.set_gauge("bad", math.nan)
+    text = prometheus_text(metrics)
+    assert "ratio +Inf" in text
+    assert "bad NaN" in text
+
+
+def test_histogram_buckets_are_cumulative():
+    metrics = MetricsRegistry()
+    for value in (0.3, 0.4, 1.5, 6.0):
+        metrics.observe("task_latency", value)
+    text = prometheus_text(metrics)
+    assert "# TYPE task_latency histogram" in text
+    # frexp exponents: 0.3,0.4 -> le 0.5; 1.5 -> le 2.0; 6.0 -> le 8.0.
+    assert 'task_latency_bucket{le="0.5"} 2' in text
+    assert 'task_latency_bucket{le="2.0"} 3' in text
+    assert 'task_latency_bucket{le="8.0"} 4' in text
+    assert 'task_latency_bucket{le="+Inf"} 4' in text
+    assert "task_latency_sum 8.2" in text
+    assert "task_latency_count 4" in text
+
+
+def test_active_registry_is_default():
+    from repro.obs import get_metrics
+
+    get_metrics().inc("defaulted")
+    assert "defaulted 1.0" in prometheus_text()
