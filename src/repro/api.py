@@ -42,7 +42,9 @@ The surface groups into:
   `open_store`, `write_store`, `compact_store`; see docs/store.md);
 * **perfmodel** — the contention solver's batched path
   (`ScenarioBatch`, `solve_colocation`, `solve_colocation_batch`,
-  `solve_colocation_many`, `SOLVER_MODES`; see docs/perfmodel.md).
+  `solve_colocation_many`, `SOLVER_MODES`) and the content-addressed
+  solve memo (`SolveMemo`, `resolve_memo`, `MEMO_MODES`; see
+  docs/perfmodel.md).
 """
 
 from __future__ import annotations
@@ -150,11 +152,14 @@ from .runtime import (
     resolve_runtime,
 )
 from .perfmodel import (
+    MEMO_MODES,
     SOLVER_MODES,
     ColocationPerformance,
     MachinePerf,
     RunningInstance,
     ScenarioBatch,
+    SolveMemo,
+    resolve_memo,
     solve_colocation,
     solve_colocation_batch,
     solve_colocation_many,
@@ -271,6 +276,9 @@ __all__ = [
     "ColocationPerformance",
     "ScenarioBatch",
     "SOLVER_MODES",
+    "MEMO_MODES",
+    "SolveMemo",
+    "resolve_memo",
     "solve_colocation",
     "solve_colocation_batch",
     "solve_colocation_many",

@@ -63,7 +63,11 @@ class DatacenterTruth:
 
 
 def evaluate_full_datacenter(
-    dataset: ScenarioSource, feature: Feature, *, solver: str = "auto"
+    dataset: ScenarioSource,
+    feature: Feature,
+    *,
+    solver: str = "auto",
+    memo=None,
 ) -> DatacenterTruth:
     """Evaluate *feature* on every scenario of *dataset*.
 
@@ -71,7 +75,9 @@ def evaluate_full_datacenter(
     batch-by-batch, so computing the truth over a sharded store keeps
     peak memory at shard size.  Each source batch's HP scenarios are
     solved as one contention batch under both machine configurations;
-    *solver* selects the fixed-point path (bit-identical either way).
+    *solver* selects the fixed-point path (bit-identical either way),
+    and *memo* optionally reuses already-memoised solves (a repeat
+    feature sweep over the same fleet skips straight to aggregation).
     """
     baseline_machine = BASELINE(dataset.shape.perf)
     feature_machine = feature(dataset.shape.perf)
@@ -92,13 +98,14 @@ def evaluate_full_datacenter(
             continue
         scenarios = [scenario for _, scenario in eligible]
         bases = scenario_performance_many(
-            baseline_machine, scenarios, solver=solver
+            baseline_machine, scenarios, solver=solver, memo=memo
         )
         enableds = scenario_performance_many(
             feature_machine,
             scenarios,
             normalize_machine=baseline_machine,
             solver=solver,
+            memo=memo,
         )
         for (index, scenario), base, enabled in zip(eligible, bases, enableds):
             reduction = mips_reduction_pct(base.overall, enabled.overall)
@@ -194,12 +201,14 @@ def per_job_scenario_reductions(
     job_name: str,
     *,
     solver: str = "auto",
+    memo=None,
 ) -> JobScenarioReductions:
     """Evaluate *feature*'s impact on *job_name* in every hosting scenario.
 
     Like :func:`evaluate_full_datacenter`, accepts any scenario source,
     streams it batch-by-batch, and solves each batch's hosting
-    scenarios as one contention batch per machine configuration.
+    scenarios as one contention batch per machine configuration
+    (optionally memoised through *memo*).
     """
     baseline_machine = BASELINE(dataset.shape.perf)
     feature_machine = feature(dataset.shape.perf)
@@ -218,13 +227,14 @@ def per_job_scenario_reductions(
             continue
         scenarios = [scenario for _, scenario, _ in eligible]
         bases = scenario_performance_many(
-            baseline_machine, scenarios, solver=solver
+            baseline_machine, scenarios, solver=solver, memo=memo
         )
         enableds = scenario_performance_many(
             feature_machine,
             scenarios,
             normalize_machine=baseline_machine,
             solver=solver,
+            memo=memo,
         )
         for (index, scenario, count), base, enabled in zip(
             eligible, bases, enableds

@@ -232,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="contention-solver path (bit-identical; scalar is the "
         "reference, batched vectorises scenario batches)",
     )
+    fit.add_argument(
+        "--memo",
+        default="off",
+        metavar="off|memory|store:<path>",
+        help="content-addressed solve memo (bit-identical hits; "
+        "'store:<path>' persists solves across runs)",
+    )
     fit.add_argument("--out", required=True, help="output model JSON")
     _add_runtime_flags(fit)
     _add_obs_flags(fit)
@@ -250,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("scalar", "batched", "auto"),
         default=None,
         help="override the model's contention-solver path for replays",
+    )
+    evaluate.add_argument(
+        "--memo",
+        default=None,
+        metavar="off|memory|store:<path>",
+        help="override the model's solve-memo spec for replays",
     )
     _add_runtime_flags(evaluate)
     _add_obs_flags(evaluate)
@@ -551,6 +564,7 @@ def _cmd_fit(args) -> int:
     config = FlareConfig(
         analyzer=AnalyzerConfig(n_clusters=args.clusters),
         solver=args.solver,
+        memo=args.memo,
     )
     runtime = _resolve_runtime(args, ("fit", args.dataset, args.clusters))
     try:
@@ -574,6 +588,11 @@ def _cmd_evaluate(args) -> int:
     flare = load_model(args.model)
     if args.solver is not None:
         flare.replayer.solver = args.solver
+    if args.memo is not None:
+        from .perfmodel.memo import validate_memo_spec
+
+        validate_memo_spec(args.memo)
+        flare.replayer.memo = args.memo if args.memo != "off" else None
     feature = _FEATURES[args.feature]
     runtime = _resolve_runtime(
         args, ("evaluate", args.model, args.feature, args.job)

@@ -104,6 +104,7 @@ def scenario_performance_many(
     *,
     normalize_machine: MachinePerf | None = None,
     solver: str = "auto",
+    memo=None,
 ) -> tuple[ScenarioPerformance, ...]:
     """Normalised HP performance of many scenarios on one machine.
 
@@ -114,7 +115,9 @@ def scenario_performance_many(
     as one batch), and the inherent-MIPS normalisers go through the
     same per-signature cache as the scalar path.  *solver* selects the
     fixed-point implementation (``"scalar"``, ``"batched"``, or
-    ``"auto"``).
+    ``"auto"``); *memo* optionally routes solves through a persistent
+    content-addressed :class:`~repro.perfmodel.memo.SolveMemo` so hits
+    survive across batches, processes, and runs.
     """
     norm_machine = normalize_machine if normalize_machine is not None else machine
     solutions = solve_colocation_many(
@@ -122,6 +125,7 @@ def scenario_performance_many(
         [scenario.instances for scenario in scenarios],
         solver=solver,
         cached=True,
+        memo=memo,
     )
     return tuple(
         _performance_from_solution(solution, scenario, norm_machine)

@@ -74,6 +74,15 @@ class FlareConfig:
         (vectorised over scenario batches), or ``"auto"`` (batched
         whenever more than one scenario is solved together).  The
         paths are bit-identical — see ``docs/perfmodel.md``.
+    memo:
+        Content-addressed solve memo spec for the Profiler and
+        Replayer: ``"off"`` (default), ``"memory"`` (in-process LRU
+        keyed by canonical content digest), or ``"store:<path>"``
+        (persistent digest-verified segment directory shared across
+        processes and runs).  Like ``solver=``, memoisation cannot
+        change results — hits are bit-identical to fresh solves — so
+        it is persisted with saved models as pure speed configuration.
+        See the memo section of ``docs/perfmodel.md``.
     runtime:
         Default :class:`~repro.runtime.RuntimeConfig` for this model's
         fan-out stages (fitting, evaluation).  ``None`` keeps every
@@ -93,12 +102,15 @@ class FlareConfig:
     temporal_jitter: float = 0.15
     per_job_metrics: tuple[str, ...] = ()
     solver: str = "auto"
+    memo: str = "off"
     runtime: RuntimeConfig | None = None
 
     def __post_init__(self) -> None:
         from ..perfmodel.batch import resolve_solver_mode
+        from ..perfmodel.memo import validate_memo_spec
 
         resolve_solver_mode(self.solver, 0)  # validate eagerly
+        validate_memo_spec(self.memo)
         if self.runtime is not None and not isinstance(
             self.runtime, RuntimeConfig
         ):
@@ -123,6 +135,7 @@ class FlareConfig:
             temporal_jitter=self.temporal_jitter,
             per_job_metrics=self.per_job_metrics,
             solver=self.solver,
+            memo=self.memo if self.memo != "off" else None,
         )
 
 
@@ -221,6 +234,7 @@ class Flare:
                 dataset.shape,
                 catalogue=_catalogue_from(dataset),
                 solver=self.config.solver,
+                memo=self.config.memo if self.config.memo != "off" else None,
             )
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters
@@ -272,6 +286,7 @@ class Flare:
                 source.shape,
                 catalogue=_catalogue_from(source),
                 solver=self.config.solver,
+                memo=self.config.memo if self.config.memo != "off" else None,
             )
             if fit_span is not None:
                 fit_span.attrs["n_clusters"] = self._analysis.n_clusters
@@ -374,6 +389,8 @@ class Flare:
         if get_ledger() is None:
             return
         config: dict = {"solver": self.config.solver}
+        if self.config.memo != "off":
+            config["memo"] = self.config.memo
         runtime_config = getattr(runtime, "config", runtime)
         if isinstance(runtime_config, RuntimeConfig):
             config["runtime"] = runtime_config.to_dict()

@@ -17,6 +17,7 @@ from ..cluster.machine import MachineShape
 from ..cluster.scenario import Scenario
 from ..perfmodel.batch import resolve_solver_mode
 from ..perfmodel.contention import RunningInstance
+from ..perfmodel.memo import validate_memo_spec
 from ..perfmodel.signatures import JobSignature
 from ..runtime.executor import Executor, resolve_executor
 from ..runtime.resilience import TaskFailure
@@ -97,6 +98,17 @@ class Replayer:
         ``"batched"``, or ``"auto"`` (batched whenever more than one
         scenario is replayed together).  Only the default MIPS metric
         batches; a custom *metric* always evaluates per scenario.
+    memo:
+        Optional content-addressed solve memo: ``"off"``/``None``
+        (default), ``"memory"``, ``"store:<path>"``, or a live
+        :class:`~repro.perfmodel.memo.SolveMemo`.  Batched replays
+        consult it before solving and record misses back, so repeated
+        evaluate runs and feature sweeps skip already-solved work.
+        Spec strings travel to executor workers as-is; each worker
+        resolves its own per-process instance, and store-backed specs
+        make those workers concurrent writers of one shared memo
+        directory.  Only the batched replay path memoises — a custom
+        *metric* (and the scalar fallback) evaluates unmemoised.
     """
 
     def __init__(
@@ -106,12 +118,16 @@ class Replayer:
         catalogue: dict[str, "JobSignature"] | None = None,
         metric=None,
         solver: str = "auto",
+        memo=None,
     ) -> None:
         self.shape = shape
         self._catalogue = catalogue
         self._metric = metric if metric is not None else scenario_performance
         resolve_solver_mode(solver, 0)  # validate eagerly
+        if isinstance(memo, str):
+            validate_memo_spec(memo)  # validate eagerly, resolve lazily
         self.solver = solver
+        self.memo = memo
 
     def _resolve_job(self, name: str):
         if self._catalogue is not None and name in self._catalogue:
@@ -190,13 +206,14 @@ class Replayer:
         baseline_machine = BASELINE(self.shape.perf)
         feature_machine = feature(self.shape.perf)
         baselines = scenario_performance_many(
-            baseline_machine, replay_scenarios, solver=self.solver
+            baseline_machine, replay_scenarios, solver=self.solver, memo=self.memo
         )
         enabled = scenario_performance_many(
             feature_machine,
             replay_scenarios,
             normalize_machine=baseline_machine,
             solver=self.solver,
+            memo=self.memo,
         )
         return tuple(
             ReplayMeasurement(

@@ -268,6 +268,7 @@ def config_to_dict(config: FlareConfig) -> dict[str, Any]:
         "temporal_jitter": config.temporal_jitter,
         "per_job_metrics": list(config.per_job_metrics),
         "solver": config.solver,
+        "memo": config.memo,
         "runtime": (
             None if config.runtime is None else config.runtime.to_dict()
         ),
@@ -307,6 +308,7 @@ def config_from_dict(data: dict[str, Any]) -> FlareConfig:
         temporal_jitter=data.get("temporal_jitter", 0.15),
         per_job_metrics=tuple(data.get("per_job_metrics", ())),
         solver=data.get("solver", "auto"),
+        memo=data.get("memo", "off"),
         runtime=(
             None
             if data.get("runtime") is None

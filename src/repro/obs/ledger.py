@@ -363,6 +363,8 @@ DEFAULT_BENCH_RULES: tuple[MetricRule, ...] = (
     MetricRule("batch_solver_speedup_x", lower_is_better=False),
     MetricRule("store_write_mb_s", lower_is_better=False),
     MetricRule("store_read_mb_s", lower_is_better=False),
+    MetricRule("evaluate_warm_speedup_x", lower_is_better=False),
+    MetricRule("evaluate_warm_s", lower_is_better=True),
     MetricRule("memory_fit_s", lower_is_better=True),
     MetricRule("streaming_fit_s", lower_is_better=True),
     MetricRule("profile_serial_s", lower_is_better=True),

@@ -25,6 +25,13 @@ from .calibration import CPIComponents, MRCFit, calibrate_cpi_components, fit_mr
 from .cpistack import CPIStack, TopdownBreakdown
 from .latency import DEFAULT_SERVICE_TIME_MS, LatencyEstimate, instance_latency
 from .machine import MachinePerf
+from .memo import (
+    MEMO_MODES,
+    SolveMemo,
+    resolve_memo,
+    solve_key,
+    validate_memo_spec,
+)
 from .mrc import MissRatioCurve
 from .signatures import JobSignature, Priority
 
@@ -46,6 +53,11 @@ __all__ = [
     "resolve_solver_mode",
     "solve_colocation_batch",
     "solve_colocation_many",
+    "MEMO_MODES",
+    "SolveMemo",
+    "resolve_memo",
+    "solve_key",
+    "validate_memo_spec",
     "LatencyEstimate",
     "instance_latency",
     "DEFAULT_SERVICE_TIME_MS",

@@ -519,6 +519,7 @@ def solve_colocation_many(
     *,
     solver: str = "auto",
     cached: bool = False,
+    memo=None,
 ) -> list[ColocationPerformance]:
     """Solve many scenarios through the selected solver path.
 
@@ -526,8 +527,21 @@ def solve_colocation_many(
     scenario: hits are returned directly, misses are solved as one
     batch (deduplicated within the batch) and written back, so mixing
     batched and scalar callers keeps a single coherent cache.
+
+    ``memo`` accepts a :class:`~repro.perfmodel.memo.SolveMemo`, a memo
+    spec string (``"memory"``/``"store:<path>"``), or ``None``/``"off"``.
+    When active it supersedes ``cached=``: lookups go through the
+    content-addressed two-tier memo (so hits survive across processes
+    and runs), misses are solved through the selected solver path —
+    bit-identical either way — and recorded back into both tiers.
     """
     mode = resolve_solver_mode(solver, len(scenarios))
+    if memo is not None:
+        from .memo import resolve_memo
+
+        live = resolve_memo(memo)
+        if live is not None:
+            return _solve_many_memoised(machine, scenarios, mode, live)
     if mode == "scalar":
         if cached:
             return [
@@ -560,4 +574,50 @@ def solve_colocation_many(
             _SOLVE_CACHE.store(key, solution)
             for row in rows:
                 results[row] = solution
+    return results  # type: ignore[return-value]
+
+
+def _solve_many_memoised(
+    machine: MachinePerf,
+    scenarios: Sequence[Sequence[RunningInstance]],
+    mode: str,
+    memo,
+) -> list[ColocationPerformance]:
+    """Memo-first solve: hits from the memo, misses via ``mode``'s path.
+
+    Mirrors the ``cached=True`` pending-dict shape, but keyed on the
+    content digest so hits carry across batches, processes, and runs.
+    Misses solved here are recorded and flushed at the end of the call
+    — one segment append per batch, which keeps concurrent writers to
+    coarse atomic appends rather than per-solve churn.
+    """
+    results: list[ColocationPerformance | None] = [None] * len(scenarios)
+    pending: dict[str, list[int]] = {}
+    miss_scenarios: list[tuple[RunningInstance, ...]] = []
+    for i, raw in enumerate(scenarios):
+        instances = tuple(raw)
+        key = memo.key_for(machine, instances)
+        hit = memo.lookup(key, machine, instances)
+        if hit is not None:
+            results[i] = hit
+            continue
+        rows = pending.get(key)
+        if rows is None:
+            pending[key] = [i]
+            miss_scenarios.append(instances)
+        else:
+            rows.append(i)
+    if miss_scenarios:
+        if mode == "scalar":
+            solved = [
+                solve_colocation(machine, instances)
+                for instances in miss_scenarios
+            ]
+        else:
+            solved = solve_colocation_batch(machine, miss_scenarios)
+        for (key, rows), solution in zip(pending.items(), solved):
+            memo.record(key, solution)
+            for row in rows:
+                results[row] = solution
+        memo.flush()
     return results  # type: ignore[return-value]

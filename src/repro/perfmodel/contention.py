@@ -24,6 +24,7 @@ its outputs.
 from __future__ import annotations
 
 import dataclasses
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import NamedTuple
@@ -270,6 +271,29 @@ class _CacheInfo(NamedTuple):
     currsize: int
 
 
+def canonical_float_token(value: float) -> str:
+    """Exact, canonical text form of a float for cache/memo keys.
+
+    ``float.hex()`` round-trips every finite double exactly and keeps
+    ``-0.0`` distinct from ``0.0`` (``-0x0.0p+0`` vs ``0x0.0p+0``) —
+    they are different machine configurations, since expressions like
+    ``1/x`` diverge at the sign of zero, yet ``-0.0 == 0.0`` under the
+    tuple equality a naive key relies on.  Conversely, all NaN payloads
+    collapse onto one ``"nan"`` token: ``nan != nan``, so a raw NaN in
+    a key would never match anything, not even itself.
+    """
+    if math.isnan(value):
+        return "nan"
+    return float(value).hex()
+
+
+def _canonical_machine_value(value):
+    """Canonical key token for one MachinePerf field value."""
+    if isinstance(value, float):
+        return ("f", canonical_float_token(value))
+    return value
+
+
 class _SolveCache:
     """Explicit LRU memo for ``(machine, instances) -> ColocationPerformance``.
 
@@ -295,7 +319,7 @@ class _SolveCache:
         machine: MachinePerf, instances: tuple[RunningInstance, ...]
     ) -> tuple:
         machine_key = tuple(
-            (field.name, getattr(machine, field.name))
+            (field.name, _canonical_machine_value(getattr(machine, field.name)))
             for field in dataclasses.fields(machine)
         )
         return (machine_key, instances)

@@ -181,6 +181,12 @@ class Profiler:
         call holds more than one scenario).  The paths are
         bit-identical; the knob exists to keep the scalar reference
         selectable.
+    memo:
+        Optional content-addressed solve memo (``"off"``/``None``,
+        ``"memory"``, ``"store:<path>"``, or a live
+        :class:`~repro.perfmodel.memo.SolveMemo`).  Multi-scenario
+        collection consults it before solving; spec strings ship to
+        executor workers, each resolving its own per-process instance.
     """
 
     def __init__(
@@ -193,10 +199,15 @@ class Profiler:
         temporal_jitter: float = 0.15,
         per_job_metrics: tuple[str, ...] = (),
         solver: str = "auto",
+        memo=None,
     ) -> None:
         if temporal_samples < 0:
             raise ValueError("temporal_samples must be non-negative")
         resolve_solver_mode(solver, 0)  # validate eagerly
+        if isinstance(memo, str):
+            from ..perfmodel.memo import validate_memo_spec
+
+            validate_memo_spec(memo)  # validate eagerly, resolve lazily
         if not 0.0 <= temporal_jitter < 1.0:
             raise ValueError("temporal_jitter must be in [0, 1)")
         if len(set(per_job_metrics)) != len(per_job_metrics):
@@ -230,6 +241,7 @@ class Profiler:
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.solver = solver
+        self.memo = memo
         self.database = database
         if database is not None:
             self._ensure_tables(database)
@@ -433,7 +445,10 @@ class Profiler:
             config = resolved.config
             mode = choose_dispatch(
                 config.dispatch,
-                store_backed=hasattr(source, "shard_refs"),
+                store_backed=(
+                    hasattr(source, "shard_refs")
+                    and getattr(source, "supports_shard_refs", True)
+                ),
                 parallel=isinstance(pool, ProcessExecutor),
                 journaled=getattr(pool, "checkpoint", None) is not None,
             )
@@ -792,6 +807,7 @@ class Profiler:
                 machine,
                 [list(scenario.instances) for scenario in block],
                 solver=self.solver,
+                memo=self.memo,
             )
             vectors.extend(
                 self._vector_from_solution(scenario, dataset, machine, solution)
@@ -827,7 +843,12 @@ class Profiler:
         dataset = decode_shard(
             scenario_table, instance_table, names, signatures, shape
         )
-        if resolve_solver_mode(self.solver, len(dataset)) != "batched":
+        if (
+            self.memo is not None
+            or resolve_solver_mode(self.solver, len(dataset)) != "batched"
+        ):
+            # The memo path routes through collect_many so hits short-
+            # circuit before any batch packing (bit-identical either way).
             vectors = self.collect_many(dataset.scenarios, dataset, machine)
         else:
             vectors = []
@@ -924,7 +945,7 @@ class Profiler:
                 )
             jittered_samples.append(jittered)
         solutions = solve_colocation_many(
-            machine, jittered_samples, solver=self.solver
+            machine, jittered_samples, solver=self.solver, memo=self.memo
         )
         for jittered, solution in zip(jittered_samples, solutions):
             pairs = list(zip(jittered, solution.instances))

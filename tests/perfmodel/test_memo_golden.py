@@ -1,0 +1,133 @@
+"""Golden fixture for the solve-memo serialisation format.
+
+Freezes everything a persisted memo's bytes depend on, so format drift
+is caught bit-for-bit against a committed artefact:
+
+* the canonical :func:`solve_key` digests for a deterministic
+  signature × machine grid (key-schema drift — a reordered field, a
+  changed float token — changes every digest);
+* the segment dtype descriptors (layout drift);
+* the sha256 of the encoded entry/instance tables per machine
+  (byte-level encoding drift);
+* the full decoded round trip (a hit returns the bits that went in).
+
+Regenerate after an *intentional* format-version bump with::
+
+    pytest tests/perfmodel/test_memo_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perfmodel.memo import (
+    MEMO_ENTRY_DTYPE,
+    MEMO_FORMAT,
+    MEMO_FORMAT_VERSION,
+    MEMO_INSTANCE_DTYPE,
+    decode_memo_entries,
+    encode_memo_entries,
+    solve_key,
+)
+from repro.store.format import array_digest
+from tests.perfmodel.test_batch_golden import (
+    _MACHINES,
+    _build,
+    golden_population,
+)
+from tests.perfmodel.test_memo import assert_bit_identical
+
+from repro.perfmodel.contention import solve_colocation
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "memo_golden.json"
+
+
+def _machine_cases():
+    population = golden_population()
+    for machine_name, machine in sorted(_MACHINES.items()):
+        scenarios = [_build(mix) for mix in population]
+        items = [
+            (solve_key(machine, instances), solve_colocation(machine, instances))
+            for instances in scenarios
+        ]
+        yield machine_name, machine, scenarios, items
+
+
+def generate_golden() -> dict:
+    machines = []
+    for machine_name, _machine, _scenarios, items in _machine_cases():
+        entries, instances = encode_memo_entries(items)
+        machines.append(
+            {
+                "machine": machine_name,
+                "keys": [key for key, _ in items],
+                "entries_digest": array_digest(entries),
+                "instances_digest": array_digest(instances),
+            }
+        )
+    return {
+        "format": MEMO_FORMAT,
+        "format_version": MEMO_FORMAT_VERSION,
+        "entry_dtype": MEMO_ENTRY_DTYPE.descr,
+        "instance_dtype": MEMO_INSTANCE_DTYPE.descr,
+        "machines": machines,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden(request):
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(generate_golden(), indent=1) + "\n"
+        )
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} missing — run with --update-golden to create it"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_format_and_layout_are_current(golden):
+    assert golden["format"] == MEMO_FORMAT
+    assert golden["format_version"] == MEMO_FORMAT_VERSION
+    assert [tuple(item) for item in golden["entry_dtype"]] == list(
+        MEMO_ENTRY_DTYPE.descr
+    )
+    assert [tuple(item) for item in golden["instance_dtype"]] == list(
+        MEMO_INSTANCE_DTYPE.descr
+    )
+
+
+def test_memo_serialisation_reproduces_golden(golden):
+    frozen = {record["machine"]: record for record in golden["machines"]}
+    assert set(frozen) == set(_MACHINES)
+    for machine_name, _machine, _scenarios, items in _machine_cases():
+        record = frozen[machine_name]
+        assert [key for key, _ in items] == record["keys"], machine_name
+        entries, instances = encode_memo_entries(items)
+        assert array_digest(entries) == record["entries_digest"], machine_name
+        assert (
+            array_digest(instances) == record["instances_digest"]
+        ), machine_name
+
+
+def test_golden_entries_decode_round_trip(golden):
+    for machine_name, machine, scenarios, items in _machine_cases():
+        entries, rows = encode_memo_entries(items)
+        for index, (instances, (_key, solution)) in enumerate(
+            zip(scenarios, items)
+        ):
+            entry = entries[index]
+            start = int(entry["inst_offset"])
+            stop = start + int(entry["inst_count"])
+            decoded = decode_memo_entries(
+                machine, instances, entry, rows[start:stop]
+            )
+            assert decoded is not None
+            assert_bit_identical(
+                solution, decoded, f"{machine_name}[{index}]"
+            )

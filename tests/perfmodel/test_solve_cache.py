@@ -81,6 +81,41 @@ def test_key_distinguishes_instances():
     ) != _SolveCache.make_key(machine, _instances(("DA", 0.5)))
 
 
+def _machine_with(**overrides):
+    # MachinePerf validates positivity at construction; the cache key
+    # must stay sound even for values that slip past validation
+    # (defence in depth), so plant the payload directly.
+    machine = MachinePerf()
+    for name, value in overrides.items():
+        object.__setattr__(machine, name, value)
+    return machine
+
+
+def test_key_never_aliases_negative_zero_machines():
+    # -0.0 == 0.0 under tuple equality, so a naive value-tuple key would
+    # alias two machines whose physics differ (1/x diverges).  The key
+    # canonicalises floats via float.hex(), which keeps the sign.
+    instances = _instances(("DA", 1.0), ("mcf", 0.8))
+    positive = _machine_with(mem_bw_gbps=0.0)
+    negative = _machine_with(mem_bw_gbps=-0.0)
+    assert _SolveCache.make_key(
+        positive, instances
+    ) != _SolveCache.make_key(negative, instances)
+
+
+def test_key_with_nan_field_is_self_consistent():
+    # NaN != NaN would make such a key unmatchable even against itself
+    # (every lookup a miss, every store a new entry); all NaN payloads
+    # collapse onto one canonical token instead.
+    instances = _instances(("DA", 1.0))
+    broken = _machine_with(mem_latency_ns=float("nan"))
+    key = _SolveCache.make_key(broken, instances)
+    assert key == _SolveCache.make_key(broken, instances)
+    cache = _SolveCache(maxsize=4)
+    cache.store(key, "solved")
+    assert cache.lookup(_SolveCache.make_key(broken, instances)) == "solved"
+
+
 def test_feature_variants_never_share_a_stale_solve():
     # The original bug shape: solve the baseline first, then the feature
     # variant with identical instances — the second call must produce

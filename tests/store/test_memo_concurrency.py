@@ -1,0 +1,151 @@
+"""Concurrent-writer safety for the store-backed solve memo.
+
+Two process-pool workers evaluate overlapping scenario populations
+against *one* memo directory at the same time.  The memo's append
+discipline (atomic temp-file + rename segments named by their own
+content digest, sidecar written last, merge-on-read) must guarantee:
+
+* no lost entries — every key either worker solved is readable from
+  the merged store afterwards;
+* no conflicting duplicates — a key may land in two segments (both
+  workers solved it before either flushed), but then the stored rows
+  must be byte-identical, so merge order is irrelevant;
+* bit-identical results — everything each worker returned, and
+  everything a cold reader decodes afterwards, equals the serial
+  memo-off solve exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.perfmodel import MachinePerf, RunningInstance
+from repro.perfmodel.batch import solve_colocation_many
+from repro.perfmodel.memo import SolveMemo, solve_key
+from repro.store.format import read_shard_array
+from repro.workloads import HP_JOBS, LP_JOBS
+
+_CATALOGUE = {**HP_JOBS, **LP_JOBS}
+
+# Two overlapping halves of one fleet population: the middle mixes are
+# solved by both workers, exercising the duplicate-segment case.
+_MIXES = [
+    (("WSC", 1.0), ("GA", 1.0)),
+    (("DC", 0.85), ("mcf", 1.0)),
+    (("DA", 1.0), ("DA", 0.7), ("WSV", 0.85)),
+    (("sjeng", 1.0), ("libquantum", 1.0)),
+    (("IA", 1.0), ("MS", 0.7), ("DS", 0.85), ("omnetpp", 1.0)),
+    (("WSC", 0.7),),
+    (("GA", 0.9), ("mcf", 0.6), ("WSC", 1.0)),
+    (("DS", 1.0), ("DA", 0.5)),
+]
+_HALVES = (_MIXES[:5], _MIXES[3:])
+
+
+def _build(mix):
+    return [
+        RunningInstance(signature=_CATALOGUE[name], load=load)
+        for name, load in mix
+    ]
+
+
+def _evaluate_with_memo(spec: str, mixes) -> list:
+    """Worker entry point: solve *mixes* against the shared memo."""
+    population = [_build(mix) for mix in mixes]
+    return solve_colocation_many(
+        MachinePerf(), population, memo=SolveMemo(spec)
+    )
+
+
+def _segment_rows(memo_dir):
+    """key -> set of stored row bytes, across every segment."""
+    rows: dict[str, set[bytes]] = {}
+    for sidecar_path in sorted(memo_dir.glob("seg-*.json")):
+        sidecar = json.loads(sidecar_path.read_text())
+        stem = sidecar_path.name[: -len(".json")]
+        entries = read_shard_array(
+            memo_dir / f"{stem}.entries.npy",
+            expected_rows=sidecar["entries"],
+            expected_digest=sidecar["entries_digest"],
+        )
+        instances = read_shard_array(
+            memo_dir / f"{stem}.instances.npy",
+            expected_rows=sidecar["instances"],
+            expected_digest=sidecar["instances_digest"],
+        )
+        for entry in entries:
+            start = int(entry["inst_offset"])
+            stop = start + int(entry["inst_count"])
+            blob = (
+                np.ascontiguousarray(entry).tobytes()[64 + 8 :]
+                + np.ascontiguousarray(instances[start:stop]).tobytes()
+            )
+            rows.setdefault(entry["key"].decode(), set()).add(blob)
+    return rows
+
+
+def test_concurrent_writers_share_one_store_without_conflicts(tmp_path):
+    from tests.perfmodel.test_memo import assert_bit_identical
+
+    memo_dir = tmp_path / "memo"
+    spec = f"store:{memo_dir}"
+    machine = MachinePerf()
+    serial = {
+        solve_key(machine, _build(mix)): solve_colocation_many(
+            machine, [_build(mix)]
+        )[0]
+        for mix in _MIXES
+    }
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(_evaluate_with_memo, spec, half) for half in _HALVES
+        ]
+        results = [future.result() for future in futures]
+
+    # Workers returned the serial bits.
+    for half, solutions in zip(_HALVES, results):
+        for mix, solution in zip(half, solutions):
+            key = solve_key(machine, _build(mix))
+            assert_bit_identical(serial[key], solution, str(mix))
+
+    # No lost entries: every solved key is in the merged store, and a
+    # key written by both workers landed as byte-identical rows (the
+    # offset differs per segment, so it is excluded from the blob).
+    rows = _segment_rows(memo_dir)
+    assert set(rows) == set(serial)
+    for key, blobs in rows.items():
+        assert len(blobs) == 1, f"conflicting stored rows for {key}"
+
+    # A cold reader serves every entry from disk, bit-identically.
+    reader = SolveMemo(spec)
+    population = [_build(mix) for mix in _MIXES]
+    served = solve_colocation_many(machine, population, memo=reader)
+    assert reader.store_hits == len(_MIXES)
+    assert reader.segments_written == 0
+    for mix, solution in zip(_MIXES, served):
+        key = solve_key(machine, _build(mix))
+        assert_bit_identical(serial[key], solution, str(mix))
+
+
+def test_process_evaluate_is_bit_identical_to_serial(tmp_path):
+    # The replayer's worker shape: the same evaluate run entirely in a
+    # child process against a warm store must reproduce the parent's
+    # serial memo-off bits.
+    from tests.perfmodel.test_memo import assert_bit_identical
+
+    spec = f"store:{tmp_path / 'memo'}"
+    machine = MachinePerf()
+    population = [_build(mix) for mix in _MIXES]
+    serial = solve_colocation_many(machine, population)
+
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        warmup = pool.submit(_evaluate_with_memo, spec, _MIXES).result()
+        warm = pool.submit(_evaluate_with_memo, spec, _MIXES).result()
+
+    for index, reference in enumerate(serial):
+        assert_bit_identical(reference, warmup[index], f"cold[{index}]")
+        assert_bit_identical(reference, warm[index], f"warm[{index}]")

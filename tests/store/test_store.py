@@ -188,3 +188,97 @@ class TestCompaction:
         )
         assert compacted.digest() == shared_store.digest()
         assert compacted.n_shards > shared_store.n_shards
+
+
+class TestCompression:
+    def test_zlib_round_trip_bit_identical(self, store_dataset, tmp_path):
+        store = write_store(
+            store_dataset, tmp_path / "z", shard_size=16, compression="zlib"
+        )
+        for i in range(len(store_dataset)):
+            assert_scenarios_identical(store_dataset[i], store[i])
+
+    def test_digest_is_codec_independent(
+        self, store_dataset, shared_store, tmp_path
+    ):
+        # Shard digests cover the *uncompressed* array bytes, so the
+        # logical content digest cannot depend on the codec.
+        compressed = write_store(
+            store_dataset, tmp_path / "z", shard_size=16, compression="zlib"
+        )
+        assert compressed.digest() == shared_store.digest()
+        assert compressed.digest() == store_dataset.digest()
+        compressed.verify()
+
+    def test_manifest_records_compression(self, store_dataset, tmp_path):
+        store = write_store(
+            store_dataset, tmp_path / "z", shard_size=16, compression="zlib"
+        )
+        manifest = json.loads((store.path / "manifest.json").read_text())
+        assert manifest["compression"] == "zlib"
+        assert all(
+            shard["compression"] == "zlib" for shard in manifest["shards"]
+        )
+
+    def test_compressed_store_refuses_shard_refs(
+        self, store_dataset, shared_store, tmp_path
+    ):
+        # Deflated shards are not mmap-able, so the zero-copy dispatch
+        # path must be declined up front rather than failing downstream.
+        compressed = write_store(
+            store_dataset, tmp_path / "z", shard_size=16, compression="zlib"
+        )
+        assert shared_store.supports_shard_refs
+        assert not compressed.supports_shard_refs
+        with pytest.raises(StoreError, match="compress"):
+            list(compressed.shard_refs())
+
+    def test_corrupt_compressed_shard_detected(self, store_dataset, tmp_path):
+        store = write_store(
+            store_dataset, tmp_path / "z", shard_size=16, compression="zlib"
+        )
+        shard = sorted(store.path.glob("*.scenarios.npy"))[0]
+        blob = bytearray(shard.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError):
+            open_store(store.path).verify()
+
+    def test_unknown_compression_rejected(self, store_dataset, tmp_path):
+        with pytest.raises(StoreError, match="compression"):
+            write_store(
+                store_dataset, tmp_path / "x", compression="snappy"
+            )
+
+    def test_compaction_can_change_codec(
+        self, store_dataset, shared_store, tmp_path
+    ):
+        compressed = compact_store(
+            shared_store, tmp_path / "z", shard_size=16, compression="zlib"
+        )
+        assert compressed.digest() == shared_store.digest()
+        back = compact_store(compressed, tmp_path / "raw", shard_size=16)
+        assert back.supports_shard_refs
+        assert back.digest() == shared_store.digest()
+
+
+class TestWriteDurability:
+    def test_no_temp_files_survive_a_finished_write(self, store_dataset, tmp_path):
+        store = write_store(store_dataset, tmp_path / "s", shard_size=16)
+        leftovers = [
+            p for p in store.path.iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_manifest_is_written_last(self, store_dataset, tmp_path):
+        # The writer defers per-shard fsync to finalize(), which is only
+        # safe because nothing references the shards until the manifest
+        # lands: an interrupted write must not look like a store.
+        writer = StoreWriter(
+            tmp_path / "s", shape=store_dataset.shape, shard_size=16
+        )
+        writer.extend(store_dataset.scenarios)
+        assert not (writer.path / "manifest.json").exists()
+        assert any(writer.path.glob("*.npy"))
+        writer.finalize()
+        assert (writer.path / "manifest.json").exists()
