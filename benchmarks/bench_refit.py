@@ -1,0 +1,211 @@
+"""Drift-then-refit benchmark: incremental refit cost and error parity.
+
+Exercises the continuous-fleet-mode claim (docs/fleet.md): refitting a
+FLARE model incrementally over a grown store — profiling only the new
+rows and warm-starting the clustering — must cost a fraction of the
+from-scratch refit while landing on an equivalent model.  Appends one
+schema-versioned RunRecord per run to
+``benchmarks/results/bench_refit.jsonl`` (gated by ``repro ledger
+check`` in CI):
+
+* **Cost.**  ``refit_cost_ratio`` = incremental wall / full-refit wall,
+  best-of-``--repeats`` each, over the same grown store (the model in
+  force covers ``--watermark-frac`` of the rows; the rest is the drift
+  the refit absorbs).  Acceptance bar: <= 0.35.
+* **Parity.**  ``refit_error_parity`` = relative difference of the two
+  models' ``sse_per_scenario`` health baseline.  Acceptance bar:
+  <= 0.05 — the incremental model's error stays within 5% of the full
+  refit's.
+* **Fixed point.**  A warm-started refit of the *unchanged* grown
+  store must reproduce the incremental model bit for bit
+  (``fixed_point_ok``) — the equivalence the refit battery
+  (tests/core/test_refit.py) proves in depth.
+
+The scaler-drift soundness gate is opened wide here (``--max-drift``):
+the reduced synthetic stream drifts more per row than a real fleet, and
+this benchmark measures the incremental *machinery*, not the fallback
+policy (which tests/core/test_refit.py covers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import time
+
+from repro.api import (
+    DatacenterConfig,
+    FlareConfig,
+    RunLedger,
+    record_run,
+    run_simulation,
+    write_store,
+)
+from repro.core.analyzer import AnalyzerConfig
+from repro.core.refit import refit
+from repro.io.serialization import fitted_digest
+from repro.store.live import StoreSlice
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "bench_refit.jsonl"
+)
+
+COST_RATIO_GATE = 0.35
+ERROR_PARITY_GATE = 0.05
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", type=int, default=600)
+    parser.add_argument(
+        "--watermark-frac",
+        type=float,
+        default=0.75,
+        help="fraction of the store the previous model already covers",
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--shard-size", type=int, default=64)
+    parser.add_argument("--clusters", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--max-drift",
+        type=float,
+        default=1e9,
+        help="scaler-drift gate for the incremental refit (see module doc)",
+    )
+    parser.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        default=None,
+        help=f"run-ledger JSONL to append to (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+    results_dir = RESULTS_PATH.parent
+    results_dir.mkdir(parents=True, exist_ok=True)
+    scratch = results_dir / "refit_bench_scratch"
+    if scratch.exists():
+        shutil.rmtree(scratch)
+    scratch.mkdir(parents=True)
+
+    config = FlareConfig(
+        analyzer=AnalyzerConfig(n_clusters=args.clusters)
+    )
+    print(
+        f"simulating {args.scenarios} scenarios (seed {args.seed}) ...",
+        flush=True,
+    )
+    dataset = run_simulation(
+        DatacenterConfig(
+            seed=args.seed, target_unique_scenarios=args.scenarios
+        )
+    ).dataset
+    store = write_store(
+        dataset, scratch / "store", shard_size=args.shard_size
+    )
+    n_total = len(store)
+    watermark = max(2, int(n_total * args.watermark_frac))
+    print(
+        f"store: {n_total} rows; previous model covers {watermark} "
+        f"({watermark / n_total:.0%})"
+    )
+
+    # Generation 0 over the covered prefix; its spill is what every
+    # incremental repeat reuses.  This also prewarms the solver stack so
+    # neither timed path pays first-call costs.
+    spill0 = scratch / "spill0"
+    gen0 = refit(StoreSlice(store, 0, watermark), config, spill_dir=spill0)
+
+    full_times = []
+    for attempt in range(max(args.repeats, 1)):
+        start = time.perf_counter()
+        full = refit(store, config, spill_dir=scratch / f"full{attempt}")
+        full_times.append(time.perf_counter() - start)
+    full_refit_s = min(full_times)
+    print(f"full refit ({n_total} rows):        {full_refit_s:8.2f} s")
+
+    inc_times = []
+    for attempt in range(max(args.repeats, 1)):
+        spill = scratch / f"inc{attempt}"
+        shutil.copytree(spill0, spill)
+        start = time.perf_counter()
+        inc = refit(
+            store,
+            prev=gen0,
+            spill_dir=spill,
+            mode="incremental",
+            trigger="drift:warn",
+            max_scaler_drift=args.max_drift,
+        )
+        inc_times.append(time.perf_counter() - start)
+    inc_refit_s = min(inc_times)
+    assert inc.lineage[-1].kind == "incremental"
+    refit_cost_ratio = inc_refit_s / full_refit_s if full_refit_s else 0.0
+    cost_ok = refit_cost_ratio <= COST_RATIO_GATE
+    print(
+        f"incremental refit (+{n_total - watermark} rows): "
+        f"{inc_refit_s:8.2f} s "
+        f"(ratio {refit_cost_ratio:.3f}, gate <= {COST_RATIO_GATE}: "
+        f"{'ok' if cost_ok else 'FAILED'})"
+    )
+
+    inc_sse = float(inc.representatives.baseline.sse_per_scenario)
+    full_sse = float(full.representatives.baseline.sse_per_scenario)
+    refit_error_parity = (
+        abs(inc_sse - full_sse) / full_sse if full_sse else 0.0
+    )
+    parity_ok = refit_error_parity <= ERROR_PARITY_GATE
+    print(
+        f"sse/scenario: incremental {inc_sse:.4f} vs full {full_sse:.4f} "
+        f"(parity {refit_error_parity:.4f}, gate <= {ERROR_PARITY_GATE}: "
+        f"{'ok' if parity_ok else 'FAILED'})"
+    )
+
+    # Fixed point: refitting the unchanged store from the incremental
+    # model must change nothing, bit for bit.
+    again = refit(
+        store,
+        prev=inc,
+        spill_dir=scratch / "inc0",
+        max_scaler_drift=args.max_drift,
+    )
+    fixed_point_ok = fitted_digest(again) == fitted_digest(inc)
+    print(f"warm-start fixed point bit-identical: {fixed_point_ok}")
+
+    ok = bool(cost_ok and parity_ok and fixed_point_ok)
+
+    ledger = RunLedger(args.ledger if args.ledger else RESULTS_PATH)
+    record = record_run(
+        "bench_refit",
+        config={
+            "n_scenarios": n_total,
+            "watermark": watermark,
+            "shard_size": args.shard_size,
+            "n_clusters": args.clusters,
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        metrics={
+            "full_refit_s": round(full_refit_s, 4),
+            "inc_refit_s": round(inc_refit_s, 4),
+            "refit_cost_ratio": round(refit_cost_ratio, 4),
+            "refit_error_parity": round(refit_error_parity, 6),
+            "inc_sse_per_scenario": round(inc_sse, 6),
+            "full_sse_per_scenario": round(full_sse, 6),
+            "n_new_rows": float(n_total - watermark),
+        },
+        labels={
+            "cost_ok": cost_ok,
+            "parity_ok": parity_ok,
+            "fixed_point_ok": fixed_point_ok,
+            "ok": ok,
+        },
+        ledger=ledger,
+    )
+    print(f"recorded {record.run_id} -> {ledger.path}")
+    shutil.rmtree(scratch)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -310,6 +310,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(monitor)
     _add_ledger_flag(monitor)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "continuous fleet mode: ingest a segmented simulation into a "
+            "live store, monitor each generation for drift, and refit "
+            "incrementally on warn/alert (see docs/fleet.md)"
+        ),
+    )
+    fleet.add_argument(
+        "--store", required=True, metavar="DIR", help="live store directory"
+    )
+    fleet.add_argument(
+        "--spill",
+        required=True,
+        metavar="DIR",
+        help="persistent metric spill reused across refits",
+    )
+    fleet.add_argument("--out", required=True, help="final model JSON")
+    fleet.add_argument("--seed", type=int, default=2023)
+    fleet.add_argument(
+        "--days", type=float, default=3.0, help="simulated horizon in days"
+    )
+    fleet.add_argument(
+        "--segment-days",
+        type=float,
+        default=1.0,
+        help="ingestion window; one store generation committed per segment",
+    )
+    fleet.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        help="stop the simulation after this many distinct co-locations",
+    )
+    fleet.add_argument(
+        "--shape", choices=sorted(_SHAPES), default="default"
+    )
+    fleet.add_argument(
+        "--shard-size", type=int, default=DEFAULT_SHARD_SIZE, metavar="N"
+    )
+    fleet.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        help="fixed cluster count (default: knee-point sweep at gen 0)",
+    )
+    _add_runtime_flags(fleet)
+    _add_obs_flags(fleet)
+    _add_ledger_flag(fleet)
+
     ledger = sub.add_parser(
         "ledger", help="inspect or gate on the run ledger"
     )
@@ -420,6 +470,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "diagnose": _cmd_diagnose,
         "monitor": _cmd_monitor,
+        "fleet": _cmd_fleet,
         "ledger": _cmd_ledger,
         "store": _cmd_store,
         "experiment": _cmd_experiment,
@@ -674,6 +725,267 @@ def _cmd_monitor(args) -> int:
         print(report.render())
     fail_floor = {"warn": 1, "alert": 2, "never": 99}[args.fail_on]
     return report.exit_code if report.exit_code >= fail_floor else 0
+
+
+class _SegmentReplay:
+    """A deterministic stand-in for a live tail over a committed store.
+
+    The fleet command first re-runs the seeded segmented simulation to
+    (re)build the whole store, then replays its generation marks one
+    ``refresh()`` at a time — so the watch loop sees exactly the growth
+    a live deployment would, and a ``--resume`` of a killed run walks
+    the identical sequence.
+    """
+
+    def __init__(self, store, marks: list, index: int) -> None:
+        self._store = store
+        self._marks = marks
+        self._index = index
+
+    @property
+    def shape(self):
+        return self._store.shape
+
+    @property
+    def cycle_index(self) -> int:
+        return self._index
+
+    def refresh(self) -> int:
+        before = self._marks[self._index]
+        if self._index < len(self._marks) - 1:
+            self._index += 1
+        return self._marks[self._index] - before
+
+    def _view(self):
+        from .store.live import StoreSlice
+
+        return StoreSlice(self._store, 0, len(self))
+
+    def __len__(self) -> int:
+        return int(self._marks[self._index])
+
+    def __getitem__(self, index: int):
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._store[index]
+
+    def new_since(self, watermark: int):
+        from .store.live import StoreSlice
+
+        return StoreSlice(self._store, watermark, len(self))
+
+    def iter_batches(self, batch_size=None):
+        return self._view().iter_batches(batch_size)
+
+    def weights(self):
+        return self._view().weights()
+
+    def durations(self):
+        return self._view().durations()
+
+    def schema(self):
+        return self._store.schema()
+
+    def digest(self) -> str:
+        return self._view().digest()
+
+
+def _cmd_fleet(args) -> int:
+    import json as _json
+    import pathlib
+
+    import numpy as np
+
+    from .core.refit import refit, replay_refit
+    from .io.serialization import fitted_digest
+    from .store import LiveStore, TailingSource
+    from .store.live import StoreSlice
+
+    shape = _SHAPES[args.shape]
+    store_dir = pathlib.Path(args.store)
+    spill_dir = pathlib.Path(args.spill)
+    config = FlareConfig(analyzer=AnalyzerConfig(n_clusters=args.clusters))
+    sim = DatacenterConfig(
+        shape=shape,
+        seed=args.seed,
+        max_days=args.days,
+        target_unique_scenarios=args.scenarios,
+    )
+
+    # Phase 1 — ingestion: (re)build the live store from the seeded
+    # simulation, committing one generation per segment.  Deterministic,
+    # so a resumed run reconstructs the identical store.
+    marks: list[int] = []
+    with LiveStore(
+        store_dir, shape, shard_size=args.shard_size, overwrite=True
+    ) as live:
+
+        def on_segment(index: int, drained: int, now_s: float) -> None:
+            live.commit()
+            if live.watermark and (
+                not marks or live.watermark > marks[-1]
+            ):
+                marks.append(live.watermark)
+
+        run_simulation(
+            sim,
+            sink=live,
+            segment_days=args.segment_days,
+            on_segment=on_segment,
+        )
+    if not marks:
+        raise SystemExit("error: the simulation produced no scenarios")
+    reader = open_store(store_dir)
+    print(
+        f"ingested {marks[-1]} scenarios across {len(marks)} "
+        f"generation(s) -> {store_dir}"
+    )
+
+    # The fleet journal makes the control loop resumable: one line per
+    # completed cycle, carrying the lineage and the deterministic-replay
+    # plan of the model in force after that cycle.
+    journal_path = (
+        pathlib.Path(args.checkpoint) / "fleet-journal.jsonl"
+        if args.checkpoint
+        else None
+    )
+    entries: list[dict] = []
+    if args.resume and journal_path is not None and journal_path.exists():
+        with journal_path.open() as handle:
+            entries = [_json.loads(line) for line in handle if line.strip()]
+
+    def journal_append(entry: dict) -> None:
+        if journal_path is None:
+            return
+        journal_path.parent.mkdir(parents=True, exist_ok=True)
+        with journal_path.open("a") as handle:
+            handle.write(_json.dumps(entry) + "\n")
+
+    def journal_entry(cycle: int, status: str, action: str, model) -> dict:
+        plan = model._refit_plan
+        init = plan.get("init") if plan else None
+        return {
+            "cycle": cycle,
+            "covered": int(model.analysis.labels.shape[0]),
+            "status": status,
+            "action": action,
+            "digest": fitted_digest(model),
+            "lineage": [e.to_dict() for e in model.lineage],
+            "plan": None
+            if plan is None
+            else {
+                "k": int(plan["k"]),
+                "init": None if init is None else np.asarray(init).tolist(),
+                "block_rows": int(plan["block_rows"]),
+                "sample_capacity": int(plan["sample_capacity"]),
+            },
+        }
+
+    runtime = _resolve_runtime(
+        args, ("fleet", str(store_dir), args.seed, args.days)
+    )
+    try:
+        if entries:
+            # Phase 2a — resume: rebuild the last journaled model (and
+            # its spill, bit-identically) from the recorded plan.
+            last = entries[-1]
+            covered = int(last["covered"])
+            # A store-covering model is replayed over a path-bearing
+            # source so the republished payload can keep the store
+            # reference (a StoreSlice has no on-disk identity).
+            source = (
+                TailingSource(reader)
+                if covered == len(reader)
+                else StoreSlice(reader, 0, covered)
+            )
+            model = replay_refit(
+                source, config, last["plan"], spill_dir=spill_dir
+            )
+            if fitted_digest(model) != last["digest"]:
+                raise SystemExit(
+                    "error: resumed model does not reproduce the "
+                    "journaled state; delete the checkpoint to restart"
+                )
+            from .core.refit import ModelLineage
+
+            model.lineage = tuple(
+                ModelLineage.from_dict(e) for e in last["lineage"]
+            )
+            start_cycle = int(last["cycle"]) + 1
+            print(
+                f"resume: restored cycle {last['cycle']} model "
+                f"({covered} rows, generation "
+                f"{model.lineage[-1].generation if model.lineage else 0})"
+            )
+        else:
+            # Phase 2b — generation 0: full fit over the first window.
+            model = refit(
+                StoreSlice(reader, 0, marks[0]),
+                config,
+                spill_dir=spill_dir,
+                trigger="initial",
+                runtime=runtime,
+            )
+            journal_append(journal_entry(0, "initial", "fit:full", model))
+            print(
+                f"cycle 0: fitted generation 0 on {marks[0]} rows "
+                f"({model.analysis.n_clusters} clusters)"
+            )
+            start_cycle = 1
+
+        # A journal whose last entry is the final publish means the
+        # previous run completed: republish it verbatim instead of
+        # stacking another (fixed-point, but lineage-growing) refit.
+        run_complete = bool(entries) and entries[-1]["status"] == "final"
+        if run_complete:
+            print("resume: previous run completed; republishing")
+
+        # Phase 3 — the watch loop over the remaining generations.
+        if not run_complete and start_cycle <= len(marks) - 1:
+            tail = _SegmentReplay(reader, marks, start_cycle - 1)
+            for decision in model.watch(
+                tail, spill_dir=spill_dir, runtime=runtime
+            ):
+                model = decision.model
+                cycle = tail.cycle_index
+                journal_append(
+                    journal_entry(
+                        cycle, decision.status, decision.action, model
+                    )
+                )
+                print(
+                    f"cycle {cycle}: +{decision.n_new} rows, "
+                    f"{decision.status} -> {decision.action}"
+                )
+
+        # Phase 4 — publish: absorb any healthy tail so the final model
+        # covers the full store (a no-op fixed point when it already
+        # does), then save it with the store reference.
+        if not run_complete:
+            final_tail = TailingSource(reader)
+            model = model.refit(
+                final_tail, spill_dir=spill_dir, trigger="final"
+            )
+            journal_append(
+                journal_entry(
+                    len(marks),
+                    "final",
+                    f"refit:{model.lineage[-1].kind}",
+                    model,
+                )
+            )
+    finally:
+        if runtime is not None:
+            runtime.close()
+    save_model(model, args.out)
+    _print_resume_summary(args)
+    lineage = model.lineage[-1]
+    print(
+        f"published generation {lineage.generation} "
+        f"({lineage.kind}, {lineage.n_scenarios} scenarios, "
+        f"{model.analysis.n_clusters} clusters) -> {args.out}"
+    )
+    return 0
 
 
 def _cmd_ledger(args) -> int:

@@ -103,10 +103,17 @@ class Scenario:
 
 
 class ScenarioRecorder:
-    """Tracks machine compositions and accumulates scenario statistics."""
+    """Tracks machine compositions and accumulates scenario statistics.
 
-    def __init__(self, shape: MachineShape) -> None:
+    ``id_offset`` continues a dense scenario-id sequence across several
+    recorder instances — the segmented simulation mode drains and
+    replaces its recorder at each segment boundary, and ids must stay
+    unique (and monotone) across the whole emitted stream.
+    """
+
+    def __init__(self, shape: MachineShape, *, id_offset: int = 0) -> None:
         self.shape = shape
+        self.id_offset = id_offset
         self._scenarios: dict[ScenarioKey, Scenario] = {}
         # machine_id -> (key at interval start, interval start time)
         self._open_intervals: dict[int, tuple[ScenarioKey, float]] = {}
@@ -165,7 +172,9 @@ class ScenarioRecorder:
             )
         )
         self._scenarios[key] = Scenario(
-            scenario_id=len(self._scenarios), key=key, instances=instances
+            scenario_id=self.id_offset + len(self._scenarios),
+            key=key,
+            instances=instances,
         )
 
     def _close_interval(self, machine_id: int, now: float) -> None:

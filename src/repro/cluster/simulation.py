@@ -96,6 +96,7 @@ class SimulationResult:
     dataset: ScenarioDataset | None
     stats: SimulationStats
     n_streamed: int = 0
+    n_segments: int = 0
 
     @property
     def n_unique_scenarios(self) -> int:
@@ -110,6 +111,8 @@ def run_simulation(
     scheduler: Scheduler | None = None,
     submission_system: SubmissionSystem | None = None,
     sink=None,
+    segment_days: float | None = None,
+    on_segment=None,
 ) -> SimulationResult:
     """Simulate the datacenter and return its scenario dataset.
 
@@ -133,7 +136,26 @@ def run_simulation(
         ``dataset=None`` — the out-of-core path for runs whose scenario
         population should never be resident at once.  The recorder
         itself is O(unique scenarios), which is what a store shards.
+    segment_days:
+        Continuous-ingestion mode (requires *sink*): instead of one
+        drain at the end, the recorder is drained at every segment
+        boundary and replaced, so each segment emits the distinct
+        co-locations observed *within that window* (a mix recurring in
+        a later window appears again under a fresh id, with the
+        duration it accrued there — the live-fleet view of the same
+        behaviour stream).  Scheduling is untouched, so the event
+        sequence is identical to an unsegmented run with the same seed.
+    on_segment:
+        Optional ``callback(segment_index, n_drained, now_s)`` invoked
+        after each segment drain — the natural place to commit a
+        :class:`~repro.store.LiveStore` generation.  Also called for
+        the final partial segment.
     """
+    if segment_days is not None:
+        if sink is None:
+            raise ValueError("segment_days requires a sink to drain into")
+        if segment_days <= 0.0:
+            raise ValueError("segment_days must be positive")
     rng = np.random.default_rng(config.seed)
     queue = EventQueue()
     machines = [
@@ -149,11 +171,15 @@ def run_simulation(
     placer = scheduler if scheduler is not None else LeastUtilizedScheduler()
     stats = SimulationStats()
     horizon_s = config.max_days * 86400.0
+    n_streamed = 0
+    n_segments = 0
+    drained_unique = 0
 
     def reached_target() -> bool:
         return (
             config.target_unique_scenarios is not None
-            and recorder.n_unique >= config.target_unique_scenarios
+            and drained_unique + recorder.n_unique
+            >= config.target_unique_scenarios
         )
 
     def complete(machine: Machine, instance: JobInstance) -> None:
@@ -189,11 +215,47 @@ def run_simulation(
         if queue.now + gap <= horizon_s:
             queue.schedule_after(gap, arrive)
 
+    def drain_segment() -> None:
+        """Close the window: drain the recorder and start a fresh one."""
+        nonlocal recorder, n_streamed, n_segments, drained_unique
+        recorder.finalize(queue.now)
+        drained = recorder.drain_to(sink)
+        n_streamed += drained
+        drained_unique += recorder.n_unique
+        n_segments += 1
+        recorder = ScenarioRecorder(
+            config.shape, id_offset=recorder.id_offset + recorder.n_unique
+        )
+        for machine in machines:
+            recorder.on_composition_change(machine, queue.now)
+        if on_segment is not None:
+            on_segment(n_segments, drained, queue.now)
+
+    def segment_boundary() -> None:
+        drain_segment()
+        if queue.now + segment_s <= horizon_s:
+            queue.schedule_after(segment_s, segment_boundary)
+
+    if segment_days is not None:
+        segment_s = segment_days * 86400.0
+        if segment_s <= horizon_s:
+            queue.schedule(segment_s, segment_boundary)
+
     queue.schedule(submission.next_interarrival_s(0.0), arrive)
     queue.run(until=horizon_s, stop=reached_target)
 
-    recorder.finalize(queue.now)
     stats.sim_time_s = queue.now
+    if segment_days is not None:
+        if recorder.n_unique:
+            drain_segment()
+        return SimulationResult(
+            config=config,
+            dataset=None,
+            stats=stats,
+            n_streamed=n_streamed,
+            n_segments=n_segments,
+        )
+    recorder.finalize(queue.now)
     if sink is not None:
         n_streamed = recorder.drain_to(sink)
         return SimulationResult(

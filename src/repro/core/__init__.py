@@ -34,6 +34,14 @@ from .performance import (
 )
 from .pipeline import Flare, FlareConfig
 from .refinement import RefinedDataset, refine
+from .refit import (
+    ModelLineage,
+    RefitUnsoundError,
+    WatchDecision,
+    refit,
+    replay_refit,
+    watch,
+)
 from .replayer import ReplayMeasurement, Replayer
 from .representatives import (
     ClusterGroup,
@@ -49,6 +57,12 @@ __all__ = [
     "AnalysisResult",
     "RefinedDataset",
     "refine",
+    "ModelLineage",
+    "RefitUnsoundError",
+    "WatchDecision",
+    "refit",
+    "replay_refit",
+    "watch",
     "ComponentInterpretation",
     "LoadingEntry",
     "interpret_components",

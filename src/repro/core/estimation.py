@@ -87,9 +87,7 @@ def estimate_all_job_impact(
     """
     selected: list[tuple[tuple[int, float], Scenario]] = []
     for group in representatives.groups:
-        scenario = group.first_member_where(
-            representatives.dataset, lambda s: bool(s.hp_instances)
-        )
+        scenario = representatives.first_member_with_hp(group)
         if scenario is None:
             # LP-only group: hosts nothing whose performance is managed.
             continue
@@ -128,11 +126,7 @@ def estimate_per_job_impact(
         weight = representatives.job_instance_weight(group, job_name)
         if weight <= 0.0:
             continue
-
-        def hosts_job(scenario: Scenario) -> bool:
-            return scenario.count_of(job_name) > 0
-
-        scenario = group.first_member_where(representatives.dataset, hosts_job)
+        scenario = representatives.first_member_with_job(group, job_name)
         if scenario is None:
             continue
         selected.append(((group.cluster_id, weight), scenario))

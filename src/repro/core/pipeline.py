@@ -161,6 +161,13 @@ class Flare:
         #: RefinedDataset exists to carry it.
         self._prune_report: PruneReport | None = None
         self._streaming = False
+        #: Provenance chain of refit-path models (see repro.core.refit);
+        #: empty for models fitted directly.
+        self.lineage: tuple = ()
+        #: Deterministic-replay plan of a refit-path model (chosen k,
+        #: warm-start centroids) — what save_model/load_model need to
+        #: reproduce a warm-started fit exactly.
+        self._refit_plan: dict | None = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -305,6 +312,84 @@ class Flare:
             labels={"streaming": True},
         )
         return self
+
+    # ------------------------------------------------------------------
+    def refit(
+        self,
+        source: "ScenarioSource | None" = None,
+        *,
+        spill_dir,
+        mode: str = "auto",
+        watermark: int | None = None,
+        trigger: str = "manual",
+        runtime: "RuntimeConfig | Executor | str | None" = None,
+        max_scaler_drift: float | None = None,
+    ) -> "Flare":
+        """Refit this model over a grown *source*, reusing its spill.
+
+        Returns a **new** fitted :class:`Flare` whose ``lineage``
+        extends this model's by one entry; ``self`` is untouched.  The
+        metric spill at *spill_dir* must be the one this model was
+        fitted from (see :func:`repro.core.refit.refit`): only the
+        rows past ``watermark`` are re-profiled, and the previous
+        centroids warm-start a single clustering run unless a
+        soundness gate (cluster-count change, scaler drift) forces a
+        full re-fit of the spill.
+        """
+        from .refit import DEFAULT_MAX_SCALER_DRIFT, refit as _refit
+
+        if source is None:
+            source = self.dataset
+        if runtime is None:
+            runtime = self.config.runtime
+        return _refit(
+            source,
+            self.config,
+            spill_dir=spill_dir,
+            prev=self,
+            mode=mode,
+            watermark=watermark,
+            trigger=trigger,
+            database=self.database,
+            runtime=runtime,
+            max_scaler_drift=(
+                DEFAULT_MAX_SCALER_DRIFT
+                if max_scaler_drift is None
+                else max_scaler_drift
+            ),
+        )
+
+    def watch(
+        self,
+        source: "ScenarioSource",
+        *,
+        spill_dir,
+        thresholds=None,
+        runtime: "RuntimeConfig | Executor | str | None" = None,
+        max_scaler_drift: float | None = None,
+        max_cycles: int | None = None,
+        idle=None,
+    ):
+        """Drive the fleet control loop: ingest → monitor → refit.
+
+        A generator of :class:`repro.core.refit.WatchDecision`, one per
+        cycle; see :func:`repro.core.refit.watch` for the loop contract
+        and the ``repro fleet`` CLI for the end-to-end harness.
+        """
+        from .refit import watch as _watch
+
+        if runtime is None:
+            runtime = self.config.runtime
+        return _watch(
+            self,
+            source,
+            spill_dir=spill_dir,
+            thresholds=thresholds,
+            runtime=runtime,
+            max_scaler_drift=max_scaler_drift,
+            max_cycles=max_cycles,
+            idle=idle,
+        )
 
     # ------------------------------------------------------------------
     def evaluate(

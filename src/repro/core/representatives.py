@@ -244,19 +244,96 @@ class RepresentativeSet:
                 f"scenario {scenario_index} not in any group"
             ) from None
 
+    # ------------------------------------------------------------------
+    # Columnar member search.  ``first_member_where`` walks members one
+    # at a time, fetching each scenario individually — on a store-backed
+    # dataset that is a shard load per probe.  The methods below answer
+    # the same questions from per-scenario columns built in ONE
+    # sequential batch pass over the dataset and cached, so repeated
+    # queries (one per group, one per job) cost a numpy gather.  Keyed by
+    # dataset length so a still-growing source never serves stale
+    # columns.
+
+    def _columns(self) -> dict:
+        cache = getattr(self, "_column_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_column_cache", cache)
+        return cache
+
+    def job_counts(self, job_name: str) -> np.ndarray:
+        """Per-scenario instance count of *job_name* (cached column)."""
+        cache = self._columns()
+        key = ("job", job_name, len(self.dataset))
+        if key not in cache:
+            counts = np.zeros(len(self.dataset), dtype=np.int64)
+            row = 0
+            for batch in self.dataset.iter_batches():
+                for scenario in batch.scenarios:
+                    counts[row] = scenario.count_of(job_name)
+                    row += 1
+            cache[key] = counts
+        return cache[key]
+
+    def hp_presence(self) -> np.ndarray:
+        """Per-scenario "hosts any HP instance" flag (cached column)."""
+        cache = self._columns()
+        key = ("hp", len(self.dataset))
+        if key not in cache:
+            mask = np.zeros(len(self.dataset), dtype=bool)
+            row = 0
+            for batch in self.dataset.iter_batches():
+                for scenario in batch.scenarios:
+                    mask[row] = any(
+                        inst.signature.is_high_priority
+                        for inst in scenario.instances
+                    )
+                    row += 1
+            cache[key] = mask
+        return cache[key]
+
+    def _first_member(
+        self, group: ClusterGroup, present: np.ndarray
+    ) -> Scenario | None:
+        members = np.fromiter(
+            group.ranked_members, dtype=np.int64, count=group.size
+        )
+        hits = np.flatnonzero(present[members])
+        if hits.size == 0:
+            return None
+        return self.dataset[int(members[hits[0]])]
+
+    def first_member_with_job(
+        self, group: ClusterGroup, job_name: str
+    ) -> Scenario | None:
+        """Columnar :meth:`ClusterGroup.first_member_where` for "hosts
+        *job_name*"; same answer, one dataset pass for all groups."""
+        return self._first_member(group, self.job_counts(job_name) > 0)
+
+    def first_member_with_hp(self, group: ClusterGroup) -> Scenario | None:
+        """Columnar fallback search for "hosts any HP instance"."""
+        return self._first_member(group, self.hp_presence())
+
     def job_instance_weight(self, group: ClusterGroup, job_name: str) -> float:
         """Observation-weighted instance count of *job_name* in *group*.
 
         Used to weight per-job impacts by "the likelihood to observe the
-        job" in each group (§5.3).
+        job" in each group (§5.3).  Computed from the cached count
+        column; the final sum keeps the sequential left-to-right float
+        association of the historical per-member walk, so the result is
+        bit-identical to ``sum(weights[i] * dataset[i].count_of(job))``
+        over ``ranked_members``.
         """
-        weights = self.dataset.weights()
-        return float(
-            sum(
-                weights[idx] * self.dataset[idx].count_of(job_name)
-                for idx in group.ranked_members
-            )
+        cache = self._columns()
+        key = ("weights", len(self.dataset))
+        if key not in cache:
+            cache[key] = self.dataset.weights()
+        weights = cache[key]
+        members = np.fromiter(
+            group.ranked_members, dtype=np.int64, count=group.size
         )
+        products = weights[members] * self.job_counts(job_name)[members]
+        return float(sum(products.tolist()))
 
     def with_cluster_weights(
         self,

@@ -350,6 +350,24 @@ def save_model(flare: Flare, path) -> None:
         "config": config_to_dict(flare.config),
         "fitted_digest": fitted_digest(flare),
     }
+    # Refit-path models (repro.core.refit) carry their provenance chain
+    # and a deterministic-replay plan: the fixed-block refit pipeline
+    # differs from a plain Flare.fit at ~1e-12 (per-shard vs per-block
+    # statistics folding) and a warm start is not reproducible from the
+    # config alone, so load_model replays the plan instead of re-fitting.
+    if flare.lineage:
+        payload["lineage"] = [entry.to_dict() for entry in flare.lineage]
+        plan = flare._refit_plan
+        if plan is not None:
+            init = plan.get("init")
+            payload["refit_plan"] = {
+                "k": int(plan["k"]),
+                # JSON round-trips Python floats exactly, so the replay
+                # warm-starts from bit-identical centroids.
+                "init": None if init is None else np.asarray(init).tolist(),
+                "block_rows": int(plan["block_rows"]),
+                "sample_capacity": int(plan["sample_capacity"]),
+            }
     # Fit-time health statistics ride along so the artefact documents
     # what the model looked like when it was trusted; the drift monitor
     # scores later scenario streams against exactly these numbers.
@@ -409,7 +427,20 @@ def load_model(path, *, verify: bool = True) -> Flare:
             )
     else:
         source = dataset_from_dict(payload["dataset"])
-    flare = Flare(config).fit(source)
+    if "refit_plan" in payload:
+        import tempfile
+
+        from ..core.refit import ModelLineage, replay_refit
+
+        plan = payload["refit_plan"]
+        with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmp:
+            flare = replay_refit(source, config, plan, spill_dir=tmp)
+        flare.lineage = tuple(
+            ModelLineage.from_dict(entry)
+            for entry in payload.get("lineage", [])
+        )
+    else:
+        flare = Flare(config).fit(source)
     if verify:
         digest = fitted_digest(flare)
         if digest != payload["fitted_digest"]:

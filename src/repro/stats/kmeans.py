@@ -154,8 +154,15 @@ class KMeans:
         self.result_: KMeansResult | None = None
 
     # ------------------------------------------------------------------
-    def fit(self, data, sample_weight=None) -> KMeansResult:
-        """Cluster *data*; returns (and stores) the best restart."""
+    def fit(self, data, sample_weight=None, *, init=None) -> KMeansResult:
+        """Cluster *data*; returns (and stores) the best restart.
+
+        ``init`` warm-starts Lloyd from explicit ``(k, n_features)``
+        centroids: a single run, no k-means++ seeding, no restarts.
+        Starting from a converged solution of the same data is a fixed
+        point — one stable iteration reproduces the input centroids
+        bit-for-bit — which is what makes incremental refit provable.
+        """
         matrix = as_matrix(data, name="data")
         n_samples = matrix.shape[0]
         if self.n_clusters > n_samples:
@@ -171,6 +178,16 @@ class KMeans:
                 raise ValueError("sample_weight must be non-negative, sum > 0")
 
         rng = check_random_state(self.seed)
+        if init is not None:
+            init = np.ascontiguousarray(init, dtype=np.float64)
+            if init.shape != (self.n_clusters, matrix.shape[1]):
+                raise ValueError(
+                    f"init must have shape ({self.n_clusters}, "
+                    f"{matrix.shape[1]}), got {init.shape}"
+                )
+            best = self._single_run(matrix, weight, rng, init=init)
+            self.result_ = best
+            return best
         best: KMeansResult | None = None
         for _ in range(self.n_init):
             candidate = self._single_run(matrix, weight, rng)
@@ -194,8 +211,14 @@ class KMeans:
         data: np.ndarray,
         weight: np.ndarray | None,
         rng: np.random.Generator,
+        init: np.ndarray | None = None,
     ) -> KMeansResult:
-        centroids = kmeans_plus_plus_init(data, self.n_clusters, rng, weight)
+        if init is not None:
+            centroids = init.copy()
+        else:
+            centroids = kmeans_plus_plus_init(
+                data, self.n_clusters, rng, weight
+            )
         eff_weight = np.ones(data.shape[0]) if weight is None else weight
         labels = np.full(data.shape[0], -1, dtype=np.intp)
         converged = False
@@ -276,46 +299,65 @@ class StreamingKMeans:
         n_total: int,
         sample,
         sample_weight=None,
+        init=None,
     ) -> KMeansResult:
+        """Cluster the streamed rows (see class docstring).
+
+        ``init`` warm-starts from explicit centroids: the exact path
+        becomes a single in-memory Lloyd run from them, the streaming
+        path skips the sample-seeded k-means++ fit and refines *init*
+        directly with full-data passes.  Either way, results depend
+        only on (row stream, init), never on restarts or the seed.
+        """
         sample = as_matrix(sample, name="sample")
         if self.n_clusters > n_total:
             raise ValueError(
                 f"n_clusters={self.n_clusters} exceeds n_samples={n_total}"
             )
+        if init is not None:
+            init = np.ascontiguousarray(init, dtype=np.float64)
+            if init.shape != (self.n_clusters, sample.shape[1]):
+                raise ValueError(
+                    f"init must have shape ({self.n_clusters}, "
+                    f"{sample.shape[1]}), got {init.shape}"
+                )
         if sample.shape[0] >= n_total:
-            return self._fit_exact(sample, sample_weight)
+            return self._fit_exact(sample, sample_weight, init)
         if sample_weight is not None:
             raise ValueError(
                 "sample_weight requires the full dataset inside the "
                 "initialisation sample; raise the sample capacity or use "
                 "the in-memory fit"
             )
-        return self._fit_streaming(batches, n_total, sample)
+        return self._fit_streaming(batches, n_total, sample, init)
 
     # ------------------------------------------------------------------
-    def _fit_exact(self, sample, sample_weight) -> KMeansResult:
+    def _fit_exact(self, sample, sample_weight, init=None) -> KMeansResult:
         base = KMeans(
             self.n_clusters,
             n_init=self.n_init,
             max_iter=self.max_iter,
             tol=self.tol,
             seed=self.seed,
-        ).fit(sample, sample_weight)
+        ).fit(sample, sample_weight, init=init)
         self.point_sq_distances_ = _assigned_sq_distances(
             sample, base.centroids, base.labels
         )
         self.result_ = base
         return base
 
-    def _fit_streaming(self, batches, n_total, sample) -> KMeansResult:
-        seed_fit = KMeans(
-            self.n_clusters,
-            n_init=self.n_init,
-            max_iter=self.max_iter,
-            tol=self.tol,
-            seed=self.seed,
-        ).fit(sample)
-        centroids = seed_fit.centroids.copy()
+    def _fit_streaming(self, batches, n_total, sample, init=None) -> KMeansResult:
+        if init is not None:
+            centroids = init.copy()
+        else:
+            seed_fit = KMeans(
+                self.n_clusters,
+                n_init=self.n_init,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                seed=self.seed,
+            ).fit(sample)
+            centroids = seed_fit.centroids.copy()
         k = self.n_clusters
         converged = False
         n_iter = 0

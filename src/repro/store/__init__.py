@@ -20,6 +20,7 @@ from .format import (
     StoreCorruptionError,
     StoreError,
 )
+from .live import LiveStore, StoreSlice, TailingSource
 from .metrics_store import MetricStore, MetricStoreWriter
 from .store import (
     ShardedScenarioStore,
@@ -37,6 +38,9 @@ __all__ = [
     "StoreCorruptionError",
     "ShardedScenarioStore",
     "StoreWriter",
+    "LiveStore",
+    "StoreSlice",
+    "TailingSource",
     "MetricStore",
     "MetricStoreWriter",
     "open_store",

@@ -51,6 +51,26 @@ class MetricStoreWriter:
         self._total_rows = 0
         self._finalized = False
 
+    @classmethod
+    def for_append(cls, path) -> "MetricStoreWriter":
+        """Reopen an existing metric store to append further shards.
+
+        The incremental refit keeps one persistent spill across model
+        generations: rows already profiled stay where they are, fresh
+        rows land as new shards, and ``finalize`` atomically replaces
+        the manifest so a crash mid-append leaves the previous
+        generation's manifest (and therefore a consistent store)
+        intact.
+        """
+        existing = MetricStore.open(path)
+        writer = cls.__new__(cls)
+        writer.path = existing.path
+        writer.metric_names = existing.metric_names
+        writer._shards = list(existing._shards)
+        writer._total_rows = existing.n_rows
+        writer._finalized = False
+        return writer
+
     def append(self, matrix: np.ndarray) -> None:
         """Write one ``(rows, n_metrics)`` float64 batch as a shard."""
         if self._finalized:

@@ -162,10 +162,28 @@ class StoreWriter:
             return self.store
         if self._buffer:
             self._flush_shard()
+        self._sync_pending()
+        manifest = self._manifest()
+        self._write_manifest(manifest)
+        self._finalized = True
+        self.store = ShardedScenarioStore(self.path, manifest)
+        return self.store
+
+    def _sync_pending(self) -> None:
+        """Batched fsync of every shard file written since the last sync."""
         with span("store.fsync", files=len(self._written_files)):
             for path in self._written_files:
                 fsync_path(path)
             fsync_path(self.path)
+        self._written_files.clear()
+
+    def _manifest(self, *, extra: dict[str, Any] | None = None) -> dict:
+        """Build the manifest for everything flushed so far.
+
+        *extra* lets callers (the live store) ride additional fields —
+        generation counters, watermarks — on top of the base layout
+        without forking the format.
+        """
         signatures = self._hasher.signature_objects()
         manifest = {
             "format": STORE_FORMAT,
@@ -187,8 +205,14 @@ class StoreWriter:
             "total_rows": self._total_rows,
             "total_instances": self._total_instances,
             "content_digest": self._hasher.hexdigest(),
-            "shards": self._shards,
+            "shards": list(self._shards),
         }
+        if extra:
+            manifest.update(extra)
+        return manifest
+
+    def _write_manifest(self, manifest: dict[str, Any]) -> None:
+        """Atomically publish *manifest* (tmp + fsync + rename)."""
         manifest_path = self.path / MANIFEST_NAME
         temporary = manifest_path.with_name(f".tmp-{MANIFEST_NAME}")
         try:
@@ -199,9 +223,6 @@ class StoreWriter:
             os.replace(temporary, manifest_path)
         finally:
             temporary.unlink(missing_ok=True)
-        self._finalized = True
-        self.store = ShardedScenarioStore(self.path, manifest)
-        return self.store
 
     def __enter__(self) -> "StoreWriter":
         return self
@@ -321,6 +342,57 @@ class ShardedScenarioStore:
                 f"manifest total_rows={manifest['total_rows']} but "
                 f"shards sum to {declared}"
             )
+
+    def refresh(self) -> int:
+        """Re-read the manifest, picking up newly appended generations.
+
+        Returns the number of scenario rows gained.  The manifest is
+        replaced atomically by writers, so a reader only ever sees a
+        complete old or complete new manifest — never a torn one.  The
+        already-known shard prefix must be byte-identical (same names
+        and digests); anything else means the store was rewritten in
+        place and the reader must reopen from scratch
+        (:class:`StoreCorruptionError`).  Decoded-shard cache entries
+        survive a refresh: committed shards are immutable.
+        """
+        manifest_path = self.path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as error:
+            raise StoreCorruptionError(
+                f"unreadable store manifest {manifest_path}: {error}"
+            ) from error
+        self._validate_manifest(manifest)
+        fresh = list(manifest["shards"])
+        if len(fresh) < len(self._shards):
+            raise StoreCorruptionError(
+                f"store at {self.path} lost shards across refresh "
+                f"({len(self._shards)} -> {len(fresh)}); reopen it"
+            )
+        for known, seen in zip(self._shards, fresh):
+            if (
+                known["name"] != seen["name"]
+                or known["scenarios_digest"] != seen["scenarios_digest"]
+                or known["instances_digest"] != seen["instances_digest"]
+            ):
+                raise StoreCorruptionError(
+                    f"shard {known['name']} changed across refresh; the "
+                    "store was rewritten in place — reopen it"
+                )
+        gained = sum(int(e["rows"]) for e in fresh[len(self._shards):])
+        self.manifest = manifest
+        self.signatures = {
+            name: _signature_from_dict(raw)
+            for name, raw in manifest["signatures"].items()
+        }
+        self.job_names = list(manifest["job_names"])
+        self._shards = fresh
+        self._row_offsets = np.concatenate(
+            [[0], np.cumsum([entry["rows"] for entry in self._shards])]
+        ).astype(np.int64)
+        if gained:
+            self._weights_cache = None
+        return gained
 
     # ------------------------------------------------------------------
     @property

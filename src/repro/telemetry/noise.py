@@ -33,6 +33,22 @@ class MeasurementNoise:
         self.sigma = sigma
         self._rng = rng
 
+    def skip(self, n_rows: int, n_metrics: int) -> None:
+        """Advance the stream past *n_rows* rows without applying noise.
+
+        Draws exactly what :meth:`apply` would consume for those rows,
+        one row at a time, so a consumer that skips the first *k* rows
+        and then applies noise to row *k* gets the same factors a
+        start-from-zero consumer would — the property that lets an
+        incremental refit profile only fresh rows yet stay on the full
+        run's noise stream.  A zero-sigma stream consumes nothing, in
+        apply and here alike.
+        """
+        if self.sigma == 0.0:
+            return
+        for _ in range(n_rows):
+            self._rng.normal(0.0, self.sigma, size=n_metrics)
+
     def apply(
         self, values: np.ndarray, specs: tuple[MetricSpec, ...]
     ) -> np.ndarray:

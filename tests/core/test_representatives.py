@@ -104,3 +104,64 @@ class TestLookups:
                 reps.job_instance_weight(g, job) for g in reps.groups
             )
             assert by_groups == pytest.approx(total)
+
+
+class TestColumnarDifferential:
+    """Columnar member-search fast paths vs the scalar reference walk.
+
+    ``first_member_with_job`` / ``first_member_with_hp`` answer from
+    cached per-job count columns built in one sequential pass;
+    ``ClusterGroup.first_member_where`` walks the ranking with random
+    dataset access.  Same for ``job_instance_weight`` vs the inline
+    weighted sum.  Selection must match exactly and weights bit for
+    bit, or estimation silently changes which scenarios it replays.
+    """
+
+    def test_member_selection_matches_scalar_walk(self, reps, small_flare):
+        dataset = small_flare.dataset
+        jobs = sorted(
+            {name for s in dataset.scenarios for name, _ in s.key}
+        )
+        for group in reps.groups:
+            fast = reps.first_member_with_hp(group)
+            slow = group.first_member_where(
+                dataset, lambda s: bool(s.hp_instances)
+            )
+            assert (fast is None) == (slow is None)
+            if fast is not None:
+                assert fast.scenario_id == slow.scenario_id
+            for job in jobs:
+                fast = reps.first_member_with_job(group, job)
+                slow = group.first_member_where(
+                    dataset, lambda s: s.count_of(job) > 0
+                )
+                assert (fast is None) == (slow is None), (
+                    group.cluster_id,
+                    job,
+                )
+                if fast is not None:
+                    assert fast.scenario_id == slow.scenario_id
+
+    def test_job_instance_weight_bitwise_equal(self, reps, small_flare):
+        import struct
+
+        dataset = small_flare.dataset
+        weights = dataset.weights()
+        jobs = sorted(
+            {name for s in dataset.scenarios for name, _ in s.key}
+        )
+        for group in reps.groups:
+            for job in jobs:
+                fast = reps.job_instance_weight(group, job)
+                slow = float(
+                    sum(
+                        weights[idx] * dataset[idx].count_of(job)
+                        for idx in group.ranked_members
+                    )
+                )
+                assert struct.pack("<d", fast) == struct.pack("<d", slow)
+
+    def test_missing_job_yields_no_member_and_zero_weight(self, reps):
+        for group in reps.groups:
+            assert reps.first_member_with_job(group, "no-such-job") is None
+            assert reps.job_instance_weight(group, "no-such-job") == 0.0

@@ -100,3 +100,73 @@ class TestPipelineIntegration:
         labels = flare.classify_dataset(small_sim.dataset)
         agreement = (labels == flare.analysis.labels).mean()
         assert agreement > 0.9
+
+
+class TestVectorisedDifferential:
+    """The vectorised temporal sampler vs the scalar reference.
+
+    ``_temporal_metrics`` draws every jitter factor in one RNG call and
+    batches the co-location solves; ``_temporal_metrics_scalar`` is the
+    original per-sample loop kept as ground truth.  The two must agree
+    bit for bit — any platform or refactor that breaks the documented
+    stream/reduction equivalences fails here first.
+    """
+
+    def _assert_bitwise_equal(self, profiler, dataset):
+        import struct
+
+        from repro.perfmodel.batch import solve_colocation_many
+        from repro.telemetry.metrics import MetricLevel
+        from repro.telemetry.profiler import _level_metrics
+
+        machine = dataset.shape.perf
+        bits = lambda x: struct.pack("<d", x)  # noqa: E731
+        for scenario in dataset.scenarios:
+            solution = solve_colocation_many(
+                machine,
+                [list(scenario.instances)],
+                solver=profiler.solver,
+                memo=profiler.memo,
+            )[0]
+            pairs = list(zip(scenario.instances, solution.instances))
+            base_values = {}
+            for level, keep in (
+                (MetricLevel.MACHINE, lambda p: True),
+                (MetricLevel.HP, lambda p: p.is_high_priority),
+            ):
+                subset = [(ri, pi) for ri, pi in pairs if keep(pi)]
+                for base, value in _level_metrics(
+                    subset,
+                    dataset.shape.vcpus,
+                    dataset.shape.dram_gb,
+                    machine,
+                ).items():
+                    base_values[f"{base}-{level.value}"] = value
+            vectorised = profiler._temporal_metrics(
+                scenario, machine, base_values
+            )
+            scalar = profiler._temporal_metrics_scalar(
+                scenario, machine, base_values
+            )
+            assert vectorised.keys() == scalar.keys()
+            for name in scalar:
+                assert bits(vectorised[name]) == bits(scalar[name]), (
+                    scenario.scenario_id,
+                    name,
+                    vectorised[name],
+                    scalar[name],
+                )
+
+    def test_bitwise_equal_on_handcrafted_scenarios(self, tiny_dataset):
+        profiler = Profiler(noise_sigma=0.0, seed=5, temporal_samples=4)
+        self._assert_bitwise_equal(profiler, tiny_dataset)
+
+    def test_bitwise_equal_on_simulated_scenarios(self, small_sim):
+        from repro.cluster import ScenarioDataset
+
+        profiler = Profiler(noise_sigma=0.02, seed=11, temporal_samples=3)
+        subset = ScenarioDataset(
+            shape=small_sim.dataset.shape,
+            scenarios=small_sim.dataset.scenarios[:25],
+        )
+        self._assert_bitwise_equal(profiler, subset)
